@@ -1,0 +1,204 @@
+//! Bertsekas ε-scaling auction algorithm.
+//!
+//! Rows ("bidders") compete for columns ("objects") by raising prices.
+//! The minimization instance is flipped to maximization of
+//! `benefit = C_max − cost`, and all benefits are scaled by `n + 1` so
+//! that running the final round with `ε = 1 < (n+1)/n` guarantees the
+//! assignment is exactly optimal for integer costs (the classical
+//! ε-complementary-slackness argument).
+//!
+//! Included as a third exact solver for the solver-ablation bench: the
+//! auction's round count depends strongly on cost structure, which is
+//! interesting to contrast with Hungarian/JV on the mosaic's error
+//! matrices.
+
+use crate::cost::CostMatrix;
+use crate::solver::{Assignment, Solver};
+
+/// Exact ε-scaling auction solver.
+#[derive(Copy, Clone, Debug)]
+pub struct AuctionSolver {
+    /// Factor by which ε shrinks between scaling phases (≥ 2).
+    pub scaling_factor: i64,
+}
+
+impl Default for AuctionSolver {
+    fn default() -> Self {
+        AuctionSolver { scaling_factor: 4 }
+    }
+}
+
+impl Solver for AuctionSolver {
+    fn solve(&self, cost: &CostMatrix) -> Assignment {
+        let row_to_col = solve_auction(cost, self.scaling_factor.max(2));
+        Assignment::new(cost, row_to_col)
+    }
+
+    fn name(&self) -> &'static str {
+        "auction"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+}
+
+const UNASSIGNED: usize = usize::MAX;
+
+/// Core auction routine returning `row_to_col`.
+// Index loops mirror the textbook auction pseudo-code.
+#[allow(clippy::needless_range_loop)]
+pub fn solve_auction(cost: &CostMatrix, scaling_factor: i64) -> Vec<usize> {
+    let n = cost.size();
+    if n == 1 {
+        return vec![0];
+    }
+    let scale = (n + 1) as i64;
+    let c_max = i64::from(cost.max_entry());
+    // benefit[i][j] = (C_max - cost[i][j]) * (n+1), all >= 0.
+    let benefit =
+        |i: usize, j: usize| -> i64 { (c_max - i64::from(cost.get(i, j))) * scale };
+
+    let mut price = vec![0i64; n];
+    let mut row_to_col = vec![UNASSIGNED; n];
+    let mut col_to_row = vec![UNASSIGNED; n];
+
+    // ε starts near the largest scaled benefit and shrinks to 1.
+    let mut eps = (c_max * scale / 2).max(1);
+    loop {
+        // Restart the assignment each phase (standard ε-scaling keeps the
+        // prices, discards the matching).
+        row_to_col.iter_mut().for_each(|v| *v = UNASSIGNED);
+        col_to_row.iter_mut().for_each(|v| *v = UNASSIGNED);
+        let mut free: Vec<usize> = (0..n).collect();
+
+        while let Some(i) = free.pop() {
+            // Best and second-best net value for bidder i.
+            let mut best_j = 0usize;
+            let mut best_v = i64::MIN;
+            let mut second_v = i64::MIN;
+            for j in 0..n {
+                let v = benefit(i, j) - price[j];
+                if v > best_v {
+                    second_v = best_v;
+                    best_v = v;
+                    best_j = j;
+                } else if v > second_v {
+                    second_v = v;
+                }
+            }
+            if second_v == i64::MIN {
+                second_v = best_v;
+            }
+            // Raise the price by the bid increment.
+            price[best_j] += best_v - second_v + eps;
+            // Displace the current owner, if any.
+            let prev = col_to_row[best_j];
+            if prev != UNASSIGNED {
+                row_to_col[prev] = UNASSIGNED;
+                free.push(prev);
+            }
+            col_to_row[best_j] = i;
+            row_to_col[i] = best_j;
+        }
+
+        if eps == 1 {
+            break;
+        }
+        eps = (eps / scaling_factor).max(1);
+    }
+
+    debug_assert!(row_to_col.iter().all(|&c| c != UNASSIGNED));
+    row_to_col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_total;
+    use crate::hungarian::optimal_total;
+
+    #[test]
+    fn trivial_sizes() {
+        let cost = CostMatrix::from_vec(1, vec![9]);
+        assert_eq!(AuctionSolver::default().solve(&cost).total(), 9);
+        let cost = CostMatrix::from_vec(2, vec![1, 100, 100, 1]);
+        assert_eq!(AuctionSolver::default().solve(&cost).total(), 2);
+    }
+
+    #[test]
+    fn textbook_three_by_three() {
+        let cost = CostMatrix::from_vec(3, vec![4, 1, 3, 2, 0, 5, 3, 2, 2]);
+        assert_eq!(AuctionSolver::default().solve(&cost).total(), 5);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut state = 0xFEED_F00D_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in 2..=6 {
+            for case in 0..15 {
+                let data: Vec<u32> = (0..n * n).map(|_| (next() % 200) as u32).collect();
+                let cost = CostMatrix::from_vec(n, data);
+                let a = AuctionSolver::default().solve(&cost);
+                assert_eq!(a.total(), brute_force_total(&cost), "n={n} case={case}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_hungarian_on_medium_instances() {
+        let mut state = 0x5EED_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for &n in &[12usize, 25, 40] {
+            let data: Vec<u32> = (0..n * n).map(|_| (next() % 5_000) as u32).collect();
+            let cost = CostMatrix::from_vec(n, data);
+            let a = AuctionSolver::default().solve(&cost);
+            assert_eq!(a.total(), optimal_total(&cost), "n={n}");
+        }
+    }
+
+    #[test]
+    fn constant_matrix_terminates() {
+        let cost = CostMatrix::from_fn(10, |_, _| 77);
+        assert_eq!(AuctionSolver::default().solve(&cost).total(), 770);
+    }
+
+    #[test]
+    fn all_zero_matrix_terminates() {
+        let cost = CostMatrix::from_fn(10, |_, _| 0);
+        assert_eq!(AuctionSolver::default().solve(&cost).total(), 0);
+    }
+
+    #[test]
+    fn aggressive_scaling_factor_still_exact() {
+        let mut state = 99u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let data: Vec<u32> = (0..20 * 20).map(|_| (next() % 1_000) as u32).collect();
+        let cost = CostMatrix::from_vec(20, data);
+        let fast = AuctionSolver { scaling_factor: 64 };
+        assert_eq!(fast.solve(&cost).total(), optimal_total(&cost));
+    }
+
+    #[test]
+    fn solver_metadata() {
+        let s = AuctionSolver::default();
+        assert_eq!(s.name(), "auction");
+        assert!(s.is_exact());
+    }
+}

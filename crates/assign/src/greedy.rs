@@ -1,0 +1,125 @@
+//! Greedy matching baseline.
+//!
+//! Sorts all `n²` pairs by cost and accepts a pair when both its row and
+//! column are still free. O(n² log n), not optimal — the quality baseline
+//! the exact solvers are judged against in the solver-ablation bench, and
+//! a stand-in for the "pick the closest library image per subimage"
+//! strategy of classic database photomosaics (paper §I), restricted to a
+//! bijection.
+
+use crate::cost::CostMatrix;
+use crate::solver::{Assignment, Solver};
+
+/// Greedy (non-exact) solver.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct GreedySolver;
+
+impl Solver for GreedySolver {
+    fn solve(&self, cost: &CostMatrix) -> Assignment {
+        let row_to_col = solve_greedy(cost);
+        Assignment::new(cost, row_to_col)
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+}
+
+const UNASSIGNED: usize = usize::MAX;
+
+/// Core greedy routine returning `row_to_col`.
+///
+/// Ties are broken by `(row, col)` order, so the result is deterministic.
+pub fn solve_greedy(cost: &CostMatrix) -> Vec<usize> {
+    let n = cost.size();
+    let mut pairs: Vec<(u32, usize, usize)> = Vec::with_capacity(n * n);
+    for r in 0..n {
+        for (c, &value) in cost.row(r).iter().enumerate() {
+            pairs.push((value, r, c));
+        }
+    }
+    pairs.sort_unstable();
+
+    let mut row_to_col = vec![UNASSIGNED; n];
+    let mut col_taken = vec![false; n];
+    let mut matched = 0usize;
+    for (_, r, c) in pairs {
+        if row_to_col[r] == UNASSIGNED && !col_taken[c] {
+            row_to_col[r] = c;
+            col_taken[c] = true;
+            matched += 1;
+            if matched == n {
+                break;
+            }
+        }
+    }
+    debug_assert_eq!(matched, n, "greedy over all pairs always completes");
+    row_to_col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::optimal_total;
+
+    #[test]
+    fn greedy_is_a_permutation() {
+        let cost = CostMatrix::from_fn(8, |r, c| ((r * 13 + c * 7) % 19) as u32);
+        let a = GreedySolver.solve(&cost);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn greedy_finds_trivial_optimum() {
+        let cost = CostMatrix::from_fn(5, |r, c| if r == c { 0 } else { 10 });
+        assert_eq!(GreedySolver.solve(&cost).total(), 0);
+    }
+
+    #[test]
+    fn greedy_is_suboptimal_on_adversarial_instance() {
+        // Taking the globally cheapest edge (0,0)=0 forces cost 100 later:
+        // greedy total = 0 + 100, optimal = 1 + 2.
+        let cost = CostMatrix::from_vec(2, vec![0, 1, 2, 100]);
+        let greedy = GreedySolver.solve(&cost);
+        assert_eq!(greedy.total(), 100);
+        assert_eq!(optimal_total(&cost), 3);
+    }
+
+    #[test]
+    fn greedy_never_beats_optimal() {
+        let mut state = 0xACE_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for &n in &[5usize, 12, 30] {
+            let data: Vec<u32> = (0..n * n).map(|_| (next() % 1_000) as u32).collect();
+            let cost = CostMatrix::from_vec(n, data);
+            let g = GreedySolver.solve(&cost).total();
+            let opt = optimal_total(&cost);
+            assert!(g >= opt, "greedy {g} < optimal {opt}?!");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let cost = CostMatrix::from_fn(6, |_, _| 3);
+        let a = solve_greedy(&cost);
+        let b = solve_greedy(&cost);
+        assert_eq!(a, b);
+        // Tie-break by (row, col): identity assignment.
+        assert_eq!(a, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn solver_metadata() {
+        assert_eq!(GreedySolver.name(), "greedy");
+        assert!(!GreedySolver.is_exact());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests certifying the polynomial solvers against the
+//! brute-force oracle and each other.
+
+use mosaic_assign::{
+    AuctionSolver, BlossomSolver, BruteForceSolver, CostMatrix, GreedySolver, HungarianSolver,
+    JonkerVolgenantSolver, Solver,
+};
+use proptest::prelude::*;
+
+fn arb_cost_matrix(max_n: usize, max_cost: u32) -> impl Strategy<Value = CostMatrix> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(0..=max_cost, n * n)
+            .prop_map(move |v| CostMatrix::from_vec(n, v))
+    })
+}
+
+proptest! {
+    #[test]
+    fn exact_solvers_match_brute_force(cost in arb_cost_matrix(7, 1000)) {
+        let brute = BruteForceSolver.solve(&cost).total();
+        prop_assert_eq!(HungarianSolver.solve(&cost).total(), brute);
+        prop_assert_eq!(JonkerVolgenantSolver.solve(&cost).total(), brute);
+        prop_assert_eq!(AuctionSolver::default().solve(&cost).total(), brute);
+        prop_assert_eq!(BlossomSolver.solve(&cost).total(), brute);
+    }
+
+    #[test]
+    fn exact_solvers_agree_on_larger_instances(cost in arb_cost_matrix(40, 100_000)) {
+        let h = HungarianSolver.solve(&cost).total();
+        prop_assert_eq!(JonkerVolgenantSolver.solve(&cost).total(), h);
+        prop_assert_eq!(AuctionSolver::default().solve(&cost).total(), h);
+    }
+
+    #[test]
+    fn exact_solvers_handle_heavy_ties(cost in arb_cost_matrix(24, 3)) {
+        let h = HungarianSolver.solve(&cost).total();
+        prop_assert_eq!(JonkerVolgenantSolver.solve(&cost).total(), h);
+        prop_assert_eq!(AuctionSolver::default().solve(&cost).total(), h);
+        prop_assert_eq!(BlossomSolver.solve(&cost).total(), h);
+    }
+
+    #[test]
+    fn blossom_matches_hungarian_via_embedding(cost in arb_cost_matrix(20, 100_000)) {
+        // The paper's configuration: bipartite assignment through a
+        // general-graph matcher.
+        prop_assert_eq!(
+            BlossomSolver.solve(&cost).total(),
+            HungarianSolver.solve(&cost).total()
+        );
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_dominated(cost in arb_cost_matrix(24, 10_000)) {
+        let greedy = GreedySolver.solve(&cost);
+        let opt = HungarianSolver.solve(&cost);
+        prop_assert!(greedy.total() >= opt.total());
+        // Feasibility: mapping is a permutation (validated inside
+        // Assignment::new, so reaching here suffices), and the inverse is
+        // consistent.
+        let inv = greedy.col_to_row();
+        for (r, &c) in greedy.row_to_col().iter().enumerate() {
+            prop_assert_eq!(inv[c], r);
+        }
+    }
+
+    #[test]
+    fn optimum_invariant_under_row_permutation(cost in arb_cost_matrix(12, 1000), shuffle_seed in any::<u64>()) {
+        // Permuting rows of the cost matrix must not change the optimal total.
+        let n = cost.size();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = shuffle_seed | 1;
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let permuted = CostMatrix::from_fn(n, |r, c| cost.get(perm[r], c));
+        prop_assert_eq!(
+            HungarianSolver.solve(&cost).total(),
+            HungarianSolver.solve(&permuted).total()
+        );
+    }
+
+    #[test]
+    fn adding_constant_to_row_shifts_optimum(cost in arb_cost_matrix(10, 1000), delta in 1u32..500) {
+        // Adding δ to every entry of one row adds exactly δ to the optimum.
+        let n = cost.size();
+        let bumped = CostMatrix::from_fn(n, |r, c| {
+            if r == 0 { cost.get(r, c) + delta } else { cost.get(r, c) }
+        });
+        prop_assert_eq!(
+            HungarianSolver.solve(&bumped).total(),
+            HungarianSolver.solve(&cost).total() + u64::from(delta)
+        );
+        prop_assert_eq!(
+            JonkerVolgenantSolver.solve(&bumped).total(),
+            JonkerVolgenantSolver.solve(&cost).total() + u64::from(delta)
+        );
+    }
+
+    #[test]
+    fn optimum_is_lower_bounded_by_row_minima(cost in arb_cost_matrix(16, 10_000)) {
+        let lb: u64 = (0..cost.size())
+            .map(|r| u64::from(*cost.row(r).iter().min().unwrap()))
+            .sum();
+        prop_assert!(HungarianSolver.solve(&cost).total() >= lb);
+    }
+}
+
+
+proptest! {
+    #[test]
+    fn blossom_general_matches_dp_oracle(
+        (n, weights) in (1usize..=6).prop_flat_map(|half| {
+            let n = 2 * half;
+            proptest::collection::vec(0i64..5_000, n * n).prop_map(move |flat| {
+                let mut w = vec![vec![0i64; n]; n];
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let v = flat[i * n + j];
+                        w[i][j] = v;
+                        w[j][i] = v;
+                    }
+                }
+                (n, w)
+            })
+        })
+    ) {
+        let (mate, total) = mosaic_assign::blossom::min_weight_perfect_matching(&weights);
+        let oracle = mosaic_assign::blossom::oracle_min_perfect_matching(&weights);
+        prop_assert_eq!(total as i64, oracle);
+        for (i, &j) in mate.iter().enumerate() {
+            prop_assert_eq!(mate[j], i);
+            prop_assert_ne!(i, j);
+        }
+        let _ = n;
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion benches for the remaining DESIGN.md §5 ablations: tile
+//! metric cost, preprocessing cost, search-effort variants, and the
+//! end-to-end pipeline on each backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_bench::figure2_pair;
+use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
+use photomosaic::anneal::anneal_search;
+use photomosaic::local_search::local_search;
+use photomosaic::preprocess::preprocess_gray;
+use photomosaic::{generate, Algorithm, Backend, MosaicBuilder, Preprocess};
+
+fn bench_metrics(c: &mut Criterion) {
+    let (input, target) = figure2_pair(256);
+    let layout = TileLayout::with_grid(256, 16).unwrap();
+    let mut group = c.benchmark_group("metric_ablation");
+    group.sample_size(10);
+    for metric in TileMetric::ALL {
+        group.bench_function(metric.name(), |b| {
+            b.iter(|| build_error_matrix(&input, &target, layout, metric).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let (input, target) = figure2_pair(512);
+    let mut group = c.benchmark_group("preprocess_ablation");
+    group.sample_size(10);
+    for mode in [Preprocess::MatchTarget, Preprocess::Equalize, Preprocess::None] {
+        group.bench_function(mode.name(), |b| {
+            b.iter(|| preprocess_gray(&input, &target, mode))
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_effort(c: &mut Criterion) {
+    let (input, target) = figure2_pair(256);
+    let layout = TileLayout::with_grid(256, 16).unwrap();
+    let matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+    let mut group = c.benchmark_group("search_effort");
+    group.sample_size(10);
+    group.bench_function("descent", |b| b.iter(|| local_search(&matrix)));
+    for sweeps in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("anneal", sweeps), &sweeps, |b, &sweeps| {
+            b.iter(|| anneal_search(&matrix, 7, sweeps))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_backends(c: &mut Criterion) {
+    let (input, target) = figure2_pair(256);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("pipeline_backends");
+    group.sample_size(10);
+    for backend in [
+        Backend::Serial,
+        Backend::Threads(workers),
+        Backend::GpuSim { workers: None },
+    ] {
+        let config = MosaicBuilder::new()
+            .grid(16)
+            .algorithm(Algorithm::ParallelSearch)
+            .backend(backend)
+            .build();
+        group.bench_function(backend.name(), |b| {
+            b.iter(|| generate(&input, &target, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_metrics,
+    bench_preprocess,
+    bench_search_effort,
+    bench_pipeline_backends
+);
+criterion_main!(benches);

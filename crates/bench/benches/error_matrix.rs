@@ -1,0 +1,39 @@
+//! Criterion bench for Step 2 (Table II's measured core): the S×S error
+//! matrix on each backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_bench::figure2_pair;
+use mosaic_grid::{build_error_matrix, build_error_matrix_threaded, TileLayout, TileMetric};
+use mosaic_gpu::{DeviceSpec, GpuSim};
+use photomosaic::errors::gpu_error_matrix;
+
+fn bench_error_matrix(c: &mut Criterion) {
+    let size = 256;
+    let (input, target) = figure2_pair(size);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sim = GpuSim::new(DeviceSpec::tesla_k40());
+
+    let mut group = c.benchmark_group("error_matrix");
+    group.sample_size(10);
+    for grid in [8usize, 16, 32] {
+        let layout = TileLayout::with_grid(size, grid).unwrap();
+        group.bench_with_input(BenchmarkId::new("serial", grid), &layout, |b, &layout| {
+            b.iter(|| build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("threads", grid), &layout, |b, &layout| {
+            b.iter(|| {
+                build_error_matrix_threaded(&input, &target, layout, TileMetric::Sad, workers)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gpu-sim", grid), &layout, |b, &layout| {
+            b.iter(|| gpu_error_matrix(&sim, &input, &target, layout, TileMetric::Sad).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_error_matrix);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for Step 3 (Table III's measured core): optimization
+//! vs serial vs parallel local search on the same error matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_assign::SolverKind;
+use mosaic_bench::figure2_pair;
+use mosaic_edgecolor::SwapSchedule;
+use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
+use mosaic_gpu::{DeviceSpec, GpuSim};
+use photomosaic::local_search::local_search;
+use photomosaic::optimal::optimal_rearrangement;
+use photomosaic::parallel_search::{parallel_search_gpu, parallel_search_reference};
+
+fn bench_rearrange(c: &mut Criterion) {
+    let size = 256;
+    let (input, target) = figure2_pair(size);
+    let sim = GpuSim::new(DeviceSpec::tesla_k40());
+
+    let mut group = c.benchmark_group("rearrange");
+    group.sample_size(10);
+    for grid in [8usize, 16] {
+        let layout = TileLayout::with_grid(size, grid).unwrap();
+        let matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+        let schedule = SwapSchedule::for_tiles(matrix.size());
+        group.bench_with_input(
+            BenchmarkId::new("optimal-jv", grid),
+            &matrix,
+            |b, matrix| b.iter(|| optimal_rearrangement(matrix, SolverKind::JonkerVolgenant)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("optimal-hungarian", grid),
+            &matrix,
+            |b, matrix| b.iter(|| optimal_rearrangement(matrix, SolverKind::Hungarian)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("local-search", grid),
+            &matrix,
+            |b, matrix| b.iter(|| local_search(matrix)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel-reference", grid),
+            &matrix,
+            |b, matrix| b.iter(|| parallel_search_reference(matrix, &schedule)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel-gpu-sim", grid),
+            &matrix,
+            |b, matrix| b.iter(|| parallel_search_gpu(&sim, matrix, &schedule)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rearrange);
+criterion_main!(benches);

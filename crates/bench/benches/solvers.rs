@@ -1,0 +1,53 @@
+//! Criterion bench for the assignment-solver ablation (DESIGN.md §5):
+//! Hungarian vs Jonker–Volgenant vs auction vs greedy on dense random
+//! instances and on a real mosaic error matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_assign::{CostMatrix, SolverKind};
+use mosaic_bench::figure2_pair;
+use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
+
+fn random_cost(n: usize, seed: u64) -> CostMatrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 100_000) as u32
+    };
+    CostMatrix::from_vec(n, (0..n * n).map(|_| next()).collect())
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers_random");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let cost = random_cost(n, 42);
+        for kind in SolverKind::ALL {
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &cost, |b, cost| {
+                let solver = kind.build();
+                b.iter(|| solver.solve(cost))
+            });
+        }
+    }
+    group.finish();
+
+    // Real mosaic matrices have strong structure (nearby tiles are
+    // similar); solver behaviour can differ from uniform-random inputs.
+    let (input, target) = figure2_pair(256);
+    let layout = TileLayout::with_grid(256, 16).unwrap();
+    let matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+    let cost = CostMatrix::from_vec(matrix.size(), matrix.as_slice().to_vec());
+    let mut group = c.benchmark_group("solvers_mosaic");
+    group.sample_size(10);
+    for kind in SolverKind::ALL {
+        group.bench_with_input(BenchmarkId::new(kind.name(), 256), &cost, |b, cost| {
+            let solver = kind.build();
+            b.iter(|| solver.solve(cost))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

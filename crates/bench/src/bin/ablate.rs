@@ -1,0 +1,187 @@
+//! Ablation studies for the design choices called out in DESIGN.md §5.
+//!
+//! ```text
+//! cargo run --release -p mosaic-bench --bin ablate [--full]
+//! ```
+//!
+//! * **Metric** — SAD (the paper's Eq. 1) vs SSD vs tile-mean: quality
+//!   (final SAD against the target, PSNR) and Step-2 cost;
+//! * **Solver** — Hungarian vs Jonker–Volgenant vs auction vs greedy on
+//!   the same error matrix: identical optima for the exact three, time
+//!   differences, greedy's quality gap;
+//! * **Preprocess** — histogram matching vs equalization vs none;
+//! * **Search effort** — Algorithm 1 vs annealing with increasing sweep
+//!   budgets: how far the swap-local optimum sits from what extra search
+//!   buys;
+//! * **Workers** — simulated-device scaling with host worker count.
+
+use mosaic_assign::SolverKind;
+use mosaic_bench::{figure2_pair, fmt_secs, RunScale};
+use mosaic_edgecolor::SwapSchedule;
+use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
+use mosaic_gpu::{DeviceSpec, GpuSim};
+use mosaic_image::metrics;
+use photomosaic::anneal::anneal_search;
+use photomosaic::local_search::local_search;
+use photomosaic::optimal::optimal_rearrangement;
+use photomosaic::parallel_search::parallel_search_gpu;
+use photomosaic::{generate, Algorithm, Backend, MosaicBuilder, Preprocess};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let size = scale.table1_size();
+    let grid = scale.grids()[1];
+    let (input, target) = figure2_pair(size);
+
+    // ---- metric ablation ----
+    println!("== Metric ablation (N={size}, S={grid}x{grid}, optimal rearrangement) ==");
+    println!(
+        "{:>9} | {:>12} | {:>9} | {:>9}",
+        "metric", "SAD vs tgt", "PSNR[dB]", "step2[s]"
+    );
+    for metric in TileMetric::ALL {
+        let config = MosaicBuilder::new()
+            .grid(grid)
+            .metric(metric)
+            .algorithm(Algorithm::Optimal(SolverKind::JonkerVolgenant))
+            .backend(Backend::Serial)
+            .build();
+        let result = generate(&input, &target, &config).expect("valid");
+        println!(
+            "{:>9} | {:>12} | {:>9.2} | {}",
+            metric.name(),
+            metrics::sad(&result.image, &target),
+            metrics::psnr(&result.image, &target),
+            fmt_secs(result.report.step2_wall),
+        );
+    }
+
+    // ---- solver ablation ----
+    let layout = TileLayout::with_grid(size, grid).expect("divisible");
+    let matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+    println!("\n== Solver ablation (same SAD error matrix, S={}) ==", matrix.size());
+    println!("{:>17} | {:>14} | {:>9} | {:>6}", "solver", "total", "time[s]", "exact");
+    for kind in SolverKind::ALL {
+        let (out, dt) = mosaic_bench::time(|| optimal_rearrangement(&matrix, kind));
+        println!(
+            "{:>17} | {:>14} | {} | {:>6}",
+            kind.name(),
+            out.total,
+            fmt_secs(dt),
+            kind != SolverKind::Greedy,
+        );
+    }
+
+    // ---- preprocess ablation ----
+    println!("\n== Preprocess ablation (optimal rearrangement) ==");
+    println!("{:>13} | {:>14} | {:>9}", "preprocess", "total error", "PSNR[dB]");
+    for preprocess in [Preprocess::MatchTarget, Preprocess::Equalize, Preprocess::None] {
+        let config = MosaicBuilder::new()
+            .grid(grid)
+            .algorithm(Algorithm::Optimal(SolverKind::JonkerVolgenant))
+            .backend(Backend::Serial)
+            .preprocess(preprocess)
+            .build();
+        let result = generate(&input, &target, &config).expect("valid");
+        println!(
+            "{:>13} | {:>14} | {:>9.2}",
+            preprocess.name(),
+            result.report.total_error,
+            metrics::psnr(&result.image, &target),
+        );
+    }
+
+    // ---- search effort ablation ----
+    let optimal = optimal_rearrangement(&matrix, SolverKind::JonkerVolgenant).total;
+    println!("\n== Search effort (optimum = {optimal}) ==");
+    println!("{:>16} | {:>14} | {:>9}", "search", "total", "over-opt");
+    let plain = local_search(&matrix);
+    println!(
+        "{:>16} | {:>14} | {:>8.3}%",
+        "descent (Alg. 1)",
+        plain.total,
+        100.0 * (plain.total - optimal) as f64 / optimal as f64
+    );
+    for sweeps in [2usize, 8] {
+        let out = anneal_search(&matrix, 0xA11EA1, sweeps);
+        println!(
+            "{:>14}x{:<1} | {:>14} | {:>8.3}%",
+            "anneal",
+            sweeps,
+            out.total,
+            100.0 * (out.total - optimal) as f64 / optimal as f64
+        );
+    }
+
+    // ---- scalability ablation: dense exact vs pruned vs hierarchical ----
+    println!(
+        "\n== Scalability (grid {}x{}, same pair) ==",
+        scale.grids()[2],
+        scale.grids()[2]
+    );
+    {
+        let big_grid = scale.grids()[2];
+        let big_layout = TileLayout::with_grid(size, big_grid).expect("divisible");
+        let (big_matrix, t_matrix) = mosaic_bench::time(|| {
+            build_error_matrix(&input, &target, big_layout, TileMetric::Sad).unwrap()
+        });
+        println!("(error matrix build: {})", fmt_secs(t_matrix).trim());
+        println!(
+            "{:>22} | {:>14} | {:>9} | {:>9}",
+            "method", "total", "time[s]", "over-opt"
+        );
+        let (opt, t_opt) = mosaic_bench::time(|| {
+            optimal_rearrangement(&big_matrix, SolverKind::JonkerVolgenant)
+        });
+        println!(
+            "{:>22} | {:>14} | {} | {:>8.3}%",
+            "dense JV (exact)",
+            opt.total,
+            fmt_secs(t_opt),
+            0.0
+        );
+        for k in [8usize, 32] {
+            let (sparse, t_sparse) =
+                mosaic_bench::time(|| photomosaic::optimal::sparse_rearrangement(&big_matrix, k));
+            println!(
+                "{:>20}{k:<2} | {:>14} | {} | {:>8.3}%",
+                "sparse auction k=",
+                sparse.total,
+                fmt_secs(t_sparse),
+                100.0 * (sparse.total - opt.total) as f64 / opt.total as f64
+            );
+        }
+        let mcfg = photomosaic::multires::MultiresConfig {
+            leaf_grid: scale.grids()[0],
+            metric: TileMetric::Sad,
+        };
+        let (hier, t_hier) = mosaic_bench::time(|| {
+            photomosaic::multires::hierarchical_rearrangement(&input, &target, big_layout, mcfg)
+                .expect("grid is leaf * 2^k")
+        });
+        println!(
+            "{:>22} | {:>14} | {} | {:>8.3}%",
+            "hierarchical",
+            hier.total,
+            fmt_secs(t_hier),
+            100.0 * (hier.total - opt.total) as f64 / opt.total as f64
+        );
+    }
+
+    // ---- worker scaling ----
+    println!("\n== Simulated-device scaling (Algorithm 2, S={}) ==", matrix.size());
+    println!("{:>8} | {:>9} | {:>8}", "workers", "time[s]", "speedup");
+    let schedule = SwapSchedule::for_tiles(matrix.size());
+    let mut base = None;
+    for workers in [1usize, 2, 4, 8] {
+        let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), workers);
+        let (_, dt) = mosaic_bench::time(|| parallel_search_gpu(&sim, &matrix, &schedule));
+        let b = *base.get_or_insert(dt);
+        println!(
+            "{:>8} | {} | {:>7.2}x",
+            workers,
+            fmt_secs(dt),
+            b.as_secs_f64() / dt.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Regenerate every figure of the paper as PGM files under `out/`.
+//!
+//! ```text
+//! cargo run --release -p mosaic-bench --bin figures [--full]
+//! ```
+//!
+//! * **Figure 2** — input / target / photomosaic (32×32 tiles);
+//! * **Figure 3** — the histogram-matched input image;
+//! * **Figure 5** — the 15-edge-coloring of K₁₆ (printed as the paper's
+//!   P₁…P₁₆ table);
+//! * **Figure 7** — optimization vs approximation (CPU) vs approximation
+//!   (simulated GPU) at S = 16², 32², 64² (quick scale: 8², 16², 32²);
+//! * **Figure 8** — three more optimization examples at 32×32.
+
+use mosaic_assign::SolverKind;
+use mosaic_bench::{figure2_pair, out_dir, RunScale};
+use mosaic_edgecolor::complete_graph_coloring;
+use mosaic_image::io::save_pgm;
+use mosaic_image::synth;
+use photomosaic::preprocess::preprocess_gray;
+use photomosaic::{generate, Algorithm, Backend, MosaicBuilder, Preprocess};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let dir = out_dir();
+    let size = scale.table1_size();
+    let mid_grid = scale.grids()[1];
+
+    // ---- Figure 2: input, target, photomosaic ----
+    let (input, target) = figure2_pair(size);
+    let config = MosaicBuilder::new()
+        .grid(mid_grid)
+        .algorithm(Algorithm::Optimal(SolverKind::JonkerVolgenant))
+        .backend(Backend::GpuSim { workers: None })
+        .build();
+    let fig2 = generate(&input, &target, &config).expect("valid geometry");
+    save_pgm(dir.join("fig2a_input.pgm"), &input).unwrap();
+    save_pgm(dir.join("fig2b_target.pgm"), &target).unwrap();
+    save_pgm(dir.join("fig2c_mosaic.pgm"), &fig2.image).unwrap();
+    println!("Figure 2 written (error {})", fig2.report.total_error);
+
+    // ---- Figure 3: histogram-matched input ----
+    let matched = preprocess_gray(&input, &target, Preprocess::MatchTarget);
+    save_pgm(dir.join("fig3_hist_matched_input.pgm"), &matched).unwrap();
+    println!("Figure 3 written");
+
+    // ---- Figure 5: the 15-edge-coloring of K16 ----
+    println!("\nFigure 5: edge groups P_1..P_16 of K_16 (1-based, paper layout):");
+    let groups = complete_graph_coloring(16);
+    for (i, group) in groups.iter().enumerate() {
+        let pairs: Vec<String> = group
+            .iter()
+            .map(|&(a, b)| format!("({},{})", a + 1, b + 1))
+            .collect();
+        println!("  P_{:<2} = {{{}}}", i + 1, pairs.join(", "));
+    }
+    println!("  P_16 = {{}} (S even: the last group is empty)");
+
+    // ---- Figure 7: algorithm comparison across grids ----
+    println!("\nFigure 7: optimization vs approximation (CPU/simulated GPU):");
+    for grid in scale.grids() {
+        for (tag, algorithm, backend) in [
+            (
+                "opt",
+                Algorithm::Optimal(SolverKind::JonkerVolgenant),
+                Backend::Serial,
+            ),
+            ("approx_cpu", Algorithm::LocalSearch, Backend::Serial),
+            (
+                "approx_gpu",
+                Algorithm::ParallelSearch,
+                Backend::GpuSim { workers: None },
+            ),
+        ] {
+            let config = MosaicBuilder::new()
+                .grid(grid)
+                .algorithm(algorithm)
+                .backend(backend)
+                .build();
+            let result = generate(&input, &target, &config).expect("valid geometry");
+            let name = format!("fig7_s{grid}x{grid}_{tag}.pgm");
+            save_pgm(dir.join(&name), &result.image).unwrap();
+            println!("  {name}: error {}", result.report.total_error);
+        }
+    }
+
+    // ---- Figure 8: three more optimization examples ----
+    println!("\nFigure 8: further examples (optimization, {mid_grid}x{mid_grid} tiles):");
+    for (i, (a, b)) in synth::paper_pairs().into_iter().enumerate().skip(1) {
+        let input = a.render(size, 0xAB00 + i as u64);
+        let target = b.render(size, 0xCD00 + i as u64);
+        let config = MosaicBuilder::new()
+            .grid(mid_grid)
+            .algorithm(Algorithm::Optimal(SolverKind::JonkerVolgenant))
+            .backend(Backend::GpuSim { workers: None })
+            .build();
+        let result = generate(&input, &target, &config).expect("valid geometry");
+        let stem = format!("fig8{}_{}_to_{}", (b'a' + i as u8 - 1) as char, a.name(), b.name());
+        save_pgm(dir.join(format!("{stem}_input.pgm")), &input).unwrap();
+        save_pgm(dir.join(format!("{stem}_target.pgm")), &target).unwrap();
+        save_pgm(dir.join(format!("{stem}_mosaic.pgm")), &result.image).unwrap();
+        println!("  {stem}: error {}", result.report.total_error);
+    }
+
+    println!("\nall figures written to {}", dir.display());
+}

@@ -1,0 +1,70 @@
+//! Table II — computing the error values between tiles (Step 2).
+//!
+//! ```text
+//! cargo run --release -p mosaic-bench --bin table2 [--full]
+//! ```
+//!
+//! For every image size × grid, times the serial CPU builder against the
+//! simulated-device kernel (and reports the analytic Tesla-K40 model's
+//! predicted speedup, the number comparable to the paper's 58–92×).
+//! Timings are averaged over the four experiment pairs like the paper's.
+
+use mosaic_bench::{fmt_secs, fmt_speedup, timing_pairs, RunScale};
+use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
+use mosaic_gpu::{CostModel, DeviceSpec, GpuSim};
+use photomosaic::errors::{gpu_error_matrix, step2_profile};
+use std::time::Duration;
+
+fn main() {
+    let scale = RunScale::from_args();
+
+    println!("Table II: computing the error values between tiles (Step 2)");
+    println!();
+    println!(
+        "{:>6} | {:>7} | {:>9} | {:>9} | {:>9} | {:>11}",
+        "N", "S", "CPU[s]", "SIM[s]", "speedup", "modeled K40"
+    );
+    println!("{}", "-".repeat(66));
+
+    let sim = GpuSim::new(DeviceSpec::tesla_k40());
+    let k40 = CostModel::new(DeviceSpec::tesla_k40());
+    let host = CostModel::new(DeviceSpec::host_single_core());
+
+    for n in scale.image_sizes() {
+        let pairs = timing_pairs(n);
+        for grid in scale.grids() {
+            let layout = TileLayout::with_grid(n, grid).expect("divisible");
+            let mut cpu_total = Duration::ZERO;
+            let mut sim_total = Duration::ZERO;
+            for (input, target) in &pairs {
+                let (m1, t_cpu) = mosaic_bench::time(|| {
+                    build_error_matrix(input, target, layout, TileMetric::Sad).unwrap()
+                });
+                let (m2, t_sim) = mosaic_bench::time(|| {
+                    gpu_error_matrix(&sim, input, target, layout, TileMetric::Sad).unwrap()
+                });
+                assert_eq!(m1, m2, "backends must agree");
+                cpu_total += t_cpu;
+                sim_total += t_sim;
+            }
+            let cpu = cpu_total / pairs.len() as u32;
+            let simt = sim_total / pairs.len() as u32;
+            let profile = step2_profile::<mosaic_image::Gray>(layout, 1);
+            let modeled = k40.speedup_over(&host, &profile);
+            println!(
+                "{:>6} | {:>4}x{:<2} | {} | {} | {} | {:>10.1}x",
+                n,
+                grid,
+                grid,
+                fmt_secs(cpu),
+                fmt_secs(simt),
+                fmt_speedup(cpu, simt),
+                modeled,
+            );
+        }
+    }
+    println!();
+    println!("paper (Tesla K40 vs 1 core of i7-3770): speedups 58x-92x across the grid;");
+    println!("SIM = multicore simulation of the same kernel decomposition; 'modeled K40'");
+    println!("applies the analytic device model to the identical work profile.");
+}

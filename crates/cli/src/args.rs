@@ -1,0 +1,490 @@
+//! Argument parsing for the `mosaic` binary.
+//!
+//! A small `--flag value` parser: subcommand first, then any number of
+//! flag/value pairs (plus positional paths for `compare`/`info`).
+//! Unknown flags, missing values and out-of-range numbers are reported
+//! with precise messages.
+
+use mosaic_assign::SolverKind;
+use mosaic_grid::TileMetric;
+use photomosaic::{Algorithm, Backend, Preprocess};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// User-facing CLI failure.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<mosaic_image::ImageError> for CliError {
+    fn from(e: mosaic_image::ImageError) -> Self {
+        CliError(format!("image error: {e}"))
+    }
+}
+
+impl From<mosaic_grid::LayoutError> for CliError {
+    fn from(e: mosaic_grid::LayoutError) -> Self {
+        CliError(format!("layout error: {e}"))
+    }
+}
+
+/// A fully parsed command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `mosaic generate`.
+    Generate {
+        /// Input image path.
+        input: String,
+        /// Target image path.
+        target: String,
+        /// Output path.
+        out: String,
+        /// Pipeline configuration.
+        config: photomosaic::MosaicConfig,
+    },
+    /// `mosaic database`.
+    Database {
+        /// Target image path.
+        target: String,
+        /// Donor image paths.
+        donors: Vec<String>,
+        /// Tile edge length.
+        tile: usize,
+        /// Output path.
+        out: String,
+        /// Per-tile usage cap (`None` = unlimited).
+        cap: Option<usize>,
+        /// Tile metric.
+        metric: TileMetric,
+    },
+    /// `mosaic synth`.
+    Synth {
+        /// Scene name.
+        scene: mosaic_image::synth::Scene,
+        /// Image edge length.
+        size: usize,
+        /// PRNG seed.
+        seed: u64,
+        /// Output path.
+        out: String,
+    },
+    /// `mosaic compare a b`.
+    Compare {
+        /// First image.
+        a: String,
+        /// Second image.
+        b: String,
+    },
+    /// `mosaic info image`.
+    Info {
+        /// Image path.
+        path: String,
+    },
+    /// `mosaic help`.
+    Help,
+}
+
+struct Flags {
+    values: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+fn split_flags(argv: &[String]) -> Result<Flags, CliError> {
+    let mut values = BTreeMap::new();
+    let mut positional = Vec::new();
+    let mut it = argv.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| CliError(format!("flag --{name} is missing its value")))?;
+            if values.insert(name.to_string(), value.clone()).is_some() {
+                return Err(CliError(format!("flag --{name} given twice")));
+            }
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok(Flags { values, positional })
+}
+
+impl Flags {
+    fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| CliError(format!("missing required flag --{name}")))
+    }
+
+    fn optional(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn number(&self, name: &str, default: usize) -> Result<usize, CliError> {
+        match self.optional(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| CliError(format!("--{name} expects a number, got {v:?}"))),
+        }
+    }
+
+    fn check_known(&self, known: &[&str]) -> Result<(), CliError> {
+        for key in self.values.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(CliError(format!("unknown flag --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_metric(v: &str) -> Result<TileMetric, CliError> {
+    match v {
+        "sad" => Ok(TileMetric::Sad),
+        "ssd" => Ok(TileMetric::Ssd),
+        "mean" | "mean-abs" => Ok(TileMetric::MeanAbs),
+        other => Err(CliError(format!(
+            "--metric expects sad|ssd|mean, got {other:?}"
+        ))),
+    }
+}
+
+fn parse_solver(v: &str) -> Result<SolverKind, CliError> {
+    match v {
+        "jv" | "jonker-volgenant" => Ok(SolverKind::JonkerVolgenant),
+        "hungarian" => Ok(SolverKind::Hungarian),
+        "auction" => Ok(SolverKind::Auction),
+        "blossom" => Ok(SolverKind::Blossom),
+        "greedy" => Ok(SolverKind::Greedy),
+        other => Err(CliError(format!(
+            "--solver expects jv|hungarian|auction|blossom|greedy, got {other:?}"
+        ))),
+    }
+}
+
+fn parse_scene(v: &str) -> Result<mosaic_image::synth::Scene, CliError> {
+    mosaic_image::synth::Scene::ALL
+        .into_iter()
+        .find(|s| s.name() == v)
+        .ok_or_else(|| {
+            CliError(format!(
+                "--scene expects portrait|regatta|fur|drapery|plasma|checker, got {v:?}"
+            ))
+        })
+}
+
+/// Parse a full argument vector (without the program name).
+///
+/// # Errors
+/// Returns a [`CliError`] describing the first problem found.
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let Some((sub, rest)) = argv.split_first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let flags = split_flags(rest)?;
+            flags.check_known(&[
+                "input", "target", "out", "grid", "algorithm", "solver", "backend", "metric",
+                "preprocess", "threads", "seed", "sweeps", "k",
+            ])?;
+            let solver = match flags.optional("solver") {
+                Some(v) => parse_solver(v)?,
+                None => SolverKind::JonkerVolgenant,
+            };
+            let algorithm = match flags.optional("algorithm").unwrap_or("parallel") {
+                "optimal" => Algorithm::Optimal(solver),
+                "local" | "local-search" => Algorithm::LocalSearch,
+                "parallel" | "parallel-search" => Algorithm::ParallelSearch,
+                "greedy" => Algorithm::Greedy,
+                "anneal" => Algorithm::Anneal {
+                    seed: flags.number("seed", 1)? as u64,
+                    sweeps: flags.number("sweeps", 4)?,
+                },
+                "sparse" => Algorithm::SparseMatch {
+                    k: flags.number("k", 16)?.max(1),
+                },
+                other => {
+                    return Err(CliError(format!(
+                        "--algorithm expects optimal|local|parallel|greedy|anneal|sparse, got {other:?}"
+                    )))
+                }
+            };
+            let backend = match flags.optional("backend").unwrap_or("gpu") {
+                "serial" => Backend::Serial,
+                "threads" => Backend::Threads(flags.number("threads", 0)?.max(1)),
+                "gpu" | "gpu-sim" => Backend::GpuSim { workers: None },
+                other => {
+                    return Err(CliError(format!(
+                        "--backend expects serial|threads|gpu, got {other:?}"
+                    )))
+                }
+            };
+            let preprocess = match flags.optional("preprocess").unwrap_or("match") {
+                "match" | "match-target" => Preprocess::MatchTarget,
+                "equalize" => Preprocess::Equalize,
+                "none" => Preprocess::None,
+                other => {
+                    return Err(CliError(format!(
+                        "--preprocess expects match|equalize|none, got {other:?}"
+                    )))
+                }
+            };
+            let metric = match flags.optional("metric") {
+                Some(v) => parse_metric(v)?,
+                None => TileMetric::Sad,
+            };
+            let grid = flags.number("grid", 32)?;
+            if grid == 0 {
+                return Err(CliError("--grid must be positive".into()));
+            }
+            let config = photomosaic::MosaicBuilder::new()
+                .grid(grid)
+                .metric(metric)
+                .algorithm(algorithm)
+                .backend(backend)
+                .preprocess(preprocess)
+                .build();
+            Ok(Command::Generate {
+                input: flags.require("input")?.to_string(),
+                target: flags.require("target")?.to_string(),
+                out: flags.require("out")?.to_string(),
+                config,
+            })
+        }
+        "database" => {
+            let flags = split_flags(rest)?;
+            flags.check_known(&["target", "donors", "tile", "out", "cap", "metric"])?;
+            let donors: Vec<String> = flags
+                .require("donors")?
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if donors.is_empty() {
+                return Err(CliError("--donors expects at least one path".into()));
+            }
+            let tile = flags.number("tile", 16)?;
+            if tile == 0 {
+                return Err(CliError("--tile must be positive".into()));
+            }
+            let cap = match flags.optional("cap") {
+                None => None,
+                Some(v) => Some(v.parse::<usize>().map_err(|_| {
+                    CliError(format!("--cap expects a number, got {v:?}"))
+                })?),
+            };
+            let metric = match flags.optional("metric") {
+                Some(v) => parse_metric(v)?,
+                None => TileMetric::Sad,
+            };
+            Ok(Command::Database {
+                target: flags.require("target")?.to_string(),
+                donors,
+                tile,
+                out: flags.require("out")?.to_string(),
+                cap,
+                metric,
+            })
+        }
+        "synth" => {
+            let flags = split_flags(rest)?;
+            flags.check_known(&["scene", "size", "seed", "out"])?;
+            let scene = parse_scene(flags.require("scene")?)?;
+            let size = flags.number("size", 512)?;
+            if size == 0 {
+                return Err(CliError("--size must be positive".into()));
+            }
+            Ok(Command::Synth {
+                scene,
+                size,
+                seed: flags.number("seed", 1)? as u64,
+                out: flags.require("out")?.to_string(),
+            })
+        }
+        "compare" => {
+            let flags = split_flags(rest)?;
+            flags.check_known(&[])?;
+            let [a, b] = flags.positional.as_slice() else {
+                return Err(CliError("compare expects exactly two image paths".into()));
+            };
+            Ok(Command::Compare {
+                a: a.clone(),
+                b: b.clone(),
+            })
+        }
+        "info" => {
+            let flags = split_flags(rest)?;
+            flags.check_known(&[])?;
+            let [path] = flags.positional.as_slice() else {
+                return Err(CliError("info expects exactly one image path".into()));
+            };
+            Ok(Command::Info { path: path.clone() })
+        }
+        other => Err(CliError(format!(
+            "unknown subcommand {other:?} (try `mosaic help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_defaults() {
+        let cmd = parse(&argv(
+            "generate --input a.pgm --target b.pgm --out c.pgm",
+        ))
+        .unwrap();
+        let Command::Generate { config, input, .. } = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(input, "a.pgm");
+        assert_eq!(config.grid, 32);
+        assert_eq!(config.algorithm, Algorithm::ParallelSearch);
+        assert_eq!(config.preprocess, Preprocess::MatchTarget);
+    }
+
+    #[test]
+    fn generate_full_flags() {
+        let cmd = parse(&argv(
+            "generate --input a --target b --out c --grid 64 --algorithm optimal \
+             --solver hungarian --backend threads --threads 4 --metric ssd --preprocess none",
+        ))
+        .unwrap();
+        let Command::Generate { config, .. } = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(config.grid, 64);
+        assert_eq!(config.algorithm, Algorithm::Optimal(SolverKind::Hungarian));
+        assert_eq!(config.backend, Backend::Threads(4));
+        assert_eq!(config.metric, TileMetric::Ssd);
+        assert_eq!(config.preprocess, Preprocess::None);
+    }
+
+    #[test]
+    fn generate_anneal_takes_seed_and_sweeps() {
+        let cmd = parse(&argv(
+            "generate --input a --target b --out c --algorithm anneal --seed 9 --sweeps 3",
+        ))
+        .unwrap();
+        let Command::Generate { config, .. } = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(config.algorithm, Algorithm::Anneal { seed: 9, sweeps: 3 });
+    }
+
+    #[test]
+    fn generate_sparse_takes_k() {
+        let cmd = parse(&argv(
+            "generate --input a --target b --out c --algorithm sparse --k 8",
+        ))
+        .unwrap();
+        let Command::Generate { config, .. } = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(config.algorithm, Algorithm::SparseMatch { k: 8 });
+    }
+
+    #[test]
+    fn generate_missing_required_flag() {
+        let err = parse(&argv("generate --input a --out c")).unwrap_err();
+        assert!(err.to_string().contains("--target"));
+    }
+
+    #[test]
+    fn unknown_flag_and_subcommand_rejected() {
+        assert!(parse(&argv("generate --input a --target b --out c --bogus 1"))
+            .unwrap_err()
+            .to_string()
+            .contains("--bogus"));
+        assert!(parse(&argv("frobnicate"))
+            .unwrap_err()
+            .to_string()
+            .contains("frobnicate"));
+    }
+
+    #[test]
+    fn flag_without_value_rejected() {
+        let err = parse(&argv("generate --input")).unwrap_err();
+        assert!(err.to_string().contains("missing its value"));
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        let err = parse(&argv("synth --scene fur --scene fur --out x")).unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn database_parses_donor_list_and_cap() {
+        let cmd = parse(&argv(
+            "database --target t.pgm --donors a.pgm,b.pgm --tile 8 --out m.pgm --cap 3",
+        ))
+        .unwrap();
+        let Command::Database { donors, tile, cap, .. } = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(donors, vec!["a.pgm", "b.pgm"]);
+        assert_eq!(tile, 8);
+        assert_eq!(cap, Some(3));
+    }
+
+    #[test]
+    fn synth_parses_scene() {
+        let cmd = parse(&argv("synth --scene regatta --size 64 --out x.pgm")).unwrap();
+        let Command::Synth { scene, size, seed, .. } = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(scene.name(), "regatta");
+        assert_eq!(size, 64);
+        assert_eq!(seed, 1);
+        assert!(parse(&argv("synth --scene nope --out x")).is_err());
+    }
+
+    #[test]
+    fn compare_and_info_take_positionals() {
+        assert_eq!(
+            parse(&argv("compare a.pgm b.pgm")).unwrap(),
+            Command::Compare {
+                a: "a.pgm".into(),
+                b: "b.pgm".into()
+            }
+        );
+        assert!(parse(&argv("compare a.pgm")).is_err());
+        assert_eq!(
+            parse(&argv("info a.pgm")).unwrap(),
+            Command::Info { path: "a.pgm".into() }
+        );
+        assert!(parse(&argv("info")).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(parse(&argv("generate --input a --target b --out c --grid zero")).is_err());
+        assert!(parse(&argv("generate --input a --target b --out c --grid 0")).is_err());
+        assert!(parse(&argv("synth --scene fur --size 0 --out x")).is_err());
+        assert!(parse(&argv("database --target t --donors a --tile 0 --out m")).is_err());
+    }
+}

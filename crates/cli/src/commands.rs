@@ -1,0 +1,200 @@
+//! Command execution for the `mosaic` binary.
+
+use crate::args::{CliError, Command};
+use mosaic_image::histogram::Histogram;
+use mosaic_image::io::{load_pgm, save_pgm};
+use mosaic_image::metrics;
+use photomosaic::database::{database_mosaic, SelectionPolicy, TileLibrary};
+
+/// Execute a parsed command, returning the text to print on success.
+///
+/// # Errors
+/// I/O, geometry and feasibility problems are reported as [`CliError`].
+pub fn execute(command: Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(crate::USAGE.to_string()),
+        Command::Generate {
+            input,
+            target,
+            out,
+            config,
+        } => {
+            let input_img = load_pgm(&input)?;
+            let target_img = load_pgm(&target)?;
+            let result = photomosaic::generate(&input_img, &target_img, &config)?;
+            save_pgm(&out, &result.image)?;
+            Ok(format!(
+                "{}\nPSNR = {:.2} dB, SSIM = {:.4}\nwrote {out}",
+                result.report.summary(),
+                metrics::psnr(&result.image, &target_img),
+                metrics::ssim(&result.image, &target_img),
+            ))
+        }
+        Command::Database {
+            target,
+            donors,
+            tile,
+            out,
+            cap,
+            metric,
+        } => {
+            let target_img = load_pgm(&target)?;
+            let donor_imgs = donors
+                .iter()
+                .map(load_pgm)
+                .collect::<Result<Vec<_>, _>>()?;
+            let library = TileLibrary::from_donors(tile, &donor_imgs)?;
+            let policy = match cap {
+                Some(c) => SelectionPolicy::UsageCap(c),
+                None => SelectionPolicy::Unlimited,
+            };
+            let mosaic = database_mosaic(&target_img, &library, metric, policy)?;
+            save_pgm(&out, &mosaic.image)?;
+            Ok(format!(
+                "database mosaic: library {} tiles, total error {}\nwrote {out}",
+                library.len(),
+                mosaic.total_error,
+            ))
+        }
+        Command::Synth {
+            scene,
+            size,
+            seed,
+            out,
+        } => {
+            let img = scene.render(size, seed);
+            save_pgm(&out, &img)?;
+            Ok(format!("wrote {size}x{size} {} scene to {out}", scene.name()))
+        }
+        Command::Compare { a, b } => {
+            let ia = load_pgm(&a)?;
+            let ib = load_pgm(&b)?;
+            if ia.dimensions() != ib.dimensions() {
+                return Err(CliError(format!(
+                    "dimension mismatch: {}x{} vs {}x{}",
+                    ia.width(),
+                    ia.height(),
+                    ib.width(),
+                    ib.height()
+                )));
+            }
+            Ok(format!(
+                "SAD  = {}\nMAE  = {:.3}\nMSE  = {:.3}\nPSNR = {:.2} dB\nSSIM = {:.4}",
+                metrics::sad(&ia, &ib),
+                metrics::mae(&ia, &ib),
+                metrics::mse(&ia, &ib),
+                metrics::psnr(&ia, &ib),
+                metrics::ssim(&ia, &ib),
+            ))
+        }
+        Command::Info { path } => {
+            let img = load_pgm(&path)?;
+            let hist = Histogram::of_luma(&img);
+            Ok(format!(
+                "{path}: {}x{} grayscale\nintensity: min {} max {} mean {:.2}",
+                img.width(),
+                img.height(),
+                hist.min_value().unwrap_or(0),
+                hist.max_value().unwrap_or(0),
+                hist.mean(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_image::synth::Scene;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mosaic_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_scene(name: &str, scene: Scene, size: usize, seed: u64) -> String {
+        let path = tmp(name);
+        save_pgm(&path, &scene.render(size, seed)).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn synth_then_info_roundtrip() {
+        let out = tmp("synth.pgm").to_string_lossy().into_owned();
+        let msg = execute(Command::Synth {
+            scene: Scene::Portrait,
+            size: 32,
+            seed: 3,
+            out: out.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("32x32"));
+        let info = execute(Command::Info { path: out }).unwrap();
+        assert!(info.contains("32x32 grayscale"));
+    }
+
+    #[test]
+    fn generate_end_to_end() {
+        let input = write_scene("gen_in.pgm", Scene::Portrait, 64, 1);
+        let target = write_scene("gen_tg.pgm", Scene::Regatta, 64, 2);
+        let out = tmp("gen_out.pgm").to_string_lossy().into_owned();
+        let config = photomosaic::MosaicBuilder::new()
+            .grid(8)
+            .backend(photomosaic::Backend::Serial)
+            .build();
+        let msg = execute(Command::Generate {
+            input,
+            target: target.clone(),
+            out: out.clone(),
+            config,
+        })
+        .unwrap();
+        assert!(msg.contains("error="));
+        // The output must parse and compare sensibly against the target.
+        let compare = execute(Command::Compare { a: out, b: target }).unwrap();
+        assert!(compare.contains("PSNR"));
+    }
+
+    #[test]
+    fn database_end_to_end() {
+        let donor = write_scene("db_donor.pgm", Scene::Plasma, 64, 5);
+        let target = write_scene("db_target.pgm", Scene::Portrait, 64, 6);
+        let out = tmp("db_out.pgm").to_string_lossy().into_owned();
+        let msg = execute(Command::Database {
+            target,
+            donors: vec![donor],
+            tile: 8,
+            out,
+            cap: None,
+            metric: mosaic_grid::TileMetric::Sad,
+        })
+        .unwrap();
+        assert!(msg.contains("library 64 tiles"));
+    }
+
+    #[test]
+    fn compare_rejects_mismatched_sizes() {
+        let a = write_scene("cmp_a.pgm", Scene::Fur, 32, 1);
+        let b = write_scene("cmp_b.pgm", Scene::Fur, 64, 1);
+        let err = execute(Command::Compare { a, b }).unwrap_err();
+        assert!(err.to_string().contains("dimension mismatch"));
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = execute(Command::Info {
+            path: "/nonexistent/x.pgm".into(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("image error"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let msg = execute(Command::Help).unwrap();
+        assert!(msg.contains("USAGE"));
+        assert!(msg.contains("generate"));
+    }
+}

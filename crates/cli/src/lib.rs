@@ -1,0 +1,50 @@
+//! Implementation of the `mosaic` command-line tool.
+//!
+//! The binary wraps the `photomosaic` library for shell use:
+//!
+//! ```text
+//! mosaic generate --input in.pgm --target tgt.pgm --out mosaic.pgm [options]
+//! mosaic database --target tgt.pgm --donors a.pgm,b.pgm --tile 16 --out m.pgm
+//! mosaic synth    --scene portrait --size 512 --seed 1 --out scene.pgm
+//! mosaic compare  a.pgm b.pgm
+//! mosaic info     image.pgm
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy
+//! keeps external crates to the approved offline list); see [`args`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{CliError, Command};
+
+/// Parse arguments and run the selected command.
+///
+/// # Errors
+/// Returns a [`CliError`] carrying a user-facing message.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let command = args::parse(argv)?;
+    commands::execute(command)
+}
+
+/// Usage text shown by `mosaic help` and on argument errors.
+pub const USAGE: &str = "\
+mosaic — photomosaic generation by rearranging subimages
+
+USAGE:
+  mosaic generate --input <pgm> --target <pgm> --out <pgm>
+                  [--grid <n>] [--algorithm optimal|local|parallel|greedy|anneal|sparse]
+                  [--solver jv|hungarian|auction|blossom|greedy]
+                  [--backend serial|threads|gpu] [--metric sad|ssd|mean]
+                  [--preprocess match|equalize|none] [--seed <n>] [--sweeps <n>] [--k <n>]
+  mosaic database --target <pgm> --donors <pgm,pgm,...> --tile <n> --out <pgm>
+                  [--cap <n>] [--metric sad|ssd|mean]
+  mosaic synth    --scene portrait|regatta|fur|drapery|plasma|checker
+                  --size <n> --out <pgm> [--seed <n>]
+  mosaic compare  <a.pgm> <b.pgm>
+  mosaic info     <image.pgm>
+  mosaic help
+";

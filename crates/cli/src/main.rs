@@ -1,0 +1,26 @@
+//! The `mosaic` binary entry point.
+
+use std::io::Write;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match mosaic_cli::run(&argv) {
+        Ok(message) => {
+            // Write through a handle so EPIPE (e.g. `mosaic ... | head`)
+            // ends the program quietly instead of panicking.
+            let mut out = std::io::stdout();
+            if let Err(e) = writeln!(out, "{message}") {
+                if e.kind() != std::io::ErrorKind::BrokenPipe {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", mosaic_cli::USAGE);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Pipeline configuration.
+
+use mosaic_assign::SolverKind;
+use mosaic_grid::TileMetric;
+
+/// Which Step-3 rearrangement algorithm to run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Algorithm {
+    /// §III — exact minimum-weight bipartite matching with the given
+    /// solver.
+    Optimal(SolverKind),
+    /// §IV-A, Algorithm 1 — serial pairwise-swap local search.
+    LocalSearch,
+    /// §IV-B, Algorithm 2 — edge-colored parallel local search.
+    #[default]
+    ParallelSearch,
+    /// Greedy matching baseline (not in the paper; quality floor).
+    Greedy,
+    /// Candidate-pruned matching: each input tile keeps only its `k` best
+    /// target positions and the sparse auction solves the pruned graph
+    /// (extension; the scalability strategy of practical mosaic engines).
+    SparseMatch {
+        /// Candidates kept per input tile.
+        k: usize,
+    },
+    /// Simulated-annealing variant of the local search (DESIGN.md §7
+    /// extension), with the given seed and sweep budget.
+    Anneal {
+        /// PRNG seed.
+        seed: u64,
+        /// Number of annealing sweeps over S(S−1)/2 proposals.
+        sweeps: usize,
+    },
+}
+
+
+impl Algorithm {
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Optimal(_) => "optimal",
+            Algorithm::LocalSearch => "local-search",
+            Algorithm::ParallelSearch => "parallel-search",
+            Algorithm::Greedy => "greedy",
+            Algorithm::SparseMatch { .. } => "sparse-match",
+            Algorithm::Anneal { .. } => "anneal",
+        }
+    }
+}
+
+/// Execution backend for the parallelizable steps (error matrix, parallel
+/// local search).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Single-threaded reference execution (the paper's CPU baseline).
+    Serial,
+    /// Crossbeam worker threads (multi-core CPU).
+    Threads(usize),
+    /// The simulated CUDA device (`mosaic-gpu`), with this many host
+    /// workers standing in for streaming multiprocessors.
+    GpuSim {
+        /// Host worker threads driving the simulated device; `None` uses
+        /// all available cores.
+        workers: Option<usize>,
+    },
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::GpuSim { workers: None }
+    }
+}
+
+impl Backend {
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Serial => "serial",
+            Backend::Threads(_) => "threads",
+            Backend::GpuSim { .. } => "gpu-sim",
+        }
+    }
+}
+
+/// §II pre-processing of the input image.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Preprocess {
+    /// Remap the input's intensity distribution onto the target's
+    /// (histogram specification — the paper's default, applied to every
+    /// experiment).
+    #[default]
+    MatchTarget,
+    /// Classical histogram equalization of the input only.
+    Equalize,
+    /// Use the input image unchanged (for the preprocessing ablation).
+    None,
+}
+
+impl Preprocess {
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preprocess::MatchTarget => "match-target",
+            Preprocess::Equalize => "equalize",
+            Preprocess::None => "none",
+        }
+    }
+}
+
+/// Full pipeline configuration. Build with [`MosaicBuilder`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MosaicConfig {
+    /// Tiles per image side (the paper's "divided into g × g tiles").
+    pub grid: usize,
+    /// Tile distance function for Step 2.
+    pub metric: TileMetric,
+    /// Step-3 algorithm.
+    pub algorithm: Algorithm,
+    /// Execution backend for Steps 2 and 3.
+    pub backend: Backend,
+    /// §II input pre-processing.
+    pub preprocess: Preprocess,
+}
+
+impl Default for MosaicConfig {
+    fn default() -> Self {
+        MosaicConfig {
+            grid: 32,
+            metric: TileMetric::Sad,
+            algorithm: Algorithm::default(),
+            backend: Backend::default(),
+            preprocess: Preprocess::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`MosaicConfig`].
+#[derive(Clone, Debug, Default)]
+pub struct MosaicBuilder {
+    config: MosaicConfig,
+}
+
+impl MosaicBuilder {
+    /// Start from the defaults (32×32 grid, SAD, parallel search on the
+    /// simulated device, histogram matching on).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tiles per side; the paper evaluates 16, 32 and 64.
+    pub fn grid(mut self, tiles_per_side: usize) -> Self {
+        self.config.grid = tiles_per_side;
+        self
+    }
+
+    /// Tile error metric.
+    pub fn metric(mut self, metric: TileMetric) -> Self {
+        self.config.metric = metric;
+        self
+    }
+
+    /// Step-3 algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Execution backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Pre-processing mode.
+    pub fn preprocess(mut self, preprocess: Preprocess) -> Self {
+        self.config.preprocess = preprocess;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> MosaicConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_defaults() {
+        let c = MosaicConfig::default();
+        assert_eq!(c.grid, 32);
+        assert_eq!(c.metric, TileMetric::Sad);
+        assert_eq!(c.preprocess, Preprocess::MatchTarget);
+        assert_eq!(c.algorithm, Algorithm::ParallelSearch);
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let c = MosaicBuilder::new()
+            .grid(64)
+            .metric(TileMetric::Ssd)
+            .algorithm(Algorithm::Optimal(SolverKind::JonkerVolgenant))
+            .backend(Backend::Threads(4))
+            .preprocess(Preprocess::None)
+            .build();
+        assert_eq!(c.grid, 64);
+        assert_eq!(c.metric, TileMetric::Ssd);
+        assert_eq!(c.algorithm, Algorithm::Optimal(SolverKind::JonkerVolgenant));
+        assert_eq!(c.backend, Backend::Threads(4));
+        assert_eq!(c.preprocess, Preprocess::None);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Algorithm::LocalSearch.name(), "local-search");
+        assert_eq!(
+            Algorithm::Anneal { seed: 0, sweeps: 1 }.name(),
+            "anneal"
+        );
+        assert_eq!(Backend::Serial.name(), "serial");
+        assert_eq!(Backend::GpuSim { workers: None }.name(), "gpu-sim");
+        assert_eq!(Preprocess::Equalize.name(), "equalize");
+    }
+}

@@ -1,0 +1,292 @@
+//! Classic database-driven photomosaic (the paper's §I / Figure 1
+//! workflow, implemented as an extension).
+//!
+//! Instead of rearranging the tiles of one input image, each target
+//! subimage is replaced by the most similar image from a tile library.
+//! Two selection policies are provided:
+//!
+//! * [`SelectionPolicy::Unlimited`] — every target tile takes its nearest
+//!   library tile (repetition allowed), the classical method;
+//! * [`SelectionPolicy::UsageCap`] — each library tile may appear at most
+//!   `cap` times, enforced by solving the min-cost assignment on a
+//!   replicated cost matrix when the library is small enough, else by
+//!   greedy with caps.
+
+use mosaic_grid::{LayoutError, TileLayout, TileMetric};
+use mosaic_image::{GrayImage, Image};
+
+/// A library of candidate tiles, all of the same edge length.
+#[derive(Clone, Debug)]
+pub struct TileLibrary {
+    tile_size: usize,
+    tiles: Vec<GrayImage>,
+}
+
+impl TileLibrary {
+    /// Build a library from tile images.
+    ///
+    /// # Errors
+    /// Returns [`LayoutError::InvalidTileSize`] when `tiles` is empty or
+    /// any tile is not square with edge `tile_size`.
+    pub fn new(tile_size: usize, tiles: Vec<GrayImage>) -> Result<Self, LayoutError> {
+        if tile_size == 0 || tiles.is_empty() {
+            return Err(LayoutError::InvalidTileSize {
+                tile_size,
+                image_size: 0,
+            });
+        }
+        for t in &tiles {
+            if t.dimensions() != (tile_size, tile_size) {
+                return Err(LayoutError::InvalidTileSize {
+                    tile_size,
+                    image_size: t.width(),
+                });
+            }
+        }
+        Ok(TileLibrary { tile_size, tiles })
+    }
+
+    /// Build a library by slicing donor images into tiles (each donor must
+    /// be square and divisible by `tile_size`).
+    ///
+    /// # Errors
+    /// Propagates [`LayoutError`] from the donors' layouts.
+    pub fn from_donors(tile_size: usize, donors: &[GrayImage]) -> Result<Self, LayoutError> {
+        let mut tiles = Vec::new();
+        for donor in donors {
+            let layout = TileLayout::new(donor.width(), tile_size)?;
+            layout.check_image(donor)?;
+            for i in 0..layout.tile_count() {
+                tiles.push(layout.tile_view(donor, i).to_image());
+            }
+        }
+        TileLibrary::new(tile_size, tiles)
+    }
+
+    /// Tile edge length.
+    pub fn tile_size(&self) -> usize {
+        self.tile_size
+    }
+
+    /// Number of library tiles.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// True when the library has no tiles (unreachable after
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// Access a tile.
+    pub fn tile(&self, index: usize) -> &GrayImage {
+        &self.tiles[index]
+    }
+}
+
+/// Repetition policy for library tiles.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Nearest tile per position, unlimited repetition.
+    Unlimited,
+    /// At most `cap` uses per library tile (greedy, cheapest placements
+    /// first).
+    UsageCap(usize),
+}
+
+/// Result of a database mosaic.
+#[derive(Clone, Debug)]
+pub struct DatabaseMosaic {
+    /// The assembled mosaic.
+    pub image: GrayImage,
+    /// `choice[v]` = library tile placed at target position `v`.
+    pub choices: Vec<usize>,
+    /// Total error across tiles.
+    pub total_error: u64,
+}
+
+/// Build a database photomosaic of `target`.
+///
+/// # Errors
+/// Returns [`LayoutError`] when the target does not divide into library-
+/// sized tiles, or the usage cap makes the instance infeasible
+/// (`cap × library < S`).
+pub fn database_mosaic(
+    target: &GrayImage,
+    library: &TileLibrary,
+    metric: TileMetric,
+    policy: SelectionPolicy,
+) -> Result<DatabaseMosaic, LayoutError> {
+    let layout = TileLayout::new(target.width(), library.tile_size())?;
+    layout.check_image(target)?;
+    let s = layout.tile_count();
+    let l = library.len();
+
+    // Cost of placing library tile t at position v.
+    let cost = |t: usize, v: usize| -> u64 {
+        mosaic_grid::tile_error(
+            &library.tile(t).full_view(),
+            &layout.tile_view(target, v),
+            metric,
+        )
+    };
+
+    let choices: Vec<usize> = match policy {
+        SelectionPolicy::Unlimited => (0..s)
+            .map(|v| (0..l).min_by_key(|&t| cost(t, v)).expect("library non-empty"))
+            .collect(),
+        SelectionPolicy::UsageCap(cap) => {
+            if cap == 0 || cap.saturating_mul(l) < s {
+                return Err(LayoutError::InvalidTileSize {
+                    tile_size: library.tile_size(),
+                    image_size: target.width(),
+                });
+            }
+            // Greedy with caps: cheapest (tile, position) pairs first.
+            let mut pairs: Vec<(u64, usize, usize)> = Vec::with_capacity(l * s);
+            for t in 0..l {
+                for v in 0..s {
+                    pairs.push((cost(t, v), t, v));
+                }
+            }
+            pairs.sort_unstable();
+            let mut uses = vec![0usize; l];
+            let mut choice = vec![usize::MAX; s];
+            let mut placed = 0usize;
+            for (_, t, v) in pairs {
+                if choice[v] == usize::MAX && uses[t] < cap {
+                    choice[v] = t;
+                    uses[t] += 1;
+                    placed += 1;
+                    if placed == s {
+                        break;
+                    }
+                }
+            }
+            debug_assert_eq!(placed, s, "cap * library >= S guarantees feasibility");
+            choice
+        }
+    };
+
+    // Assemble and account.
+    let m = library.tile_size();
+    let mut image = Image::black(target.width(), target.width()).expect("valid size");
+    let mut total_error = 0u64;
+    for (v, &t) in choices.iter().enumerate() {
+        total_error += cost(t, v);
+        let (x, y) = layout.tile_origin(v);
+        mosaic_image::ops::blit(&mut image, library.tile(t), x, y)
+            .expect("tile fits by construction");
+        let _ = m;
+    }
+    Ok(DatabaseMosaic {
+        image,
+        choices,
+        total_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_image::{synth, Gray};
+
+    fn library() -> TileLibrary {
+        // 16 constant tiles at the 16 evenly spaced intensities.
+        let tiles: Vec<GrayImage> = (0..16)
+            .map(|i| GrayImage::filled(8, 8, Gray((i * 17) as u8)).unwrap())
+            .collect();
+        TileLibrary::new(8, tiles).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(TileLibrary::new(8, vec![]).is_err());
+        assert!(TileLibrary::new(0, vec![GrayImage::black(8, 8).unwrap()]).is_err());
+        assert!(TileLibrary::new(8, vec![GrayImage::black(4, 4).unwrap()]).is_err());
+        assert_eq!(library().len(), 16);
+        assert!(!library().is_empty());
+    }
+
+    #[test]
+    fn from_donors_slices_images() {
+        let donors = vec![synth::plasma(32, 1, 2), synth::checker(16, 4, 2)];
+        let lib = TileLibrary::from_donors(8, &donors).unwrap();
+        assert_eq!(lib.len(), 16 + 4);
+        assert_eq!(lib.tile_size(), 8);
+    }
+
+    #[test]
+    fn unlimited_picks_nearest_constant_tile() {
+        let lib = library();
+        // Target of constant intensity 34 == exactly library tile 2.
+        let target = GrayImage::filled(16, 16, Gray(34)).unwrap();
+        let out = database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::Unlimited)
+            .unwrap();
+        assert_eq!(out.total_error, 0);
+        assert!(out.choices.iter().all(|&t| t == 2));
+        assert_eq!(out.image, target);
+    }
+
+    #[test]
+    fn usage_cap_enforced() {
+        let lib = library();
+        let target = GrayImage::filled(32, 32, Gray(34)).unwrap(); // 16 positions
+        let out =
+            database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::UsageCap(1))
+                .unwrap();
+        let mut counts = vec![0usize; lib.len()];
+        for &t in &out.choices {
+            counts[t] += 1;
+        }
+        assert!(counts.iter().all(|&c| c <= 1));
+        // With every tile used at most once, error must exceed the
+        // unlimited case.
+        let unlimited =
+            database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::Unlimited)
+                .unwrap();
+        assert!(out.total_error >= unlimited.total_error);
+    }
+
+    #[test]
+    fn infeasible_cap_is_an_error() {
+        let lib = library();
+        let target = GrayImage::filled(64, 64, Gray(0)).unwrap(); // 64 positions
+        // 16 tiles x cap 3 = 48 < 64.
+        assert!(database_mosaic(
+            &target,
+            &lib,
+            TileMetric::Sad,
+            SelectionPolicy::UsageCap(3)
+        )
+        .is_err());
+        assert!(database_mosaic(
+            &target,
+            &lib,
+            TileMetric::Sad,
+            SelectionPolicy::UsageCap(0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mosaic_tracks_gradient_target() {
+        let lib = library();
+        let target = synth::gradient(64);
+        let out = database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::Unlimited)
+            .unwrap();
+        // Mean intensity of the mosaic should track the target's.
+        let diff = (out.image.mean_intensity() - target.mean_intensity()).abs();
+        assert!(diff < 10.0, "mean drift {diff}");
+    }
+
+    #[test]
+    fn target_not_divisible_is_an_error() {
+        let lib = library();
+        let target = GrayImage::filled(20, 20, Gray(0)).unwrap();
+        assert!(
+            database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::Unlimited).is_err()
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! The end-to-end generation pipeline.
+//!
+//! [`generate`] runs the paper's three steps on a grayscale image pair:
+//! preprocessing + tiling (Step 1), the error matrix (Step 2, on the
+//! configured backend), rearrangement (Step 3, with the configured
+//! algorithm) and final assembly of the rearranged image `R`.
+
+use crate::anneal::anneal_search;
+use crate::config::{Algorithm, Backend, MosaicConfig};
+use crate::errors::compute_error_matrix;
+use crate::local_search::{local_search, SearchOutcome};
+use crate::optimal::{optimal_rearrangement, sparse_rearrangement};
+use crate::parallel_search::{
+    parallel_search_gpu, parallel_search_reference, parallel_search_threads,
+    step3_parallel_profile,
+};
+use crate::preprocess::preprocess_gray;
+use crate::report::GenerationReport;
+use mosaic_edgecolor::SwapSchedule;
+use mosaic_grid::{assemble, LayoutError, TileLayout};
+use mosaic_gpu::{DeviceSpec, GpuSim, WorkProfile};
+use mosaic_image::GrayImage;
+use std::time::Instant;
+
+/// Rearranged image plus full accounting.
+#[derive(Clone, Debug)]
+pub struct MosaicResult {
+    /// The rearranged image `R`.
+    pub image: GrayImage,
+    /// The assignment (`assignment[v] = u`).
+    pub assignment: Vec<usize>,
+    /// Timings and totals.
+    pub report: GenerationReport,
+}
+
+/// Generate a photomosaic: rearrange `input`'s tiles to reproduce
+/// `target`.
+///
+/// # Errors
+/// Returns [`LayoutError`] when the images are not square, not equal in
+/// size, or not divisible into `config.grid × config.grid` tiles.
+pub fn generate(
+    input: &GrayImage,
+    target: &GrayImage,
+    config: &MosaicConfig,
+) -> Result<MosaicResult, LayoutError> {
+    let (w, h) = target.dimensions();
+    if w != h {
+        return Err(LayoutError::NotSquare {
+            width: w,
+            height: h,
+        });
+    }
+    let layout = TileLayout::with_grid(w, config.grid)?;
+    layout.check_image(input)?;
+    layout.check_image(target)?;
+
+    // Step 1: preprocess + (implicit) tiling.
+    let t1 = Instant::now();
+    let prepared = preprocess_gray(input, target, config.preprocess);
+    let step1_wall = t1.elapsed();
+
+    // Step 2: the S x S error matrix.
+    let (matrix, step2_trace) =
+        compute_error_matrix(&prepared, target, layout, config.metric, config.backend)?;
+
+    // Step 3: rearrangement.
+    let t3 = Instant::now();
+    let (outcome, step3_profile) = run_step3(&matrix, config);
+    let step3_wall = t3.elapsed();
+
+    let image = assemble(&prepared, layout, &outcome.assignment)?;
+    let report = GenerationReport {
+        config: config.clone(),
+        image_size: w,
+        tile_count: layout.tile_count(),
+        tile_size: layout.tile_size(),
+        total_error: outcome.total,
+        sweeps: outcome.sweeps,
+        swaps: outcome.swaps,
+        step1_wall,
+        step2_wall: step2_trace.wall,
+        step3_wall,
+        step2_profile: step2_trace.profile,
+        step3_profile,
+    };
+    Ok(MosaicResult {
+        image,
+        assignment: outcome.assignment,
+        report,
+    })
+}
+
+fn run_step3(
+    matrix: &mosaic_grid::ErrorMatrix,
+    config: &MosaicConfig,
+) -> (SearchOutcome, WorkProfile) {
+    let s = matrix.size();
+    match config.algorithm {
+        Algorithm::Optimal(solver) => {
+            // §V: "Regarding the optimization algorithm in Step 3, since it
+            // is not easy to parallelize the algorithm, we sequentially
+            // perform it on the CPU." No device profile.
+            (optimal_rearrangement(matrix, solver), WorkProfile::default())
+        }
+        Algorithm::Greedy => (
+            optimal_rearrangement(matrix, mosaic_assign::SolverKind::Greedy),
+            WorkProfile::default(),
+        ),
+        Algorithm::SparseMatch { k } => (sparse_rearrangement(matrix, k), WorkProfile::default()),
+        Algorithm::LocalSearch => {
+            let outcome = local_search(matrix);
+            // Algorithm 1 is the sequential baseline; profile it as pure
+            // host work (no launches).
+            let profile = step3_parallel_profile(s, outcome.sweeps, 0);
+            (outcome, profile)
+        }
+        Algorithm::ParallelSearch => {
+            let schedule = SwapSchedule::for_tiles(s);
+            let result = match config.backend {
+                Backend::Serial => parallel_search_reference(matrix, &schedule),
+                Backend::Threads(t) => parallel_search_threads(matrix, &schedule, t.max(1)),
+                Backend::GpuSim { workers } => {
+                    let sim = match workers {
+                        Some(w) => GpuSim::with_workers(DeviceSpec::tesla_k40(), w),
+                        None => GpuSim::new(DeviceSpec::tesla_k40()),
+                    };
+                    parallel_search_gpu(&sim, matrix, &schedule)
+                }
+            };
+            let profile = step3_parallel_profile(s, result.outcome.sweeps, result.launches);
+            (result.outcome, profile)
+        }
+        Algorithm::Anneal { seed, sweeps } => {
+            let outcome = anneal_search(matrix, seed, sweeps);
+            let profile = step3_parallel_profile(s, outcome.sweeps, 0);
+            (outcome, profile)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MosaicBuilder, Preprocess};
+    use mosaic_assign::SolverKind;
+    use mosaic_image::{metrics, synth};
+
+    fn pair(n: usize) -> (GrayImage, GrayImage) {
+        (synth::portrait(n, 1), synth::regatta(n, 2))
+    }
+
+    fn base_config(grid: usize) -> MosaicConfig {
+        MosaicBuilder::new()
+            .grid(grid)
+            .backend(Backend::Serial)
+            .build()
+    }
+
+    #[test]
+    fn generates_with_every_algorithm() {
+        let (input, target) = pair(64);
+        for algorithm in [
+            Algorithm::Optimal(SolverKind::JonkerVolgenant),
+            Algorithm::LocalSearch,
+            Algorithm::ParallelSearch,
+            Algorithm::Greedy,
+            Algorithm::Anneal { seed: 7, sweeps: 4 },
+            Algorithm::SparseMatch { k: 12 },
+        ] {
+            let config = MosaicBuilder::new()
+                .grid(8)
+                .algorithm(algorithm)
+                .backend(Backend::Serial)
+                .build();
+            let result = generate(&input, &target, &config).unwrap();
+            assert_eq!(result.image.dimensions(), (64, 64));
+            assert_eq!(result.assignment.len(), 64);
+            assert_eq!(result.report.total_error, {
+                // The reported total must equal the SAD between the
+                // rearranged image and the target (Eq. 2 == assembled SAD).
+                metrics::sad(&result.image, &target)
+            });
+        }
+    }
+
+    #[test]
+    fn optimal_is_never_worse_than_approximations() {
+        let (input, target) = pair(64);
+        let run = |algorithm| {
+            let config = MosaicBuilder::new()
+                .grid(8)
+                .algorithm(algorithm)
+                .backend(Backend::Serial)
+                .build();
+            generate(&input, &target, &config).unwrap().report.total_error
+        };
+        let optimal = run(Algorithm::Optimal(SolverKind::Hungarian));
+        let serial = run(Algorithm::LocalSearch);
+        let parallel = run(Algorithm::ParallelSearch);
+        let greedy = run(Algorithm::Greedy);
+        assert!(optimal <= serial);
+        assert!(optimal <= parallel);
+        assert!(optimal <= greedy);
+    }
+
+    #[test]
+    fn rearrangement_improves_over_not_rearranging() {
+        let (input, target) = pair(64);
+        let config = base_config(8);
+        let result = generate(&input, &target, &config).unwrap();
+        // Identity arrangement of the preprocessed input.
+        let prepared = preprocess_gray(&input, &target, config.preprocess);
+        let identity_error = metrics::sad(&prepared, &target);
+        assert!(result.report.total_error <= identity_error);
+    }
+
+    #[test]
+    fn backends_agree_end_to_end() {
+        let (input, target) = pair(48);
+        let mk = |backend| {
+            MosaicBuilder::new()
+                .grid(6)
+                .algorithm(Algorithm::ParallelSearch)
+                .backend(backend)
+                .build()
+        };
+        let serial = generate(&input, &target, &mk(Backend::Serial)).unwrap();
+        let threads = generate(&input, &target, &mk(Backend::Threads(3))).unwrap();
+        let gpu = generate(
+            &input,
+            &target,
+            &mk(Backend::GpuSim { workers: Some(2) }),
+        )
+        .unwrap();
+        assert_eq!(serial.image, threads.image);
+        assert_eq!(serial.image, gpu.image);
+        assert_eq!(serial.report.total_error, gpu.report.total_error);
+    }
+
+    #[test]
+    fn preprocess_modes_all_run() {
+        let (input, target) = pair(32);
+        for preprocess in [Preprocess::MatchTarget, Preprocess::Equalize, Preprocess::None] {
+            let config = MosaicBuilder::new()
+                .grid(4)
+                .backend(Backend::Serial)
+                .preprocess(preprocess)
+                .build();
+            let result = generate(&input, &target, &config).unwrap();
+            assert_eq!(result.image.dimensions(), (32, 32));
+        }
+    }
+
+    #[test]
+    fn non_square_and_mismatched_inputs_are_errors() {
+        let square = synth::gradient(32);
+        let tall = mosaic_image::Image::from_fn(32, 64, |_, _| mosaic_image::Gray(0)).unwrap();
+        let config = base_config(4);
+        assert!(generate(&square, &tall, &config).is_err());
+        assert!(generate(&tall, &square, &config).is_err());
+        let bigger = synth::gradient(64);
+        assert!(generate(&square, &bigger, &config).is_err());
+        // Grid that does not divide the image.
+        let config = base_config(5);
+        assert!(generate(&square, &square, &config).is_err());
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let (input, target) = pair(64);
+        let config = base_config(8);
+        let result = generate(&input, &target, &config).unwrap();
+        let r = &result.report;
+        assert_eq!(r.image_size, 64);
+        assert_eq!(r.tile_count, 64);
+        assert_eq!(r.tile_size, 8);
+        assert!(r.sweeps >= 1);
+        assert!(!r.summary().is_empty());
+    }
+
+    #[test]
+    fn mosaic_preserves_input_tile_multiset() {
+        let (input, target) = pair(32);
+        let config = MosaicBuilder::new()
+            .grid(4)
+            .backend(Backend::Serial)
+            .preprocess(Preprocess::None) // so tiles come from `input` itself
+            .build();
+        let result = generate(&input, &target, &config).unwrap();
+        let mut a: Vec<u8> = input.pixels().iter().map(|p| p.0).collect();
+        let mut b: Vec<u8> = result.image.pixels().iter().map(|p| p.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "rearrangement must only move pixels");
+    }
+}

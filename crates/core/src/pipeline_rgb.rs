@@ -1,0 +1,215 @@
+//! RGB pipeline — the paper's §II color extension as a first-class entry
+//! point.
+//!
+//! "We can easily extend the proposed photomosaic method to deal with
+//! color images only by changing the error function in Eq. (1)." Every
+//! substrate is generic over the pixel type, so this module is the same
+//! three steps as [`crate::pipeline`] instantiated at [`Rgb`]: per-channel
+//! histogram specification, the channel-summed error metric, the same
+//! solvers and searches on the resulting matrix.
+
+use crate::config::{Algorithm, Backend, MosaicConfig};
+use crate::errors::compute_error_matrix;
+use crate::local_search::{local_search, SearchOutcome};
+use crate::optimal::{optimal_rearrangement, sparse_rearrangement};
+use crate::parallel_search::{
+    parallel_search_gpu, parallel_search_reference, parallel_search_threads,
+};
+use crate::preprocess::preprocess_rgb;
+use crate::report::GenerationReport;
+use mosaic_edgecolor::SwapSchedule;
+use mosaic_grid::{assemble, LayoutError, TileLayout};
+use mosaic_gpu::{DeviceSpec, GpuSim, WorkProfile};
+use mosaic_image::RgbImage;
+use std::time::Instant;
+
+/// Rearranged RGB image plus accounting.
+#[derive(Clone, Debug)]
+pub struct RgbMosaicResult {
+    /// The rearranged image `R`.
+    pub image: RgbImage,
+    /// The assignment (`assignment[v] = u`).
+    pub assignment: Vec<usize>,
+    /// Timings and totals (error values are channel-summed SAD).
+    pub report: GenerationReport,
+}
+
+/// Generate a color photomosaic. Identical configuration surface to
+/// [`crate::generate`].
+///
+/// # Errors
+/// Returns [`LayoutError`] for non-square, mismatched or non-divisible
+/// geometry.
+pub fn generate_rgb(
+    input: &RgbImage,
+    target: &RgbImage,
+    config: &MosaicConfig,
+) -> Result<RgbMosaicResult, LayoutError> {
+    let (w, h) = target.dimensions();
+    if w != h {
+        return Err(LayoutError::NotSquare {
+            width: w,
+            height: h,
+        });
+    }
+    let layout = TileLayout::with_grid(w, config.grid)?;
+    layout.check_image(input)?;
+    layout.check_image(target)?;
+
+    let t1 = Instant::now();
+    let prepared = preprocess_rgb(input, target, config.preprocess);
+    let step1_wall = t1.elapsed();
+
+    let (matrix, step2_trace) =
+        compute_error_matrix(&prepared, target, layout, config.metric, config.backend)?;
+
+    let t3 = Instant::now();
+    let outcome: SearchOutcome = match config.algorithm {
+        Algorithm::Optimal(solver) => optimal_rearrangement(&matrix, solver),
+        Algorithm::Greedy => {
+            optimal_rearrangement(&matrix, mosaic_assign::SolverKind::Greedy)
+        }
+        Algorithm::SparseMatch { k } => sparse_rearrangement(&matrix, k),
+        Algorithm::LocalSearch => local_search(&matrix),
+        Algorithm::ParallelSearch => {
+            let schedule = SwapSchedule::for_tiles(matrix.size());
+            match config.backend {
+                Backend::Serial => parallel_search_reference(&matrix, &schedule).outcome,
+                Backend::Threads(t) => {
+                    parallel_search_threads(&matrix, &schedule, t.max(1)).outcome
+                }
+                Backend::GpuSim { workers } => {
+                    let sim = match workers {
+                        Some(w) => GpuSim::with_workers(DeviceSpec::tesla_k40(), w),
+                        None => GpuSim::new(DeviceSpec::tesla_k40()),
+                    };
+                    parallel_search_gpu(&sim, &matrix, &schedule).outcome
+                }
+            }
+        }
+        Algorithm::Anneal { seed, sweeps } => crate::anneal::anneal_search(&matrix, seed, sweeps),
+    };
+    let step3_wall = t3.elapsed();
+
+    let image = assemble(&prepared, layout, &outcome.assignment)?;
+    let report = GenerationReport {
+        config: config.clone(),
+        image_size: w,
+        tile_count: layout.tile_count(),
+        tile_size: layout.tile_size(),
+        total_error: outcome.total,
+        sweeps: outcome.sweeps,
+        swaps: outcome.swaps,
+        step1_wall,
+        step2_wall: step2_trace.wall,
+        step3_wall,
+        step2_profile: step2_trace.profile,
+        step3_profile: WorkProfile::default(),
+    };
+    Ok(RgbMosaicResult {
+        image,
+        assignment: outcome.assignment,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MosaicBuilder;
+    use mosaic_assign::SolverKind;
+    use mosaic_image::synth::{tint, Scene};
+    use mosaic_image::{metrics, Rgb};
+
+    fn pair(n: usize) -> (RgbImage, RgbImage) {
+        let input = tint(
+            &Scene::Portrait.render(n, 1),
+            Rgb::new(40, 16, 8),
+            Rgb::new(255, 214, 170),
+        );
+        let target = tint(
+            &Scene::Regatta.render(n, 2),
+            Rgb::new(8, 24, 48),
+            Rgb::new(200, 230, 255),
+        );
+        (input, target)
+    }
+
+    #[test]
+    fn rgb_pipeline_runs_every_algorithm() {
+        let (input, target) = pair(48);
+        for algorithm in [
+            Algorithm::Optimal(SolverKind::JonkerVolgenant),
+            Algorithm::LocalSearch,
+            Algorithm::ParallelSearch,
+        ] {
+            let config = MosaicBuilder::new()
+                .grid(6)
+                .algorithm(algorithm)
+                .backend(Backend::Serial)
+                .build();
+            let result = generate_rgb(&input, &target, &config).unwrap();
+            assert_eq!(result.image.dimensions(), (48, 48));
+            assert_eq!(
+                result.report.total_error,
+                metrics::sad(&result.image, &target),
+                "{algorithm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rgb_optimal_bounds_approximation() {
+        let (input, target) = pair(48);
+        let run = |algorithm| {
+            let config = MosaicBuilder::new()
+                .grid(8)
+                .algorithm(algorithm)
+                .backend(Backend::Serial)
+                .build();
+            generate_rgb(&input, &target, &config)
+                .unwrap()
+                .report
+                .total_error
+        };
+        assert!(run(Algorithm::Optimal(SolverKind::Hungarian)) <= run(Algorithm::LocalSearch));
+    }
+
+    #[test]
+    fn rgb_backends_agree() {
+        let (input, target) = pair(32);
+        let mk = |backend| {
+            MosaicBuilder::new()
+                .grid(4)
+                .algorithm(Algorithm::ParallelSearch)
+                .backend(backend)
+                .build()
+        };
+        let a = generate_rgb(&input, &target, &mk(Backend::Serial)).unwrap();
+        let b = generate_rgb(&input, &target, &mk(Backend::Threads(2))).unwrap();
+        let c = generate_rgb(&input, &target, &mk(Backend::GpuSim { workers: Some(2) })).unwrap();
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.image, c.image);
+    }
+
+    #[test]
+    fn rgb_geometry_errors() {
+        let (input, _) = pair(32);
+        let (_, target64) = pair(64);
+        let config = MosaicBuilder::new().grid(4).backend(Backend::Serial).build();
+        assert!(generate_rgb(&input, &target64, &config).is_err());
+    }
+
+    #[test]
+    fn rgb_mosaic_moves_toward_target_colors() {
+        let (input, target) = pair(64);
+        let config = MosaicBuilder::new()
+            .grid(8)
+            .algorithm(Algorithm::Optimal(SolverKind::JonkerVolgenant))
+            .backend(Backend::Serial)
+            .build();
+        let result = generate_rgb(&input, &target, &config).unwrap();
+        let prepared = preprocess_rgb(&input, &target, config.preprocess);
+        assert!(metrics::sad(&result.image, &target) <= metrics::sad(&prepared, &target));
+    }
+}

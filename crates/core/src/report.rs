@@ -1,0 +1,127 @@
+//! Generation reports: everything the experiment harness prints.
+
+use crate::config::MosaicConfig;
+use mosaic_gpu::{CostModel, DeviceSpec, WorkProfile};
+use std::time::Duration;
+
+/// Timings, totals and work accounting of one mosaic generation.
+#[derive(Clone, Debug)]
+pub struct GenerationReport {
+    /// Configuration used.
+    pub config: MosaicConfig,
+    /// Image edge `N`.
+    pub image_size: usize,
+    /// Tile count `S`.
+    pub tile_count: usize,
+    /// Tile edge `M`.
+    pub tile_size: usize,
+    /// Final total error (the paper's Eq. 2, Table I).
+    pub total_error: u64,
+    /// Local-search sweeps `k` (0 for the optimal algorithm).
+    pub sweeps: usize,
+    /// Swaps performed (0 for the optimal algorithm).
+    pub swaps: usize,
+    /// Wall time of Step 1 (tiling + preprocessing).
+    pub step1_wall: Duration,
+    /// Wall time of Step 2 (error matrix — Table II).
+    pub step2_wall: Duration,
+    /// Wall time of Step 3 (rearrangement — Table III).
+    pub step3_wall: Duration,
+    /// Abstract work profile of Step 2.
+    pub step2_profile: WorkProfile,
+    /// Abstract work profile of Step 3 (zeroed for the optimal algorithm,
+    /// which runs on the host).
+    pub step3_profile: WorkProfile,
+}
+
+impl GenerationReport {
+    /// Total wall time (Table IV).
+    pub fn total_wall(&self) -> Duration {
+        self.step1_wall + self.step2_wall + self.step3_wall
+    }
+
+    /// Modeled execution time of the profiled steps on `device` (see
+    /// `mosaic_gpu::model`).
+    pub fn modeled_time(&self, device: &DeviceSpec) -> Duration {
+        let model = CostModel::new(device.clone());
+        model.estimate(&self.step2_profile.combine(&self.step3_profile))
+    }
+
+    /// Modeled K40-over-host speedup for the profiled steps.
+    pub fn modeled_speedup(&self) -> f64 {
+        let k40 = CostModel::new(DeviceSpec::tesla_k40());
+        let host = CostModel::new(DeviceSpec::host_single_core());
+        k40.speedup_over(&host, &self.step2_profile.combine(&self.step3_profile))
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} [{}] N={} S={}x{}: error={} sweeps={} total={:.3}s (step2={:.3}s step3={:.3}s)",
+            self.config.algorithm.name(),
+            self.config.backend.name(),
+            self.image_size,
+            (self.tile_count as f64).sqrt() as usize,
+            (self.tile_count as f64).sqrt() as usize,
+            self.total_error,
+            self.sweeps,
+            self.total_wall().as_secs_f64(),
+            self.step2_wall.as_secs_f64(),
+            self.step3_wall.as_secs_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MosaicBuilder;
+
+    fn dummy_report() -> GenerationReport {
+        GenerationReport {
+            config: MosaicBuilder::new().grid(4).build(),
+            image_size: 64,
+            tile_count: 16,
+            tile_size: 16,
+            total_error: 1234,
+            sweeps: 3,
+            swaps: 17,
+            step1_wall: Duration::from_millis(1),
+            step2_wall: Duration::from_millis(2),
+            step3_wall: Duration::from_millis(3),
+            step2_profile: WorkProfile {
+                launches: 1,
+                global_bytes: 1_000_000,
+                ops: 2_000_000,
+            },
+            step3_profile: WorkProfile {
+                launches: 45,
+                global_bytes: 500_000,
+                ops: 100_000,
+            },
+        }
+    }
+
+    #[test]
+    fn total_wall_sums_steps() {
+        assert_eq!(dummy_report().total_wall(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let s = dummy_report().summary();
+        assert!(s.contains("error=1234"));
+        assert!(s.contains("N=64"));
+        assert!(s.contains("S=4x4"));
+        assert!(s.contains("sweeps=3"));
+    }
+
+    #[test]
+    fn modeled_speedup_is_finite_and_positive() {
+        let r = dummy_report();
+        let speedup = r.modeled_speedup();
+        assert!(speedup.is_finite());
+        assert!(speedup > 0.0);
+        assert!(r.modeled_time(&DeviceSpec::tesla_k40()) > Duration::ZERO);
+    }
+}

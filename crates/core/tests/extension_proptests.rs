@@ -1,0 +1,108 @@
+//! Property tests for the extension modules (oriented placement,
+//! hierarchical solving) over random tiled images.
+
+use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
+use mosaic_image::{Gray, Image};
+use photomosaic::multires::{hierarchical_rearrangement, MultiresConfig};
+use photomosaic::oriented::{build_oriented_error_matrix, Orientation};
+use proptest::prelude::*;
+
+/// Random image pair whose grid is leaf * 2^k (leaf = 2), so the
+/// hierarchical solver always accepts it.
+fn arb_pair() -> impl Strategy<Value = (Image<Gray>, Image<Gray>, TileLayout)> {
+    (1u32..=2, 2usize..=4).prop_flat_map(|(doublings, tile)| {
+        let grid = 2usize << doublings; // 4 or 8
+        let n = grid * tile;
+        (
+            proptest::collection::vec(any::<u8>(), n * n),
+            proptest::collection::vec(any::<u8>(), n * n),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Image::from_vec(n, n, a.into_iter().map(Gray).collect()).unwrap(),
+                    Image::from_vec(n, n, b.into_iter().map(Gray).collect()).unwrap(),
+                    TileLayout::new(n, tile).unwrap(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn oriented_entries_pointwise_dominate_plain((input, target, layout) in arb_pair()) {
+        let plain = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+        let oriented = build_oriented_error_matrix(
+            &input,
+            &target,
+            layout,
+            TileMetric::Sad,
+            &Orientation::ALL,
+        )
+        .unwrap();
+        let s = plain.size();
+        for u in 0..s {
+            for v in 0..s {
+                prop_assert!(oriented.matrix.get(u, v) <= plain.get(u, v));
+            }
+        }
+        // The recorded best orientation actually achieves the stored value.
+        for u in 0..s {
+            let base = layout.tile_view(&input, u).to_image();
+            for v in 0..s {
+                let o = oriented.best[u * s + v];
+                let transformed = o.apply(&base);
+                let direct = mosaic_grid::tile_error(
+                    &transformed.full_view(),
+                    &layout.tile_view(&target, v),
+                    TileMetric::Sad,
+                );
+                prop_assert_eq!(direct as u32, oriented.matrix.get(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_apply_is_a_group_action((input, _t, layout) in arb_pair()) {
+        // Applying R180 twice is the identity; R90 four times is the
+        // identity; flips are involutions.
+        let tile = layout.tile_view(&input, 0).to_image();
+        prop_assert_eq!(
+            Orientation::R180.apply(&Orientation::R180.apply(&tile)),
+            tile.clone()
+        );
+        let mut r = tile.clone();
+        for _ in 0..4 {
+            r = Orientation::R90.apply(&r);
+        }
+        prop_assert_eq!(r, tile.clone());
+        prop_assert_eq!(
+            Orientation::FlipH.apply(&Orientation::FlipH.apply(&tile)),
+            tile.clone()
+        );
+        prop_assert_eq!(
+            Orientation::Transpose.apply(&Orientation::Transpose.apply(&tile)),
+            tile
+        );
+    }
+
+    #[test]
+    fn hierarchical_assignment_is_valid_and_bounded((input, target, layout) in arb_pair()) {
+        let config = MultiresConfig {
+            leaf_grid: 2,
+            metric: TileMetric::Sad,
+        };
+        let out = hierarchical_rearrangement(&input, &target, layout, config).unwrap();
+        prop_assert!(mosaic_grid::assemble::is_permutation(
+            &out.assignment,
+            layout.tile_count()
+        ));
+        let matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+        prop_assert_eq!(out.total, matrix.assignment_total(&out.assignment));
+        // Never worse than leaving the tiles in place (the identity is in
+        // the hierarchy's search space at every level).
+        let identity: Vec<usize> = (0..layout.tile_count()).collect();
+        prop_assert!(out.total <= matrix.assignment_total(&identity));
+    }
+}

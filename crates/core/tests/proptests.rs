@@ -1,0 +1,83 @@
+//! Property-based tests on the core algorithms.
+
+use mosaic_edgecolor::SwapSchedule;
+use mosaic_grid::ErrorMatrix;
+use photomosaic::anneal::anneal_search;
+use photomosaic::local_search::{is_swap_optimal, local_search, local_search_from};
+use photomosaic::optimal::optimal_rearrangement;
+use photomosaic::parallel_search::{parallel_search_reference, parallel_search_threads};
+use mosaic_assign::SolverKind;
+use proptest::prelude::*;
+
+fn arb_matrix(max_n: usize, max_cost: u32) -> impl Strategy<Value = ErrorMatrix> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(0..=max_cost, n * n)
+            .prop_map(move |v| ErrorMatrix::from_vec(n, v))
+    })
+}
+
+proptest! {
+    #[test]
+    fn local_search_reaches_swap_optimum(m in arb_matrix(20, 10_000)) {
+        let out = local_search(&m);
+        prop_assert!(is_swap_optimal(&m, &out.assignment));
+        prop_assert_eq!(out.total, m.assignment_total(&out.assignment));
+    }
+
+    #[test]
+    fn parallel_search_reaches_swap_optimum(m in arb_matrix(20, 10_000)) {
+        let sched = SwapSchedule::for_tiles(m.size());
+        let out = parallel_search_reference(&m, &sched);
+        prop_assert!(is_swap_optimal(&m, &out.outcome.assignment));
+    }
+
+    #[test]
+    fn threads_match_reference(m in arb_matrix(16, 5_000), threads in 1usize..6) {
+        let sched = SwapSchedule::for_tiles(m.size());
+        prop_assert_eq!(
+            parallel_search_threads(&m, &sched, threads),
+            parallel_search_reference(&m, &sched)
+        );
+    }
+
+    #[test]
+    fn optimal_lower_bounds_every_heuristic(m in arb_matrix(14, 5_000)) {
+        let opt = optimal_rearrangement(&m, SolverKind::JonkerVolgenant).total;
+        prop_assert!(local_search(&m).total >= opt);
+        let sched = SwapSchedule::for_tiles(m.size());
+        prop_assert!(parallel_search_reference(&m, &sched).outcome.total >= opt);
+        prop_assert!(anneal_search(&m, 9, 3).total >= opt);
+        prop_assert!(optimal_rearrangement(&m, SolverKind::Greedy).total >= opt);
+    }
+
+    #[test]
+    fn search_never_worse_than_its_start(m in arb_matrix(14, 5_000), seed in any::<u64>()) {
+        // Random start permutation via Fisher-Yates.
+        let n = m.size();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            perm.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let start_total = m.assignment_total(&perm);
+        let out = local_search_from(&m, perm);
+        prop_assert!(out.total <= start_total);
+    }
+
+    #[test]
+    fn anneal_is_deterministic_per_seed(m in arb_matrix(10, 1_000), seed in any::<u64>()) {
+        prop_assert_eq!(anneal_search(&m, seed, 2), anneal_search(&m, seed, 2));
+    }
+
+    #[test]
+    fn exact_solvers_agree_via_pipeline_reduction(m in arb_matrix(12, 100_000)) {
+        let a = optimal_rearrangement(&m, SolverKind::Hungarian).total;
+        let b = optimal_rearrangement(&m, SolverKind::JonkerVolgenant).total;
+        let c = optimal_rearrangement(&m, SolverKind::Auction).total;
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,121 @@
+//! Swap schedules for the parallel local search.
+//!
+//! §IV-B: "we assume that the number of tiles S is fixed and edge groups
+//! P_1, P_2, …, P_S are computed in advance. After that, using them,
+//! photomosaic images are generated for various input images." A
+//! [`SwapSchedule`] is that precomputed object: the color groups of `K_S`,
+//! padded with an empty trailing group for even `S` (the paper's
+//! `P_S = ∅`), each group listing tile pairs that can be swap-tested
+//! concurrently.
+
+use crate::circle::complete_graph_coloring;
+
+/// Precomputed conflict-free swap groups for `S` tiles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwapSchedule {
+    tiles: usize,
+    groups: Vec<Vec<(usize, usize)>>,
+}
+
+impl SwapSchedule {
+    /// Build the schedule for `tiles` tiles.
+    ///
+    /// Always returns exactly `tiles` groups (matching the paper's
+    /// `P_1 … P_S` presentation): for even `S` the last group is empty,
+    /// for odd `S` all `S` groups are occupied, and for `S ≤ 1` every group
+    /// is empty.
+    pub fn for_tiles(tiles: usize) -> Self {
+        let mut groups = complete_graph_coloring(tiles);
+        groups.resize(tiles, Vec::new());
+        SwapSchedule { tiles, groups }
+    }
+
+    /// Number of tiles `S`.
+    #[inline]
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// All groups, including trailing empty ones.
+    #[inline]
+    pub fn groups(&self) -> &[Vec<(usize, usize)>] {
+        &self.groups
+    }
+
+    /// Groups that actually contain pairs.
+    pub fn occupied_groups(&self) -> impl Iterator<Item = &Vec<(usize, usize)>> {
+        self.groups.iter().filter(|g| !g.is_empty())
+    }
+
+    /// Total number of pairs across all groups — `S(S−1)/2`.
+    pub fn pair_count(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).sum()
+    }
+
+    /// Size of the largest group (the paper's per-kernel parallelism,
+    /// `⌊S/2⌋`).
+    pub fn max_group_len(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{is_exact_cover, is_proper_coloring};
+
+    #[test]
+    fn schedule_has_exactly_s_groups() {
+        for s in [1usize, 2, 3, 16, 17, 256, 1024] {
+            let sched = SwapSchedule::for_tiles(s);
+            assert_eq!(sched.groups().len(), s, "S={s}");
+            assert_eq!(sched.tiles(), s);
+        }
+    }
+
+    #[test]
+    fn even_s_has_one_trailing_empty_group() {
+        let sched = SwapSchedule::for_tiles(16);
+        assert!(sched.groups()[15].is_empty());
+        assert_eq!(sched.occupied_groups().count(), 15);
+    }
+
+    #[test]
+    fn odd_s_has_all_groups_occupied() {
+        let sched = SwapSchedule::for_tiles(9);
+        assert_eq!(sched.occupied_groups().count(), 9);
+    }
+
+    #[test]
+    fn covers_all_pairs_properly() {
+        for s in [2usize, 9, 16, 64, 100] {
+            let sched = SwapSchedule::for_tiles(s);
+            assert_eq!(sched.pair_count(), s * (s - 1) / 2, "S={s}");
+            assert!(is_proper_coloring(sched.groups(), s));
+            assert!(is_exact_cover(sched.groups(), s));
+        }
+    }
+
+    #[test]
+    fn max_group_len_is_floor_s_over_2() {
+        assert_eq!(SwapSchedule::for_tiles(16).max_group_len(), 8);
+        assert_eq!(SwapSchedule::for_tiles(9).max_group_len(), 4);
+        assert_eq!(SwapSchedule::for_tiles(1).max_group_len(), 0);
+    }
+
+    #[test]
+    fn degenerate_single_tile() {
+        let sched = SwapSchedule::for_tiles(1);
+        assert_eq!(sched.groups().len(), 1);
+        assert_eq!(sched.pair_count(), 0);
+    }
+
+    #[test]
+    fn paper_scale_s_4096_is_valid() {
+        // S = 64 x 64, the paper's largest configuration.
+        let sched = SwapSchedule::for_tiles(4096);
+        assert_eq!(sched.pair_count(), 4096 * 4095 / 2);
+        assert_eq!(sched.max_group_len(), 2048);
+        assert!(is_proper_coloring(sched.groups(), 4096));
+    }
+}

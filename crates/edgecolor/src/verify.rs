@@ -1,0 +1,93 @@
+//! Validation predicates for edge colorings.
+
+/// True when every group is a matching: within each group, no vertex
+/// appears twice, all pairs are `(a, b)` with `a < b < n`.
+pub fn is_proper_coloring(groups: &[Vec<(usize, usize)>], n: usize) -> bool {
+    let mut seen = vec![usize::MAX; n];
+    for (color, group) in groups.iter().enumerate() {
+        for &(a, b) in group {
+            if a >= b || b >= n {
+                return false;
+            }
+            if seen[a] == color || seen[b] == color {
+                return false;
+            }
+            seen[a] = color;
+            seen[b] = color;
+        }
+    }
+    true
+}
+
+/// True when every unordered pair of distinct vertices in `0..n` appears in
+/// exactly one group.
+pub fn is_exact_cover(groups: &[Vec<(usize, usize)>], n: usize) -> bool {
+    let mut count = vec![0u32; n * n];
+    for group in groups {
+        for &(a, b) in group {
+            if a >= b || b >= n {
+                return false;
+            }
+            count[a * n + b] += 1;
+        }
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if count[a * n + b] != 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_coloring() {
+        // K_4 colored with 3 perfect matchings.
+        let groups = vec![
+            vec![(0, 1), (2, 3)],
+            vec![(0, 2), (1, 3)],
+            vec![(0, 3), (1, 2)],
+        ];
+        assert!(is_proper_coloring(&groups, 4));
+        assert!(is_exact_cover(&groups, 4));
+    }
+
+    #[test]
+    fn rejects_shared_vertex_in_group() {
+        let groups = vec![vec![(0, 1), (1, 2)]];
+        assert!(!is_proper_coloring(&groups, 3));
+    }
+
+    #[test]
+    fn rejects_unordered_or_out_of_range_pairs() {
+        assert!(!is_proper_coloring(&[vec![(1, 0)]], 2));
+        assert!(!is_proper_coloring(&[vec![(0, 5)]], 3));
+        assert!(!is_exact_cover(&[vec![(1, 1)]], 2));
+        assert!(!is_exact_cover(&[vec![(0, 9)]], 3));
+    }
+
+    #[test]
+    fn rejects_missing_or_duplicate_edges() {
+        // Missing (1,2).
+        let missing = vec![vec![(0, 1)], vec![(0, 2)]];
+        assert!(!is_exact_cover(&missing, 3));
+        // Duplicate (0,1).
+        let dup = vec![vec![(0, 1)], vec![(0, 1)], vec![(0, 2), (1, 2)]];
+        assert!(!is_exact_cover(&dup, 3));
+    }
+
+    #[test]
+    fn empty_groups_are_fine_for_proper_but_not_cover() {
+        let groups: Vec<Vec<(usize, usize)>> = vec![vec![], vec![]];
+        assert!(is_proper_coloring(&groups, 4));
+        assert!(!is_exact_cover(&groups, 4));
+        // n <= 1 has no edges, so the empty cover is exact.
+        assert!(is_exact_cover(&[], 1));
+        assert!(is_exact_cover(&[], 0));
+    }
+}

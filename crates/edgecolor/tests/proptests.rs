@@ -1,0 +1,48 @@
+//! Property tests: the circle method yields an optimal proper edge
+//! coloring for every n.
+
+use mosaic_edgecolor::{complete_graph_coloring, is_exact_cover, is_proper_coloring, SwapSchedule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coloring_is_proper_and_exact(n in 2usize..200) {
+        let groups = complete_graph_coloring(n);
+        prop_assert!(is_proper_coloring(&groups, n));
+        prop_assert!(is_exact_cover(&groups, n));
+    }
+
+    #[test]
+    fn color_count_matches_theorem_1(n in 2usize..200) {
+        // Theorem 1: n-edge-colorable if n odd, (n-1)-edge-colorable if even.
+        let groups = complete_graph_coloring(n);
+        let expected = if n % 2 == 0 { n - 1 } else { n };
+        prop_assert_eq!(groups.len(), expected);
+    }
+
+    #[test]
+    fn every_vertex_appears_in_every_perfect_group(n in 2usize..100) {
+        // For even n each group is a perfect matching: every vertex occurs
+        // exactly once per group. For odd n exactly one vertex sits out.
+        let groups = complete_graph_coloring(n);
+        for g in &groups {
+            let mut seen = vec![false; n];
+            for &(a, b) in g {
+                prop_assert!(!seen[a] && !seen[b]);
+                seen[a] = true;
+                seen[b] = true;
+            }
+            let idle = seen.iter().filter(|&&s| !s).count();
+            prop_assert_eq!(idle, if n % 2 == 0 { 0 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn schedule_pair_count_is_binomial(s in 1usize..300) {
+        let sched = SwapSchedule::for_tiles(s);
+        prop_assert_eq!(sched.pair_count(), s * (s - 1) / 2);
+        prop_assert_eq!(sched.groups().len(), s);
+    }
+}

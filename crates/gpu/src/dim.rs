@@ -1,0 +1,137 @@
+//! Three-dimensional grid/block geometry, mirroring CUDA's `dim3`.
+
+/// A CUDA-style 3-component extent or index.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// X extent/index (fastest varying).
+    pub x: usize,
+    /// Y extent/index.
+    pub y: usize,
+    /// Z extent/index (slowest varying).
+    pub z: usize,
+}
+
+impl Dim3 {
+    /// One-dimensional extent `(x, 1, 1)`.
+    #[inline]
+    pub const fn linear(x: usize) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// Two-dimensional extent `(x, y, 1)`.
+    #[inline]
+    pub const fn plane(x: usize, y: usize) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// Full three-dimensional extent.
+    #[inline]
+    pub const fn new(x: usize, y: usize, z: usize) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// Total element count `x·y·z`.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.x * self.y * self.z
+    }
+
+    /// Linearize an index within this extent (x fastest).
+    ///
+    /// # Panics
+    /// Panics when `idx` lies outside the extent.
+    #[inline]
+    pub fn linearize(&self, idx: Dim3) -> usize {
+        assert!(
+            idx.x < self.x && idx.y < self.y && idx.z < self.z,
+            "index {idx:?} outside extent {self:?}"
+        );
+        (idx.z * self.y + idx.y) * self.x + idx.x
+    }
+
+    /// Inverse of [`Dim3::linearize`].
+    ///
+    /// # Panics
+    /// Panics when `linear >= self.count()`.
+    #[inline]
+    pub fn delinearize(&self, linear: usize) -> Dim3 {
+        assert!(linear < self.count(), "linear index out of range");
+        let x = linear % self.x;
+        let rest = linear / self.x;
+        Dim3 {
+            x,
+            y: rest % self.y,
+            z: rest / self.y,
+        }
+    }
+
+    /// Iterate all indices in this extent in linear order.
+    pub fn iter(&self) -> impl Iterator<Item = Dim3> + '_ {
+        (0..self.count()).map(move |i| self.delinearize(i))
+    }
+}
+
+impl From<usize> for Dim3 {
+    fn from(x: usize) -> Self {
+        Dim3::linear(x)
+    }
+}
+
+impl From<(usize, usize)> for Dim3 {
+    fn from((x, y): (usize, usize)) -> Self {
+        Dim3::plane(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_count() {
+        assert_eq!(Dim3::linear(5).count(), 5);
+        assert_eq!(Dim3::plane(4, 3).count(), 12);
+        assert_eq!(Dim3::new(2, 3, 4).count(), 24);
+        assert_eq!(Dim3::from(7), Dim3::linear(7));
+        assert_eq!(Dim3::from((2, 5)), Dim3::plane(2, 5));
+    }
+
+    #[test]
+    fn linearize_roundtrip() {
+        let ext = Dim3::new(3, 4, 5);
+        for i in 0..ext.count() {
+            let idx = ext.delinearize(i);
+            assert_eq!(ext.linearize(idx), i);
+        }
+    }
+
+    #[test]
+    fn x_is_fastest_varying() {
+        let ext = Dim3::plane(4, 2);
+        assert_eq!(ext.delinearize(1), Dim3::new(1, 0, 0));
+        assert_eq!(ext.delinearize(4), Dim3::new(0, 1, 0));
+    }
+
+    #[test]
+    fn iter_visits_all_once() {
+        let ext = Dim3::new(2, 2, 2);
+        let all: Vec<Dim3> = ext.iter().collect();
+        assert_eq!(all.len(), 8);
+        let mut dedup = all.clone();
+        dedup.sort_by_key(|d| (d.z, d.y, d.x));
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside extent")]
+    fn linearize_out_of_range_panics() {
+        let _ = Dim3::plane(2, 2).linearize(Dim3::new(2, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn delinearize_out_of_range_panics() {
+        let _ = Dim3::linear(3).delinearize(3);
+    }
+}

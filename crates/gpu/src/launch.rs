@@ -1,0 +1,337 @@
+//! Kernel launches on the simulated device.
+//!
+//! The execution contract mirrors CUDA §V of the paper:
+//!
+//! * a launch enumerates `grid.count()` blocks;
+//! * blocks run concurrently (here: over a crossbeam worker pool) in an
+//!   unspecified order, so kernels must not assume any inter-block
+//!   ordering;
+//! * each block owns a private [`SharedMem`] arena, reset between blocks;
+//! * global memory is shared ([`crate::GlobalBuffer`], relaxed atomics);
+//! * the launch returns only when every block has finished — the
+//!   kernel-boundary barrier Algorithm 2 relies on between color groups.
+//!
+//! Threads *within* a block are simulated by iterating thread indices
+//! sequentially inside the block body ([`BlockContext::threads`]). That
+//! preserves CUDA's semantics for kernels whose threads are independent
+//! between `__syncthreads()` barriers: run each phase as a separate
+//! `threads()` sweep, which is exactly a barrier-to-barrier schedule.
+
+use crate::device::DeviceSpec;
+use crate::dim::Dim3;
+use crate::shared::SharedMem;
+use crate::stats::{ExecStats, LaunchRecord};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Grid/block geometry of one launch.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of blocks, per dimension.
+    pub grid: Dim3,
+    /// Number of threads per block, per dimension.
+    pub block: Dim3,
+}
+
+impl LaunchConfig {
+    /// 1-D grid of 1-D blocks.
+    pub fn linear(blocks: usize, threads_per_block: usize) -> Self {
+        LaunchConfig {
+            grid: Dim3::linear(blocks),
+            block: Dim3::linear(threads_per_block),
+        }
+    }
+}
+
+/// Per-block execution context handed to kernels.
+pub struct BlockContext<'a> {
+    block_idx: Dim3,
+    config: LaunchConfig,
+    shared: &'a mut SharedMem,
+}
+
+impl BlockContext<'_> {
+    /// This block's index within the grid.
+    #[inline]
+    pub fn block_idx(&self) -> Dim3 {
+        self.block_idx
+    }
+
+    /// Linearized block index.
+    #[inline]
+    pub fn block_id(&self) -> usize {
+        self.config.grid.linearize(self.block_idx)
+    }
+
+    /// Grid extent.
+    #[inline]
+    pub fn grid_dim(&self) -> Dim3 {
+        self.config.grid
+    }
+
+    /// Block extent (threads per block).
+    #[inline]
+    pub fn block_dim(&self) -> Dim3 {
+        self.config.block
+    }
+
+    /// Iterate all thread indices of this block, in linear order — one
+    /// barrier-to-barrier phase of the CUDA kernel body.
+    pub fn threads(&self) -> impl Iterator<Item = Dim3> {
+        let dim = self.config.block;
+        (0..dim.count()).map(move |i| dim.delinearize(i))
+    }
+
+    /// The block's shared-memory arena.
+    #[inline]
+    pub fn shared(&mut self) -> &mut SharedMem {
+        self.shared
+    }
+}
+
+/// A device kernel: the per-block body.
+///
+/// Kernels observe global state only through shared references, matching
+/// CUDA's "global memory + atomics" model; use [`crate::GlobalBuffer`] /
+/// [`crate::GlobalFlag`] for anything written concurrently.
+pub trait Kernel: Sync {
+    /// Execute one block.
+    fn block(&self, ctx: &mut BlockContext<'_>);
+}
+
+// Closures can act as simple kernels.
+impl<F: Fn(&mut BlockContext<'_>) + Sync> Kernel for F {
+    fn block(&self, ctx: &mut BlockContext<'_>) {
+        self(ctx)
+    }
+}
+
+/// The simulated device executor.
+pub struct GpuSim {
+    device: DeviceSpec,
+    workers: usize,
+    stats: Mutex<ExecStats>,
+}
+
+impl GpuSim {
+    /// Simulator for `device` with one worker per available CPU core.
+    pub fn new(device: DeviceSpec) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_workers(device, workers)
+    }
+
+    /// Simulator with an explicit worker count (≥ 1).
+    ///
+    /// # Panics
+    /// Panics when `workers == 0`.
+    pub fn with_workers(device: DeviceSpec, workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker is required");
+        GpuSim {
+            device,
+            workers,
+            stats: Mutex::new(ExecStats::default()),
+        }
+    }
+
+    /// The simulated device.
+    #[inline]
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Worker threads used to execute blocks.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Snapshot of cumulative statistics.
+    pub fn stats(&self) -> ExecStats {
+        self.stats.lock().clone()
+    }
+
+    /// Reset cumulative statistics.
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = ExecStats::default();
+    }
+
+    /// Launch `kernel` over `config`. Blocks until every block has
+    /// executed (the kernel-boundary barrier).
+    ///
+    /// # Panics
+    /// Propagates panics from kernel blocks.
+    pub fn launch<K: Kernel>(&self, config: LaunchConfig, kernel: &K) -> LaunchRecord {
+        let start = Instant::now();
+        let total_blocks = config.grid.count();
+        let next_block = AtomicUsize::new(0);
+
+        if total_blocks > 0 {
+            let workers = self.workers.min(total_blocks);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|_| {
+                        let mut shared = SharedMem::new(self.device.shared_mem_per_block);
+                        loop {
+                            let b = next_block.fetch_add(1, Ordering::Relaxed);
+                            if b >= total_blocks {
+                                break;
+                            }
+                            shared.reset();
+                            let mut ctx = BlockContext {
+                                block_idx: config.grid.delinearize(b),
+                                config,
+                                shared: &mut shared,
+                            };
+                            kernel.block(&mut ctx);
+                        }
+                    });
+                }
+            })
+            .expect("kernel block panicked");
+        }
+
+        let record = LaunchRecord {
+            blocks: total_blocks,
+            threads: total_blocks * config.block.count(),
+            wall: start.elapsed(),
+        };
+        self.stats.lock().record(&record);
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{GlobalBuffer, GlobalFlag};
+
+    fn sim() -> GpuSim {
+        GpuSim::with_workers(DeviceSpec::tesla_k40(), 4)
+    }
+
+    #[test]
+    fn every_block_executes_exactly_once() {
+        let sim = sim();
+        let out = GlobalBuffer::filled(100, 0u32);
+        let kernel = |ctx: &mut BlockContext<'_>| {
+            let id = ctx.block_id();
+            out.store(id, out.load(id) + 1);
+        };
+        let rec = sim.launch(LaunchConfig::linear(100, 32), &kernel);
+        assert_eq!(rec.blocks, 100);
+        assert_eq!(rec.threads, 3200);
+        assert!(out.to_vec().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn threads_iterate_full_block() {
+        let sim = sim();
+        let out = GlobalBuffer::filled(4, 0u32);
+        let kernel = |ctx: &mut BlockContext<'_>| {
+            let mut count = 0u32;
+            for _tid in ctx.threads() {
+                count += 1;
+            }
+            out.store(ctx.block_id(), count);
+        };
+        sim.launch(
+            LaunchConfig {
+                grid: Dim3::linear(4),
+                block: Dim3::plane(8, 4),
+            },
+            &kernel,
+        );
+        assert!(out.to_vec().iter().all(|&v| v == 32));
+    }
+
+    #[test]
+    fn shared_memory_is_private_and_reset() {
+        let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), 3);
+        let dirty = GlobalFlag::new();
+        let kernel = |ctx: &mut BlockContext<'_>| {
+            let buf = ctx.shared().alloc_u8(64);
+            if buf.iter().any(|&b| b != 0) {
+                dirty.raise();
+            }
+            buf.fill(0xAB);
+        };
+        sim.launch(LaunchConfig::linear(64, 1), &kernel);
+        assert!(!dirty.is_raised(), "shared memory leaked between blocks");
+    }
+
+    #[test]
+    fn two_d_grids_enumerate_all_indices() {
+        let sim = sim();
+        let out = GlobalBuffer::filled(6 * 5, 0u32);
+        let kernel = |ctx: &mut BlockContext<'_>| {
+            let idx = ctx.block_idx();
+            out.store(idx.y * 6 + idx.x, (idx.x + 10 * idx.y) as u32);
+        };
+        sim.launch(
+            LaunchConfig {
+                grid: Dim3::plane(6, 5),
+                block: Dim3::linear(1),
+            },
+            &kernel,
+        );
+        let v = out.to_vec();
+        assert_eq!(v[0], 0);
+        assert_eq!(v[6 * 4 + 5], 5 + 40);
+    }
+
+    #[test]
+    fn zero_block_launch_is_a_noop() {
+        let sim = sim();
+        let kernel = |_ctx: &mut BlockContext<'_>| panic!("must not run");
+        let rec = sim.launch(LaunchConfig::linear(0, 32), &kernel);
+        assert_eq!(rec.blocks, 0);
+    }
+
+    #[test]
+    fn stats_accumulate_across_launches() {
+        let sim = sim();
+        let kernel = |_ctx: &mut BlockContext<'_>| {};
+        sim.launch(LaunchConfig::linear(10, 2), &kernel);
+        sim.launch(LaunchConfig::linear(5, 4), &kernel);
+        let stats = sim.stats();
+        assert_eq!(stats.launches, 2);
+        assert_eq!(stats.blocks, 15);
+        assert_eq!(stats.threads, 40);
+        sim.reset_stats();
+        assert_eq!(sim.stats().launches, 0);
+    }
+
+    #[test]
+    fn launch_is_a_barrier() {
+        // After launch returns, all block writes must be visible.
+        let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), 8);
+        for _ in 0..10 {
+            let out = GlobalBuffer::filled(1000, 0u32);
+            let kernel = |ctx: &mut BlockContext<'_>| {
+                out.store(ctx.block_id(), 7);
+            };
+            sim.launch(LaunchConfig::linear(1000, 1), &kernel);
+            assert!(out.to_vec().iter().all(|&v| v == 7));
+        }
+    }
+
+    #[test]
+    fn single_worker_executes_sequentially() {
+        let sim = GpuSim::with_workers(DeviceSpec::host_single_core(), 1);
+        let out = GlobalBuffer::filled(16, 0u32);
+        let kernel = |ctx: &mut BlockContext<'_>| {
+            out.store(ctx.block_id(), ctx.block_id() as u32);
+        };
+        sim.launch(LaunchConfig::linear(16, 1), &kernel);
+        assert_eq!(out.to_vec(), (0..16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = GpuSim::with_workers(DeviceSpec::tesla_k40(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Analytic device timing model.
+//!
+//! The paper's Tables II–IV report Tesla K40 wall-clock times. The
+//! simulator cannot reproduce those absolute numbers (it runs on CPU
+//! cores), so the benchmark harness reports, next to measured host times,
+//! a *modeled* device time computed from a [`WorkProfile`] with the
+//! standard roofline-style estimate:
+//!
+//! ```text
+//! t = launches · overhead
+//!   + max( global_bytes / bandwidth,          — memory-bound term
+//!          ops / (cores · clock · efficiency) ) — compute-bound term
+//! ```
+//!
+//! EXPERIMENTS.md compares the *shape* of the resulting speedup tables
+//! against the paper's, never the absolute values.
+
+use crate::device::DeviceSpec;
+use std::time::Duration;
+
+/// Description of the work one algorithm performs.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct WorkProfile {
+    /// Kernel launches issued.
+    pub launches: usize,
+    /// Bytes moved to/from global memory.
+    pub global_bytes: u64,
+    /// Simple arithmetic operations (adds/compares) executed across all
+    /// threads.
+    pub ops: u64,
+}
+
+impl WorkProfile {
+    /// Sum two profiles (e.g. Step 2 + Step 3 for the end-to-end tables).
+    pub fn combine(&self, other: &WorkProfile) -> WorkProfile {
+        WorkProfile {
+            launches: self.launches + other.launches,
+            global_bytes: self.global_bytes + other.global_bytes,
+            ops: self.ops + other.ops,
+        }
+    }
+}
+
+/// Roofline-style cost model over a [`DeviceSpec`].
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    device: DeviceSpec,
+}
+
+impl CostModel {
+    /// Model for `device`.
+    pub fn new(device: DeviceSpec) -> Self {
+        CostModel { device }
+    }
+
+    /// The modeled device.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Estimated execution time of `profile` on the device.
+    pub fn estimate(&self, profile: &WorkProfile) -> Duration {
+        let overhead = profile.launches as f64 * self.device.launch_overhead_us * 1e-6;
+        let mem = profile.global_bytes as f64 / (self.device.global_bandwidth_gbps * 1e9);
+        let compute =
+            profile.ops as f64 / (self.device.peak_ops_per_sec() * self.device.efficiency);
+        Duration::from_secs_f64(overhead + mem.max(compute))
+    }
+
+    /// Modeled speedup of this device over `baseline` for the same profile,
+    /// with the baseline paying no launch overhead (it runs on the host).
+    pub fn speedup_over(&self, baseline: &CostModel, profile: &WorkProfile) -> f64 {
+        let host_profile = WorkProfile {
+            launches: 0,
+            ..*profile
+        };
+        let base = baseline.estimate(&host_profile).as_secs_f64();
+        let own = self.estimate(profile).as_secs_f64();
+        if own == 0.0 {
+            f64::INFINITY
+        } else {
+            base / own
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k40() -> CostModel {
+        CostModel::new(DeviceSpec::tesla_k40())
+    }
+
+    fn host() -> CostModel {
+        CostModel::new(DeviceSpec::host_single_core())
+    }
+
+    #[test]
+    fn empty_profile_costs_nothing() {
+        assert_eq!(k40().estimate(&WorkProfile::default()), Duration::ZERO);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let profile = WorkProfile {
+            launches: 1000,
+            global_bytes: 0,
+            ops: 0,
+        };
+        let overhead = DeviceSpec::tesla_k40().launch_overhead_us * 1e-6;
+        let t = k40().estimate(&profile).as_secs_f64();
+        assert!((t - 1000.0 * overhead).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_profile_scales_with_ops() {
+        let p1 = WorkProfile {
+            launches: 0,
+            global_bytes: 0,
+            ops: 1_000_000_000,
+        };
+        let p2 = WorkProfile { ops: 2 * p1.ops, ..p1 };
+        let m = k40();
+        let t1 = m.estimate(&p1).as_secs_f64();
+        let t2 = m.estimate(&p2).as_secs_f64();
+        // Duration has nanosecond granularity; allow the rounding slack.
+        assert!((t2 / t1 - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn k40_beats_single_core_host_on_bulk_work() {
+        let profile = WorkProfile {
+            launches: 1,
+            global_bytes: 512 * 512 * 2,
+            ops: 2u64 * 512 * 512 * 1024, // Step-2-like work
+        };
+        let speedup = k40().speedup_over(&host(), &profile);
+        // The paper's Table II reports 58-92x for Step 2; the model should
+        // land in that order of magnitude.
+        assert!(speedup > 10.0, "modeled speedup {speedup}");
+        assert!(speedup < 1000.0, "modeled speedup {speedup}");
+    }
+
+    #[test]
+    fn many_launches_erode_speedup_for_small_s() {
+        // Algorithm 2 at S = 16x16: 256 launches per sweep over tiny work —
+        // the regime where the paper measured GPU slower than CPU.
+        let small_work_many_launches = WorkProfile {
+            launches: 256 * 9,
+            global_bytes: 256 * 16,
+            ops: 9 * 256 * 255 / 2 * 4,
+        };
+        let big_work = WorkProfile {
+            launches: 4096 * 16,
+            global_bytes: 4096 * 4096 * 4,
+            ops: 16u64 * 4096 * 4095 / 2 * 4,
+        };
+        let s_small = k40().speedup_over(&host(), &small_work_many_launches);
+        let s_big = k40().speedup_over(&host(), &big_work);
+        assert!(
+            s_small < s_big,
+            "launch overhead should hurt small S: {s_small} vs {s_big}"
+        );
+        assert!(s_small < 1.5, "small-S modeled speedup {s_small}");
+    }
+
+    #[test]
+    fn combine_adds_fields() {
+        let a = WorkProfile {
+            launches: 1,
+            global_bytes: 10,
+            ops: 100,
+        };
+        let b = WorkProfile {
+            launches: 2,
+            global_bytes: 20,
+            ops: 200,
+        };
+        assert_eq!(
+            a.combine(&b),
+            WorkProfile {
+                launches: 3,
+                global_bytes: 30,
+                ops: 300
+            }
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-block shared memory.
+//!
+//! CUDA shared memory is a small, fast, per-block scratchpad. The
+//! simulator gives every block a [`SharedMem`] arena; allocations are
+//! checked against the device's per-block capacity so kernels that would
+//! not fit on the real hardware fail loudly here too (the paper's Step-2
+//! kernel stages one `M×M` input tile in shared memory, which fits the
+//! K40's 48 KB for every configuration in the evaluation).
+
+/// Typed shared-memory arena for one block.
+#[derive(Debug)]
+pub struct SharedMem {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    u8_pool: Vec<u8>,
+    u32_pool: Vec<u32>,
+    i64_pool: Vec<i64>,
+}
+
+impl SharedMem {
+    /// Arena with the given byte capacity.
+    pub fn new(capacity_bytes: usize) -> Self {
+        SharedMem {
+            capacity_bytes,
+            used_bytes: 0,
+            u8_pool: Vec::new(),
+            u32_pool: Vec::new(),
+            i64_pool: Vec::new(),
+        }
+    }
+
+    /// Bytes currently allocated.
+    #[inline]
+    pub fn used(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Byte capacity (the device's per-block limit).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Reset the arena for the next block. Contents are cleared — CUDA
+    /// shared memory is undefined across blocks, and zeroing keeps runs
+    /// deterministic.
+    pub fn reset(&mut self) {
+        self.used_bytes = 0;
+        self.u8_pool.clear();
+        self.u32_pool.clear();
+        self.i64_pool.clear();
+    }
+
+    fn charge(&mut self, bytes: usize) {
+        let new_used = self.used_bytes + bytes;
+        assert!(
+            new_used <= self.capacity_bytes,
+            "shared memory overflow: {new_used} bytes requested, {} available",
+            self.capacity_bytes
+        );
+        self.used_bytes = new_used;
+    }
+
+    /// Allocate a zeroed `u8` scratch buffer.
+    ///
+    /// Only one buffer per type may be live at a time (the arena hands out
+    /// the whole pool); kernels needing several regions should slice it.
+    ///
+    /// # Panics
+    /// Panics when the allocation exceeds the device capacity.
+    pub fn alloc_u8(&mut self, len: usize) -> &mut [u8] {
+        self.charge(len);
+        self.u8_pool.resize(self.u8_pool.len() + len, 0);
+        let start = self.u8_pool.len() - len;
+        &mut self.u8_pool[start..]
+    }
+
+    /// Allocate a zeroed `u32` scratch buffer.
+    ///
+    /// # Panics
+    /// Panics when the allocation exceeds the device capacity.
+    pub fn alloc_u32(&mut self, len: usize) -> &mut [u32] {
+        self.charge(len * 4);
+        self.u32_pool.resize(self.u32_pool.len() + len, 0);
+        let start = self.u32_pool.len() - len;
+        &mut self.u32_pool[start..]
+    }
+
+    /// Allocate a zeroed `i64` scratch buffer.
+    ///
+    /// # Panics
+    /// Panics when the allocation exceeds the device capacity.
+    pub fn alloc_i64(&mut self, len: usize) -> &mut [i64] {
+        self.charge(len * 8);
+        self.i64_pool.resize(self.i64_pool.len() + len, 0);
+        let start = self.i64_pool.len() - len;
+        &mut self.i64_pool[start..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_zeroed_and_sized() {
+        let mut sm = SharedMem::new(1024);
+        let buf = sm.alloc_u8(100);
+        assert_eq!(buf.len(), 100);
+        assert!(buf.iter().all(|&b| b == 0));
+        buf[0] = 42;
+        assert_eq!(sm.used(), 100);
+    }
+
+    #[test]
+    fn typed_allocations_charge_bytes() {
+        let mut sm = SharedMem::new(100);
+        let _ = sm.alloc_u32(10); // 40 bytes
+        let _ = sm.alloc_i64(7); // 56 bytes
+        assert_eq!(sm.used(), 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory overflow")]
+    fn overflow_panics() {
+        let mut sm = SharedMem::new(64);
+        let _ = sm.alloc_i64(9); // 72 bytes > 64
+    }
+
+    #[test]
+    fn reset_clears_usage_and_contents() {
+        let mut sm = SharedMem::new(64);
+        let buf = sm.alloc_u8(8);
+        buf.fill(0xFF);
+        sm.reset();
+        assert_eq!(sm.used(), 0);
+        let buf = sm.alloc_u8(8);
+        assert!(buf.iter().all(|&b| b == 0), "stale contents leaked");
+    }
+
+    #[test]
+    fn sequential_allocations_are_disjoint() {
+        let mut sm = SharedMem::new(1024);
+        let a = sm.alloc_u8(4);
+        a.fill(1);
+        let b = sm.alloc_u8(4);
+        assert!(b.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn k40_tile_staging_fits() {
+        // The paper's largest tile is M = 128 (N = 2048, S = 16x16):
+        // 128 * 128 = 16384 bytes < 48 KB.
+        let mut sm = SharedMem::new(48 * 1024);
+        let tile = sm.alloc_u8(128 * 128);
+        assert_eq!(tile.len(), 16384);
+    }
+}

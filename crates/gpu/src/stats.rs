@@ -1,0 +1,61 @@
+//! Execution counters.
+
+use std::time::Duration;
+
+/// Outcome of a single kernel launch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaunchRecord {
+    /// Blocks executed (grid size).
+    pub blocks: usize,
+    /// Logical threads simulated (`blocks × block size`).
+    pub threads: usize,
+    /// Host wall-clock time of the launch.
+    pub wall: Duration,
+}
+
+/// Cumulative statistics of a [`crate::GpuSim`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Kernel launches performed.
+    pub launches: usize,
+    /// Total blocks executed.
+    pub blocks: usize,
+    /// Total logical threads simulated.
+    pub threads: usize,
+    /// Total host wall-clock time inside launches.
+    pub wall: Duration,
+}
+
+impl ExecStats {
+    /// Accumulate a launch.
+    pub fn record(&mut self, rec: &LaunchRecord) {
+        self.launches += 1;
+        self.blocks += rec.blocks;
+        self.threads += rec.threads;
+        self.wall += rec.wall;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut stats = ExecStats::default();
+        stats.record(&LaunchRecord {
+            blocks: 4,
+            threads: 128,
+            wall: Duration::from_millis(2),
+        });
+        stats.record(&LaunchRecord {
+            blocks: 2,
+            threads: 64,
+            wall: Duration::from_millis(3),
+        });
+        assert_eq!(stats.launches, 2);
+        assert_eq!(stats.blocks, 6);
+        assert_eq!(stats.threads, 192);
+        assert_eq!(stats.wall, Duration::from_millis(5));
+    }
+}

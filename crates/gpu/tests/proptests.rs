@@ -1,0 +1,97 @@
+//! Property tests for the CUDA-model simulator: scheduling exactness,
+//! barrier semantics, shared-memory isolation, panic propagation.
+
+use mosaic_gpu::{BlockContext, DeviceSpec, GlobalBuffer, GpuSim, LaunchConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_block_runs_exactly_once(
+        gx in 1usize..12, gy in 1usize..6, gz in 1usize..4, workers in 1usize..6,
+    ) {
+        let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), workers);
+        let total = gx * gy * gz;
+        let counts = GlobalBuffer::filled(total, 0u32);
+        let kernel = |ctx: &mut BlockContext<'_>| {
+            counts.fetch_add(ctx.block_id(), 1);
+        };
+        let rec = sim.launch(
+            LaunchConfig {
+                grid: mosaic_gpu::Dim3::new(gx, gy, gz),
+                block: mosaic_gpu::Dim3::linear(4),
+            },
+            &kernel,
+        );
+        prop_assert_eq!(rec.blocks, total);
+        prop_assert!(counts.to_vec().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn block_ids_and_indices_are_consistent(gx in 1usize..10, gy in 1usize..10) {
+        let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), 3);
+        let grid = mosaic_gpu::Dim3::plane(gx, gy);
+        let seen = GlobalBuffer::filled(gx * gy, 0usize);
+        let kernel = |ctx: &mut BlockContext<'_>| {
+            let idx = ctx.block_idx();
+            // Re-linearize and store where the block thinks it is.
+            seen.store(ctx.block_id(), idx.y * ctx.grid_dim().x + idx.x);
+        };
+        sim.launch(LaunchConfig { grid, block: mosaic_gpu::Dim3::linear(1) }, &kernel);
+        for (i, v) in seen.to_vec().into_iter().enumerate() {
+            prop_assert_eq!(i, v);
+        }
+    }
+
+    #[test]
+    fn shared_memory_never_leaks_between_blocks(blocks in 1usize..80, workers in 1usize..5) {
+        let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), workers);
+        let dirty = GlobalBuffer::filled(1, 0u32);
+        let kernel = |ctx: &mut BlockContext<'_>| {
+            let buf = ctx.shared().alloc_u32(16);
+            if buf.iter().any(|&v| v != 0) {
+                dirty.fetch_add(0, 1);
+            }
+            buf.fill(0xDEAD_BEEF);
+        };
+        sim.launch(LaunchConfig::linear(blocks, 8), &kernel);
+        prop_assert_eq!(dirty.load(0), 0);
+    }
+
+    #[test]
+    fn launch_result_threads_product(blocks in 0usize..50, tpb in 1usize..64) {
+        let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), 2);
+        let kernel = |_ctx: &mut BlockContext<'_>| {};
+        let rec = sim.launch(LaunchConfig::linear(blocks, tpb), &kernel);
+        prop_assert_eq!(rec.threads, blocks * tpb);
+    }
+}
+
+#[test]
+fn kernel_panic_propagates_to_the_launch_site() {
+    let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), 2);
+    let kernel = |ctx: &mut BlockContext<'_>| {
+        if ctx.block_id() == 3 {
+            panic!("injected kernel fault");
+        }
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.launch(LaunchConfig::linear(8, 1), &kernel);
+    }));
+    assert!(result.is_err(), "panic must not be swallowed");
+}
+
+#[test]
+fn simulator_is_reusable_after_a_failed_launch() {
+    let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), 2);
+    let bad = |_ctx: &mut BlockContext<'_>| panic!("boom");
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.launch(LaunchConfig::linear(2, 1), &bad);
+    }));
+    // A subsequent launch must still work.
+    let out = GlobalBuffer::filled(4, 0u32);
+    let good = |ctx: &mut BlockContext<'_>| out.store(ctx.block_id(), 1);
+    sim.launch(LaunchConfig::linear(4, 1), &good);
+    assert!(out.to_vec().iter().all(|&v| v == 1));
+}

@@ -1,0 +1,137 @@
+//! Rebuilding the rearranged image `R` from an assignment.
+//!
+//! An assignment is a permutation `assignment[v] = u`: input tile `u` is
+//! placed at target position `v`. [`assemble`] materializes the rearranged
+//! image by copying every input tile to its assigned position.
+
+use crate::layout::{LayoutError, TileLayout};
+use mosaic_image::{Image, Pixel};
+
+/// Validate that `assignment` is a permutation of `0..layout.tile_count()`.
+pub fn is_permutation(assignment: &[usize], tile_count: usize) -> bool {
+    if assignment.len() != tile_count {
+        return false;
+    }
+    let mut seen = vec![false; tile_count];
+    for &u in assignment {
+        if u >= tile_count || seen[u] {
+            return false;
+        }
+        seen[u] = true;
+    }
+    true
+}
+
+/// Build the rearranged image: tile `assignment[v]` of `input` lands at
+/// target position `v`.
+///
+/// # Errors
+/// Returns [`LayoutError`] when `input` does not match `layout`.
+///
+/// # Panics
+/// Panics when `assignment` is not a permutation of `0..S` — upstream
+/// solvers guarantee this, and silently accepting duplicates would produce
+/// a mosaic that drops input tiles.
+pub fn assemble<P: Pixel>(
+    input: &Image<P>,
+    layout: TileLayout,
+    assignment: &[usize],
+) -> Result<Image<P>, LayoutError> {
+    layout.check_image(input)?;
+    let s = layout.tile_count();
+    assert!(
+        is_permutation(assignment, s),
+        "assignment must be a permutation of 0..{s}"
+    );
+    let m = layout.tile_size();
+    let mut out =
+        Image::black(layout.image_size(), layout.image_size()).expect("layout size is valid");
+    for (v, &u) in assignment.iter().enumerate() {
+        let (dst_x, dst_y) = layout.tile_origin(v);
+        let src = layout.tile_view(input, u);
+        for row in 0..m {
+            let dst_row = out.row_mut(dst_y + row);
+            dst_row[dst_x..dst_x + m].copy_from_slice(src.row(row));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::build_error_matrix;
+    use crate::metric::TileMetric;
+    use mosaic_image::{synth, Gray};
+
+    #[test]
+    fn identity_assignment_reproduces_input() {
+        let img = synth::plasma(32, 2, 3);
+        let layout = TileLayout::new(32, 8).unwrap();
+        let ident: Vec<usize> = (0..layout.tile_count()).collect();
+        let out = assemble(&img, layout, &ident).unwrap();
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn swap_assignment_swaps_tiles() {
+        let img = synth::gradient(16);
+        let layout = TileLayout::new(16, 8).unwrap(); // 4 tiles
+        let out = assemble(&img, layout, &[1, 0, 2, 3]).unwrap();
+        // Tile 1 now at position 0.
+        assert_eq!(out.pixel(0, 0), img.pixel(8, 0));
+        assert_eq!(out.pixel(8, 0), img.pixel(0, 0));
+        assert_eq!(out.pixel(0, 8), img.pixel(0, 8));
+    }
+
+    #[test]
+    fn assembled_total_matches_matrix_total() {
+        // Error of assemble(input, a) against target == matrix total of a.
+        let input = synth::fur(32, 7);
+        let target = synth::portrait(32, 8);
+        let layout = TileLayout::new(32, 8).unwrap();
+        let m = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+        let assignment: Vec<usize> = (0..layout.tile_count()).rev().collect();
+        let rearranged = assemble(&input, layout, &assignment).unwrap();
+        let direct = mosaic_image::metrics::sad(&rearranged, &target);
+        assert_eq!(direct, m.assignment_total(&assignment));
+    }
+
+    #[test]
+    fn permutation_validation() {
+        assert!(is_permutation(&[0, 1, 2], 3));
+        assert!(is_permutation(&[2, 0, 1], 3));
+        assert!(!is_permutation(&[0, 0, 1], 3));
+        assert!(!is_permutation(&[0, 1, 3], 3));
+        assert!(!is_permutation(&[0, 1], 3));
+        assert!(!is_permutation(&[0, 1, 2, 3], 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn duplicate_assignment_panics() {
+        let img = synth::gradient(16);
+        let layout = TileLayout::new(16, 8).unwrap();
+        let _ = assemble(&img, layout, &[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn wrong_image_is_an_error() {
+        let img = synth::gradient(32);
+        let layout = TileLayout::new(16, 8).unwrap();
+        assert!(assemble(&img, layout, &[0, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn assembly_preserves_pixel_multiset() {
+        let img = synth::checker(24, 6, 3);
+        let layout = TileLayout::new(24, 8).unwrap();
+        let assignment: Vec<usize> = vec![8, 7, 6, 5, 4, 3, 2, 1, 0];
+        let out = assemble(&img, layout, &assignment).unwrap();
+        let mut a: Vec<Gray> = img.pixels().to_vec();
+        let mut b: Vec<Gray> = out.pixels().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,189 @@
+//! Error-matrix builders (Step 2 of the paper).
+//!
+//! [`build_error_matrix`] is the paper's sequential CPU reference.
+//! [`build_error_matrix_threaded`] is the multi-core CPU baseline, splitting
+//! rows across crossbeam scoped threads — each row of the matrix belongs to
+//! one input tile, mirroring the paper's GPU decomposition where "each CUDA
+//! block is responsible for computing S error values
+//! E(I_u, T_1) … E(I_u, T_S)".
+//!
+//! The CUDA-model builder, which additionally stages the input tile in
+//! simulated shared memory, lives in the `photomosaic` crate on top of
+//! `mosaic-gpu`.
+
+use crate::layout::{LayoutError, TileLayout};
+use crate::matrix::ErrorMatrix;
+use crate::metric::{tile_error, TileMetric};
+use mosaic_image::{Image, Pixel};
+
+fn checked_layouts<P: Pixel>(
+    input: &Image<P>,
+    target: &Image<P>,
+    layout: TileLayout,
+    metric: TileMetric,
+) -> Result<(), LayoutError> {
+    layout.check_image(input)?;
+    layout.check_image(target)?;
+    // Prove u32 entries cannot overflow for this layout and metric.
+    let bound = metric.max_tile_error::<P>(layout.pixels_per_tile());
+    assert!(
+        bound <= u64::from(u32::MAX),
+        "metric {metric:?} with tile {}x{} overflows u32 entries",
+        layout.tile_size(),
+        layout.tile_size()
+    );
+    Ok(())
+}
+
+/// Sequential error-matrix computation (the paper's CPU reference for
+/// Table II).
+///
+/// # Errors
+/// Returns [`LayoutError`] when either image does not match `layout`.
+pub fn build_error_matrix<P: Pixel>(
+    input: &Image<P>,
+    target: &Image<P>,
+    layout: TileLayout,
+    metric: TileMetric,
+) -> Result<ErrorMatrix, LayoutError> {
+    checked_layouts(input, target, layout, metric)?;
+    let s = layout.tile_count();
+    let input_tiles = layout.tiles(input);
+    let target_tiles = layout.tiles(target);
+    let mut matrix = ErrorMatrix::zeros(s);
+    for (u, iu) in input_tiles.iter().enumerate() {
+        let row = matrix.row_mut(u);
+        for (v, tv) in target_tiles.iter().enumerate() {
+            row[v] = tile_error(iu, tv, metric) as u32;
+        }
+    }
+    Ok(matrix)
+}
+
+/// Multi-threaded error-matrix computation using `threads` workers.
+///
+/// Rows are distributed in contiguous chunks; every worker writes disjoint
+/// rows so no synchronization is needed beyond the scope join.
+///
+/// # Errors
+/// Returns [`LayoutError`] when either image does not match `layout`.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn build_error_matrix_threaded<P: Pixel>(
+    input: &Image<P>,
+    target: &Image<P>,
+    layout: TileLayout,
+    metric: TileMetric,
+    threads: usize,
+) -> Result<ErrorMatrix, LayoutError> {
+    assert!(threads > 0, "at least one worker thread is required");
+    checked_layouts(input, target, layout, metric)?;
+    let s = layout.tile_count();
+    let mut matrix = ErrorMatrix::zeros(s);
+    let rows_per_worker = s.div_ceil(threads);
+
+    crossbeam::thread::scope(|scope| {
+        let mut remaining: Vec<&mut [u32]> = matrix.rows_mut().collect();
+        let mut first_row = 0usize;
+        while !remaining.is_empty() {
+            let take = rows_per_worker.min(remaining.len());
+            let rest = remaining.split_off(take);
+            let chunk = std::mem::replace(&mut remaining, rest);
+            let base = first_row;
+            first_row += take;
+            scope.spawn(move |_| {
+                let target_tiles = layout.tiles(target);
+                for (offset, row) in chunk.into_iter().enumerate() {
+                    let iu = layout.tile_view(input, base + offset);
+                    for (v, tv) in target_tiles.iter().enumerate() {
+                        row[v] = tile_error(&iu, tv, metric) as u32;
+                    }
+                }
+            });
+        }
+    })
+    .expect("error-matrix worker panicked");
+
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_image::synth;
+
+    #[test]
+    fn serial_matrix_matches_direct_tile_errors() {
+        let input = synth::plasma(32, 1, 3);
+        let target = synth::checker(32, 8, 2);
+        let layout = TileLayout::new(32, 8).unwrap();
+        let m = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+        assert_eq!(m.size(), 16);
+        for u in 0..16 {
+            for v in 0..16 {
+                let expected = tile_error(
+                    &layout.tile_view(&input, u),
+                    &layout.tile_view(&target, v),
+                    TileMetric::Sad,
+                ) as u32;
+                assert_eq!(m.get(u, v), expected, "mismatch at ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_zero_when_input_equals_target() {
+        let img = synth::portrait(32, 5);
+        let layout = TileLayout::new(32, 8).unwrap();
+        let m = build_error_matrix(&img, &img, layout, TileMetric::Sad).unwrap();
+        for u in 0..m.size() {
+            assert_eq!(m.get(u, u), 0);
+        }
+    }
+
+    #[test]
+    fn threaded_matches_serial_for_every_metric_and_thread_count() {
+        let input = synth::fur(48, 3);
+        let target = synth::drapery(48, 9);
+        let layout = TileLayout::new(48, 8).unwrap();
+        for metric in TileMetric::ALL {
+            let serial = build_error_matrix(&input, &target, layout, metric).unwrap();
+            for threads in [1, 2, 3, 7, 16, 64] {
+                let par =
+                    build_error_matrix_threaded(&input, &target, layout, metric, threads).unwrap();
+                assert_eq!(par, serial, "metric {metric:?} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn layout_mismatch_is_an_error() {
+        let input = synth::gradient(32);
+        let target = synth::gradient(64);
+        let layout = TileLayout::new(32, 8).unwrap();
+        assert!(build_error_matrix(&input, &target, layout, TileMetric::Sad).is_err());
+        assert!(
+            build_error_matrix_threaded(&input, &target, layout, TileMetric::Sad, 4).is_err()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let img = synth::gradient(16);
+        let layout = TileLayout::new(16, 8).unwrap();
+        let _ = build_error_matrix_threaded(&img, &img, layout, TileMetric::Sad, 0);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let img = synth::gradient(16);
+        let layout = TileLayout::new(16, 8).unwrap(); // S = 4
+        let m = build_error_matrix_threaded(&img, &img, layout, TileMetric::Sad, 32).unwrap();
+        assert_eq!(m.size(), 4);
+        for u in 0..4 {
+            assert_eq!(m.get(u, u), 0);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Tiling substrate: tile layouts, tile error metrics and the S×S error
+//! matrix (Step 2 of the paper's pipeline).
+//!
+//! §II of the paper divides an `N×N` input image and target image into
+//! `S = (N/M)²` tiles of `M×M` pixels and precomputes all `S²` pairwise
+//! errors `E(I_u, T_v)`. This crate owns:
+//!
+//! * [`layout`] — the [`TileLayout`] geometry (N, M, S, index↔coordinate
+//!   conversions);
+//! * [`metric`] — per-tile error metrics: the paper's SAD (Eq. 1) plus SSD
+//!   and a cheap mean-intensity metric for the ablation benches;
+//! * [`matrix`] — the dense [`ErrorMatrix`] with `u32` entries and `u64`
+//!   assignment totals;
+//! * [`compute`] — serial and multi-threaded matrix builders (the threaded
+//!   builder is the CPU-parallel baseline; the CUDA-model builder lives in
+//!   the `photomosaic` crate on top of `mosaic-gpu`);
+//! * [`assemble`] — rebuilding the rearranged image R from an assignment.
+//!
+//! # Example
+//!
+//! ```
+//! use mosaic_grid::{assemble, build_error_matrix, TileLayout, TileMetric};
+//! use mosaic_image::synth::Scene;
+//!
+//! let input = Scene::Plasma.render(32, 1);
+//! let target = Scene::Checker.render(32, 2);
+//! let layout = TileLayout::with_grid(32, 4).unwrap(); // S = 16 tiles
+//! let matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+//!
+//! // Eq. (2) for the identity arrangement equals the direct image SAD.
+//! let identity: Vec<usize> = (0..16).collect();
+//! assert_eq!(
+//!     matrix.assignment_total(&identity),
+//!     mosaic_image::metrics::sad(&input, &target),
+//! );
+//! assert_eq!(assemble(&input, layout, &identity).unwrap(), input);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assemble;
+pub mod compute;
+pub mod layout;
+pub mod matrix;
+pub mod metric;
+
+pub use assemble::assemble;
+pub use compute::{build_error_matrix, build_error_matrix_threaded};
+pub use layout::{LayoutError, TileLayout};
+pub use matrix::ErrorMatrix;
+pub use metric::{tile_error, TileMetric};

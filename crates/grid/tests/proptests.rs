@@ -1,0 +1,139 @@
+//! Property-based tests for the tiling substrate.
+
+use mosaic_grid::{
+    assemble, build_error_matrix, build_error_matrix_threaded, tile_error, ErrorMatrix,
+    TileLayout, TileMetric,
+};
+use mosaic_image::{metrics, Gray, Image};
+use proptest::prelude::*;
+
+/// A random square image whose size is `tiles * tile` for small factors.
+fn arb_tiled_image() -> impl Strategy<Value = (Image<Gray>, TileLayout)> {
+    (1usize..=4, 2usize..=6).prop_flat_map(|(tiles, tile)| {
+        let n = tiles * tile;
+        proptest::collection::vec(any::<u8>(), n * n).prop_map(move |v| {
+            let img = Image::from_vec(n, n, v.into_iter().map(Gray).collect()).unwrap();
+            (img, TileLayout::new(n, tile).unwrap())
+        })
+    })
+}
+
+/// Two same-layout random images.
+fn arb_image_pair() -> impl Strategy<Value = (Image<Gray>, Image<Gray>, TileLayout)> {
+    (1usize..=4, 2usize..=5).prop_flat_map(|(tiles, tile)| {
+        let n = tiles * tile;
+        (
+            proptest::collection::vec(any::<u8>(), n * n),
+            proptest::collection::vec(any::<u8>(), n * n),
+        )
+            .prop_map(move |(a, b)| {
+                let ia = Image::from_vec(n, n, a.into_iter().map(Gray).collect()).unwrap();
+                let ib = Image::from_vec(n, n, b.into_iter().map(Gray).collect()).unwrap();
+                (ia, ib, TileLayout::new(n, tile).unwrap())
+            })
+    })
+}
+
+fn arb_permutation(max_s: usize) -> impl Strategy<Value = Vec<usize>> {
+    (1..=max_s).prop_flat_map(|s| Just((0..s).collect::<Vec<_>>()).prop_shuffle())
+}
+
+proptest! {
+    #[test]
+    fn tile_views_partition_the_image((img, layout) in arb_tiled_image()) {
+        // Every pixel appears exactly once across tile views.
+        let mut count = vec![0u32; img.pixels().len()];
+        let n = layout.image_size();
+        for i in 0..layout.tile_count() {
+            let (x0, y0) = layout.tile_origin(i);
+            for y in 0..layout.tile_size() {
+                for x in 0..layout.tile_size() {
+                    count[(y0 + y) * n + (x0 + x)] += 1;
+                }
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn identity_assembly_is_identity((img, layout) in arb_tiled_image()) {
+        let ident: Vec<usize> = (0..layout.tile_count()).collect();
+        prop_assert_eq!(assemble(&img, layout, &ident).unwrap(), img);
+    }
+
+    #[test]
+    fn assembly_is_invertible((img, layout) in arb_tiled_image()) {
+        // Applying a permutation then its inverse restores the image.
+        let s = layout.tile_count();
+        let perm: Vec<usize> = (0..s).rev().collect();
+        let mut inverse = vec![0usize; s];
+        for (v, &u) in perm.iter().enumerate() {
+            inverse[u] = v;
+        }
+        let once = assemble(&img, layout, &perm).unwrap();
+        let twice = assemble(&once, layout, &inverse).unwrap();
+        prop_assert_eq!(twice, img);
+    }
+
+    #[test]
+    fn matrix_total_equals_assembled_sad((input, target, layout) in arb_image_pair()) {
+        let m = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+        let s = layout.tile_count();
+        let assignment: Vec<usize> = (0..s).rev().collect();
+        let rearranged = assemble(&input, layout, &assignment).unwrap();
+        prop_assert_eq!(
+            metrics::sad(&rearranged, &target),
+            m.assignment_total(&assignment)
+        );
+    }
+
+    #[test]
+    fn threaded_builder_matches_serial((input, target, layout) in arb_image_pair(), threads in 1usize..8) {
+        for metric in TileMetric::ALL {
+            let serial = build_error_matrix(&input, &target, layout, metric).unwrap();
+            let par = build_error_matrix_threaded(&input, &target, layout, metric, threads).unwrap();
+            prop_assert_eq!(serial, par);
+        }
+    }
+
+    #[test]
+    fn swap_gain_consistent_with_totals(perm in arb_permutation(8), seed in any::<u64>()) {
+        let s = perm.len();
+        // Deterministic pseudo-random matrix from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 10_000) as u32
+        };
+        let data: Vec<u32> = (0..s * s).map(|_| next()).collect();
+        let m = ErrorMatrix::from_vec(s, data);
+        for p in 0..s {
+            for q in (p + 1)..s {
+                let mut swapped = perm.clone();
+                swapped.swap(p, q);
+                let gain = m.swap_gain(&perm, p, q);
+                prop_assert_eq!(
+                    gain,
+                    m.assignment_total(&perm) as i64 - m.assignment_total(&swapped) as i64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sad_tile_error_bounded_by_metric_bound((input, target, layout) in arb_image_pair()) {
+        let bound = TileMetric::Sad.max_tile_error::<Gray>(layout.pixels_per_tile());
+        for u in 0..layout.tile_count() {
+            for v in 0..layout.tile_count() {
+                let e = tile_error(
+                    &layout.tile_view(&input, u),
+                    &layout.tile_view(&target, v),
+                    TileMetric::Sad,
+                );
+                prop_assert!(e <= bound);
+            }
+        }
+    }
+}

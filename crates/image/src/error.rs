@@ -1,0 +1,131 @@
+//! Error type shared across the image substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, transforming or (de)serializing
+/// images.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Requested dimensions are zero or would overflow the addressable size.
+    InvalidDimensions {
+        /// Requested width in pixels.
+        width: usize,
+        /// Requested height in pixels.
+        height: usize,
+    },
+    /// A pixel buffer length did not match `width * height`.
+    BufferSizeMismatch {
+        /// Expected number of pixels.
+        expected: usize,
+        /// Observed number of pixels.
+        actual: usize,
+    },
+    /// A rectangle fell outside the bounds of its parent image.
+    RegionOutOfBounds {
+        /// Offset of the region.
+        x: usize,
+        /// Offset of the region.
+        y: usize,
+        /// Width of the region.
+        width: usize,
+        /// Height of the region.
+        height: usize,
+        /// Width of the parent image.
+        image_width: usize,
+        /// Height of the parent image.
+        image_height: usize,
+    },
+    /// A Netpbm stream was malformed.
+    PnmParse(String),
+    /// The Netpbm magic number did not match the expected format.
+    PnmFormat {
+        /// Magic that was expected (e.g. `"P5"`).
+        expected: &'static str,
+        /// Magic that was found.
+        found: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::InvalidDimensions { width, height } => {
+                write!(f, "invalid image dimensions {width}x{height}")
+            }
+            ImageError::BufferSizeMismatch { expected, actual } => write!(
+                f,
+                "pixel buffer holds {actual} pixels but dimensions require {expected}"
+            ),
+            ImageError::RegionOutOfBounds {
+                x,
+                y,
+                width,
+                height,
+                image_width,
+                image_height,
+            } => write!(
+                f,
+                "region {width}x{height}+{x}+{y} exceeds image bounds {image_width}x{image_height}"
+            ),
+            ImageError::PnmParse(msg) => write!(f, "malformed Netpbm stream: {msg}"),
+            ImageError::PnmFormat { expected, found } => {
+                write!(f, "expected Netpbm magic {expected}, found {found:?}")
+            }
+            ImageError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImageError {
+    fn from(e: std::io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ImageError::InvalidDimensions {
+            width: 0,
+            height: 7,
+        };
+        assert!(e.to_string().contains("0x7"));
+
+        let e = ImageError::BufferSizeMismatch {
+            expected: 16,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains('4'));
+
+        let e = ImageError::PnmFormat {
+            expected: "P5",
+            found: "P6".into(),
+        };
+        assert!(e.to_string().contains("P5"));
+        assert!(e.to_string().contains("P6"));
+    }
+
+    #[test]
+    fn io_error_roundtrip_source() {
+        use std::error::Error as _;
+        let inner = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e = ImageError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("eof"));
+    }
+}

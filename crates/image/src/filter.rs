@@ -1,0 +1,188 @@
+//! Separable convolution filters: box blur, Gaussian blur, Sobel
+//! gradients.
+//!
+//! Used by the examples (soft-focus scene variants) and by downstream
+//! quality analysis (gradient-magnitude comparisons of mosaics vs
+//! targets). Borders are handled by clamping coordinates to the edge.
+
+use crate::image::Image;
+use crate::pixel::{Gray, Pixel};
+
+/// Convolve one dimension with `kernel` (odd length), normalizing by the
+/// kernel sum. `horizontal` selects the axis.
+fn convolve_1d<P: Pixel>(src: &Image<P>, kernel: &[f64], horizontal: bool) -> Image<P> {
+    assert!(kernel.len() % 2 == 1, "kernel length must be odd");
+    let (w, h) = src.dimensions();
+    let half = (kernel.len() / 2) as isize;
+    let sum: f64 = kernel.iter().sum();
+    assert!(sum.abs() > f64::EPSILON, "kernel must not sum to zero");
+    Image::from_fn(w, h, |x, y| {
+        let mut acc = [0.0f64; 4];
+        for (k, &weight) in kernel.iter().enumerate() {
+            let offset = k as isize - half;
+            let (sx, sy) = if horizontal {
+                (clamp_coord(x as isize + offset, w), y)
+            } else {
+                (x, clamp_coord(y as isize + offset, h))
+            };
+            let p = src.pixel(sx, sy);
+            for (a, &c) in acc.iter_mut().zip(p.channels()) {
+                *a += weight * f64::from(c);
+            }
+        }
+        let mut channels = [0u8; 4];
+        for (dst, a) in channels.iter_mut().zip(acc.iter()) {
+            *dst = (a / sum).round().clamp(0.0, 255.0) as u8;
+        }
+        P::from_channels(&channels[..P::CHANNELS])
+    })
+    .expect("same dimensions as src")
+}
+
+#[inline]
+fn clamp_coord(v: isize, len: usize) -> usize {
+    v.clamp(0, len as isize - 1) as usize
+}
+
+/// Box blur with a `(2·radius + 1)²` window.
+pub fn box_blur<P: Pixel>(src: &Image<P>, radius: usize) -> Image<P> {
+    if radius == 0 {
+        return src.clone();
+    }
+    let kernel = vec![1.0; 2 * radius + 1];
+    let pass1 = convolve_1d(src, &kernel, true);
+    convolve_1d(&pass1, &kernel, false)
+}
+
+/// Gaussian blur with standard deviation `sigma` (kernel truncated at
+/// ±3σ).
+pub fn gaussian_blur<P: Pixel>(src: &Image<P>, sigma: f64) -> Image<P> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil() as usize;
+    let kernel: Vec<f64> = (0..=2 * radius)
+        .map(|i| {
+            let d = i as f64 - radius as f64;
+            (-d * d / (2.0 * sigma * sigma)).exp()
+        })
+        .collect();
+    let pass1 = convolve_1d(src, &kernel, true);
+    convolve_1d(&pass1, &kernel, false)
+}
+
+/// Sobel gradient magnitude of the luma channel, scaled into `0..=255`.
+pub fn sobel_magnitude<P: Pixel>(src: &Image<P>) -> Image<Gray> {
+    let (w, h) = src.dimensions();
+    Image::from_fn(w, h, |x, y| {
+        let sample = |dx: isize, dy: isize| -> f64 {
+            let sx = clamp_coord(x as isize + dx, w);
+            let sy = clamp_coord(y as isize + dy, h);
+            f64::from(src.pixel(sx, sy).luma())
+        };
+        let gx = -sample(-1, -1) - 2.0 * sample(-1, 0) - sample(-1, 1)
+            + sample(1, -1)
+            + 2.0 * sample(1, 0)
+            + sample(1, 1);
+        let gy = -sample(-1, -1) - 2.0 * sample(0, -1) - sample(1, -1)
+            + sample(-1, 1)
+            + 2.0 * sample(0, 1)
+            + sample(1, 1);
+        // Max |gx| is 4*255; normalize the magnitude into 8 bits.
+        let mag = (gx * gx + gy * gy).sqrt() / (4.0 * 255.0 * std::f64::consts::SQRT_2) * 255.0;
+        Gray(mag.round().clamp(0.0, 255.0) as u8)
+    })
+    .expect("same dimensions as src")
+}
+
+/// Mean absolute Sobel magnitude — a scalar "edge energy"; mosaics of a
+/// target should have comparable edge energy to the target itself.
+pub fn edge_energy<P: Pixel>(src: &Image<P>) -> f64 {
+    sobel_magnitude(src).mean_intensity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::GrayImage;
+    use crate::pixel::Rgb;
+    use crate::synth;
+
+    #[test]
+    fn blur_preserves_constant_images() {
+        let img = GrayImage::filled(16, 16, Gray(90)).unwrap();
+        assert_eq!(box_blur(&img, 2), img);
+        assert_eq!(gaussian_blur(&img, 1.5), img);
+    }
+
+    #[test]
+    fn zero_radius_box_blur_is_identity() {
+        let img = synth::fur(16, 3);
+        assert_eq!(box_blur(&img, 0), img);
+    }
+
+    #[test]
+    fn blur_reduces_variance() {
+        // A 2-pixel checkerboard is pure high frequency; a sigma-2 blur
+        // must collapse most of its variance.
+        let img = synth::checker(64, 2, 3);
+        let blurred = gaussian_blur(&img, 2.0);
+        let var = |i: &GrayImage| {
+            let mean = i.mean_intensity();
+            i.pixels()
+                .iter()
+                .map(|p| (f64::from(p.0) - mean).powi(2))
+                .sum::<f64>()
+                / i.pixels().len() as f64
+        };
+        assert!(var(&blurred) < var(&img) / 2.0);
+    }
+
+    #[test]
+    fn blur_approximately_preserves_mean() {
+        let img = synth::plasma(64, 9, 3);
+        let blurred = box_blur(&img, 3);
+        assert!((blurred.mean_intensity() - img.mean_intensity()).abs() < 2.0);
+    }
+
+    #[test]
+    fn sobel_flat_image_has_no_edges() {
+        let img = GrayImage::filled(16, 16, Gray(120)).unwrap();
+        let edges = sobel_magnitude(&img);
+        assert!(edges.pixels().iter().all(|p| p.0 == 0));
+        assert_eq!(edge_energy(&img), 0.0);
+    }
+
+    #[test]
+    fn sobel_detects_vertical_edge() {
+        let img = Image::from_fn(16, 16, |x, _| Gray(if x < 8 { 0 } else { 255 })).unwrap();
+        let edges = sobel_magnitude(&img);
+        // Strongest response at the boundary columns.
+        assert!(edges.pixel(7, 8).0 > 100);
+        assert!(edges.pixel(8, 8).0 > 100);
+        assert_eq!(edges.pixel(2, 8).0, 0);
+        assert_eq!(edges.pixel(13, 8).0, 0);
+    }
+
+    #[test]
+    fn edge_energy_orders_texture_vs_smooth() {
+        let textured = synth::checker(64, 4, 1);
+        let smooth = gaussian_blur(&synth::plasma(64, 1, 2), 3.0);
+        assert!(edge_energy(&textured) > edge_energy(&smooth));
+    }
+
+    #[test]
+    fn rgb_blur_runs_per_channel() {
+        let gray = synth::gradient(16);
+        let img = synth::tint(&gray, Rgb::new(255, 0, 0), Rgb::new(255, 255, 255));
+        let blurred = gaussian_blur(&img, 1.0);
+        // Red channel is constant 255 everywhere; must stay 255.
+        for (_, _, p) in blurred.enumerate_pixels() {
+            assert_eq!(p.r(), 255);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn non_positive_sigma_panics() {
+        let _ = gaussian_blur(&synth::gradient(8), 0.0);
+    }
+}

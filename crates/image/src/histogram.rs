@@ -1,0 +1,408 @@
+//! Intensity histograms, equalization and histogram specification.
+//!
+//! §II of the paper: before rearranging tiles, the input image's intensity
+//! distribution is adjusted to that of the target image "using the histogram
+//! equalization". Remapping one image's distribution onto another's is
+//! conventionally called histogram *specification* (or *matching*); it is
+//! implemented here as the composition of the input's CDF with the inverse
+//! of the target's CDF. Plain equalization (flattening to uniform) is also
+//! provided, both for completeness and for the preprocessing ablation bench.
+
+use crate::image::Image;
+use crate::pixel::{Gray, Pixel};
+
+/// Number of intensity levels for 8-bit channels.
+pub const LEVELS: usize = 256;
+
+/// A 256-bin intensity histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bins: [u64; LEVELS],
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            bins: [0; LEVELS],
+            total: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Histogram of the luma of every pixel in `img`.
+    pub fn of_luma<P: Pixel>(img: &Image<P>) -> Self {
+        let mut h = Self::new();
+        for p in img.pixels() {
+            h.add(p.luma());
+        }
+        h
+    }
+
+    /// Histogram of one channel of every pixel in `img`.
+    ///
+    /// # Panics
+    /// Panics if `channel >= P::CHANNELS`.
+    pub fn of_channel<P: Pixel>(img: &Image<P>, channel: usize) -> Self {
+        assert!(channel < P::CHANNELS, "channel {channel} out of range");
+        let mut h = Self::new();
+        for p in img.pixels() {
+            h.add(p.channels()[channel]);
+        }
+        h
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn add(&mut self, value: u8) {
+        self.bins[value as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Count in one bin.
+    #[inline]
+    pub fn count(&self, value: u8) -> u64 {
+        self.bins[value as usize]
+    }
+
+    /// Total number of samples.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bins.
+    #[inline]
+    pub fn bins(&self) -> &[u64; LEVELS] {
+        &self.bins
+    }
+
+    /// Cumulative distribution: `cdf[v] = Σ_{u<=v} bins[u]`.
+    pub fn cdf(&self) -> [u64; LEVELS] {
+        let mut cdf = [0u64; LEVELS];
+        let mut acc = 0u64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            acc += b;
+            cdf[i] = acc;
+        }
+        cdf
+    }
+
+    /// Smallest intensity with a nonzero count, if any sample exists.
+    pub fn min_value(&self) -> Option<u8> {
+        self.bins.iter().position(|&b| b > 0).map(|i| i as u8)
+    }
+
+    /// Largest intensity with a nonzero count, if any sample exists.
+    pub fn max_value(&self) -> Option<u8> {
+        self.bins.iter().rposition(|&b| b > 0).map(|i| i as u8)
+    }
+
+    /// Mean intensity of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// The classical histogram-equalization lookup table: maps each level to
+    /// `round(255 * cdf(v) / total)` with the usual `cdf_min` correction so
+    /// the darkest occupied level maps to 0.
+    pub fn equalization_lut(&self) -> [u8; LEVELS] {
+        let mut lut = [0u8; LEVELS];
+        if self.total == 0 {
+            for (v, slot) in lut.iter_mut().enumerate() {
+                *slot = v as u8;
+            }
+            return lut;
+        }
+        let cdf = self.cdf();
+        let cdf_min = cdf
+            .iter()
+            .copied()
+            .find(|&c| c > 0)
+            .expect("total > 0 implies a nonzero cdf entry");
+        let denom = self.total - cdf_min;
+        for (v, slot) in lut.iter_mut().enumerate() {
+            if denom == 0 {
+                // Constant image: every pixel sits in one bin. Map it to
+                // itself; equalization cannot spread a single level.
+                *slot = v as u8;
+            } else {
+                let num = (cdf[v].saturating_sub(cdf_min)) as u128 * 255;
+                *slot = ((num + (denom as u128 / 2)) / denom as u128).min(255) as u8;
+            }
+        }
+        lut
+    }
+
+    /// Histogram-specification lookup table remapping *this* distribution
+    /// onto `target`'s distribution.
+    ///
+    /// For each source level `v`, finds the smallest target level `w` whose
+    /// normalized CDF is ≥ the source's normalized CDF at `v` (the standard
+    /// monotone CDF-matching construction). The result is a monotone
+    /// non-decreasing LUT.
+    pub fn specification_lut(&self, target: &Histogram) -> [u8; LEVELS] {
+        let mut lut = [0u8; LEVELS];
+        if self.total == 0 || target.total == 0 {
+            for (v, slot) in lut.iter_mut().enumerate() {
+                *slot = v as u8;
+            }
+            return lut;
+        }
+        let src_cdf = self.cdf();
+        let tgt_cdf = target.cdf();
+        let mut w = 0usize;
+        for v in 0..LEVELS {
+            // Normalized comparison src_cdf[v]/src_total <= tgt_cdf[w]/tgt_total
+            // done in integers: src_cdf[v] * tgt_total <= tgt_cdf[w] * src_total.
+            let lhs = src_cdf[v] as u128 * target.total as u128;
+            while w < LEVELS - 1 && (tgt_cdf[w] as u128 * self.total as u128) < lhs {
+                w += 1;
+            }
+            lut[v] = w as u8;
+        }
+        lut
+    }
+}
+
+/// Apply a per-level LUT to every channel of every pixel.
+pub fn apply_lut<P: Pixel>(img: &Image<P>, lut: &[u8; LEVELS]) -> Image<P> {
+    img.map(|p| {
+        let mut channels = [0u8; 4];
+        let src = p.channels();
+        for (dst, &c) in channels.iter_mut().zip(src.iter()) {
+            *dst = lut[c as usize];
+        }
+        P::from_channels(&channels[..P::CHANNELS])
+    })
+}
+
+/// Classical histogram equalization of a grayscale image.
+pub fn equalize(img: &Image<Gray>) -> Image<Gray> {
+    let lut = Histogram::of_luma(img).equalization_lut();
+    apply_lut(img, &lut)
+}
+
+/// Histogram specification: remap `input` so its intensity distribution
+/// approximates `reference`'s — the paper's §II pre-processing step
+/// ("the distribution of an input image is changed to that of a target
+/// image using the histogram equalization").
+pub fn match_histogram(input: &Image<Gray>, reference: &Image<Gray>) -> Image<Gray> {
+    let lut = Histogram::of_luma(input).specification_lut(&Histogram::of_luma(reference));
+    apply_lut(input, &lut)
+}
+
+/// Per-channel histogram specification for the color extension.
+pub fn match_histogram_rgb(
+    input: &Image<crate::pixel::Rgb>,
+    reference: &Image<crate::pixel::Rgb>,
+) -> Image<crate::pixel::Rgb> {
+    let mut luts = Vec::with_capacity(3);
+    for c in 0..3 {
+        let lut = Histogram::of_channel(input, c)
+            .specification_lut(&Histogram::of_channel(reference, c));
+        luts.push(lut);
+    }
+    input.map(|p| {
+        crate::pixel::Rgb([
+            luts[0][p.0[0] as usize],
+            luts[1][p.0[1] as usize],
+            luts[2][p.0[2] as usize],
+        ])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::GrayImage;
+    use crate::pixel::Rgb;
+
+    fn ramp(w: usize, h: usize) -> GrayImage {
+        Image::from_fn(w, h, |x, y| Gray(((y * w + x) % 256) as u8)).unwrap()
+    }
+
+    #[test]
+    fn histogram_counts_and_total() {
+        let img = Image::from_vec(2, 2, vec![Gray(3), Gray(3), Gray(200), Gray(0)]).unwrap();
+        let h = Histogram::of_luma(&img);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(200), 1);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(7), 0);
+        assert_eq!(h.min_value(), Some(0));
+        assert_eq!(h.max_value(), Some(200));
+        assert!((h.mean() - (3.0 + 3.0 + 200.0) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_total() {
+        let img = ramp(64, 64);
+        let h = Histogram::of_luma(&img);
+        let cdf = h.cdf();
+        for w in cdf.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(cdf[LEVELS - 1], h.total());
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.min_value(), None);
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.mean(), 0.0);
+        // Identity LUTs when empty.
+        let lut = h.equalization_lut();
+        assert_eq!(lut[0], 0);
+        assert_eq!(lut[255], 255);
+        let lut = h.specification_lut(&Histogram::new());
+        assert_eq!(lut[100], 100);
+    }
+
+    #[test]
+    fn equalization_spreads_a_ramp_to_full_range() {
+        // A uniform ramp is already equalized; the LUT should be close to
+        // identity at both ends.
+        let img = ramp(256, 1);
+        let eq = equalize(&img);
+        let h = Histogram::of_luma(&eq);
+        assert_eq!(h.min_value(), Some(0));
+        assert_eq!(h.max_value(), Some(255));
+    }
+
+    #[test]
+    fn equalization_of_concentrated_image_expands_contrast() {
+        // Intensities concentrated in 100..=120 must expand toward 0..=255.
+        let img = Image::from_fn(64, 64, |x, y| Gray(100 + ((x + y) % 21) as u8)).unwrap();
+        let eq = equalize(&img);
+        let h = Histogram::of_luma(&eq);
+        assert_eq!(h.min_value(), Some(0));
+        assert!(h.max_value().unwrap() >= 250);
+    }
+
+    #[test]
+    fn equalization_of_constant_image_is_identity() {
+        let img = GrayImage::filled(8, 8, Gray(42)).unwrap();
+        let eq = equalize(&img);
+        assert_eq!(eq, img);
+    }
+
+    #[test]
+    fn equalization_lut_is_monotone() {
+        let img = Image::from_fn(128, 128, |x, y| Gray(((x * y) % 251) as u8)).unwrap();
+        let lut = Histogram::of_luma(&img).equalization_lut();
+        for w in lut.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn specification_lut_is_monotone() {
+        let a = Histogram::of_luma(&ramp(64, 64));
+        let img = Image::from_fn(64, 64, |x, y| Gray(((x * 3 + y * 5) % 256) as u8)).unwrap();
+        let b = Histogram::of_luma(&img);
+        let lut = a.specification_lut(&b);
+        for w in lut.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn matching_to_self_is_near_identity() {
+        let img = ramp(64, 64);
+        let matched = match_histogram(&img, &img);
+        // CDF matching of an image onto itself maps each occupied level to
+        // itself exactly.
+        assert_eq!(matched, img);
+    }
+
+    #[test]
+    fn matching_moves_mean_toward_reference() {
+        // Dark input, bright reference: matched mean must move up.
+        let dark = Image::from_fn(64, 64, |x, y| Gray((((x + y) % 60) + 10) as u8)).unwrap();
+        let bright = Image::from_fn(64, 64, |x, y| Gray((((x * y) % 60) + 180) as u8)).unwrap();
+        let matched = match_histogram(&dark, &bright);
+        let m_in = Histogram::of_luma(&dark).mean();
+        let m_ref = Histogram::of_luma(&bright).mean();
+        let m_out = Histogram::of_luma(&matched).mean();
+        assert!(m_out > m_in);
+        assert!((m_out - m_ref).abs() < 10.0, "mean {m_out} vs ref {m_ref}");
+    }
+
+    #[test]
+    fn matching_preserves_pixel_ordering() {
+        // The LUT is monotone, so if pixel a was darker than pixel b it must
+        // not become brighter after matching.
+        let input = Image::from_fn(32, 32, |x, y| Gray(((x * 7 + y * 13) % 256) as u8)).unwrap();
+        let reference = Image::from_fn(32, 32, |x, y| Gray(((x + 2 * y) % 256) as u8)).unwrap();
+        let matched = match_histogram(&input, &reference);
+        for y in 0..32 {
+            for x in 1..32 {
+                let before = (input.pixel(x - 1, y), input.pixel(x, y));
+                let after = (matched.pixel(x - 1, y), matched.pixel(x, y));
+                if before.0 .0 <= before.1 .0 {
+                    assert!(after.0 .0 <= after.1 .0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rgb_matching_runs_per_channel() {
+        let input =
+            Image::from_fn(16, 16, |x, y| Rgb::new((x * 16) as u8, (y * 16) as u8, 10)).unwrap();
+        let reference = Image::from_fn(16, 16, |x, y| {
+            Rgb::new(200, ((x + y) * 8) as u8, ((x * y) % 256) as u8)
+        })
+        .unwrap();
+        let out = match_histogram_rgb(&input, &reference);
+        assert_eq!(out.dimensions(), (16, 16));
+        // Red channel was a ramp, reference red is constant 200: everything
+        // should map to 200.
+        for (_, _, p) in out.enumerate_pixels() {
+            assert_eq!(p.r(), 200);
+        }
+    }
+
+    #[test]
+    fn apply_lut_identity() {
+        let mut lut = [0u8; LEVELS];
+        for (i, slot) in lut.iter_mut().enumerate() {
+            *slot = i as u8;
+        }
+        let img = ramp(16, 16);
+        assert_eq!(apply_lut(&img, &lut), img);
+    }
+
+    #[test]
+    fn channel_histogram_bounds() {
+        let img = Image::from_vec(1, 1, vec![Rgb::new(1, 2, 3)]).unwrap();
+        assert_eq!(Histogram::of_channel(&img, 0).count(1), 1);
+        assert_eq!(Histogram::of_channel(&img, 2).count(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn channel_histogram_rejects_bad_channel() {
+        let img = GrayImage::black(1, 1).unwrap();
+        let _ = Histogram::of_channel(&img, 1);
+    }
+}

@@ -1,0 +1,421 @@
+//! Animated GIF writer (GIF89a), dependency-free.
+//!
+//! Grayscale frames are written with a 256-entry gray palette and
+//! variable-width LZW compression implemented from scratch. The video
+//! mosaic example uses this to emit a directly viewable animation of the
+//! frame sequence.
+//!
+//! The LZW encoder is validated in tests by a matching decoder
+//! implementing the GIF variant (clear codes, variable code width,
+//! early-growth at 2^width).
+
+use crate::error::ImageError;
+use crate::image::GrayImage;
+
+/// Maximum GIF code size (12 bits → dictionary of 4096 codes).
+const MAX_CODE_WIDTH: u32 = 12;
+
+/// Little-endian bit packer for LZW code streams.
+struct BitWriter {
+    bytes: Vec<u8>,
+    current: u32,
+    bits: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            bytes: Vec::new(),
+            current: 0,
+            bits: 0,
+        }
+    }
+
+    fn push(&mut self, code: u16, width: u32) {
+        self.current |= u32::from(code) << self.bits;
+        self.bits += width;
+        while self.bits >= 8 {
+            self.bytes.push((self.current & 0xFF) as u8);
+            self.current >>= 8;
+            self.bits -= 8;
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.bits > 0 {
+            self.bytes.push((self.current & 0xFF) as u8);
+        }
+        self.bytes
+    }
+}
+
+/// GIF-variant LZW compression of `data` with the given minimum code
+/// size (8 for 256-color images).
+fn lzw_compress(data: &[u8], min_code_size: u32) -> Vec<u8> {
+    let clear_code: u16 = 1 << min_code_size;
+    let end_code: u16 = clear_code + 1;
+    let mut writer = BitWriter::new();
+    // Dictionary: maps (prefix code, next byte) -> code. Implemented as a
+    // hash map over a packed key; cleared on overflow.
+    let mut dict: std::collections::HashMap<(u16, u8), u16> = std::collections::HashMap::new();
+    let mut next_code: u16 = end_code + 1;
+    let mut width = min_code_size + 1;
+
+    writer.push(clear_code, width);
+    let mut iter = data.iter();
+    let Some(&first) = iter.next() else {
+        writer.push(end_code, width);
+        return writer.finish();
+    };
+    let mut prefix: u16 = u16::from(first);
+    for &byte in iter {
+        if let Some(&code) = dict.get(&(prefix, byte)) {
+            prefix = code;
+            continue;
+        }
+        writer.push(prefix, width);
+        dict.insert((prefix, byte), next_code);
+        // Grow the code width when the next code to be *assigned* no
+        // longer fits (GIF "early change" is not used: width grows after
+        // assigning 2^width - 1).
+        if u32::from(next_code) == (1 << width) && width < MAX_CODE_WIDTH {
+            width += 1;
+        }
+        next_code += 1;
+        if next_code == (1 << MAX_CODE_WIDTH) {
+            writer.push(clear_code, width);
+            dict.clear();
+            next_code = end_code + 1;
+            width = min_code_size + 1;
+        }
+        prefix = u16::from(byte);
+    }
+    writer.push(prefix, width);
+    writer.push(end_code, width);
+    writer.finish()
+}
+
+fn write_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_sub_blocks(out: &mut Vec<u8>, data: &[u8]) {
+    for block in data.chunks(255) {
+        out.push(block.len() as u8);
+        out.extend_from_slice(block);
+    }
+    out.push(0);
+}
+
+/// Encode `frames` (all equal dimensions) as an animated grayscale GIF.
+/// `delay_cs` is the inter-frame delay in centiseconds; the animation
+/// loops forever.
+///
+/// # Errors
+/// Returns [`ImageError::InvalidDimensions`] when `frames` is empty or
+/// dimensions differ between frames, or exceed the GIF 16-bit limit.
+pub fn write_gif_gray(frames: &[GrayImage], delay_cs: u16) -> Result<Vec<u8>, ImageError> {
+    let Some(first) = frames.first() else {
+        return Err(ImageError::InvalidDimensions {
+            width: 0,
+            height: 0,
+        });
+    };
+    let (w, h) = first.dimensions();
+    if w > u16::MAX as usize || h > u16::MAX as usize {
+        return Err(ImageError::InvalidDimensions {
+            width: w,
+            height: h,
+        });
+    }
+    for f in frames {
+        if f.dimensions() != (w, h) {
+            return Err(ImageError::InvalidDimensions {
+                width: f.width(),
+                height: f.height(),
+            });
+        }
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(b"GIF89a");
+    // Logical screen descriptor: global color table, 8 bits/channel,
+    // 256 entries.
+    write_u16(&mut out, w as u16);
+    write_u16(&mut out, h as u16);
+    out.push(0b1111_0111); // GCT present, 8-bit color res, 256 entries
+    out.push(0); // background color index
+    out.push(0); // pixel aspect ratio
+    // Global color table: 256 grays.
+    for i in 0..=255u8 {
+        out.extend_from_slice(&[i, i, i]);
+    }
+    if frames.len() > 1 {
+        // Netscape looping extension.
+        out.extend_from_slice(&[0x21, 0xFF, 0x0B]);
+        out.extend_from_slice(b"NETSCAPE2.0");
+        out.extend_from_slice(&[0x03, 0x01]);
+        write_u16(&mut out, 0); // loop forever
+        out.push(0);
+    }
+    for frame in frames {
+        // Graphic control extension (per-frame delay).
+        out.extend_from_slice(&[0x21, 0xF9, 0x04, 0x00]);
+        write_u16(&mut out, delay_cs);
+        out.extend_from_slice(&[0x00, 0x00]);
+        // Image descriptor.
+        out.push(0x2C);
+        write_u16(&mut out, 0);
+        write_u16(&mut out, 0);
+        write_u16(&mut out, w as u16);
+        write_u16(&mut out, h as u16);
+        out.push(0); // no local color table, not interlaced
+        // LZW-compressed indices (identity palette: index = gray level).
+        out.push(8); // minimum code size
+        let indices: Vec<u8> = frame.pixels().iter().map(|p| p.0).collect();
+        let compressed = lzw_compress(&indices, 8);
+        write_sub_blocks(&mut out, &compressed);
+    }
+    out.push(0x3B); // trailer
+    Ok(out)
+}
+
+/// Write an animated grayscale GIF file.
+///
+/// # Errors
+/// Propagates encoding errors and reports I/O failures as
+/// [`ImageError::Io`].
+pub fn save_gif_gray(
+    path: impl AsRef<std::path::Path>,
+    frames: &[GrayImage],
+    delay_cs: u16,
+) -> Result<(), ImageError> {
+    std::fs::write(path, write_gif_gray(frames, delay_cs)?)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::Gray;
+    use crate::synth;
+    use crate::Image;
+
+    /// GIF-variant LZW decoder (test oracle for the encoder).
+    fn lzw_decompress(data: &[u8], min_code_size: u32) -> Vec<u8> {
+        let clear_code = 1u16 << min_code_size;
+        let end_code = clear_code + 1;
+        let mut out = Vec::new();
+        // Bit reader.
+        let mut bitpos = 0usize;
+        let read_code = |bitpos: &mut usize, width: u32| -> u16 {
+            let mut v = 0u32;
+            for i in 0..width {
+                let byte = data[(*bitpos + i as usize) / 8];
+                let bit = (byte >> ((*bitpos + i as usize) % 8)) & 1;
+                v |= u32::from(bit) << i;
+            }
+            *bitpos += width as usize;
+            v as u16
+        };
+        let mut table: Vec<Vec<u8>> = Vec::new();
+        let reset = |table: &mut Vec<Vec<u8>>| {
+            table.clear();
+            for i in 0..clear_code {
+                table.push(vec![i as u8]);
+            }
+            table.push(Vec::new()); // clear
+            table.push(Vec::new()); // end
+        };
+        reset(&mut table);
+        let mut width = min_code_size + 1;
+        let mut prev: Option<u16> = None;
+        loop {
+            let code = read_code(&mut bitpos, width);
+            if code == clear_code {
+                reset(&mut table);
+                width = min_code_size + 1;
+                prev = None;
+                continue;
+            }
+            if code == end_code {
+                break;
+            }
+            let entry: Vec<u8> = if (code as usize) < table.len() {
+                table[code as usize].clone()
+            } else {
+                // code == next entry: prev + prev[0]
+                let p = &table[prev.expect("KwKwK needs a previous code") as usize];
+                let mut e = p.clone();
+                e.push(p[0]);
+                e
+            };
+            out.extend_from_slice(&entry);
+            if let Some(p) = prev {
+                let mut novel = table[p as usize].clone();
+                novel.push(entry[0]);
+                table.push(novel);
+                if table.len() == (1usize << width) && width < MAX_CODE_WIDTH {
+                    width += 1;
+                }
+            }
+            prev = Some(code);
+        }
+        out
+    }
+
+    #[test]
+    fn lzw_roundtrip_simple_patterns() {
+        for data in [
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"aaaaaaaaaaaaaaaa".to_vec(),
+            b"abcabcabcabcabc".to_vec(),
+            (0..=255u8).collect::<Vec<u8>>(),
+            (0..10_000).map(|i| (i % 7) as u8).collect::<Vec<u8>>(),
+        ] {
+            let compressed = lzw_compress(&data, 8);
+            let back = lzw_decompress(&compressed, 8);
+            assert_eq!(back, data, "len {}", data.len());
+        }
+    }
+
+    #[test]
+    fn lzw_roundtrip_random_and_image_data() {
+        let img = synth::fur(64, 9);
+        let data: Vec<u8> = img.pixels().iter().map(|p| p.0).collect();
+        let compressed = lzw_compress(&data, 8);
+        assert_eq!(lzw_decompress(&compressed, 8), data);
+        // Dictionary overflow path: > 4096 distinct phrases.
+        let long: Vec<u8> = (0..100_000u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) >> 24) as u8)
+            .collect();
+        let compressed = lzw_compress(&long, 8);
+        assert_eq!(lzw_decompress(&compressed, 8), long);
+    }
+
+    #[test]
+    fn lzw_compresses_repetitive_data() {
+        let data = vec![42u8; 10_000];
+        let compressed = lzw_compress(&data, 8);
+        assert!(
+            compressed.len() < data.len() / 10,
+            "only {} -> {}",
+            data.len(),
+            compressed.len()
+        );
+    }
+
+    #[test]
+    fn gif_structure_and_frame_extraction() {
+        let frames: Vec<GrayImage> = (0..3)
+            .map(|t| {
+                Image::from_fn(16, 8, |x, y| Gray(((x + y + t * 5) % 256) as u8)).unwrap()
+            })
+            .collect();
+        let gif = write_gif_gray(&frames, 10).unwrap();
+        assert_eq!(&gif[..6], b"GIF89a");
+        assert_eq!(u16::from_le_bytes([gif[6], gif[7]]), 16);
+        assert_eq!(u16::from_le_bytes([gif[8], gif[9]]), 8);
+        assert_eq!(*gif.last().unwrap(), 0x3B);
+        // Decode the first frame's pixel data back.
+        let first_descriptor = gif
+            .windows(1)
+            .enumerate()
+            .skip(13 + 768) // header + GCT
+            .find(|&(_, w)| w[0] == 0x2C)
+            .map(|(i, _)| i)
+            .expect("image descriptor present");
+        let lzw_start = first_descriptor + 10;
+        assert_eq!(gif[lzw_start], 8, "min code size");
+        // Collect sub-blocks.
+        let mut pos = lzw_start + 1;
+        let mut compressed = Vec::new();
+        loop {
+            let len = gif[pos] as usize;
+            pos += 1;
+            if len == 0 {
+                break;
+            }
+            compressed.extend_from_slice(&gif[pos..pos + len]);
+            pos += len;
+        }
+        let pixels = lzw_decompress(&compressed, 8);
+        let expected: Vec<u8> = frames[0].pixels().iter().map(|p| p.0).collect();
+        assert_eq!(pixels, expected);
+    }
+
+    #[test]
+    fn animated_gif_has_netscape_loop() {
+        let frames = vec![synth::gradient(8), synth::gradient(8)];
+        let gif = write_gif_gray(&frames, 5).unwrap();
+        let has_netscape = gif.windows(11).any(|w| w == b"NETSCAPE2.0");
+        assert!(has_netscape);
+        // Single frame: no loop extension.
+        let single = write_gif_gray(&frames[..1], 5).unwrap();
+        assert!(!single.windows(11).any(|w| w == b"NETSCAPE2.0"));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(write_gif_gray(&[], 5).is_err());
+        let a = synth::gradient(8);
+        let b = synth::gradient(16);
+        assert!(write_gif_gray(&[a, b], 5).is_err());
+    }
+
+    use proptest::prelude::*;
+
+    proptest::proptest! {
+        #[test]
+        fn lzw_roundtrips_arbitrary_data(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let compressed = lzw_compress(&data, 8);
+            prop_assert_eq!(lzw_decompress(&compressed, 8), data);
+        }
+
+        #[test]
+        fn gif_frames_decode_back(
+            (w, h, pixels) in (1usize..24, 1usize..24).prop_flat_map(|(w, h)| {
+                proptest::collection::vec(any::<u8>(), w * h)
+                    .prop_map(move |v| (w, h, v))
+            })
+        ) {
+            let frame = Image::from_vec(w, h, pixels.iter().copied().map(Gray).collect()).unwrap();
+            let gif = write_gif_gray(std::slice::from_ref(&frame), 4).unwrap();
+            // Locate the image descriptor, then the LZW stream.
+            let desc = gif
+                .iter()
+                .enumerate()
+                .skip(13 + 768)
+                .find(|&(_, &b)| b == 0x2C)
+                .map(|(i, _)| i)
+                .unwrap();
+            let lzw_start = desc + 10;
+            prop_assert_eq!(gif[lzw_start], 8);
+            let mut pos = lzw_start + 1;
+            let mut compressed = Vec::new();
+            loop {
+                let len = gif[pos] as usize;
+                pos += 1;
+                if len == 0 {
+                    break;
+                }
+                compressed.extend_from_slice(&gif[pos..pos + len]);
+                pos += len;
+            }
+            prop_assert_eq!(lzw_decompress(&compressed, 8), pixels);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mosaic_gif_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("anim.gif");
+        let frames = vec![synth::plasma(16, 1, 2), synth::plasma(16, 2, 2)];
+        save_gif_gray(&path, &frames, 8).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..6], b"GIF89a");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,266 @@
+//! Minimal PNG writer (no external dependencies).
+//!
+//! Emits valid 8-bit grayscale or RGB PNG files using *stored*
+//! (uncompressed) deflate blocks — larger than a real encoder's output
+//! but bit-exact, dependency-free and readable by every viewer. The
+//! mosaic figures are small enough that file size is irrelevant next to
+//! portability.
+
+use crate::image::{GrayImage, Image, RgbImage};
+use crate::pixel::Pixel;
+
+/// CRC-32 (ISO 3309) over `data`, as required by PNG chunks.
+fn crc32(data: &[u8]) -> u32 {
+    // Small table-free bitwise implementation; figures are small and this
+    // is an output path, not a hot loop.
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Adler-32 checksum, as required by the zlib wrapper.
+fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let mut a = 1u32;
+    let mut b = 0u32;
+    for chunk in data.chunks(5550) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+fn chunk(out: &mut Vec<u8>, tag: &[u8; 4], payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    let start = out.len();
+    out.extend_from_slice(tag);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_be_bytes());
+}
+
+/// Wrap raw bytes in a zlib stream of stored deflate blocks.
+fn zlib_stored(raw: &[u8]) -> Vec<u8> {
+    const MAX_BLOCK: usize = 65_535;
+    let mut out = Vec::with_capacity(raw.len() + raw.len() / MAX_BLOCK * 5 + 16);
+    out.push(0x78); // CMF: deflate, 32K window
+    out.push(0x01); // FLG: no dict, fastest; (0x7801 % 31 == 0)
+    let mut blocks = raw.chunks(MAX_BLOCK).peekable();
+    if raw.is_empty() {
+        // One final empty stored block.
+        out.extend_from_slice(&[0x01, 0, 0, 0xFF, 0xFF]);
+    }
+    while let Some(block) = blocks.next() {
+        let last = blocks.peek().is_none();
+        out.push(u8::from(last)); // BFINAL + BTYPE=00 (stored)
+        let len = block.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(block);
+    }
+    out.extend_from_slice(&adler32(raw).to_be_bytes());
+    out
+}
+
+fn encode<P: Pixel>(img: &Image<P>, color_type: u8) -> Vec<u8> {
+    let (w, h) = img.dimensions();
+    let mut png = Vec::new();
+    png.extend_from_slice(b"\x89PNG\r\n\x1a\n");
+    // IHDR: width, height, bit depth 8, color type, deflate, no filter set,
+    // no interlace.
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&(w as u32).to_be_bytes());
+    ihdr.extend_from_slice(&(h as u32).to_be_bytes());
+    ihdr.extend_from_slice(&[8, color_type, 0, 0, 0]);
+    chunk(&mut png, b"IHDR", &ihdr);
+    // Raster: each scanline prefixed with filter byte 0 (None).
+    let mut raw = Vec::with_capacity(h * (1 + w * P::CHANNELS));
+    for row in img.rows() {
+        raw.push(0);
+        for p in row {
+            raw.extend_from_slice(p.channels());
+        }
+    }
+    chunk(&mut png, b"IDAT", &zlib_stored(&raw));
+    chunk(&mut png, b"IEND", &[]);
+    png
+}
+
+/// Serialize a grayscale image to PNG bytes.
+pub fn write_png_gray(img: &GrayImage) -> Vec<u8> {
+    encode(img, 0)
+}
+
+/// Serialize an RGB image to PNG bytes.
+pub fn write_png_rgb(img: &RgbImage) -> Vec<u8> {
+    encode(img, 2)
+}
+
+/// Write a grayscale PNG file.
+///
+/// # Errors
+/// I/O failures are reported as [`crate::ImageError::Io`].
+pub fn save_png_gray(
+    path: impl AsRef<std::path::Path>,
+    img: &GrayImage,
+) -> Result<(), crate::ImageError> {
+    std::fs::write(path, write_png_gray(img))?;
+    Ok(())
+}
+
+/// Write an RGB PNG file.
+///
+/// # Errors
+/// I/O failures are reported as [`crate::ImageError::Io`].
+pub fn save_png_rgb(
+    path: impl AsRef<std::path::Path>,
+    img: &RgbImage,
+) -> Result<(), crate::ImageError> {
+    std::fs::write(path, write_png_rgb(img))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::{Gray, Rgb};
+    use crate::synth;
+
+    /// Reference CRC-32 of "123456789" is 0xCBF43926 (the standard check
+    /// value for CRC-32/ISO-HDLC).
+    #[test]
+    fn crc32_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    /// Reference Adler-32 of "Wikipedia" is 0x11E60398.
+    #[test]
+    fn adler32_check_value() {
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+        assert_eq!(adler32(b""), 1);
+    }
+
+    /// Decode the stored-deflate zlib stream back and compare.
+    fn inflate_stored(z: &[u8]) -> Vec<u8> {
+        assert_eq!(z[0], 0x78);
+        let mut out = Vec::new();
+        let mut pos = 2;
+        loop {
+            let header = z[pos];
+            pos += 1;
+            assert_eq!(header & 0x06, 0, "stored blocks only");
+            let len = u16::from_le_bytes([z[pos], z[pos + 1]]) as usize;
+            let nlen = u16::from_le_bytes([z[pos + 2], z[pos + 3]]);
+            assert_eq!(!(len as u16), nlen, "LEN/NLEN mismatch");
+            pos += 4;
+            out.extend_from_slice(&z[pos..pos + len]);
+            pos += len;
+            if header & 1 == 1 {
+                break;
+            }
+        }
+        let stored_adler = u32::from_be_bytes([z[pos], z[pos + 1], z[pos + 2], z[pos + 3]]);
+        assert_eq!(stored_adler, adler32(&out), "adler mismatch");
+        out
+    }
+
+    #[test]
+    fn zlib_stored_roundtrip() {
+        for len in [0usize, 1, 100, 65_535, 65_536, 200_000] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            assert_eq!(inflate_stored(&zlib_stored(&data)), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn gray_png_structure() {
+        let img = synth::gradient(16);
+        let png = write_png_gray(&img);
+        assert_eq!(&png[..8], b"\x89PNG\r\n\x1a\n");
+        // IHDR begins right after the signature.
+        assert_eq!(&png[12..16], b"IHDR");
+        let w = u32::from_be_bytes([png[16], png[17], png[18], png[19]]);
+        let h = u32::from_be_bytes([png[20], png[21], png[22], png[23]]);
+        assert_eq!((w, h), (16, 16));
+        assert_eq!(png[24], 8); // bit depth
+        assert_eq!(png[25], 0); // grayscale
+        assert_eq!(&png[png.len() - 8..png.len() - 4], b"IEND");
+    }
+
+    #[test]
+    fn rgb_png_color_type() {
+        let gray = synth::gradient(8);
+        let img = synth::tint(&gray, Rgb::new(0, 0, 0), Rgb::new(255, 128, 64));
+        let png = write_png_rgb(&img);
+        assert_eq!(png[25], 2); // truecolor
+    }
+
+    #[test]
+    fn idat_payload_reconstructs_raster() {
+        let img = crate::Image::from_vec(
+            2,
+            2,
+            vec![Gray(10), Gray(20), Gray(30), Gray(40)],
+        )
+        .unwrap();
+        let png = write_png_gray(&img);
+        // Find IDAT.
+        let idat_pos = png
+            .windows(4)
+            .position(|w| w == b"IDAT")
+            .expect("IDAT present");
+        let len = u32::from_be_bytes([
+            png[idat_pos - 4],
+            png[idat_pos - 3],
+            png[idat_pos - 2],
+            png[idat_pos - 1],
+        ]) as usize;
+        let z = &png[idat_pos + 4..idat_pos + 4 + len];
+        let raw = inflate_stored(z);
+        // filter byte + row, per row
+        assert_eq!(raw, vec![0, 10, 20, 0, 30, 40]);
+    }
+
+    #[test]
+    fn all_chunk_crcs_valid() {
+        let img = synth::plasma(24, 3, 2);
+        let png = write_png_gray(&img);
+        let mut pos = 8;
+        while pos < png.len() {
+            let len = u32::from_be_bytes([png[pos], png[pos + 1], png[pos + 2], png[pos + 3]])
+                as usize;
+            let body = &png[pos + 4..pos + 8 + len];
+            let stored = u32::from_be_bytes([
+                png[pos + 8 + len],
+                png[pos + 9 + len],
+                png[pos + 10 + len],
+                png[pos + 11 + len],
+            ]);
+            assert_eq!(crc32(body), stored, "chunk at {pos}");
+            pos += 12 + len;
+        }
+        assert_eq!(pos, png.len());
+    }
+
+    #[test]
+    fn file_write_roundtrip() {
+        let dir = std::env::temp_dir().join("mosaic_png_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.png");
+        save_png_gray(&path, &synth::portrait(16, 2)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..4], b"\x89PNG"[..4].as_ref() as &[u8]);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,442 @@
+//! Netpbm parser and serializer.
+//!
+//! Supports `P2` (ASCII PGM), `P5` (binary PGM), `P3` (ASCII PPM) and `P6`
+//! (binary PPM) with 8-bit samples (`maxval <= 255`). Comments (`#` to end
+//! of line) are accepted anywhere in the header up to maxval; the binary
+//! raster begins immediately after the single whitespace that follows
+//! maxval, per the Netpbm specification (see `single_separator`).
+
+use crate::error::ImageError;
+use crate::image::{GrayImage, Image, RgbImage};
+use crate::pixel::{Gray, Rgb};
+
+/// Either kind of image a Netpbm stream can hold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AutoImage {
+    /// Grayscale (`P2`/`P5`).
+    Gray(GrayImage),
+    /// Color (`P3`/`P6`).
+    Rgb(RgbImage),
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    /// Skip whitespace and `#` comments.
+    fn skip_separators(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if b == b'#' {
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn token(&mut self) -> Result<&'a [u8], ImageError> {
+        self.skip_separators();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && !self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(ImageError::PnmParse("unexpected end of header".into()));
+        }
+        Ok(&self.bytes[start..self.pos])
+    }
+
+    fn number(&mut self) -> Result<usize, ImageError> {
+        let tok = self.token()?;
+        let s = std::str::from_utf8(tok)
+            .map_err(|_| ImageError::PnmParse("non-UTF8 header token".into()))?;
+        s.parse::<usize>()
+            .map_err(|_| ImageError::PnmParse(format!("expected integer, found {s:?}")))
+    }
+
+    /// Consume exactly one whitespace byte (the separator before binary
+    /// raster data).
+    ///
+    /// Per the Netpbm spec the raster begins immediately after this single
+    /// whitespace; comments are NOT recognized here, because a raster whose
+    /// first byte happens to be `0x23` (`'#'`) would be indistinguishable
+    /// from one. Comments are accepted everywhere in the header up to and
+    /// including before maxval.
+    fn single_separator(&mut self) -> Result<(), ImageError> {
+        match self.bytes.get(self.pos) {
+            Some(b) if b.is_ascii_whitespace() => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(ImageError::PnmParse(
+                "missing whitespace before raster data".into(),
+            )),
+        }
+    }
+
+    fn remaining(&self) -> &'a [u8] {
+        &self.bytes[self.pos..]
+    }
+}
+
+struct Header {
+    magic: [u8; 2],
+    width: usize,
+    height: usize,
+    maxval: usize,
+}
+
+fn parse_header(cur: &mut Cursor<'_>) -> Result<Header, ImageError> {
+    let magic = cur.token()?;
+    if magic.len() != 2 || magic[0] != b'P' {
+        return Err(ImageError::PnmParse(format!(
+            "bad magic {:?}",
+            String::from_utf8_lossy(magic)
+        )));
+    }
+    let magic = [magic[0], magic[1]];
+    let width = cur.number()?;
+    let height = cur.number()?;
+    let maxval = cur.number()?;
+    if width == 0 || height == 0 {
+        return Err(ImageError::InvalidDimensions { width, height });
+    }
+    if maxval == 0 || maxval > 255 {
+        return Err(ImageError::PnmParse(format!(
+            "unsupported maxval {maxval} (only 8-bit samples are supported)"
+        )));
+    }
+    Ok(Header {
+        magic,
+        width,
+        height,
+        maxval,
+    })
+}
+
+/// Rescale a sample from `0..=maxval` to `0..=255`.
+#[inline]
+fn scale_sample(v: usize, maxval: usize) -> u8 {
+    if maxval == 255 {
+        v as u8
+    } else {
+        ((v * 255 + maxval / 2) / maxval) as u8
+    }
+}
+
+fn read_binary_samples(
+    cur: &mut Cursor<'_>,
+    count: usize,
+    maxval: usize,
+) -> Result<Vec<u8>, ImageError> {
+    cur.single_separator()?;
+    let raster = cur.remaining();
+    if raster.len() < count {
+        return Err(ImageError::PnmParse(format!(
+            "raster truncated: need {count} bytes, have {}",
+            raster.len()
+        )));
+    }
+    Ok(raster[..count]
+        .iter()
+        .map(|&b| scale_sample(b as usize, maxval))
+        .collect())
+}
+
+fn read_ascii_samples(
+    cur: &mut Cursor<'_>,
+    count: usize,
+    maxval: usize,
+) -> Result<Vec<u8>, ImageError> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let v = cur.number()?;
+        if v > maxval {
+            return Err(ImageError::PnmParse(format!(
+                "sample {v} exceeds maxval {maxval}"
+            )));
+        }
+        out.push(scale_sample(v, maxval));
+    }
+    Ok(out)
+}
+
+/// Parse a PGM (`P2`/`P5`) stream.
+///
+/// # Errors
+/// Malformed headers or truncated rasters yield [`ImageError::PnmParse`];
+/// a PPM magic yields [`ImageError::PnmFormat`].
+pub fn read_pgm(bytes: &[u8]) -> Result<GrayImage, ImageError> {
+    let mut cur = Cursor::new(bytes);
+    let h = parse_header(&mut cur)?;
+    let count = h.width * h.height;
+    let samples = match &h.magic {
+        b"P5" => read_binary_samples(&mut cur, count, h.maxval)?,
+        b"P2" => read_ascii_samples(&mut cur, count, h.maxval)?,
+        other => {
+            return Err(ImageError::PnmFormat {
+                expected: "P5 or P2",
+                found: String::from_utf8_lossy(other).into_owned(),
+            })
+        }
+    };
+    Image::from_vec(h.width, h.height, samples.into_iter().map(Gray).collect())
+}
+
+/// Parse a PPM (`P3`/`P6`) stream.
+///
+/// # Errors
+/// Malformed headers or truncated rasters yield [`ImageError::PnmParse`];
+/// a PGM magic yields [`ImageError::PnmFormat`].
+pub fn read_ppm(bytes: &[u8]) -> Result<RgbImage, ImageError> {
+    let mut cur = Cursor::new(bytes);
+    let h = parse_header(&mut cur)?;
+    let count = h.width * h.height * 3;
+    let samples = match &h.magic {
+        b"P6" => read_binary_samples(&mut cur, count, h.maxval)?,
+        b"P3" => read_ascii_samples(&mut cur, count, h.maxval)?,
+        other => {
+            return Err(ImageError::PnmFormat {
+                expected: "P6 or P3",
+                found: String::from_utf8_lossy(other).into_owned(),
+            })
+        }
+    };
+    let pixels = samples
+        .chunks_exact(3)
+        .map(|c| Rgb([c[0], c[1], c[2]]))
+        .collect();
+    Image::from_vec(h.width, h.height, pixels)
+}
+
+/// Parse either a PGM or PPM stream based on its magic.
+///
+/// # Errors
+/// Unknown magics yield [`ImageError::PnmFormat`].
+pub fn load_auto(bytes: &[u8]) -> Result<AutoImage, ImageError> {
+    let mut cur = Cursor::new(bytes);
+    let magic = cur.token()?;
+    match magic {
+        b"P2" | b"P5" => read_pgm(bytes).map(AutoImage::Gray),
+        b"P3" | b"P6" => read_ppm(bytes).map(AutoImage::Rgb),
+        other => Err(ImageError::PnmFormat {
+            expected: "P2/P3/P5/P6",
+            found: String::from_utf8_lossy(other).into_owned(),
+        }),
+    }
+}
+
+/// Serialize to binary PGM (`P5`).
+pub fn write_pgm(img: &GrayImage) -> Vec<u8> {
+    let mut out = format!("P5\n{} {}\n255\n", img.width(), img.height()).into_bytes();
+    out.extend(img.pixels().iter().map(|p| p.0));
+    out
+}
+
+/// Serialize to ASCII PGM (`P2`).
+pub fn write_pgm_ascii(img: &GrayImage) -> Vec<u8> {
+    let mut out = format!("P2\n{} {}\n255\n", img.width(), img.height());
+    for row in img.rows() {
+        let line: Vec<String> = row.iter().map(|p| p.0.to_string()).collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+/// Serialize to binary PPM (`P6`).
+pub fn write_ppm(img: &RgbImage) -> Vec<u8> {
+    let mut out = format!("P6\n{} {}\n255\n", img.width(), img.height()).into_bytes();
+    for p in img.pixels() {
+        out.extend_from_slice(&p.0);
+    }
+    out
+}
+
+/// Serialize to ASCII PPM (`P3`).
+pub fn write_ppm_ascii(img: &RgbImage) -> Vec<u8> {
+    let mut out = format!("P3\n{} {}\n255\n", img.width(), img.height());
+    for row in img.rows() {
+        let line: Vec<String> = row
+            .iter()
+            .flat_map(|p| p.0.iter().map(|c| c.to_string()))
+            .collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn pgm_binary_roundtrip() {
+        let img = synth::plasma(32, 7, 3);
+        let bytes = write_pgm(&img);
+        let back = read_pgm(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn pgm_ascii_roundtrip() {
+        let img = synth::checker(16, 4, 1);
+        let bytes = write_pgm_ascii(&img);
+        let back = read_pgm(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ppm_binary_roundtrip() {
+        let gray = synth::gradient(16);
+        let img = synth::tint(&gray, Rgb::new(20, 10, 60), Rgb::new(230, 240, 200));
+        let bytes = write_ppm(&img);
+        let back = read_ppm(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ppm_ascii_roundtrip() {
+        let gray = synth::gradient(8);
+        let img = synth::tint(&gray, Rgb::new(0, 0, 0), Rgb::new(255, 128, 0));
+        let bytes = write_ppm_ascii(&img);
+        let back = read_ppm(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn header_comments_are_skipped() {
+        let src = b"P2 # comment after magic\n# full line comment\n 2 2 # dims\n255\n0 64\n128 255\n";
+        let img = read_pgm(src).unwrap();
+        assert_eq!(img.pixel(0, 0), Gray(0));
+        assert_eq!(img.pixel(1, 1), Gray(255));
+    }
+
+    #[test]
+    fn maxval_rescaling() {
+        // maxval 100: 50 should become round(50*255/100) = 128.
+        let src = b"P2\n1 1\n100\n50\n";
+        let img = read_pgm(src).unwrap();
+        assert_eq!(img.pixel(0, 0), Gray(128));
+    }
+
+    #[test]
+    fn binary_pgm_with_low_maxval() {
+        let src = b"P5\n2 1\n4\n\x00\x04";
+        let img = read_pgm(src).unwrap();
+        assert_eq!(img.pixel(0, 0), Gray(0));
+        assert_eq!(img.pixel(1, 0), Gray(255));
+    }
+
+    #[test]
+    fn truncated_raster_is_an_error() {
+        let src = b"P5\n4 4\n255\n\x00\x01";
+        assert!(matches!(read_pgm(src), Err(ImageError::PnmParse(_))));
+        let src = b"P2\n2 2\n255\n0 1 2\n";
+        assert!(matches!(read_pgm(src), Err(ImageError::PnmParse(_))));
+    }
+
+    #[test]
+    fn ascii_sample_above_maxval_is_an_error() {
+        let src = b"P2\n1 1\n100\n101\n";
+        assert!(matches!(read_pgm(src), Err(ImageError::PnmParse(_))));
+    }
+
+    #[test]
+    fn wrong_magic_is_reported() {
+        let img = synth::gradient(4);
+        let pgm = write_pgm(&img);
+        assert!(matches!(
+            read_ppm(&pgm),
+            Err(ImageError::PnmFormat { .. })
+        ));
+        let src = b"P7\n1 1\n255\n\x00";
+        assert!(matches!(read_pgm(src), Err(ImageError::PnmFormat { .. })));
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        let src = b"P2\n0 3\n255\n";
+        assert!(matches!(
+            read_pgm(src),
+            Err(ImageError::InvalidDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn excessive_maxval_rejected() {
+        let src = b"P2\n1 1\n65535\n1000\n";
+        assert!(matches!(read_pgm(src), Err(ImageError::PnmParse(_))));
+    }
+
+    #[test]
+    fn load_auto_dispatches() {
+        let g = synth::gradient(4);
+        match load_auto(&write_pgm(&g)).unwrap() {
+            AutoImage::Gray(back) => assert_eq!(back, g),
+            AutoImage::Rgb(_) => panic!("expected gray"),
+        }
+        let c = synth::tint(&g, Rgb::new(0, 0, 0), Rgb::new(255, 255, 255));
+        match load_auto(&write_ppm(&c)).unwrap() {
+            AutoImage::Rgb(back) => assert_eq!(back, c),
+            AutoImage::Gray(_) => panic!("expected rgb"),
+        }
+        assert!(load_auto(b"BM rubbish").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(read_pgm(b"").is_err());
+        assert!(load_auto(b"").is_err());
+    }
+
+    #[test]
+    fn raster_separator_is_strictly_one_whitespace() {
+        // Whitespace-valued raster bytes immediately after the single
+        // separator must survive untouched.
+        let src = b"P5\n2 1\n255\n\x20\x0A";
+        let img = read_pgm(src).unwrap();
+        assert_eq!(img.pixel(0, 0), Gray(0x20));
+        assert_eq!(img.pixel(1, 0), Gray(0x0A));
+        // Comments before maxval are fine; after maxval the spec places
+        // the raster immediately, so a '#-looking' byte there is data.
+        let src = b"P5\n# full line comment\n2 1\n255\n\x23\x0A";
+        let img = read_pgm(src).unwrap();
+        assert_eq!(img.pixel(0, 0), Gray(0x23));
+    }
+
+    #[test]
+    fn binary_raster_may_contain_comment_like_bytes() {
+        // A '#' byte (0x23) inside binary raster data must not be treated
+        // as a comment.
+        let src = b"P5\n2 1\n255\n\x23\x24";
+        let img = read_pgm(src).unwrap();
+        assert_eq!(img.pixel(0, 0), Gray(0x23));
+        assert_eq!(img.pixel(1, 0), Gray(0x24));
+    }
+
+    #[test]
+    fn file_roundtrip_via_disk() {
+        let dir = std::env::temp_dir().join("mosaic_image_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.pgm");
+        let img = synth::portrait(16, 9);
+        crate::io::save_pgm(&path, &img).unwrap();
+        let back = crate::io::load_pgm(&path).unwrap();
+        assert_eq!(back, img);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,179 @@
+//! Full-image quality metrics: MAE, MSE, PSNR and a windowed SSIM.
+//!
+//! The paper reports only the raw SAD total (its Eq. 2). EXPERIMENTS.md
+//! additionally reports PSNR/SSIM between the rearranged image and the
+//! target so quality differences between the optimal and approximate
+//! algorithms can be judged on a standard scale.
+
+use crate::image::Image;
+use crate::pixel::Pixel;
+
+fn assert_same_dims<P: Pixel>(a: &Image<P>, b: &Image<P>) {
+    assert_eq!(
+        a.dimensions(),
+        b.dimensions(),
+        "metric requires equal image dimensions"
+    );
+}
+
+/// Sum of absolute differences over all pixels and channels — the paper's
+/// Eq. (2) evaluated on whole images.
+pub fn sad<P: Pixel>(a: &Image<P>, b: &Image<P>) -> u64 {
+    assert_same_dims(a, b);
+    a.pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(pa, pb)| u64::from(pa.abs_diff(pb)))
+        .sum()
+}
+
+/// Mean absolute error per channel sample.
+pub fn mae<P: Pixel>(a: &Image<P>, b: &Image<P>) -> f64 {
+    assert_same_dims(a, b);
+    let n = (a.pixels().len() * P::CHANNELS) as f64;
+    sad(a, b) as f64 / n
+}
+
+/// Mean squared error per channel sample.
+pub fn mse<P: Pixel>(a: &Image<P>, b: &Image<P>) -> f64 {
+    assert_same_dims(a, b);
+    let total: u64 = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(pa, pb)| u64::from(pa.sq_diff(pb)))
+        .sum();
+    total as f64 / (a.pixels().len() * P::CHANNELS) as f64
+}
+
+/// Peak signal-to-noise ratio in dB (`f64::INFINITY` for identical images).
+pub fn psnr<P: Pixel>(a: &Image<P>, b: &Image<P>) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / m).log10()
+    }
+}
+
+/// Mean SSIM over non-overlapping 8×8 luma windows with the standard
+/// stabilization constants (C1 = (0.01·255)², C2 = (0.03·255)²).
+///
+/// This is the simplified block variant (no Gaussian weighting); it is
+/// monotone with the full SSIM on the mosaics we compare and is documented
+/// as such in EXPERIMENTS.md.
+pub fn ssim<P: Pixel>(a: &Image<P>, b: &Image<P>) -> f64 {
+    assert_same_dims(a, b);
+    const WINDOW: usize = 8;
+    const C1: f64 = 6.5025; // (0.01 * 255)^2
+    const C2: f64 = 58.5225; // (0.03 * 255)^2
+    let (w, h) = a.dimensions();
+    let mut total = 0.0f64;
+    let mut windows = 0usize;
+    let mut y = 0;
+    while y < h {
+        let wh = WINDOW.min(h - y);
+        let mut x = 0;
+        while x < w {
+            let ww = WINDOW.min(w - x);
+            let n = (ww * wh) as f64;
+            let mut sum_a = 0.0;
+            let mut sum_b = 0.0;
+            let mut sum_aa = 0.0;
+            let mut sum_bb = 0.0;
+            let mut sum_ab = 0.0;
+            for dy in 0..wh {
+                for dx in 0..ww {
+                    let va = f64::from(a.pixel(x + dx, y + dy).luma());
+                    let vb = f64::from(b.pixel(x + dx, y + dy).luma());
+                    sum_a += va;
+                    sum_b += vb;
+                    sum_aa += va * va;
+                    sum_bb += vb * vb;
+                    sum_ab += va * vb;
+                }
+            }
+            let mu_a = sum_a / n;
+            let mu_b = sum_b / n;
+            let var_a = (sum_aa / n - mu_a * mu_a).max(0.0);
+            let var_b = (sum_bb / n - mu_b * mu_b).max(0.0);
+            let cov = sum_ab / n - mu_a * mu_b;
+            let s = ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+                / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
+            total += s;
+            windows += 1;
+            x += WINDOW;
+        }
+        y += WINDOW;
+    }
+    total / windows as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{GrayImage, Image};
+    use crate::pixel::Gray;
+    use crate::synth;
+
+    #[test]
+    fn identical_images_are_perfect() {
+        let img = synth::plasma(32, 1, 3);
+        assert_eq!(sad(&img, &img), 0);
+        assert_eq!(mae(&img, &img), 0.0);
+        assert_eq!(mse(&img, &img), 0.0);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+        let s = ssim(&img, &img);
+        assert!((s - 1.0).abs() < 1e-9, "ssim {s}");
+    }
+
+    #[test]
+    fn known_mae_mse() {
+        let a = Image::from_vec(2, 1, vec![Gray(0), Gray(10)]).unwrap();
+        let b = Image::from_vec(2, 1, vec![Gray(4), Gray(16)]).unwrap();
+        assert_eq!(sad(&a, &b), 10);
+        assert!((mae(&a, &b) - 5.0).abs() < 1e-12);
+        assert!((mse(&a, &b) - (16.0 + 36.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_decreases_with_more_noise() {
+        let base = synth::plasma(64, 3, 3);
+        let mut small_noise = base.clone();
+        small_noise.apply(|p| Gray(p.0.saturating_add(2)));
+        let mut big_noise = base.clone();
+        big_noise.apply(|p| Gray(p.0.saturating_add(40)));
+        assert!(psnr(&base, &small_noise) > psnr(&base, &big_noise));
+    }
+
+    #[test]
+    fn ssim_in_unit_range_and_ordered() {
+        let base = synth::portrait(64, 5);
+        let similar = {
+            let mut i = base.clone();
+            i.apply(|p| Gray(p.0.saturating_add(3)));
+            i
+        };
+        let different = synth::checker(64, 8, 5);
+        let s_sim = ssim(&base, &similar);
+        let s_diff = ssim(&base, &different);
+        assert!(s_sim > s_diff, "{s_sim} <= {s_diff}");
+        assert!((0.0..=1.0).contains(&s_sim) || s_sim > 0.99);
+        assert!(s_diff < 0.9);
+    }
+
+    #[test]
+    fn constant_vs_constant_ssim() {
+        let a = GrayImage::filled(16, 16, Gray(100)).unwrap();
+        let b = GrayImage::filled(16, 16, Gray(100)).unwrap();
+        assert!((ssim(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal image dimensions")]
+    fn mismatched_dimensions_panic() {
+        let a = GrayImage::black(4, 4).unwrap();
+        let b = GrayImage::black(8, 8).unwrap();
+        let _ = sad(&a, &b);
+    }
+}

@@ -1,0 +1,243 @@
+//! Geometric image operations: crop, blit, flips, rotations.
+//!
+//! The mosaic pipeline uses [`blit`] to assemble the rearranged image from
+//! tiles; the rest support the examples and tests.
+
+use crate::error::ImageError;
+use crate::image::Image;
+use crate::pixel::Pixel;
+
+/// Copy a rectangle out of `src` into a new owned image.
+///
+/// # Errors
+/// Returns [`ImageError::RegionOutOfBounds`] when the rectangle does not fit.
+pub fn crop<P: Pixel>(
+    src: &Image<P>,
+    x: usize,
+    y: usize,
+    width: usize,
+    height: usize,
+) -> Result<Image<P>, ImageError> {
+    Ok(src.view(x, y, width, height)?.to_image())
+}
+
+/// Copy all of `src` into `dst` with its top-left corner at `(x, y)`.
+///
+/// # Errors
+/// Returns [`ImageError::RegionOutOfBounds`] when `src` does not fit at that
+/// position.
+pub fn blit<P: Pixel>(
+    dst: &mut Image<P>,
+    src: &Image<P>,
+    x: usize,
+    y: usize,
+) -> Result<(), ImageError> {
+    let (sw, sh) = src.dimensions();
+    let (dw, dh) = dst.dimensions();
+    let fits = x
+        .checked_add(sw)
+        .is_some_and(|xe| xe <= dw)
+        && y.checked_add(sh).is_some_and(|ye| ye <= dh);
+    if !fits {
+        return Err(ImageError::RegionOutOfBounds {
+            x,
+            y,
+            width: sw,
+            height: sh,
+            image_width: dw,
+            image_height: dh,
+        });
+    }
+    for row in 0..sh {
+        let dst_row = dst.row_mut(y + row);
+        dst_row[x..x + sw].copy_from_slice(src.row(row));
+    }
+    Ok(())
+}
+
+/// Copy a window of `src` into `dst`; the window is given in `src`
+/// coordinates and lands at `(dst_x, dst_y)`.
+///
+/// # Errors
+/// Returns [`ImageError::RegionOutOfBounds`] when either rectangle does not
+/// fit its image.
+#[allow(clippy::too_many_arguments)]
+pub fn blit_region<P: Pixel>(
+    dst: &mut Image<P>,
+    dst_x: usize,
+    dst_y: usize,
+    src: &Image<P>,
+    src_x: usize,
+    src_y: usize,
+    width: usize,
+    height: usize,
+) -> Result<(), ImageError> {
+    let view = src.view(src_x, src_y, width, height)?;
+    let (dw, dh) = dst.dimensions();
+    let fits = dst_x
+        .checked_add(width)
+        .is_some_and(|xe| xe <= dw)
+        && dst_y.checked_add(height).is_some_and(|ye| ye <= dh);
+    if !fits {
+        return Err(ImageError::RegionOutOfBounds {
+            x: dst_x,
+            y: dst_y,
+            width,
+            height,
+            image_width: dw,
+            image_height: dh,
+        });
+    }
+    for row in 0..height {
+        let src_row = view.row(row);
+        let dst_row = dst.row_mut(dst_y + row);
+        dst_row[dst_x..dst_x + width].copy_from_slice(src_row);
+    }
+    Ok(())
+}
+
+/// Mirror horizontally (left-right).
+pub fn flip_horizontal<P: Pixel>(src: &Image<P>) -> Image<P> {
+    let (w, h) = src.dimensions();
+    Image::from_fn(w, h, |x, y| src.pixel(w - 1 - x, y)).expect("same dimensions as src")
+}
+
+/// Mirror vertically (top-bottom).
+pub fn flip_vertical<P: Pixel>(src: &Image<P>) -> Image<P> {
+    let (w, h) = src.dimensions();
+    Image::from_fn(w, h, |x, y| src.pixel(x, h - 1 - y)).expect("same dimensions as src")
+}
+
+/// Rotate 90° clockwise (width and height swap).
+pub fn rotate90<P: Pixel>(src: &Image<P>) -> Image<P> {
+    let (w, h) = src.dimensions();
+    Image::from_fn(h, w, |x, y| src.pixel(y, h - 1 - x)).expect("swapped dimensions are valid")
+}
+
+/// Rotate 180°.
+pub fn rotate180<P: Pixel>(src: &Image<P>) -> Image<P> {
+    let (w, h) = src.dimensions();
+    Image::from_fn(w, h, |x, y| src.pixel(w - 1 - x, h - 1 - y)).expect("same dimensions as src")
+}
+
+/// Rotate 270° clockwise (i.e. 90° counter-clockwise).
+pub fn rotate270<P: Pixel>(src: &Image<P>) -> Image<P> {
+    let (w, h) = src.dimensions();
+    Image::from_fn(h, w, |x, y| src.pixel(w - 1 - y, x)).expect("swapped dimensions are valid")
+}
+
+/// Transpose rows and columns.
+pub fn transpose<P: Pixel>(src: &Image<P>) -> Image<P> {
+    let (w, h) = src.dimensions();
+    Image::from_fn(h, w, |x, y| src.pixel(y, x)).expect("swapped dimensions are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::GrayImage;
+    use crate::pixel::Gray;
+
+    fn numbered(w: usize, h: usize) -> GrayImage {
+        Image::from_fn(w, h, |x, y| Gray((y * w + x) as u8)).expect("valid dims")
+    }
+
+    #[test]
+    fn crop_extracts_expected_window() {
+        let img = numbered(6, 6);
+        let c = crop(&img, 2, 1, 3, 2).unwrap();
+        assert_eq!(c.dimensions(), (3, 2));
+        assert_eq!(c.pixel(0, 0), img.pixel(2, 1));
+        assert_eq!(c.pixel(2, 1), img.pixel(4, 2));
+        assert!(crop(&img, 5, 5, 3, 3).is_err());
+    }
+
+    #[test]
+    fn blit_roundtrip_with_crop() {
+        let img = numbered(8, 8);
+        let piece = crop(&img, 4, 4, 4, 4).unwrap();
+        let mut dst = GrayImage::black(8, 8).unwrap();
+        blit(&mut dst, &piece, 0, 0).unwrap();
+        assert_eq!(dst.pixel(0, 0), img.pixel(4, 4));
+        assert_eq!(dst.pixel(3, 3), img.pixel(7, 7));
+        assert_eq!(dst.pixel(4, 4), Gray(0));
+    }
+
+    #[test]
+    fn blit_rejects_overflow_positions() {
+        let mut dst = GrayImage::black(4, 4).unwrap();
+        let src = GrayImage::black(2, 2).unwrap();
+        assert!(blit(&mut dst, &src, 3, 0).is_err());
+        assert!(blit(&mut dst, &src, 0, 3).is_err());
+        assert!(blit(&mut dst, &src, usize::MAX, 0).is_err());
+        assert!(blit(&mut dst, &src, 2, 2).is_ok());
+    }
+
+    #[test]
+    fn blit_region_moves_window() {
+        let src = numbered(6, 6);
+        let mut dst = GrayImage::black(6, 6).unwrap();
+        blit_region(&mut dst, 0, 0, &src, 3, 3, 2, 2).unwrap();
+        assert_eq!(dst.pixel(0, 0), src.pixel(3, 3));
+        assert_eq!(dst.pixel(1, 1), src.pixel(4, 4));
+        assert!(blit_region(&mut dst, 5, 5, &src, 0, 0, 2, 2).is_err());
+        assert!(blit_region(&mut dst, 0, 0, &src, 5, 5, 2, 2).is_err());
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let img = numbered(5, 4);
+        assert_eq!(flip_horizontal(&flip_horizontal(&img)), img);
+        assert_eq!(flip_vertical(&flip_vertical(&img)), img);
+    }
+
+    #[test]
+    fn flip_horizontal_mirrors_first_row() {
+        let img = numbered(4, 1);
+        let f = flip_horizontal(&img);
+        assert_eq!(
+            f.pixels(),
+            &[Gray(3), Gray(2), Gray(1), Gray(0)]
+        );
+    }
+
+    #[test]
+    fn four_quarter_turns_are_identity() {
+        let img = numbered(5, 3);
+        let r = rotate90(&rotate90(&rotate90(&rotate90(&img))));
+        assert_eq!(r, img);
+    }
+
+    #[test]
+    fn rotate90_moves_corners() {
+        let img = numbered(3, 2);
+        let r = rotate90(&img);
+        assert_eq!(r.dimensions(), (2, 3));
+        // top-left of source goes to top-right of result
+        assert_eq!(r.pixel(1, 0), img.pixel(0, 0));
+        // bottom-left of source goes to top-left
+        assert_eq!(r.pixel(0, 0), img.pixel(0, 1));
+    }
+
+    #[test]
+    fn rotate180_equals_two_quarter_turns() {
+        let img = numbered(4, 3);
+        assert_eq!(rotate180(&img), rotate90(&rotate90(&img)));
+    }
+
+    #[test]
+    fn rotate270_inverts_rotate90() {
+        let img = numbered(4, 3);
+        assert_eq!(rotate270(&rotate90(&img)), img);
+        assert_eq!(rotate90(&rotate270(&img)), img);
+    }
+
+    #[test]
+    fn transpose_is_involution_and_swaps_axes() {
+        let img = numbered(5, 2);
+        let t = transpose(&img);
+        assert_eq!(t.dimensions(), (2, 5));
+        assert_eq!(t.pixel(1, 3), img.pixel(3, 1));
+        assert_eq!(transpose(&t), img);
+    }
+}

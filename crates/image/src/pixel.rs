@@ -1,0 +1,294 @@
+//! Pixel types.
+//!
+//! The paper's error function (Eq. 1) sums per-pixel absolute differences of
+//! 8-bit intensities, and §II notes the extension to color amounts to
+//! changing that per-pixel term. [`Pixel`] abstracts exactly that surface:
+//! a fixed number of `u8` channels, a luma projection, and an absolute
+//! difference, so every algorithm in the workspace is generic over
+//! grayscale ([`Gray`]) and RGB ([`Rgb`]).
+
+/// A fixed-layout 8-bit pixel.
+///
+/// Implementations must be plain value types: `CHANNELS` bytes of data with
+/// no interpretation beyond intensity per channel.
+pub trait Pixel: Copy + Clone + PartialEq + Eq + std::fmt::Debug + Send + Sync + 'static {
+    /// Number of 8-bit channels in the pixel.
+    const CHANNELS: usize;
+
+    /// Upper bound of [`Pixel::abs_diff`] between any two pixel values.
+    ///
+    /// Used to size accumulators: a tile of `M×M` pixels has SAD at most
+    /// `M * M * MAX_ABS_DIFF`.
+    const MAX_ABS_DIFF: u32;
+
+    /// A pixel with every channel zero (black).
+    const BLACK: Self;
+
+    /// A pixel with every channel at 255 (white).
+    const WHITE: Self;
+
+    /// Borrow the channels as a byte slice.
+    fn channels(&self) -> &[u8];
+
+    /// Build a pixel from a channel slice.
+    ///
+    /// # Panics
+    /// Panics if `channels.len() != Self::CHANNELS`.
+    fn from_channels(channels: &[u8]) -> Self;
+
+    /// Build a pixel where every channel holds `v` (gray pixels hold `v`,
+    /// RGB pixels become the gray color `(v, v, v)`).
+    fn splat(v: u8) -> Self;
+
+    /// Perceptual luma in `0..=255` (Rec. 601 weights for RGB).
+    fn luma(&self) -> u8;
+
+    /// Sum over channels of absolute differences — the per-pixel error term
+    /// `|e_{i,j}|` of the paper's Eq. (1), generalized to multi-channel.
+    fn abs_diff(&self, other: &Self) -> u32;
+
+    /// Squared Euclidean distance over channels; used by the SSD metric
+    /// ablation.
+    fn sq_diff(&self, other: &Self) -> u32;
+}
+
+/// 8-bit grayscale pixel.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Gray(pub u8);
+
+impl Gray {
+    /// Intensity value.
+    #[inline]
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+impl From<u8> for Gray {
+    #[inline]
+    fn from(v: u8) -> Self {
+        Gray(v)
+    }
+}
+
+impl Pixel for Gray {
+    const CHANNELS: usize = 1;
+    const MAX_ABS_DIFF: u32 = 255;
+    const BLACK: Self = Gray(0);
+    const WHITE: Self = Gray(255);
+
+    #[inline]
+    fn channels(&self) -> &[u8] {
+        std::slice::from_ref(&self.0)
+    }
+
+    #[inline]
+    fn from_channels(channels: &[u8]) -> Self {
+        assert_eq!(channels.len(), Self::CHANNELS, "Gray expects 1 channel");
+        Gray(channels[0])
+    }
+
+    #[inline]
+    fn splat(v: u8) -> Self {
+        Gray(v)
+    }
+
+    #[inline]
+    fn luma(&self) -> u8 {
+        self.0
+    }
+
+    #[inline]
+    fn abs_diff(&self, other: &Self) -> u32 {
+        u32::from(self.0.abs_diff(other.0))
+    }
+
+    #[inline]
+    fn sq_diff(&self, other: &Self) -> u32 {
+        let d = u32::from(self.0.abs_diff(other.0));
+        d * d
+    }
+}
+
+/// 8-bit RGB pixel.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rgb(pub [u8; 3]);
+
+impl Rgb {
+    /// Construct from individual channels.
+    #[inline]
+    pub fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb([r, g, b])
+    }
+
+    /// Red channel.
+    #[inline]
+    pub fn r(self) -> u8 {
+        self.0[0]
+    }
+
+    /// Green channel.
+    #[inline]
+    pub fn g(self) -> u8 {
+        self.0[1]
+    }
+
+    /// Blue channel.
+    #[inline]
+    pub fn b(self) -> u8 {
+        self.0[2]
+    }
+}
+
+impl From<[u8; 3]> for Rgb {
+    #[inline]
+    fn from(v: [u8; 3]) -> Self {
+        Rgb(v)
+    }
+}
+
+impl Pixel for Rgb {
+    const CHANNELS: usize = 3;
+    const MAX_ABS_DIFF: u32 = 3 * 255;
+    const BLACK: Self = Rgb([0; 3]);
+    const WHITE: Self = Rgb([255; 3]);
+
+    #[inline]
+    fn channels(&self) -> &[u8] {
+        &self.0
+    }
+
+    #[inline]
+    fn from_channels(channels: &[u8]) -> Self {
+        assert_eq!(channels.len(), Self::CHANNELS, "Rgb expects 3 channels");
+        Rgb([channels[0], channels[1], channels[2]])
+    }
+
+    #[inline]
+    fn splat(v: u8) -> Self {
+        Rgb([v, v, v])
+    }
+
+    #[inline]
+    fn luma(&self) -> u8 {
+        // Rec. 601 integer approximation: (77 R + 150 G + 29 B) / 256.
+        let [r, g, b] = self.0;
+        ((77 * u32::from(r) + 150 * u32::from(g) + 29 * u32::from(b)) >> 8) as u8
+    }
+
+    #[inline]
+    fn abs_diff(&self, other: &Self) -> u32 {
+        let a = self.0;
+        let b = other.0;
+        u32::from(a[0].abs_diff(b[0])) + u32::from(a[1].abs_diff(b[1])) + u32::from(a[2].abs_diff(b[2]))
+    }
+
+    #[inline]
+    fn sq_diff(&self, other: &Self) -> u32 {
+        let a = self.0;
+        let b = other.0;
+        let d0 = u32::from(a[0].abs_diff(b[0]));
+        let d1 = u32::from(a[1].abs_diff(b[1]));
+        let d2 = u32::from(a[2].abs_diff(b[2]));
+        d0 * d0 + d1 * d1 + d2 * d2
+    }
+}
+
+/// Convert an RGB pixel to grayscale via its luma.
+impl From<Rgb> for Gray {
+    #[inline]
+    fn from(p: Rgb) -> Self {
+        Gray(p.luma())
+    }
+}
+
+/// Promote a gray pixel to a neutral RGB color.
+impl From<Gray> for Rgb {
+    #[inline]
+    fn from(p: Gray) -> Self {
+        Rgb::splat(p.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_basics() {
+        let a = Gray(10);
+        let b = Gray(250);
+        assert_eq!(a.abs_diff(&b), 240);
+        assert_eq!(b.abs_diff(&a), 240);
+        assert_eq!(a.sq_diff(&b), 240 * 240);
+        assert_eq!(a.luma(), 10);
+        assert_eq!(Gray::splat(7), Gray(7));
+        assert_eq!(Gray::from_channels(&[9]), Gray(9));
+        assert_eq!(Gray(3).channels(), &[3]);
+    }
+
+    #[test]
+    fn gray_extremes_hit_max_abs_diff() {
+        assert_eq!(Gray::BLACK.abs_diff(&Gray::WHITE), Gray::MAX_ABS_DIFF);
+    }
+
+    #[test]
+    fn rgb_basics() {
+        let a = Rgb::new(10, 20, 30);
+        let b = Rgb::new(30, 10, 20);
+        assert_eq!(a.abs_diff(&b), 20 + 10 + 10);
+        assert_eq!(a.sq_diff(&b), 400 + 100 + 100);
+        assert_eq!(a.channels(), &[10, 20, 30]);
+        assert_eq!(Rgb::from_channels(&[1, 2, 3]), Rgb::new(1, 2, 3));
+        assert_eq!(Rgb::splat(5), Rgb::new(5, 5, 5));
+    }
+
+    #[test]
+    fn rgb_extremes_hit_max_abs_diff() {
+        assert_eq!(Rgb::BLACK.abs_diff(&Rgb::WHITE), Rgb::MAX_ABS_DIFF);
+    }
+
+    #[test]
+    fn rgb_luma_weights() {
+        // Pure white must map to 255-ish; integer truncation gives 255.
+        assert_eq!(Rgb::new(255, 255, 255).luma(), 255);
+        assert_eq!(Rgb::new(0, 0, 0).luma(), 0);
+        // Green dominates red dominates blue.
+        let g = Rgb::new(0, 255, 0).luma();
+        let r = Rgb::new(255, 0, 0).luma();
+        let b = Rgb::new(0, 0, 255).luma();
+        assert!(g > r && r > b, "{g} {r} {b}");
+    }
+
+    #[test]
+    fn gray_rgb_conversions() {
+        assert_eq!(Gray::from(Rgb::splat(42)), Gray(42));
+        assert_eq!(Rgb::from(Gray(9)), Rgb::splat(9));
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric_and_zero_on_self() {
+        for v in [0u8, 1, 127, 254, 255] {
+            let p = Gray(v);
+            assert_eq!(p.abs_diff(&p), 0);
+        }
+        let a = Rgb::new(1, 200, 40);
+        assert_eq!(a.abs_diff(&a), 0);
+        let b = Rgb::new(90, 2, 255);
+        assert_eq!(a.abs_diff(&b), b.abs_diff(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "Gray expects 1 channel")]
+    fn gray_from_channels_wrong_len_panics() {
+        let _ = Gray::from_channels(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "Rgb expects 3 channels")]
+    fn rgb_from_channels_wrong_len_panics() {
+        let _ = Rgb::from_channels(&[1, 2]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the image substrate.
+
+use mosaic_image::histogram::{apply_lut, match_histogram, Histogram, LEVELS};
+use mosaic_image::io::{read_pgm, read_ppm, write_pgm, write_pgm_ascii, write_ppm};
+use mosaic_image::metrics;
+use mosaic_image::ops;
+use mosaic_image::pixel::{Gray, Pixel, Rgb};
+use mosaic_image::resize::{resize_bilinear, resize_box, resize_nearest};
+use mosaic_image::Image;
+use proptest::prelude::*;
+
+fn arb_gray_image(max_side: usize) -> impl Strategy<Value = Image<Gray>> {
+    (1..=max_side, 1..=max_side).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), w * h)
+            .prop_map(move |v| Image::from_vec(w, h, v.into_iter().map(Gray).collect()).unwrap())
+    })
+}
+
+fn arb_rgb_image(max_side: usize) -> impl Strategy<Value = Image<Rgb>> {
+    (1..=max_side, 1..=max_side).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<[u8; 3]>(), w * h)
+            .prop_map(move |v| Image::from_vec(w, h, v.into_iter().map(Rgb).collect()).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn pgm_binary_roundtrips(img in arb_gray_image(24)) {
+        let back = read_pgm(&write_pgm(&img)).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn pgm_ascii_roundtrips(img in arb_gray_image(16)) {
+        let back = read_pgm(&write_pgm_ascii(&img)).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ppm_binary_roundtrips(img in arb_rgb_image(16)) {
+        let back = read_ppm(&write_ppm(&img)).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn histogram_total_matches_pixel_count(img in arb_gray_image(24)) {
+        let h = Histogram::of_luma(&img);
+        prop_assert_eq!(h.total() as usize, img.pixels().len());
+        let cdf = h.cdf();
+        prop_assert_eq!(cdf[LEVELS - 1], h.total());
+    }
+
+    #[test]
+    fn equalization_lut_is_monotone(img in arb_gray_image(24)) {
+        let lut = Histogram::of_luma(&img).equalization_lut();
+        for w in lut.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn specification_lut_is_monotone(a in arb_gray_image(16), b in arb_gray_image(16)) {
+        let lut = Histogram::of_luma(&a).specification_lut(&Histogram::of_luma(&b));
+        for w in lut.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn matched_image_range_within_reference_range(a in arb_gray_image(16), b in arb_gray_image(16)) {
+        // Every output level of CDF matching is a level of the reference's
+        // support upper-bounded region: min_ref <= out <= max_ref whenever
+        // the reference is non-empty.
+        let matched = match_histogram(&a, &b);
+        let hb = Histogram::of_luma(&b);
+        let (lo, hi) = (hb.min_value().unwrap(), hb.max_value().unwrap());
+        for (_, _, p) in matched.enumerate_pixels() {
+            prop_assert!(p.0 >= lo && p.0 <= hi, "{} not in [{lo},{hi}]", p.0);
+        }
+    }
+
+    #[test]
+    fn identity_lut_preserves_image(img in arb_gray_image(16)) {
+        let mut lut = [0u8; LEVELS];
+        for (i, s) in lut.iter_mut().enumerate() { *s = i as u8; }
+        prop_assert_eq!(apply_lut(&img, &lut), img);
+    }
+
+    #[test]
+    fn sad_is_a_metric_on_images(
+        (a, b) in (1usize..=12, 1usize..=12).prop_flat_map(|(w, h)| {
+            let n = w * h;
+            (
+                proptest::collection::vec(any::<u8>(), n)
+                    .prop_map(move |v| Image::from_vec(w, h, v.into_iter().map(Gray).collect()).unwrap()),
+                proptest::collection::vec(any::<u8>(), n)
+                    .prop_map(move |v| Image::from_vec(w, h, v.into_iter().map(Gray).collect()).unwrap()),
+            )
+        })
+    ) {
+        prop_assert_eq!(metrics::sad(&a, &b), metrics::sad(&b, &a));
+        prop_assert_eq!(metrics::sad(&a, &a), 0);
+    }
+
+    #[test]
+    fn sad_triangle_inequality(
+        (a, b, c) in (1usize..=10, 1usize..=10).prop_flat_map(|(w, h)| {
+            let n = w * h;
+            (
+                proptest::collection::vec(any::<u8>(), n)
+                    .prop_map(move |v| Image::from_vec(w, h, v.into_iter().map(Gray).collect()).unwrap()),
+                proptest::collection::vec(any::<u8>(), n)
+                    .prop_map(move |v| Image::from_vec(w, h, v.into_iter().map(Gray).collect()).unwrap()),
+                proptest::collection::vec(any::<u8>(), n)
+                    .prop_map(move |v| Image::from_vec(w, h, v.into_iter().map(Gray).collect()).unwrap()),
+            )
+        })
+    ) {
+        prop_assert!(metrics::sad(&a, &c) <= metrics::sad(&a, &b) + metrics::sad(&b, &c));
+    }
+
+    #[test]
+    fn flips_and_rotations_preserve_histogram(img in arb_gray_image(16)) {
+        let h = Histogram::of_luma(&img);
+        prop_assert_eq!(&h, &Histogram::of_luma(&ops::flip_horizontal(&img)));
+        prop_assert_eq!(&h, &Histogram::of_luma(&ops::flip_vertical(&img)));
+        prop_assert_eq!(&h, &Histogram::of_luma(&ops::rotate90(&img)));
+        prop_assert_eq!(&h, &Histogram::of_luma(&ops::rotate180(&img)));
+        prop_assert_eq!(&h, &Histogram::of_luma(&ops::transpose(&img)));
+    }
+
+    #[test]
+    fn crop_then_blit_restores_region(
+        img in arb_gray_image(16),
+        xf in 0.0f64..1.0,
+        yf in 0.0f64..1.0,
+    ) {
+        let (w, h) = img.dimensions();
+        let x = (xf * w as f64) as usize % w;
+        let y = (yf * h as f64) as usize % h;
+        let cw = (w - x).max(1);
+        let ch = (h - y).max(1);
+        let piece = ops::crop(&img, x, y, cw, ch).unwrap();
+        let mut copy = img.clone();
+        ops::blit(&mut copy, &piece, x, y).unwrap();
+        prop_assert_eq!(copy, img);
+    }
+
+    #[test]
+    fn resize_preserves_dimensions(img in arb_gray_image(16), nw in 1usize..24, nh in 1usize..24) {
+        prop_assert_eq!(resize_nearest(&img, nw, nh).unwrap().dimensions(), (nw, nh));
+        prop_assert_eq!(resize_box(&img, nw, nh).unwrap().dimensions(), (nw, nh));
+        prop_assert_eq!(resize_bilinear(&img, nw, nh).unwrap().dimensions(), (nw, nh));
+    }
+
+    #[test]
+    fn resize_output_within_input_range(img in arb_gray_image(12), nw in 1usize..16, nh in 1usize..16) {
+        let h = Histogram::of_luma(&img);
+        let (lo, hi) = (h.min_value().unwrap(), h.max_value().unwrap());
+        for out in [
+            resize_nearest(&img, nw, nh).unwrap(),
+            resize_box(&img, nw, nh).unwrap(),
+            resize_bilinear(&img, nw, nh).unwrap(),
+        ] {
+            for (_, _, p) in out.enumerate_pixels() {
+                prop_assert!(p.0 >= lo && p.0 <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn luma_within_channel_bounds(r in any::<u8>(), g in any::<u8>(), b in any::<u8>()) {
+        let l = Rgb::new(r, g, b).luma();
+        let lo = r.min(g).min(b);
+        let hi = r.max(g).max(b);
+        // Integer truncation can dip 1 below the channel minimum.
+        prop_assert!(u16::from(l) + 1 >= u16::from(lo));
+        prop_assert!(l <= hi);
+    }
+
+    #[test]
+    fn abs_diff_consistent_with_sq_diff(a in any::<[u8;3]>(), b in any::<[u8;3]>()) {
+        let pa = Rgb(a);
+        let pb = Rgb(b);
+        // Cauchy-Schwarz-ish sanity: sq_diff = 0 iff abs_diff = 0.
+        prop_assert_eq!(pa.sq_diff(&pb) == 0, pa.abs_diff(&pb) == 0);
+        // abs_diff bounded by MAX_ABS_DIFF.
+        prop_assert!(pa.abs_diff(&pb) <= Rgb::MAX_ABS_DIFF);
+    }
+}

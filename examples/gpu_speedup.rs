@@ -1,0 +1,63 @@
+//! Backend comparison: serial CPU vs multi-core CPU vs simulated device.
+//!
+//! ```text
+//! cargo run --release --example gpu_speedup
+//! ```
+//!
+//! Times the full approximation pipeline (Step 2 + Step 3) on all three
+//! backends, prints the measured speedups over the serial baseline, and
+//! the analytic model's predicted Tesla K40 speedup next to them (the
+//! quantity comparable to the paper's Table IV).
+
+use photomosaic::{generate, Algorithm, Backend, MosaicBuilder};
+use photomosaic_suite::figure2_pair;
+
+fn main() {
+    let size = 512;
+    let grid = 32;
+    let (input, target) = figure2_pair(size);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("approximation pipeline, N={size}, S={grid}x{grid}, {workers} host cores");
+    println!();
+    println!(
+        "{:>10} | {:>10} | {:>10} | {:>10} | {:>9}",
+        "backend", "step2", "step3", "total", "speedup"
+    );
+    println!("{}", "-".repeat(60));
+
+    let mut serial_total = None;
+    for backend in [
+        Backend::Serial,
+        Backend::Threads(workers),
+        Backend::GpuSim { workers: None },
+    ] {
+        let config = MosaicBuilder::new()
+            .grid(grid)
+            .algorithm(Algorithm::ParallelSearch)
+            .backend(backend)
+            .build();
+        let result = generate(&input, &target, &config).expect("valid geometry");
+        let total = result.report.total_wall().as_secs_f64();
+        if backend == Backend::Serial {
+            serial_total = Some(total);
+        }
+        let speedup = serial_total.map(|s| s / total).unwrap_or(1.0);
+        println!(
+            "{:>10} | {:>8.1}ms | {:>8.1}ms | {:>8.1}ms | {:>8.2}x",
+            backend.name(),
+            result.report.step2_wall.as_secs_f64() * 1e3,
+            result.report.step3_wall.as_secs_f64() * 1e3,
+            total * 1e3,
+            speedup,
+        );
+        if matches!(backend, Backend::GpuSim { .. }) {
+            println!(
+                "{:>10} | modeled Tesla K40 over 1-core host: {:>6.1}x (paper Table IV: 22-67x)",
+                "", result.report.modeled_speedup()
+            );
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Hierarchical coarse-to-fine rearrangement (scalability extension).
+//!
+//! ```text
+//! cargo run --release --example hierarchical_mosaic
+//! ```
+//!
+//! Compares the dense exact solver against the multiresolution solver
+//! (pure, and with the Algorithm-1 polish), printing the time/quality
+//! trade-off. The pure hierarchy is hundreds of times faster but its
+//! block constraint binds hard on histogram-matched pairs; the polish
+//! repairs the quality while staying well below the O(S³) exact cost —
+//! the gap widens with S (see EXPERIMENTS.md).
+
+use mosaic_assign::SolverKind;
+use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
+use mosaic_image::io::save_pgm;
+use photomosaic::multires::{generate_hierarchical, MultiresConfig};
+use photomosaic::optimal::optimal_rearrangement;
+use photomosaic::preprocess::preprocess_gray;
+use photomosaic::Preprocess;
+use photomosaic_suite::{figure2_pair, out_dir};
+use std::time::Instant;
+
+fn main() {
+    let size = 512;
+    let grid = 32;
+    let (input, target) = figure2_pair(size);
+    let prepared = preprocess_gray(&input, &target, Preprocess::MatchTarget);
+    let layout = TileLayout::with_grid(size, grid).expect("divisible");
+
+    // Dense exact baseline (matrix + JV).
+    let t0 = Instant::now();
+    let matrix = build_error_matrix(&prepared, &target, layout, TileMetric::Sad).unwrap();
+    let dense = optimal_rearrangement(&matrix, SolverKind::JonkerVolgenant);
+    let dense_time = t0.elapsed();
+
+    // Pure hierarchy (no S x S matrix at all).
+    let mcfg = MultiresConfig {
+        leaf_grid: 8,
+        metric: TileMetric::Sad,
+    };
+    let t1 = Instant::now();
+    let pure = photomosaic::multires::hierarchical_rearrangement(
+        &prepared, &target, layout, mcfg,
+    )
+    .expect("grid = leaf * 2^k");
+    let pure_time = t1.elapsed();
+
+    // Hierarchy + Algorithm-1 polish (assembles the output image too).
+    let t2 = Instant::now();
+    let (image, hier) = generate_hierarchical(&input, &target, grid, mcfg)
+        .expect("grid = leaf * 2^k");
+    let polish_time = t2.elapsed();
+
+    println!("S = {grid}x{grid}, N = {size} (histogram-matched pair)");
+    println!(
+        "dense exact     : total {} in {:>7.3}s",
+        dense.total,
+        dense_time.as_secs_f64()
+    );
+    println!(
+        "hier (pure)     : total {} in {:>7.3}s ({:.2}% over optimal, {:.0}x faster)",
+        pure.total,
+        pure_time.as_secs_f64(),
+        100.0 * (pure.total - dense.total) as f64 / dense.total as f64,
+        dense_time.as_secs_f64() / pure_time.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "hier + polish   : total {} in {:>7.3}s ({:.2}% over optimal)",
+        hier.total,
+        polish_time.as_secs_f64(),
+        100.0 * (hier.total - dense.total) as f64 / dense.total as f64,
+    );
+
+    let dir = out_dir();
+    save_pgm(dir.join("hierarchical_mosaic.pgm"), &image).expect("write");
+    println!("mosaic written to {}", dir.display());
+}

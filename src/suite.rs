@@ -1,0 +1,66 @@
+//! Shared helpers for the workspace examples and integration tests.
+//!
+//! The real API surface lives in the `photomosaic` crate and its
+//! substrates; this tiny library only provides conveniences the example
+//! binaries share (standard scene pairs, an output directory).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mosaic_image::synth::{self, Scene};
+use mosaic_image::GrayImage;
+use std::path::PathBuf;
+
+/// Directory example binaries write images into (`out/` under the
+/// workspace root, created on demand).
+///
+/// # Panics
+/// Panics when the directory cannot be created.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("out");
+    std::fs::create_dir_all(&dir).expect("failed to create out/ directory");
+    dir
+}
+
+/// The paper's Figure-2 stand-in pair (portrait → regatta) at `size`.
+pub fn figure2_pair(size: usize) -> (GrayImage, GrayImage) {
+    (
+        Scene::Portrait.render(size, 0xF1C2),
+        Scene::Regatta.render(size, 0xF1C2 + 1),
+    )
+}
+
+/// All four experiment pairs at `size` (Figure 2 + the three Figure-8
+/// pairs), with deterministic seeds.
+pub fn experiment_pairs(size: usize) -> Vec<(String, GrayImage, GrayImage)> {
+    synth::paper_pairs()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (a, b))| {
+            let name = format!("{}-to-{}", a.name(), b.name());
+            (
+                name,
+                a.render(size, 0xAB00 + i as u64),
+                b.render(size, 0xCD00 + i as u64),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_deterministic_and_sized() {
+        let (a, b) = figure2_pair(64);
+        assert_eq!(a.dimensions(), (64, 64));
+        assert_eq!(b.dimensions(), (64, 64));
+        let (a2, _) = figure2_pair(64);
+        assert_eq!(a, a2);
+        let pairs = experiment_pairs(32);
+        assert_eq!(pairs.len(), 4);
+        let names: Vec<&str> = pairs.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert!(names.contains(&"portrait-to-regatta"));
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end integration tests across all crates: the full pipeline on
+//! the paper's experiment pairs at laptop scale.
+
+use mosaic_assign::SolverKind;
+use mosaic_image::metrics;
+use photomosaic::{generate, Algorithm, Backend, MosaicBuilder, Preprocess};
+use photomosaic_suite::{experiment_pairs, figure2_pair};
+
+#[test]
+fn table1_ordering_holds_on_figure2_pair() {
+    // Table I: for every grid size, optimization <= approximation totals,
+    // and the serial/parallel approximations land close together.
+    let (input, target) = figure2_pair(128);
+    for grid in [4usize, 8, 16] {
+        let run = |algorithm| {
+            let config = MosaicBuilder::new()
+                .grid(grid)
+                .algorithm(algorithm)
+                .backend(Backend::Serial)
+                .build();
+            generate(&input, &target, &config).unwrap().report
+        };
+        let optimal = run(Algorithm::Optimal(SolverKind::JonkerVolgenant));
+        let serial = run(Algorithm::LocalSearch);
+        let parallel = run(Algorithm::ParallelSearch);
+        assert!(optimal.total_error <= serial.total_error, "grid {grid}");
+        assert!(optimal.total_error <= parallel.total_error, "grid {grid}");
+        // §VI: "their total errors differ, but the difference is small".
+        let lo = serial.total_error.min(parallel.total_error) as f64;
+        let hi = serial.total_error.max(parallel.total_error) as f64;
+        assert!(hi / lo.max(1.0) < 1.25, "grid {grid}: {lo} vs {hi}");
+    }
+}
+
+#[test]
+fn error_decreases_as_grid_refines() {
+    // Figure 7 / Table I trend: more (smaller) tiles reproduce the target
+    // better, so the total error shrinks as S grows.
+    let (input, target) = figure2_pair(128);
+    let mut previous = u64::MAX;
+    for grid in [4usize, 8, 16, 32] {
+        let config = MosaicBuilder::new()
+            .grid(grid)
+            .algorithm(Algorithm::Optimal(SolverKind::JonkerVolgenant))
+            .backend(Backend::Serial)
+            .build();
+        let report = generate(&input, &target, &config).unwrap().report;
+        assert!(
+            report.total_error < previous,
+            "grid {grid}: {} !< {previous}",
+            report.total_error
+        );
+        previous = report.total_error;
+    }
+}
+
+#[test]
+fn all_experiment_pairs_generate_on_all_algorithms() {
+    for (name, input, target) in experiment_pairs(64) {
+        for algorithm in [
+            Algorithm::Optimal(SolverKind::JonkerVolgenant),
+            Algorithm::LocalSearch,
+            Algorithm::ParallelSearch,
+        ] {
+            let config = MosaicBuilder::new()
+                .grid(8)
+                .algorithm(algorithm)
+                .backend(Backend::Serial)
+                .build();
+            let result = generate(&input, &target, &config).unwrap();
+            // Reported Eq.-2 total equals the assembled image's SAD.
+            assert_eq!(
+                result.report.total_error,
+                metrics::sad(&result.image, &target),
+                "{name} / {algorithm:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_counts_stay_small() {
+    // §IV-A: k was at most 9, 8, 16 for the paper's grids; on synthetic
+    // pairs at our scale the sweep count must stay of that order.
+    let (input, target) = figure2_pair(256);
+    for grid in [8usize, 16, 32] {
+        let config = MosaicBuilder::new()
+            .grid(grid)
+            .algorithm(Algorithm::LocalSearch)
+            .backend(Backend::Threads(4))
+            .build();
+        let report = generate(&input, &target, &config).unwrap().report;
+        assert!(
+            (1..=32).contains(&report.sweeps),
+            "grid {grid}: k = {}",
+            report.sweeps
+        );
+    }
+}
+
+#[test]
+fn histogram_matching_improves_reproduction() {
+    // §II's rationale: with very different intensity distributions,
+    // matching the input's histogram to the target's lets the
+    // rearrangement reproduce the target better.
+    let (input, target) = figure2_pair(128);
+    let run = |preprocess| {
+        let config = MosaicBuilder::new()
+            .grid(16)
+            .algorithm(Algorithm::Optimal(SolverKind::JonkerVolgenant))
+            .backend(Backend::Serial)
+            .preprocess(preprocess)
+            .build();
+        generate(&input, &target, &config).unwrap().report.total_error
+    };
+    let matched = run(Preprocess::MatchTarget);
+    let raw = run(Preprocess::None);
+    assert!(
+        matched < raw,
+        "histogram matching should reduce the total error: {matched} vs {raw}"
+    );
+}
+
+#[test]
+fn parallel_and_gpu_backends_reproduce_serial_exactly() {
+    let (input, target) = figure2_pair(96);
+    let mk = |backend| {
+        MosaicBuilder::new()
+            .grid(12)
+            .algorithm(Algorithm::ParallelSearch)
+            .backend(backend)
+            .build()
+    };
+    let serial = generate(&input, &target, &mk(Backend::Serial)).unwrap();
+    let threads = generate(&input, &target, &mk(Backend::Threads(4))).unwrap();
+    let gpu = generate(&input, &target, &mk(Backend::GpuSim { workers: Some(3) })).unwrap();
+    assert_eq!(serial.image, threads.image);
+    assert_eq!(serial.image, gpu.image);
+    assert_eq!(serial.assignment, gpu.assignment);
+}
+
+#[test]
+fn mosaic_is_closer_to_target_than_input_is() {
+    // The whole point of the method: the rearranged image approximates
+    // the target better than the (histogram-matched) input did.
+    let (input, target) = figure2_pair(128);
+    let config = MosaicBuilder::new()
+        .grid(16)
+        .algorithm(Algorithm::ParallelSearch)
+        .backend(Backend::Serial)
+        .build();
+    let result = generate(&input, &target, &config).unwrap();
+    let prepared = photomosaic::preprocess::preprocess_gray(
+        &input,
+        &target,
+        Preprocess::MatchTarget,
+    );
+    assert!(metrics::sad(&result.image, &target) < metrics::sad(&prepared, &target));
+    assert!(metrics::psnr(&result.image, &target) > metrics::psnr(&prepared, &target));
+}

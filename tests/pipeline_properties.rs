@@ -1,0 +1,130 @@
+//! Property-based tests over the full pipeline on random images.
+
+use mosaic_image::{metrics, Gray, Image};
+use photomosaic::{generate, Algorithm, Backend, MosaicBuilder, Preprocess};
+use proptest::prelude::*;
+
+/// Random square images whose size is `grid * tile` for small factors,
+/// generated as a same-sized pair.
+fn arb_pair() -> impl Strategy<Value = (Image<Gray>, Image<Gray>, usize)> {
+    (2usize..=4, 3usize..=6).prop_flat_map(|(grid, tile)| {
+        let n = grid * tile;
+        (
+            proptest::collection::vec(any::<u8>(), n * n),
+            proptest::collection::vec(any::<u8>(), n * n),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Image::from_vec(n, n, a.into_iter().map(Gray).collect()).unwrap(),
+                    Image::from_vec(n, n, b.into_iter().map(Gray).collect()).unwrap(),
+                    grid,
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pipeline_is_deterministic((input, target, grid) in arb_pair()) {
+        let config = MosaicBuilder::new()
+            .grid(grid)
+            .backend(Backend::Serial)
+            .build();
+        let a = generate(&input, &target, &config).unwrap();
+        let b = generate(&input, &target, &config).unwrap();
+        prop_assert_eq!(a.image, b.image);
+        prop_assert_eq!(a.assignment, b.assignment);
+        prop_assert_eq!(a.report.total_error, b.report.total_error);
+    }
+
+    #[test]
+    fn reported_total_equals_assembled_sad((input, target, grid) in arb_pair()) {
+        for algorithm in [
+            Algorithm::Optimal(mosaic_assign::SolverKind::JonkerVolgenant),
+            Algorithm::LocalSearch,
+            Algorithm::ParallelSearch,
+        ] {
+            let config = MosaicBuilder::new()
+                .grid(grid)
+                .algorithm(algorithm)
+                .backend(Backend::Serial)
+                .build();
+            let result = generate(&input, &target, &config).unwrap();
+            prop_assert_eq!(
+                result.report.total_error,
+                metrics::sad(&result.image, &target)
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_bounds_every_other_algorithm((input, target, grid) in arb_pair()) {
+        let run = |algorithm| {
+            let config = MosaicBuilder::new()
+                .grid(grid)
+                .algorithm(algorithm)
+                .backend(Backend::Serial)
+                .build();
+            generate(&input, &target, &config).unwrap().report.total_error
+        };
+        let optimal = run(Algorithm::Optimal(mosaic_assign::SolverKind::Hungarian));
+        let sparse = run(Algorithm::SparseMatch { k: 4 });
+        let anneal = run(Algorithm::Anneal { seed: 1, sweeps: 2 });
+        let blossom = run(Algorithm::Optimal(mosaic_assign::SolverKind::Blossom));
+        prop_assert!(run(Algorithm::LocalSearch) >= optimal);
+        prop_assert!(run(Algorithm::ParallelSearch) >= optimal);
+        prop_assert!(run(Algorithm::Greedy) >= optimal);
+        prop_assert!(sparse >= optimal);
+        prop_assert!(anneal >= optimal);
+        prop_assert_eq!(blossom, optimal);
+    }
+
+    #[test]
+    fn mosaic_without_preprocess_is_a_tile_permutation((input, target, grid) in arb_pair()) {
+        let config = MosaicBuilder::new()
+            .grid(grid)
+            .backend(Backend::Serial)
+            .preprocess(Preprocess::None)
+            .build();
+        let result = generate(&input, &target, &config).unwrap();
+        let mut a: Vec<u8> = input.pixels().iter().map(|p| p.0).collect();
+        let mut b: Vec<u8> = result.image.pixels().iter().map(|p| p.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rearranged_never_worse_than_unrearranged((input, target, grid) in arb_pair()) {
+        let config = MosaicBuilder::new()
+            .grid(grid)
+            .backend(Backend::Serial)
+            .preprocess(Preprocess::None)
+            .build();
+        let result = generate(&input, &target, &config).unwrap();
+        prop_assert!(result.report.total_error <= metrics::sad(&input, &target));
+    }
+
+    #[test]
+    fn backends_are_bit_identical((input, target, grid) in arb_pair()) {
+        let mk = |backend| {
+            MosaicBuilder::new()
+                .grid(grid)
+                .algorithm(Algorithm::ParallelSearch)
+                .backend(backend)
+                .build()
+        };
+        let serial = generate(&input, &target, &mk(Backend::Serial)).unwrap();
+        let threads = generate(&input, &target, &mk(Backend::Threads(2))).unwrap();
+        let gpu = generate(
+            &input,
+            &target,
+            &mk(Backend::GpuSim { workers: Some(2) }),
+        )
+        .unwrap();
+        prop_assert_eq!(&serial.image, &threads.image);
+        prop_assert_eq!(&serial.image, &gpu.image);
+    }
+}
