@@ -234,8 +234,7 @@ impl MaxMatching {
         let members = self.flower[b].clone();
         for &xs in &members {
             for x in 1..=self.n_x {
-                if self.g[b][x].w == 0
-                    || self.e_delta(&self.g[xs][x]) < self.e_delta(&self.g[b][x])
+                if self.g[b][x].w == 0 || self.e_delta(&self.g[xs][x]) < self.e_delta(&self.g[b][x])
                 {
                     self.g[b][x] = self.g[xs][x];
                     self.g[x][b] = self.g[x][xs];
@@ -427,7 +426,10 @@ impl MaxMatching {
 /// Panics when `n` is odd or zero, or `weights` is not `n × n`.
 pub fn min_weight_perfect_matching(weights: &[Vec<i64>]) -> (Vec<usize>, u64) {
     let n = weights.len();
-    assert!(n > 0 && n.is_multiple_of(2), "perfect matching requires even n > 0");
+    assert!(
+        n > 0 && n.is_multiple_of(2),
+        "perfect matching requires even n > 0"
+    );
     for row in weights {
         assert_eq!(row.len(), n, "weights must be square");
     }

@@ -177,13 +177,7 @@ mod tests {
 
     #[test]
     fn handles_large_entries_without_overflow() {
-        let cost = CostMatrix::from_fn(4, |r, c| {
-            if r == c {
-                u32::MAX - 10
-            } else {
-                u32::MAX
-            }
-        });
+        let cost = CostMatrix::from_fn(4, |r, c| if r == c { u32::MAX - 10 } else { u32::MAX });
         let a = HungarianSolver.solve(&cost);
         assert_eq!(a.total(), 4 * (u64::from(u32::MAX) - 10));
     }

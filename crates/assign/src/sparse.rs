@@ -299,7 +299,11 @@ mod tests {
                 k: 24,
                 scaling_factor: 4,
             };
-            assert_eq!(solver.solve(&dense).total(), optimal_total(&dense), "seed {seed}");
+            assert_eq!(
+                solver.solve(&dense).total(),
+                optimal_total(&dense),
+                "seed {seed}"
+            );
         }
     }
 

@@ -1,0 +1,184 @@
+//! Property-based tests certifying the polynomial solvers against the
+//! brute-force oracle and each other, driven by the deterministic
+//! [`mosaic_image::testutil`] PRNG (ported from the former `proptest`
+//! suite; every case reproduces from the printed seed).
+
+use mosaic_assign::{
+    AuctionSolver, BlossomSolver, BruteForceSolver, CostMatrix, GreedySolver, HungarianSolver,
+    JonkerVolgenantSolver, Solver,
+};
+use mosaic_image::testutil::XorShift;
+
+fn arb_cost_matrix(rng: &mut XorShift, max_n: usize, max_cost: u32) -> CostMatrix {
+    let n = rng.range(1, max_n);
+    let data: Vec<u32> = (0..n * n)
+        .map(|_| rng.next_u32() % (max_cost + 1))
+        .collect();
+    CostMatrix::from_vec(n, data)
+}
+
+#[test]
+fn exact_solvers_match_brute_force() {
+    for seed in 0..48 {
+        let mut rng = XorShift::new(seed);
+        let cost = arb_cost_matrix(&mut rng, 7, 1000);
+        let brute = BruteForceSolver.solve(&cost).total();
+        assert_eq!(HungarianSolver.solve(&cost).total(), brute, "seed {seed}");
+        assert_eq!(
+            JonkerVolgenantSolver.solve(&cost).total(),
+            brute,
+            "seed {seed}"
+        );
+        assert_eq!(
+            AuctionSolver::default().solve(&cost).total(),
+            brute,
+            "seed {seed}"
+        );
+        assert_eq!(BlossomSolver.solve(&cost).total(), brute, "seed {seed}");
+    }
+}
+
+#[test]
+fn exact_solvers_agree_on_larger_instances() {
+    for seed in 0..12 {
+        let mut rng = XorShift::new(seed);
+        let cost = arb_cost_matrix(&mut rng, 40, 100_000);
+        let h = HungarianSolver.solve(&cost).total();
+        assert_eq!(JonkerVolgenantSolver.solve(&cost).total(), h, "seed {seed}");
+        assert_eq!(
+            AuctionSolver::default().solve(&cost).total(),
+            h,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn exact_solvers_handle_heavy_ties() {
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let cost = arb_cost_matrix(&mut rng, 24, 3);
+        let h = HungarianSolver.solve(&cost).total();
+        assert_eq!(JonkerVolgenantSolver.solve(&cost).total(), h, "seed {seed}");
+        assert_eq!(
+            AuctionSolver::default().solve(&cost).total(),
+            h,
+            "seed {seed}"
+        );
+        assert_eq!(BlossomSolver.solve(&cost).total(), h, "seed {seed}");
+    }
+}
+
+#[test]
+fn blossom_matches_hungarian_via_embedding() {
+    // The paper's configuration: bipartite assignment through a
+    // general-graph matcher.
+    for seed in 0..16 {
+        let mut rng = XorShift::new(seed);
+        let cost = arb_cost_matrix(&mut rng, 20, 100_000);
+        assert_eq!(
+            BlossomSolver.solve(&cost).total(),
+            HungarianSolver.solve(&cost).total(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn greedy_is_feasible_and_dominated() {
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let cost = arb_cost_matrix(&mut rng, 24, 10_000);
+        let greedy = GreedySolver.solve(&cost);
+        let opt = HungarianSolver.solve(&cost);
+        assert!(greedy.total() >= opt.total(), "seed {seed}");
+        // Feasibility: mapping is a permutation (validated inside
+        // Assignment::new, so reaching here suffices), and the inverse is
+        // consistent.
+        let inv = greedy.col_to_row();
+        for (r, &c) in greedy.row_to_col().iter().enumerate() {
+            assert_eq!(inv[c], r, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn optimum_invariant_under_row_permutation() {
+    // Permuting rows of the cost matrix must not change the optimal total.
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let cost = arb_cost_matrix(&mut rng, 12, 1000);
+        let n = cost.size();
+        let perm = rng.permutation(n);
+        let permuted = CostMatrix::from_fn(n, |r, c| cost.get(perm[r], c));
+        assert_eq!(
+            HungarianSolver.solve(&cost).total(),
+            HungarianSolver.solve(&permuted).total(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn adding_constant_to_row_shifts_optimum() {
+    // Adding δ to every entry of one row adds exactly δ to the optimum.
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let cost = arb_cost_matrix(&mut rng, 10, 1000);
+        let delta = rng.range(1, 499) as u32;
+        let n = cost.size();
+        let bumped = CostMatrix::from_fn(n, |r, c| {
+            if r == 0 {
+                cost.get(r, c) + delta
+            } else {
+                cost.get(r, c)
+            }
+        });
+        assert_eq!(
+            HungarianSolver.solve(&bumped).total(),
+            HungarianSolver.solve(&cost).total() + u64::from(delta),
+            "seed {seed}"
+        );
+        assert_eq!(
+            JonkerVolgenantSolver.solve(&bumped).total(),
+            JonkerVolgenantSolver.solve(&cost).total() + u64::from(delta),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn optimum_is_lower_bounded_by_row_minima() {
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let cost = arb_cost_matrix(&mut rng, 16, 10_000);
+        let lb: u64 = (0..cost.size())
+            .map(|r| u64::from(*cost.row(r).iter().min().unwrap()))
+            .sum();
+        assert!(HungarianSolver.solve(&cost).total() >= lb, "seed {seed}");
+    }
+}
+
+#[test]
+fn blossom_general_matches_dp_oracle() {
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let half = rng.range(1, 6);
+        let n = 2 * half;
+        let mut w = vec![vec![0i64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = (rng.next_u32() % 5_000) as i64;
+                w[i][j] = v;
+                w[j][i] = v;
+            }
+        }
+        let (mate, total) = mosaic_assign::blossom::min_weight_perfect_matching(&w);
+        let oracle = mosaic_assign::blossom::oracle_min_perfect_matching(&w);
+        assert_eq!(total as i64, oracle, "seed {seed}");
+        for (i, &j) in mate.iter().enumerate() {
+            assert_eq!(mate[j], i, "seed {seed}");
+            assert_ne!(i, j, "seed {seed}");
+        }
+    }
+}

@@ -18,8 +18,8 @@
 use mosaic_assign::SolverKind;
 use mosaic_bench::{figure2_pair, fmt_secs, RunScale};
 use mosaic_edgecolor::SwapSchedule;
-use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
 use mosaic_gpu::{DeviceSpec, GpuSim};
+use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
 use mosaic_image::metrics;
 use photomosaic::anneal::anneal_search;
 use photomosaic::local_search::local_search;
@@ -59,8 +59,14 @@ fn main() {
     // ---- solver ablation ----
     let layout = TileLayout::with_grid(size, grid).expect("divisible");
     let matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
-    println!("\n== Solver ablation (same SAD error matrix, S={}) ==", matrix.size());
-    println!("{:>17} | {:>14} | {:>9} | {:>6}", "solver", "total", "time[s]", "exact");
+    println!(
+        "\n== Solver ablation (same SAD error matrix, S={}) ==",
+        matrix.size()
+    );
+    println!(
+        "{:>17} | {:>14} | {:>9} | {:>6}",
+        "solver", "total", "time[s]", "exact"
+    );
     for kind in SolverKind::ALL {
         let (out, dt) = mosaic_bench::time(|| optimal_rearrangement(&matrix, kind));
         println!(
@@ -74,8 +80,15 @@ fn main() {
 
     // ---- preprocess ablation ----
     println!("\n== Preprocess ablation (optimal rearrangement) ==");
-    println!("{:>13} | {:>14} | {:>9}", "preprocess", "total error", "PSNR[dB]");
-    for preprocess in [Preprocess::MatchTarget, Preprocess::Equalize, Preprocess::None] {
+    println!(
+        "{:>13} | {:>14} | {:>9}",
+        "preprocess", "total error", "PSNR[dB]"
+    );
+    for preprocess in [
+        Preprocess::MatchTarget,
+        Preprocess::Equalize,
+        Preprocess::None,
+    ] {
         let config = MosaicBuilder::new()
             .grid(grid)
             .algorithm(Algorithm::Optimal(SolverKind::JonkerVolgenant))
@@ -130,9 +143,8 @@ fn main() {
             "{:>22} | {:>14} | {:>9} | {:>9}",
             "method", "total", "time[s]", "over-opt"
         );
-        let (opt, t_opt) = mosaic_bench::time(|| {
-            optimal_rearrangement(&big_matrix, SolverKind::JonkerVolgenant)
-        });
+        let (opt, t_opt) =
+            mosaic_bench::time(|| optimal_rearrangement(&big_matrix, SolverKind::JonkerVolgenant));
         println!(
             "{:>22} | {:>14} | {} | {:>8.3}%",
             "dense JV (exact)",
@@ -169,7 +181,10 @@ fn main() {
     }
 
     // ---- worker scaling ----
-    println!("\n== Simulated-device scaling (Algorithm 2, S={}) ==", matrix.size());
+    println!(
+        "\n== Simulated-device scaling (Algorithm 2, S={}) ==",
+        matrix.size()
+    );
     println!("{:>8} | {:>9} | {:>8}", "workers", "time[s]", "speedup");
     let schedule = SwapSchedule::for_tiles(matrix.size());
     let mut base = None;

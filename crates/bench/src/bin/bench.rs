@@ -1,0 +1,368 @@
+//! Dependency-free micro-benchmark harness (replaces the former
+//! `criterion` benches so the workspace builds offline).
+//!
+//! Covers the same four suites the criterion benches did:
+//!
+//! * `error_matrix` — Step 2 on each backend (Table II's measured core);
+//! * `rearrange` — Step 3 algorithms on a shared matrix (Table III);
+//! * `solvers` — the assignment-solver ablation on random and real
+//!   mosaic matrices (DESIGN.md §5);
+//! * `ablations` — metric / preprocess / search-effort / end-to-end
+//!   backend sweeps.
+//!
+//! Usage: `cargo run --release -p mosaic-bench --bin bench [-- OPTIONS]`
+//!
+//! * `--suite NAME` — run one suite (repeatable; default all);
+//! * `--samples N` — timed iterations per case (default 5);
+//! * `--full` — larger grids (criterion's old sizes were fixed; this
+//!   bumps the error-matrix/rearrange grids);
+//! * `--json` — emit one machine-readable JSON document on stdout
+//!   instead of the human table (uses the same std-only encoder as
+//!   `GenerationReport::to_json`).
+
+use mosaic_assign::{CostMatrix, SolverKind};
+use mosaic_bench::figure2_pair;
+use mosaic_edgecolor::SwapSchedule;
+use mosaic_gpu::{DeviceSpec, GpuSim};
+use mosaic_grid::{
+    build_error_matrix, build_error_matrix_threaded, ErrorMatrix, TileLayout, TileMetric,
+};
+use photomosaic::anneal::anneal_search;
+use photomosaic::errors::gpu_error_matrix;
+use photomosaic::json::Json;
+use photomosaic::local_search::local_search;
+use photomosaic::optimal::optimal_rearrangement;
+use photomosaic::parallel_search::{parallel_search_gpu, parallel_search_reference};
+use photomosaic::preprocess::preprocess_gray;
+use photomosaic::{generate, Algorithm, Backend, MosaicBuilder, Preprocess};
+use std::time::{Duration, Instant};
+
+struct Options {
+    suites: Vec<String>,
+    samples: usize,
+    full: bool,
+    json: bool,
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        suites: Vec::new(),
+        samples: 5,
+        full: false,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--suite" => {
+                let name = args.next().unwrap_or_else(|| usage("--suite needs a name"));
+                options.suites.push(name);
+            }
+            "--samples" => {
+                let n = args.next().unwrap_or_else(|| usage("--samples needs N"));
+                options.samples = n.parse().unwrap_or_else(|_| usage("bad --samples"));
+            }
+            "--full" => options.full = true,
+            "--json" => options.json = true,
+            other => usage(&format!("unknown option {other:?}")),
+        }
+    }
+    if options.samples == 0 {
+        usage("--samples must be positive");
+    }
+    options
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("bench: {problem}");
+    eprintln!("usage: bench [--suite NAME]... [--samples N] [--full] [--json]");
+    eprintln!("suites: error_matrix rearrange solvers ablations");
+    std::process::exit(2);
+}
+
+/// One timed case: the minimum and mean of `samples` runs (minimum is the
+/// robust statistic for wall-clock noise; the mean exposes variance).
+struct Case {
+    suite: &'static str,
+    name: String,
+    min: Duration,
+    mean: Duration,
+    samples: usize,
+}
+
+fn run_case<R>(
+    suite: &'static str,
+    name: String,
+    samples: usize,
+    mut f: impl FnMut() -> R,
+) -> Case {
+    // One untimed warm-up to populate caches and page in code.
+    let _ = f();
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let _ = f();
+        let elapsed = start.elapsed();
+        total += elapsed;
+        min = min.min(elapsed);
+    }
+    Case {
+        suite,
+        name,
+        min,
+        mean: total / samples as u32,
+        samples,
+    }
+}
+
+fn suite_error_matrix(options: &Options, cases: &mut Vec<Case>) {
+    let size = 256;
+    let (input, target) = figure2_pair(size);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sim = GpuSim::new(DeviceSpec::tesla_k40());
+    let grids: &[usize] = if options.full {
+        &[8, 16, 32, 64]
+    } else {
+        &[8, 16, 32]
+    };
+    for &grid in grids {
+        let layout = TileLayout::with_grid(size, grid).unwrap();
+        cases.push(run_case(
+            "error_matrix",
+            format!("serial/{grid}"),
+            options.samples,
+            || build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap(),
+        ));
+        cases.push(run_case(
+            "error_matrix",
+            format!("threads/{grid}"),
+            options.samples,
+            || {
+                build_error_matrix_threaded(&input, &target, layout, TileMetric::Sad, workers)
+                    .unwrap()
+            },
+        ));
+        cases.push(run_case(
+            "error_matrix",
+            format!("gpu-sim/{grid}"),
+            options.samples,
+            || gpu_error_matrix(&sim, &input, &target, layout, TileMetric::Sad).unwrap(),
+        ));
+    }
+}
+
+fn suite_rearrange(options: &Options, cases: &mut Vec<Case>) {
+    let size = 256;
+    let (input, target) = figure2_pair(size);
+    let sim = GpuSim::new(DeviceSpec::tesla_k40());
+    let grids: &[usize] = if options.full { &[8, 16, 32] } else { &[8, 16] };
+    for &grid in grids {
+        let layout = TileLayout::with_grid(size, grid).unwrap();
+        let matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+        let schedule = SwapSchedule::for_tiles(matrix.size());
+        cases.push(run_case(
+            "rearrange",
+            format!("optimal-jv/{grid}"),
+            options.samples,
+            || optimal_rearrangement(&matrix, SolverKind::JonkerVolgenant),
+        ));
+        cases.push(run_case(
+            "rearrange",
+            format!("optimal-hungarian/{grid}"),
+            options.samples,
+            || optimal_rearrangement(&matrix, SolverKind::Hungarian),
+        ));
+        cases.push(run_case(
+            "rearrange",
+            format!("local-search/{grid}"),
+            options.samples,
+            || local_search(&matrix),
+        ));
+        cases.push(run_case(
+            "rearrange",
+            format!("parallel-reference/{grid}"),
+            options.samples,
+            || parallel_search_reference(&matrix, &schedule),
+        ));
+        cases.push(run_case(
+            "rearrange",
+            format!("parallel-gpu-sim/{grid}"),
+            options.samples,
+            || parallel_search_gpu(&sim, &matrix, &schedule),
+        ));
+    }
+}
+
+fn random_cost(n: usize, seed: u64) -> CostMatrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 100_000) as u32
+    };
+    CostMatrix::from_vec(n, (0..n * n).map(|_| next()).collect())
+}
+
+fn suite_solvers(options: &Options, cases: &mut Vec<Case>) {
+    let sizes: &[usize] = if options.full {
+        &[64, 128, 256]
+    } else {
+        &[64, 128]
+    };
+    for &n in sizes {
+        let cost = random_cost(n, 42);
+        for kind in SolverKind::ALL {
+            let solver = kind.build();
+            cases.push(run_case(
+                "solvers",
+                format!("random/{}/{n}", kind.name()),
+                options.samples,
+                || solver.solve(&cost),
+            ));
+        }
+    }
+    // Real mosaic matrices have strong structure (nearby tiles are
+    // similar); solver behaviour can differ from uniform-random inputs.
+    let (input, target) = figure2_pair(256);
+    let layout = TileLayout::with_grid(256, 16).unwrap();
+    let matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+    let cost = CostMatrix::from_vec(matrix.size(), matrix.as_slice().to_vec());
+    for kind in SolverKind::ALL {
+        let solver = kind.build();
+        cases.push(run_case(
+            "solvers",
+            format!("mosaic/{}/256", kind.name()),
+            options.samples,
+            || solver.solve(&cost),
+        ));
+    }
+}
+
+fn suite_ablations(options: &Options, cases: &mut Vec<Case>) {
+    let (input, target) = figure2_pair(256);
+    let layout = TileLayout::with_grid(256, 16).unwrap();
+    for metric in TileMetric::ALL {
+        cases.push(run_case(
+            "ablations",
+            format!("metric/{}", metric.name()),
+            options.samples,
+            || build_error_matrix(&input, &target, layout, metric).unwrap(),
+        ));
+    }
+    let (big_input, big_target) = figure2_pair(512);
+    for mode in [
+        Preprocess::MatchTarget,
+        Preprocess::Equalize,
+        Preprocess::None,
+    ] {
+        cases.push(run_case(
+            "ablations",
+            format!("preprocess/{}", mode.name()),
+            options.samples,
+            || preprocess_gray(&big_input, &big_target, mode),
+        ));
+    }
+    let matrix: ErrorMatrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+    cases.push(run_case(
+        "ablations",
+        "search/descent".to_string(),
+        options.samples,
+        || local_search(&matrix),
+    ));
+    for sweeps in [2usize, 8] {
+        cases.push(run_case(
+            "ablations",
+            format!("search/anneal-{sweeps}"),
+            options.samples,
+            || anneal_search(&matrix, 7, sweeps),
+        ));
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for backend in [
+        Backend::Serial,
+        Backend::Threads(workers),
+        Backend::GpuSim { workers: None },
+    ] {
+        let config = MosaicBuilder::new()
+            .grid(16)
+            .algorithm(Algorithm::ParallelSearch)
+            .backend(backend)
+            .build();
+        cases.push(run_case(
+            "ablations",
+            format!("pipeline/{}", backend.name()),
+            options.samples,
+            || generate(&input, &target, &config).unwrap(),
+        ));
+    }
+}
+
+fn main() {
+    let options = parse_options();
+    let all = ["error_matrix", "rearrange", "solvers", "ablations"];
+    let selected: Vec<&str> = if options.suites.is_empty() {
+        all.to_vec()
+    } else {
+        for s in &options.suites {
+            if !all.contains(&s.as_str()) {
+                usage(&format!("unknown suite {s:?}"));
+            }
+        }
+        all.iter()
+            .copied()
+            .filter(|s| options.suites.iter().any(|o| o == s))
+            .collect()
+    };
+
+    let mut cases = Vec::new();
+    for suite in &selected {
+        match *suite {
+            "error_matrix" => suite_error_matrix(&options, &mut cases),
+            "rearrange" => suite_rearrange(&options, &mut cases),
+            "solvers" => suite_solvers(&options, &mut cases),
+            "ablations" => suite_ablations(&options, &mut cases),
+            _ => unreachable!(),
+        }
+    }
+
+    if options.json {
+        let entries: Vec<Json> = cases
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("suite", Json::from(c.suite)),
+                    ("name", Json::from(c.name.as_str())),
+                    ("min_ms", Json::from(c.min.as_secs_f64() * 1000.0)),
+                    ("mean_ms", Json::from(c.mean.as_secs_f64() * 1000.0)),
+                    ("samples", Json::from(c.samples)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("samples", Json::from(options.samples)),
+            ("full", Json::Bool(options.full)),
+            ("cases", Json::Arr(entries)),
+        ]);
+        println!("{}", doc.encode());
+    } else {
+        println!(
+            "{:<14} {:<28} {:>12} {:>12}  (n={})",
+            "suite", "case", "min", "mean", options.samples
+        );
+        for c in &cases {
+            println!(
+                "{:<14} {:<28} {:>9.3} ms {:>9.3} ms",
+                c.suite,
+                c.name,
+                c.min.as_secs_f64() * 1000.0,
+                c.mean.as_secs_f64() * 1000.0,
+            );
+        }
+    }
+}

@@ -33,13 +33,11 @@ fn main() {
             outcome.swaps,
             100.0 * (outcome.total - optimum) as f64 / optimum as f64,
         );
-        println!("{:>6} | {:>14} | {:>8} | {:>9}", "sweep", "total", "swaps", "gap %");
-        for (i, (&total, &swaps)) in trace
-            .totals
-            .iter()
-            .zip(&trace.swaps_per_sweep)
-            .enumerate()
-        {
+        println!(
+            "{:>6} | {:>14} | {:>8} | {:>9}",
+            "sweep", "total", "swaps", "gap %"
+        );
+        for (i, (&total, &swaps)) in trace.totals.iter().zip(&trace.swaps_per_sweep).enumerate() {
             println!(
                 "{:>6} | {:>14} | {:>8} | {:>8.3}%",
                 i + 1,
@@ -50,12 +48,7 @@ fn main() {
         }
         // CSV block for external plotting.
         println!("csv,grid,sweep,total,swaps");
-        for (i, (&total, &swaps)) in trace
-            .totals
-            .iter()
-            .zip(&trace.swaps_per_sweep)
-            .enumerate()
-        {
+        for (i, (&total, &swaps)) in trace.totals.iter().zip(&trace.swaps_per_sweep).enumerate() {
             println!("csv,{grid},{},{total},{swaps}", i + 1);
         }
     }

@@ -95,7 +95,12 @@ fn main() {
             .backend(Backend::GpuSim { workers: None })
             .build();
         let result = generate(&input, &target, &config).expect("valid geometry");
-        let stem = format!("fig8{}_{}_to_{}", (b'a' + i as u8 - 1) as char, a.name(), b.name());
+        let stem = format!(
+            "fig8{}_{}_to_{}",
+            (b'a' + i as u8 - 1) as char,
+            a.name(),
+            b.name()
+        );
         save_pgm(dir.join(format!("{stem}_input.pgm")), &input).unwrap();
         save_pgm(dir.join(format!("{stem}_target.pgm")), &target).unwrap();
         save_pgm(dir.join(format!("{stem}_mosaic.pgm")), &result.image).unwrap();

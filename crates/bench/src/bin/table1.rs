@@ -45,8 +45,7 @@ fn main() {
         );
         let approx_cpu = run(Algorithm::LocalSearch, Backend::Serial);
         let approx_gpu = run(Algorithm::ParallelSearch, Backend::GpuSim { workers: None });
-        let gap = 100.0
-            * (approx_cpu.total_error as f64 - optimal.total_error as f64)
+        let gap = 100.0 * (approx_cpu.total_error as f64 - optimal.total_error as f64)
             / optimal.total_error.max(1) as f64;
         println!(
             "{:>4}x{:<2} | {:>14} | {:>14} | {:>14} | {:>6.2}%",

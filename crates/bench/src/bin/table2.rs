@@ -10,8 +10,8 @@
 //! Timings are averaged over the four experiment pairs like the paper's.
 
 use mosaic_bench::{fmt_secs, fmt_speedup, timing_pairs, RunScale};
-use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
 use mosaic_gpu::{CostModel, DeviceSpec, GpuSim};
+use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
 use photomosaic::errors::{gpu_error_matrix, step2_profile};
 use std::time::Duration;
 

@@ -16,8 +16,8 @@
 use mosaic_assign::SolverKind;
 use mosaic_bench::{fmt_secs, timing_pairs, RunScale};
 use mosaic_edgecolor::SwapSchedule;
-use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
 use mosaic_gpu::{CostModel, DeviceSpec, GpuSim};
+use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
 use photomosaic::local_search::local_search;
 use photomosaic::optimal::optimal_rearrangement;
 use photomosaic::parallel_search::{parallel_search_gpu, step3_parallel_profile};
@@ -49,8 +49,7 @@ fn main() {
             let mut t_sim = Duration::ZERO;
             let mut modeled_acc = 0.0f64;
             for (input, target) in &pairs {
-                let matrix =
-                    build_error_matrix(input, target, layout, TileMetric::Sad).unwrap();
+                let matrix = build_error_matrix(input, target, layout, TileMetric::Sad).unwrap();
                 let (opt, d_opt) = mosaic_bench::time(|| {
                     optimal_rearrangement(&matrix, SolverKind::JonkerVolgenant)
                 });
@@ -62,8 +61,7 @@ fn main() {
                 t_opt += d_opt;
                 t_cpu += d_cpu;
                 t_sim += d_sim;
-                let profile =
-                    step3_parallel_profile(s, gpu.outcome.sweeps, gpu.launches);
+                let profile = step3_parallel_profile(s, gpu.outcome.sweeps, gpu.launches);
                 modeled_acc += k40.speedup_over(&host, &profile);
             }
             let denom = pairs.len() as u32;

@@ -75,6 +75,26 @@ pub enum Command {
         /// Output path.
         out: String,
     },
+    /// `mosaic serve` — run the batch mosaic server.
+    Serve {
+        /// Bind address (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Worker threads.
+        workers: usize,
+        /// Bounded queue capacity.
+        queue: usize,
+        /// Error-matrix LRU capacity.
+        cache: usize,
+        /// Back-off hint sent with queue-full rejections.
+        retry_ms: u64,
+    },
+    /// `mosaic submit` — talk to a running server.
+    Submit {
+        /// Server address.
+        addr: String,
+        /// What to do once connected.
+        action: SubmitAction,
+    },
     /// `mosaic compare a b`.
     Compare {
         /// First image.
@@ -89,6 +109,47 @@ pub enum Command {
     },
     /// `mosaic help`.
     Help,
+}
+
+/// An image argument for `mosaic submit`: a PGM file (shipped as literal
+/// pixels) or a synthetic scene recipe (shipped as three scalars).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageArg {
+    /// Load this PGM file and send its pixels.
+    Path(String),
+    /// Let the server render this scene.
+    Scene {
+        /// Scene role.
+        scene: mosaic_image::synth::Scene,
+        /// Render seed.
+        seed: u64,
+    },
+}
+
+/// The operation `mosaic submit` performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitAction {
+    /// Submit one job (or a load-generation batch of identical jobs).
+    Job {
+        /// Input image.
+        input: ImageArg,
+        /// Target image.
+        target: ImageArg,
+        /// Edge length for scene rendering.
+        size: usize,
+        /// Pipeline configuration.
+        config: photomosaic::MosaicConfig,
+        /// Number of copies to submit (load generation when > 1).
+        jobs: usize,
+        /// Concurrent connections for load generation.
+        connections: usize,
+    },
+    /// Fetch aggregate metrics.
+    Stats,
+    /// Liveness check.
+    Ping,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
 }
 
 struct Flags {
@@ -181,6 +242,101 @@ fn parse_scene(v: &str) -> Result<mosaic_image::synth::Scene, CliError> {
         })
 }
 
+/// Shared pipeline-configuration flags (`generate` and `submit`).
+fn parse_config(flags: &Flags) -> Result<photomosaic::MosaicConfig, CliError> {
+    let solver = match flags.optional("solver") {
+        Some(v) => parse_solver(v)?,
+        None => SolverKind::JonkerVolgenant,
+    };
+    let algorithm = match flags.optional("algorithm").unwrap_or("parallel") {
+        "optimal" => Algorithm::Optimal(solver),
+        "local" | "local-search" => Algorithm::LocalSearch,
+        "parallel" | "parallel-search" => Algorithm::ParallelSearch,
+        "greedy" => Algorithm::Greedy,
+        "anneal" => Algorithm::Anneal {
+            seed: flags.number("seed", 1)? as u64,
+            sweeps: flags.number("sweeps", 4)?,
+        },
+        "sparse" => Algorithm::SparseMatch {
+            k: flags.number("k", 16)?.max(1),
+        },
+        other => {
+            return Err(CliError(format!(
+                "--algorithm expects optimal|local|parallel|greedy|anneal|sparse, got {other:?}"
+            )))
+        }
+    };
+    let backend = match flags.optional("backend").unwrap_or("gpu") {
+        "serial" => Backend::Serial,
+        "threads" => Backend::Threads(flags.number("threads", 0)?.max(1)),
+        "gpu" | "gpu-sim" => Backend::GpuSim { workers: None },
+        other => {
+            return Err(CliError(format!(
+                "--backend expects serial|threads|gpu, got {other:?}"
+            )))
+        }
+    };
+    let preprocess = match flags.optional("preprocess").unwrap_or("match") {
+        "match" | "match-target" => Preprocess::MatchTarget,
+        "equalize" => Preprocess::Equalize,
+        "none" => Preprocess::None,
+        other => {
+            return Err(CliError(format!(
+                "--preprocess expects match|equalize|none, got {other:?}"
+            )))
+        }
+    };
+    let metric = match flags.optional("metric") {
+        Some(v) => parse_metric(v)?,
+        None => TileMetric::Sad,
+    };
+    let grid = flags.number("grid", 32)?;
+    if grid == 0 {
+        return Err(CliError("--grid must be positive".into()));
+    }
+    Ok(photomosaic::MosaicBuilder::new()
+        .grid(grid)
+        .metric(metric)
+        .algorithm(algorithm)
+        .backend(backend)
+        .preprocess(preprocess)
+        .build())
+}
+
+/// The pipeline-configuration flag names accepted by [`parse_config`].
+const CONFIG_FLAGS: [&str; 10] = [
+    "grid",
+    "algorithm",
+    "solver",
+    "backend",
+    "metric",
+    "preprocess",
+    "threads",
+    "seed",
+    "sweeps",
+    "k",
+];
+
+/// One `submit` image argument: `--<role>` (a PGM path) or
+/// `--<role>-scene` (+ optional `--<role>-seed`).
+fn parse_image_arg(flags: &Flags, role: &str) -> Result<ImageArg, CliError> {
+    let path = flags.optional(role);
+    let scene = flags.optional(&format!("{role}-scene"));
+    match (path, scene) {
+        (Some(p), None) => Ok(ImageArg::Path(p.to_string())),
+        (None, Some(s)) => Ok(ImageArg::Scene {
+            scene: parse_scene(s)?,
+            seed: flags.number(&format!("{role}-seed"), 1)? as u64,
+        }),
+        (Some(_), Some(_)) => Err(CliError(format!(
+            "--{role} and --{role}-scene are mutually exclusive"
+        ))),
+        (None, None) => Err(CliError(format!(
+            "submit needs --{role} <pgm> or --{role}-scene <name>"
+        ))),
+    }
+}
+
 /// Parse a full argument vector (without the program name).
 ///
 /// # Errors
@@ -193,73 +349,89 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "generate" => {
             let flags = split_flags(rest)?;
-            flags.check_known(&[
-                "input", "target", "out", "grid", "algorithm", "solver", "backend", "metric",
-                "preprocess", "threads", "seed", "sweeps", "k",
-            ])?;
-            let solver = match flags.optional("solver") {
-                Some(v) => parse_solver(v)?,
-                None => SolverKind::JonkerVolgenant,
-            };
-            let algorithm = match flags.optional("algorithm").unwrap_or("parallel") {
-                "optimal" => Algorithm::Optimal(solver),
-                "local" | "local-search" => Algorithm::LocalSearch,
-                "parallel" | "parallel-search" => Algorithm::ParallelSearch,
-                "greedy" => Algorithm::Greedy,
-                "anneal" => Algorithm::Anneal {
-                    seed: flags.number("seed", 1)? as u64,
-                    sweeps: flags.number("sweeps", 4)?,
-                },
-                "sparse" => Algorithm::SparseMatch {
-                    k: flags.number("k", 16)?.max(1),
-                },
-                other => {
-                    return Err(CliError(format!(
-                        "--algorithm expects optimal|local|parallel|greedy|anneal|sparse, got {other:?}"
-                    )))
-                }
-            };
-            let backend = match flags.optional("backend").unwrap_or("gpu") {
-                "serial" => Backend::Serial,
-                "threads" => Backend::Threads(flags.number("threads", 0)?.max(1)),
-                "gpu" | "gpu-sim" => Backend::GpuSim { workers: None },
-                other => {
-                    return Err(CliError(format!(
-                        "--backend expects serial|threads|gpu, got {other:?}"
-                    )))
-                }
-            };
-            let preprocess = match flags.optional("preprocess").unwrap_or("match") {
-                "match" | "match-target" => Preprocess::MatchTarget,
-                "equalize" => Preprocess::Equalize,
-                "none" => Preprocess::None,
-                other => {
-                    return Err(CliError(format!(
-                        "--preprocess expects match|equalize|none, got {other:?}"
-                    )))
-                }
-            };
-            let metric = match flags.optional("metric") {
-                Some(v) => parse_metric(v)?,
-                None => TileMetric::Sad,
-            };
-            let grid = flags.number("grid", 32)?;
-            if grid == 0 {
-                return Err(CliError("--grid must be positive".into()));
-            }
-            let config = photomosaic::MosaicBuilder::new()
-                .grid(grid)
-                .metric(metric)
-                .algorithm(algorithm)
-                .backend(backend)
-                .preprocess(preprocess)
-                .build();
+            let mut known = vec!["input", "target", "out"];
+            known.extend(CONFIG_FLAGS);
+            flags.check_known(&known)?;
+            let config = parse_config(&flags)?;
             Ok(Command::Generate {
                 input: flags.require("input")?.to_string(),
                 target: flags.require("target")?.to_string(),
                 out: flags.require("out")?.to_string(),
                 config,
             })
+        }
+        "serve" => {
+            let flags = split_flags(rest)?;
+            flags.check_known(&["addr", "workers", "queue", "cache", "retry-ms"])?;
+            let default_workers = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2);
+            let workers = flags.number("workers", default_workers)?.max(1);
+            let queue = flags.number("queue", 16)?;
+            if queue == 0 {
+                return Err(CliError("--queue must be positive".into()));
+            }
+            Ok(Command::Serve {
+                addr: flags
+                    .optional("addr")
+                    .unwrap_or("127.0.0.1:7733")
+                    .to_string(),
+                workers,
+                queue,
+                cache: flags.number("cache", 8)?,
+                retry_ms: flags.number("retry-ms", 50)? as u64,
+            })
+        }
+        "submit" => {
+            let flags = split_flags(rest)?;
+            let op = flags.optional("op").unwrap_or("job");
+            let addr = flags.require("addr")?.to_string();
+            match op {
+                "stats" | "ping" | "shutdown" => {
+                    flags.check_known(&["addr", "op"])?;
+                    let action = match op {
+                        "stats" => SubmitAction::Stats,
+                        "ping" => SubmitAction::Ping,
+                        _ => SubmitAction::Shutdown,
+                    };
+                    Ok(Command::Submit { addr, action })
+                }
+                "job" => {
+                    let mut known = vec![
+                        "addr",
+                        "op",
+                        "input",
+                        "target",
+                        "input-scene",
+                        "target-scene",
+                        "input-seed",
+                        "target-seed",
+                        "size",
+                        "jobs",
+                        "connections",
+                    ];
+                    known.extend(CONFIG_FLAGS);
+                    flags.check_known(&known)?;
+                    let size = flags.number("size", 256)?;
+                    if size == 0 {
+                        return Err(CliError("--size must be positive".into()));
+                    }
+                    Ok(Command::Submit {
+                        addr,
+                        action: SubmitAction::Job {
+                            input: parse_image_arg(&flags, "input")?,
+                            target: parse_image_arg(&flags, "target")?,
+                            size,
+                            config: parse_config(&flags)?,
+                            jobs: flags.number("jobs", 1)?.max(1),
+                            connections: flags.number("connections", 4)?.max(1),
+                        },
+                    })
+                }
+                other => Err(CliError(format!(
+                    "--op expects job|stats|ping|shutdown, got {other:?}"
+                ))),
+            }
         }
         "database" => {
             let flags = split_flags(rest)?;
@@ -279,9 +451,10 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             }
             let cap = match flags.optional("cap") {
                 None => None,
-                Some(v) => Some(v.parse::<usize>().map_err(|_| {
-                    CliError(format!("--cap expects a number, got {v:?}"))
-                })?),
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| CliError(format!("--cap expects a number, got {v:?}")))?,
+                ),
             };
             let metric = match flags.optional("metric") {
                 Some(v) => parse_metric(v)?,
@@ -353,10 +526,7 @@ mod tests {
 
     #[test]
     fn generate_defaults() {
-        let cmd = parse(&argv(
-            "generate --input a.pgm --target b.pgm --out c.pgm",
-        ))
-        .unwrap();
+        let cmd = parse(&argv("generate --input a.pgm --target b.pgm --out c.pgm")).unwrap();
         let Command::Generate { config, input, .. } = cmd else {
             panic!("wrong command");
         };
@@ -415,10 +585,12 @@ mod tests {
 
     #[test]
     fn unknown_flag_and_subcommand_rejected() {
-        assert!(parse(&argv("generate --input a --target b --out c --bogus 1"))
-            .unwrap_err()
-            .to_string()
-            .contains("--bogus"));
+        assert!(
+            parse(&argv("generate --input a --target b --out c --bogus 1"))
+                .unwrap_err()
+                .to_string()
+                .contains("--bogus")
+        );
         assert!(parse(&argv("frobnicate"))
             .unwrap_err()
             .to_string()
@@ -443,7 +615,10 @@ mod tests {
             "database --target t.pgm --donors a.pgm,b.pgm --tile 8 --out m.pgm --cap 3",
         ))
         .unwrap();
-        let Command::Database { donors, tile, cap, .. } = cmd else {
+        let Command::Database {
+            donors, tile, cap, ..
+        } = cmd
+        else {
             panic!("wrong command");
         };
         assert_eq!(donors, vec!["a.pgm", "b.pgm"]);
@@ -454,7 +629,10 @@ mod tests {
     #[test]
     fn synth_parses_scene() {
         let cmd = parse(&argv("synth --scene regatta --size 64 --out x.pgm")).unwrap();
-        let Command::Synth { scene, size, seed, .. } = cmd else {
+        let Command::Synth {
+            scene, size, seed, ..
+        } = cmd
+        else {
             panic!("wrong command");
         };
         assert_eq!(scene.name(), "regatta");
@@ -475,9 +653,134 @@ mod tests {
         assert!(parse(&argv("compare a.pgm")).is_err());
         assert_eq!(
             parse(&argv("info a.pgm")).unwrap(),
-            Command::Info { path: "a.pgm".into() }
+            Command::Info {
+                path: "a.pgm".into()
+            }
         );
         assert!(parse(&argv("info")).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let Command::Serve {
+            addr,
+            workers,
+            queue,
+            cache,
+            retry_ms,
+        } = parse(&argv("serve")).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(addr, "127.0.0.1:7733");
+        assert!(workers >= 1);
+        assert_eq!((queue, cache, retry_ms), (16, 8, 50));
+
+        let Command::Serve {
+            addr,
+            workers,
+            queue,
+            cache,
+            retry_ms,
+        } = parse(&argv(
+            "serve --addr 0.0.0.0:9000 --workers 3 --queue 4 --cache 2 --retry-ms 10",
+        ))
+        .unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(addr, "0.0.0.0:9000");
+        assert_eq!((workers, queue, cache, retry_ms), (3, 4, 2, 10));
+        assert!(parse(&argv("serve --queue 0")).is_err());
+        assert!(parse(&argv("serve --port 1")).is_err());
+    }
+
+    #[test]
+    fn submit_job_with_paths() {
+        let cmd = parse(&argv(
+            "submit --addr 127.0.0.1:7733 --input a.pgm --target b.pgm --grid 8 \
+             --backend serial --jobs 6 --connections 3",
+        ))
+        .unwrap();
+        let Command::Submit {
+            addr,
+            action:
+                SubmitAction::Job {
+                    input,
+                    target,
+                    config,
+                    jobs,
+                    connections,
+                    ..
+                },
+        } = cmd
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(addr, "127.0.0.1:7733");
+        assert_eq!(input, ImageArg::Path("a.pgm".into()));
+        assert_eq!(target, ImageArg::Path("b.pgm".into()));
+        assert_eq!(config.grid, 8);
+        assert_eq!(config.backend, Backend::Serial);
+        assert_eq!((jobs, connections), (6, 3));
+    }
+
+    #[test]
+    fn submit_job_with_scenes() {
+        let cmd = parse(&argv(
+            "submit --addr h:1 --input-scene fur --input-seed 5 --target-scene plasma --size 64",
+        ))
+        .unwrap();
+        let Command::Submit {
+            action:
+                SubmitAction::Job {
+                    input,
+                    target,
+                    size,
+                    ..
+                },
+            ..
+        } = cmd
+        else {
+            panic!("wrong command");
+        };
+        let ImageArg::Scene { scene, seed } = input else {
+            panic!("wrong input arg");
+        };
+        assert_eq!((scene.name(), seed), ("fur", 5));
+        let ImageArg::Scene { scene, seed } = target else {
+            panic!("wrong target arg");
+        };
+        assert_eq!((scene.name(), seed), ("plasma", 1));
+        assert_eq!(size, 64);
+    }
+
+    #[test]
+    fn submit_control_ops_and_errors() {
+        let ops = [
+            ("stats", SubmitAction::Stats),
+            ("ping", SubmitAction::Ping),
+            ("shutdown", SubmitAction::Shutdown),
+        ];
+        for (name, expected) in ops {
+            let cmd = parse(&argv(&format!("submit --addr h:1 --op {name}"))).unwrap();
+            assert_eq!(
+                cmd,
+                Command::Submit {
+                    addr: "h:1".into(),
+                    action: expected
+                }
+            );
+        }
+        // Missing address, unknown op, image-source conflicts.
+        assert!(parse(&argv("submit --op ping")).is_err());
+        assert!(parse(&argv("submit --addr h:1 --op frob")).is_err());
+        assert!(parse(&argv("submit --addr h:1")).is_err());
+        assert!(parse(&argv(
+            "submit --addr h:1 --input a.pgm --input-scene fur --target b.pgm"
+        ))
+        .is_err());
+        assert!(parse(&argv("submit --addr h:1 --op stats --jobs 2")).is_err());
     }
 
     #[test]

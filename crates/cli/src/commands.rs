@@ -1,10 +1,13 @@
 //! Command execution for the `mosaic` binary.
 
-use crate::args::{CliError, Command};
+use crate::args::{CliError, Command, ImageArg, SubmitAction};
 use mosaic_image::histogram::Histogram;
 use mosaic_image::io::{load_pgm, save_pgm};
 use mosaic_image::metrics;
+use mosaic_service::protocol::Response;
+use mosaic_service::{run_load, Client, Server, ServiceConfig};
 use photomosaic::database::{database_mosaic, SelectionPolicy, TileLibrary};
+use photomosaic::{ImageSource, JobResult, JobSpec, Json};
 
 /// Execute a parsed command, returning the text to print on success.
 ///
@@ -39,10 +42,7 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             metric,
         } => {
             let target_img = load_pgm(&target)?;
-            let donor_imgs = donors
-                .iter()
-                .map(load_pgm)
-                .collect::<Result<Vec<_>, _>>()?;
+            let donor_imgs = donors.iter().map(load_pgm).collect::<Result<Vec<_>, _>>()?;
             let library = TileLibrary::from_donors(tile, &donor_imgs)?;
             let policy = match cap {
                 Some(c) => SelectionPolicy::UsageCap(c),
@@ -64,7 +64,10 @@ pub fn execute(command: Command) -> Result<String, CliError> {
         } => {
             let img = scene.render(size, seed);
             save_pgm(&out, &img)?;
-            Ok(format!("wrote {size}x{size} {} scene to {out}", scene.name()))
+            Ok(format!(
+                "wrote {size}x{size} {} scene to {out}",
+                scene.name()
+            ))
         }
         Command::Compare { a, b } => {
             let ia = load_pgm(&a)?;
@@ -87,6 +90,31 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                 metrics::ssim(&ia, &ib),
             ))
         }
+        Command::Serve {
+            addr,
+            workers,
+            queue,
+            cache,
+            retry_ms,
+        } => {
+            let server = Server::start(ServiceConfig {
+                addr,
+                workers,
+                queue_capacity: queue,
+                cache_capacity: cache,
+                retry_after_ms: retry_ms,
+            })
+            .map_err(|e| CliError(format!("failed to start server: {e}")))?;
+            // Print the address immediately — with port 0 the caller
+            // cannot know it, and `join` blocks until shutdown.
+            println!(
+                "mosaic service listening on {} ({workers} workers, queue {queue}, cache {cache})",
+                server.local_addr()
+            );
+            server.join();
+            Ok("server stopped".to_string())
+        }
+        Command::Submit { addr, action } => submit(&addr, action),
         Command::Info { path } => {
             let img = load_pgm(&path)?;
             let hist = Histogram::of_luma(&img);
@@ -98,6 +126,126 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                 hist.max_value().unwrap_or(0),
                 hist.mean(),
             ))
+        }
+    }
+}
+
+/// Turn a CLI image argument into a wire [`ImageSource`]. Paths are
+/// loaded here so the server never touches the client's filesystem.
+fn image_source(arg: ImageArg, size: usize) -> Result<ImageSource, CliError> {
+    match arg {
+        ImageArg::Path(path) => {
+            let img = load_pgm(&path)?;
+            if img.width() != img.height() {
+                return Err(CliError(format!(
+                    "{path}: the pipeline needs a square image, got {}x{}",
+                    img.width(),
+                    img.height()
+                )));
+            }
+            Ok(ImageSource::Pixels {
+                size: img.width(),
+                pixels: img.pixels().iter().map(|p| p.0).collect(),
+            })
+        }
+        ImageArg::Scene { scene, seed } => Ok(ImageSource::Synth { scene, size, seed }),
+    }
+}
+
+fn io_err(e: std::io::Error) -> CliError {
+    CliError(format!("service error: {e}"))
+}
+
+fn unexpected(response: &Response) -> CliError {
+    CliError(format!("unexpected response: {response:?}"))
+}
+
+fn submit(addr: &str, action: SubmitAction) -> Result<String, CliError> {
+    match action {
+        SubmitAction::Ping => {
+            let mut client = Client::connect(addr).map_err(io_err)?;
+            match client.ping().map_err(io_err)? {
+                Response::Pong => Ok("pong".to_string()),
+                other => Err(unexpected(&other)),
+            }
+        }
+        SubmitAction::Stats => {
+            let mut client = Client::connect(addr).map_err(io_err)?;
+            match client.stats().map_err(io_err)? {
+                Response::Stats { stats } => Ok(stats.encode()),
+                other => Err(unexpected(&other)),
+            }
+        }
+        SubmitAction::Shutdown => {
+            let mut client = Client::connect(addr).map_err(io_err)?;
+            match client.shutdown().map_err(io_err)? {
+                Response::ShuttingDown => Ok("server is shutting down".to_string()),
+                other => Err(unexpected(&other)),
+            }
+        }
+        SubmitAction::Job {
+            input,
+            target,
+            size,
+            config,
+            jobs,
+            connections,
+        } => {
+            let spec = JobSpec {
+                input: image_source(input, size)?,
+                target: image_source(target, size)?,
+                config,
+            };
+            if jobs == 1 {
+                let mut client = Client::connect(addr).map_err(io_err)?;
+                let (response, rejections) = client.submit_with_retry(&spec, 40).map_err(io_err)?;
+                match response {
+                    Response::Result { result } => {
+                        let result = JobResult::from_json(&result).map_err(CliError)?;
+                        let total_error = result
+                            .report
+                            .get("total_error")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(0);
+                        let cache_hit = result
+                            .report
+                            .get("cache_hit")
+                            .and_then(Json::as_bool)
+                            .unwrap_or(false);
+                        let queue_wait_ms = result
+                            .report
+                            .get("queue_wait_ms")
+                            .and_then(Json::as_f64)
+                            .unwrap_or(0.0);
+                        Ok(format!(
+                            "result: {}x{} image, total error {total_error}, cache {}, \
+                             queue wait {queue_wait_ms:.1} ms, {rejections} rejections absorbed",
+                            result.image.width(),
+                            result.image.height(),
+                            if cache_hit { "hit" } else { "miss" },
+                        ))
+                    }
+                    Response::Rejected { retry_after_ms } => Err(CliError(format!(
+                        "rejected after retries (server retry-after {retry_after_ms} ms)"
+                    ))),
+                    Response::Error { message } => {
+                        Err(CliError(format!("server error: {message}")))
+                    }
+                    other => Err(unexpected(&other)),
+                }
+            } else {
+                let specs = vec![spec; jobs];
+                let summary = run_load(addr, &specs, connections).map_err(io_err)?;
+                Ok(format!(
+                    "load: {} completed, {} failed, {} rejections absorbed, \
+                     {} cache hits, {} ms wall",
+                    summary.completed,
+                    summary.failed,
+                    summary.rejections,
+                    summary.cache_hits,
+                    summary.wall_ms
+                ))
+            }
         }
     }
 }
@@ -189,6 +337,131 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("image error"));
+    }
+
+    #[test]
+    fn serve_and_submit_end_to_end() {
+        // Learn a free port, then serve on it from a background thread.
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let serve_addr = addr.clone();
+        let server = std::thread::spawn(move || {
+            execute(Command::Serve {
+                addr: serve_addr,
+                workers: 2,
+                queue: 8,
+                cache: 4,
+                retry_ms: 10,
+            })
+        });
+        let mut attempts = 0;
+        loop {
+            match std::net::TcpStream::connect(&addr) {
+                Ok(_) => break,
+                Err(_) if attempts < 200 => {
+                    attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(e) => panic!("server never came up: {e}"),
+            }
+        }
+
+        let msg = execute(Command::Submit {
+            addr: addr.clone(),
+            action: SubmitAction::Ping,
+        })
+        .unwrap();
+        assert_eq!(msg, "pong");
+
+        // One job whose input comes from a PGM on disk.
+        let input = write_scene("srv_in.pgm", Scene::Portrait, 32, 1);
+        let job = SubmitAction::Job {
+            input: ImageArg::Path(input.clone()),
+            target: ImageArg::Scene {
+                scene: Scene::Checker,
+                seed: 2,
+            },
+            size: 32,
+            config: photomosaic::MosaicBuilder::new()
+                .grid(4)
+                .backend(photomosaic::Backend::Serial)
+                .build(),
+            jobs: 1,
+            connections: 1,
+        };
+        let msg = execute(Command::Submit {
+            addr: addr.clone(),
+            action: job.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("total error"), "{msg}");
+
+        // Load generation over several connections; repeats hit the cache.
+        let SubmitAction::Job {
+            input,
+            target,
+            size,
+            config,
+            ..
+        } = job
+        else {
+            unreachable!()
+        };
+        let msg = execute(Command::Submit {
+            addr: addr.clone(),
+            action: SubmitAction::Job {
+                input,
+                target,
+                size,
+                config,
+                jobs: 4,
+                connections: 2,
+            },
+        })
+        .unwrap();
+        assert!(msg.contains("4 completed"), "{msg}");
+
+        let msg = execute(Command::Submit {
+            addr: addr.clone(),
+            action: SubmitAction::Stats,
+        })
+        .unwrap();
+        assert!(msg.contains("\"completed\""), "{msg}");
+
+        let msg = execute(Command::Submit {
+            addr: addr.clone(),
+            action: SubmitAction::Shutdown,
+        })
+        .unwrap();
+        assert!(msg.contains("shutting down"), "{msg}");
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("stopped"), "{served}");
+    }
+
+    #[test]
+    fn submit_rejects_non_square_images() {
+        let path = tmp("nonsquare.pgm");
+        let img = mosaic_image::GrayImage::from_vec(4, 2, vec![mosaic_image::Gray(0); 8]).unwrap();
+        save_pgm(&path, &img).unwrap();
+        let err = execute(Command::Submit {
+            addr: "127.0.0.1:1".into(),
+            action: SubmitAction::Job {
+                input: ImageArg::Path(path.to_string_lossy().into_owned()),
+                target: ImageArg::Scene {
+                    scene: Scene::Fur,
+                    seed: 1,
+                },
+                size: 16,
+                config: photomosaic::MosaicConfig::default(),
+                jobs: 1,
+                connections: 1,
+            },
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("square"), "{err}");
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! mosaic generate --input in.pgm --target tgt.pgm --out mosaic.pgm [options]
 //! mosaic database --target tgt.pgm --donors a.pgm,b.pgm --tile 16 --out m.pgm
 //! mosaic synth    --scene portrait --size 512 --seed 1 --out scene.pgm
+//! mosaic serve    --addr 127.0.0.1:7733 --workers 4 --queue 16 --cache 8
+//! mosaic submit   --addr 127.0.0.1:7733 --input in.pgm --target tgt.pgm [options]
 //! mosaic compare  a.pgm b.pgm
 //! mosaic info     image.pgm
 //! ```
@@ -44,7 +46,19 @@ USAGE:
                   [--cap <n>] [--metric sad|ssd|mean]
   mosaic synth    --scene portrait|regatta|fur|drapery|plasma|checker
                   --size <n> --out <pgm> [--seed <n>]
+  mosaic serve    [--addr <host:port>] [--workers <n>] [--queue <n>]
+                  [--cache <n>] [--retry-ms <n>]
+  mosaic submit   --addr <host:port> [--op job|stats|ping|shutdown]
+                  job: --input <pgm> | --input-scene <name> [--input-seed <n>]
+                       --target <pgm> | --target-scene <name> [--target-seed <n>]
+                       [--size <n>] [--jobs <n>] [--connections <n>]
+                       [+ the generate pipeline options]
   mosaic compare  <a.pgm> <b.pgm>
   mosaic info     <image.pgm>
   mosaic help
+
+serve runs the batch mosaic server: a bounded job queue feeding a fixed
+worker pool, with an LRU cache that reuses Step-2 error matrices across
+jobs with identical content. submit talks to it over line-delimited
+JSON; --jobs > 1 turns it into a load generator.
 ";

@@ -19,7 +19,11 @@ struct Rng(u64);
 
 impl Rng {
     fn new(seed: u64) -> Self {
-        Rng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        Rng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
 
     #[inline]
@@ -53,8 +57,8 @@ pub fn anneal_search(matrix: &ErrorMatrix, seed: u64, sweeps: usize) -> SearchOu
         let mut rng = Rng::new(seed);
         // Initial temperature: the mean matrix entry, a scale on which
         // typical Δ values live.
-        let mean_entry = matrix.as_slice().iter().map(|&v| u64::from(v)).sum::<u64>() as f64
-            / (s * s) as f64;
+        let mean_entry =
+            matrix.as_slice().iter().map(|&v| u64::from(v)).sum::<u64>() as f64 / (s * s) as f64;
         let mut temperature = mean_entry.max(1.0);
         let proposals_per_sweep = s * (s - 1) / 2;
         for _ in 0..sweeps {

@@ -1,11 +1,11 @@
 //! Pipeline configuration.
 
+use crate::json::Json;
 use mosaic_assign::SolverKind;
 use mosaic_grid::TileMetric;
 
 /// Which Step-3 rearrangement algorithm to run.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub enum Algorithm {
     /// §III — exact minimum-weight bipartite matching with the given
     /// solver.
@@ -33,7 +33,6 @@ pub enum Algorithm {
         sweeps: usize,
     },
 }
-
 
 impl Algorithm {
     /// Stable name for reports.
@@ -135,6 +134,156 @@ impl Default for MosaicConfig {
     }
 }
 
+impl MosaicConfig {
+    /// Serialize to the stable JSON shape shared by the report output and
+    /// the `mosaic-service` wire protocol.
+    ///
+    /// Enum variants are encoded by their stable [`name`](Algorithm::name)
+    /// strings; variant payloads (solver, `k`, seed, sweeps, thread and
+    /// worker counts) ride along as extra keys. The 64-bit anneal seed is
+    /// encoded as a decimal string so it survives the JSON `f64` number
+    /// model exactly.
+    pub fn to_json(&self) -> Json {
+        let mut algorithm = vec![("name".to_string(), Json::from(self.algorithm.name()))];
+        match self.algorithm {
+            Algorithm::Optimal(solver) => {
+                algorithm.push(("solver".to_string(), Json::from(solver.name())));
+            }
+            Algorithm::SparseMatch { k } => algorithm.push(("k".to_string(), Json::from(k))),
+            Algorithm::Anneal { seed, sweeps } => {
+                algorithm.push(("seed".to_string(), Json::Str(seed.to_string())));
+                algorithm.push(("sweeps".to_string(), Json::from(sweeps)));
+            }
+            Algorithm::LocalSearch | Algorithm::ParallelSearch | Algorithm::Greedy => {}
+        }
+        let mut backend = vec![("name".to_string(), Json::from(self.backend.name()))];
+        match self.backend {
+            Backend::Serial => {}
+            Backend::Threads(t) => backend.push(("threads".to_string(), Json::from(t))),
+            Backend::GpuSim { workers } => backend.push((
+                "workers".to_string(),
+                workers.map_or(Json::Null, Json::from),
+            )),
+        }
+        Json::obj([
+            ("grid", Json::from(self.grid)),
+            ("metric", Json::from(self.metric.name())),
+            ("algorithm", Json::Obj(algorithm)),
+            ("backend", Json::Obj(backend)),
+            ("preprocess", Json::from(self.preprocess.name())),
+        ])
+    }
+
+    /// Parse the shape produced by [`to_json`](Self::to_json). Missing
+    /// keys fall back to the defaults, so clients may send partial
+    /// configurations.
+    ///
+    /// # Errors
+    /// Returns a description of the first unrecognized name or malformed
+    /// field.
+    pub fn from_json(value: &Json) -> Result<MosaicConfig, String> {
+        let mut config = MosaicConfig::default();
+        if let Some(grid) = value.get("grid") {
+            config.grid = grid
+                .as_u64()
+                .ok_or_else(|| "grid must be a non-negative integer".to_string())?
+                as usize;
+        }
+        if let Some(metric) = value.get("metric") {
+            let name = metric.as_str().ok_or("metric must be a string")?;
+            config.metric = TileMetric::ALL
+                .into_iter()
+                .find(|m| m.name() == name)
+                .ok_or_else(|| format!("unknown metric {name:?}"))?;
+        }
+        if let Some(preprocess) = value.get("preprocess") {
+            let name = preprocess.as_str().ok_or("preprocess must be a string")?;
+            config.preprocess = [
+                Preprocess::MatchTarget,
+                Preprocess::Equalize,
+                Preprocess::None,
+            ]
+            .into_iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| format!("unknown preprocess {name:?}"))?;
+        }
+        if let Some(algorithm) = value.get("algorithm") {
+            config.algorithm = algorithm_from_json(algorithm)?;
+        }
+        if let Some(backend) = value.get("backend") {
+            config.backend = backend_from_json(backend)?;
+        }
+        Ok(config)
+    }
+}
+
+fn algorithm_from_json(value: &Json) -> Result<Algorithm, String> {
+    let name = value
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("algorithm needs a \"name\" string")?;
+    match name {
+        "optimal" => {
+            let solver = match value.get("solver").and_then(Json::as_str) {
+                None => SolverKind::default(),
+                Some(solver_name) => SolverKind::ALL
+                    .into_iter()
+                    .find(|s| s.name() == solver_name)
+                    .ok_or_else(|| format!("unknown solver {solver_name:?}"))?,
+            };
+            Ok(Algorithm::Optimal(solver))
+        }
+        "local-search" => Ok(Algorithm::LocalSearch),
+        "parallel-search" => Ok(Algorithm::ParallelSearch),
+        "greedy" => Ok(Algorithm::Greedy),
+        "sparse-match" => {
+            let k = value
+                .get("k")
+                .and_then(Json::as_u64)
+                .ok_or("sparse-match needs an integer \"k\"")? as usize;
+            Ok(Algorithm::SparseMatch { k })
+        }
+        "anneal" => {
+            let seed = match value.get("seed") {
+                None => 0,
+                Some(Json::Str(s)) => s
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid anneal seed {s:?}"))?,
+                Some(other) => other.as_u64().ok_or("invalid anneal seed")?,
+            };
+            let sweeps = value.get("sweeps").and_then(Json::as_u64).unwrap_or(1) as usize;
+            Ok(Algorithm::Anneal { seed, sweeps })
+        }
+        other => Err(format!("unknown algorithm {other:?}")),
+    }
+}
+
+fn backend_from_json(value: &Json) -> Result<Backend, String> {
+    let name = value
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("backend needs a \"name\" string")?;
+    match name {
+        "serial" => Ok(Backend::Serial),
+        "threads" => {
+            let threads = value
+                .get("threads")
+                .and_then(Json::as_u64)
+                .ok_or("threads backend needs an integer \"threads\"")?
+                as usize;
+            Ok(Backend::Threads(threads))
+        }
+        "gpu-sim" => {
+            let workers = match value.get("workers") {
+                None | Some(Json::Null) => None,
+                Some(w) => Some(w.as_u64().ok_or("workers must be an integer or null")? as usize),
+            };
+            Ok(Backend::GpuSim { workers })
+        }
+        other => Err(format!("unknown backend {other:?}")),
+    }
+}
+
 /// Fluent builder for [`MosaicConfig`].
 #[derive(Clone, Debug, Default)]
 pub struct MosaicBuilder {
@@ -214,12 +363,71 @@ mod tests {
     }
 
     #[test]
+    fn json_roundtrips_every_variant() {
+        let configs = [
+            MosaicConfig::default(),
+            MosaicBuilder::new()
+                .grid(16)
+                .metric(TileMetric::MeanAbs)
+                .algorithm(Algorithm::Optimal(SolverKind::Blossom))
+                .backend(Backend::Serial)
+                .preprocess(Preprocess::Equalize)
+                .build(),
+            MosaicBuilder::new()
+                .algorithm(Algorithm::SparseMatch { k: 9 })
+                .backend(Backend::Threads(3))
+                .build(),
+            MosaicBuilder::new()
+                .algorithm(Algorithm::Anneal {
+                    seed: u64::MAX, // exceeds f64 precision; must survive
+                    sweeps: 5,
+                })
+                .backend(Backend::GpuSim { workers: Some(2) })
+                .preprocess(Preprocess::None)
+                .build(),
+            MosaicBuilder::new().algorithm(Algorithm::Greedy).build(),
+            MosaicBuilder::new()
+                .algorithm(Algorithm::LocalSearch)
+                .build(),
+        ];
+        for config in configs {
+            let json = config.to_json();
+            let back = MosaicConfig::from_json(&json).unwrap();
+            assert_eq!(back, config);
+            // And through actual text.
+            let reparsed = crate::json::Json::parse(&json.encode()).unwrap();
+            assert_eq!(MosaicConfig::from_json(&reparsed).unwrap(), config);
+        }
+    }
+
+    #[test]
+    fn json_defaults_missing_fields() {
+        let partial = crate::json::Json::parse(r#"{"grid":8}"#).unwrap();
+        let config = MosaicConfig::from_json(&partial).unwrap();
+        assert_eq!(config.grid, 8);
+        assert_eq!(config.metric, TileMetric::Sad);
+        assert_eq!(config.algorithm, Algorithm::ParallelSearch);
+    }
+
+    #[test]
+    fn json_rejects_unknown_names() {
+        for bad in [
+            r#"{"metric":"nope"}"#,
+            r#"{"algorithm":{"name":"nope"}}"#,
+            r#"{"algorithm":{"name":"optimal","solver":"nope"}}"#,
+            r#"{"backend":{"name":"nope"}}"#,
+            r#"{"preprocess":"nope"}"#,
+            r#"{"grid":-1}"#,
+        ] {
+            let v = crate::json::Json::parse(bad).unwrap();
+            assert!(MosaicConfig::from_json(&v).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
     fn names_are_stable() {
         assert_eq!(Algorithm::LocalSearch.name(), "local-search");
-        assert_eq!(
-            Algorithm::Anneal { seed: 0, sweeps: 1 }.name(),
-            "anneal"
-        );
+        assert_eq!(Algorithm::Anneal { seed: 0, sweeps: 1 }.name(), "anneal");
         assert_eq!(Backend::Serial.name(), "serial");
         assert_eq!(Backend::GpuSim { workers: None }.name(), "gpu-sim");
         assert_eq!(Preprocess::Equalize.name(), "equalize");

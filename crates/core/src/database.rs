@@ -134,7 +134,11 @@ pub fn database_mosaic(
 
     let choices: Vec<usize> = match policy {
         SelectionPolicy::Unlimited => (0..s)
-            .map(|v| (0..l).min_by_key(|&t| cost(t, v)).expect("library non-empty"))
+            .map(|v| {
+                (0..l)
+                    .min_by_key(|&t| cost(t, v))
+                    .expect("library non-empty")
+            })
             .collect(),
         SelectionPolicy::UsageCap(cap) => {
             if cap == 0 || cap.saturating_mul(l) < s {
@@ -222,8 +226,8 @@ mod tests {
         let lib = library();
         // Target of constant intensity 34 == exactly library tile 2.
         let target = GrayImage::filled(16, 16, Gray(34)).unwrap();
-        let out = database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::Unlimited)
-            .unwrap();
+        let out =
+            database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::Unlimited).unwrap();
         assert_eq!(out.total_error, 0);
         assert!(out.choices.iter().all(|&t| t == 2));
         assert_eq!(out.image, target);
@@ -234,8 +238,7 @@ mod tests {
         let lib = library();
         let target = GrayImage::filled(32, 32, Gray(34)).unwrap(); // 16 positions
         let out =
-            database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::UsageCap(1))
-                .unwrap();
+            database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::UsageCap(1)).unwrap();
         let mut counts = vec![0usize; lib.len()];
         for &t in &out.choices {
             counts[t] += 1;
@@ -244,8 +247,7 @@ mod tests {
         // With every tile used at most once, error must exceed the
         // unlimited case.
         let unlimited =
-            database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::Unlimited)
-                .unwrap();
+            database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::Unlimited).unwrap();
         assert!(out.total_error >= unlimited.total_error);
     }
 
@@ -253,29 +255,21 @@ mod tests {
     fn infeasible_cap_is_an_error() {
         let lib = library();
         let target = GrayImage::filled(64, 64, Gray(0)).unwrap(); // 64 positions
-        // 16 tiles x cap 3 = 48 < 64.
-        assert!(database_mosaic(
-            &target,
-            &lib,
-            TileMetric::Sad,
-            SelectionPolicy::UsageCap(3)
-        )
-        .is_err());
-        assert!(database_mosaic(
-            &target,
-            &lib,
-            TileMetric::Sad,
-            SelectionPolicy::UsageCap(0)
-        )
-        .is_err());
+                                                                  // 16 tiles x cap 3 = 48 < 64.
+        assert!(
+            database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::UsageCap(3)).is_err()
+        );
+        assert!(
+            database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::UsageCap(0)).is_err()
+        );
     }
 
     #[test]
     fn mosaic_tracks_gradient_target() {
         let lib = library();
         let target = synth::gradient(64);
-        let out = database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::Unlimited)
-            .unwrap();
+        let out =
+            database_mosaic(&target, &lib, TileMetric::Sad, SelectionPolicy::Unlimited).unwrap();
         // Mean intensity of the mosaic should track the target's.
         let diff = (out.image.mean_intensity() - target.mean_intensity()).abs();
         assert!(diff < 10.0, "mean drift {diff}");

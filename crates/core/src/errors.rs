@@ -8,10 +8,12 @@
 //! in shared memory, the row of S errors written to global memory.
 
 use crate::config::Backend;
-use mosaic_grid::{build_error_matrix, build_error_matrix_threaded, ErrorMatrix, TileLayout, TileMetric};
 use mosaic_gpu::{BlockContext, DeviceSpec, GlobalBuffer, GpuSim, LaunchConfig, WorkProfile};
-use mosaic_image::{Image, Pixel};
 use mosaic_grid::LayoutError;
+use mosaic_grid::{
+    build_error_matrix, build_error_matrix_threaded, ErrorMatrix, TileLayout, TileMetric,
+};
+use mosaic_image::{Image, Pixel};
 use std::time::{Duration, Instant};
 
 /// Timing and work accounting of one pipeline step.
@@ -222,9 +224,14 @@ mod tests {
         let (serial, _) =
             compute_error_matrix(&input, &target, layout, TileMetric::Sad, Backend::Serial)
                 .unwrap();
-        let (threads, _) =
-            compute_error_matrix(&input, &target, layout, TileMetric::Sad, Backend::Threads(3))
-                .unwrap();
+        let (threads, _) = compute_error_matrix(
+            &input,
+            &target,
+            layout,
+            TileMetric::Sad,
+            Backend::Threads(3),
+        )
+        .unwrap();
         let (gpu, trace) = compute_error_matrix(
             &input,
             &target,
@@ -241,12 +248,8 @@ mod tests {
 
     #[test]
     fn image_bytes_layout() {
-        let img = mosaic_image::Image::from_vec(
-            2,
-            1,
-            vec![Rgb::new(1, 2, 3), Rgb::new(4, 5, 6)],
-        )
-        .unwrap();
+        let img = mosaic_image::Image::from_vec(2, 1, vec![Rgb::new(1, 2, 3), Rgb::new(4, 5, 6)])
+            .unwrap();
         assert_eq!(image_bytes(&img), vec![1, 2, 3, 4, 5, 6]);
     }
 
@@ -274,14 +277,10 @@ mod tests {
         let input = synth::gradient(32);
         let target = synth::gradient(16);
         let layout = TileLayout::new(32, 8).unwrap();
-        assert!(compute_error_matrix(
-            &input,
-            &target,
-            layout,
-            TileMetric::Sad,
-            Backend::Serial
-        )
-        .is_err());
+        assert!(
+            compute_error_matrix(&input, &target, layout, TileMetric::Sad, Backend::Serial)
+                .is_err()
+        );
         let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), 1);
         assert!(gpu_error_matrix(&sim, &input, &target, layout, TileMetric::Sad).is_err());
     }

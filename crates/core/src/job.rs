@@ -1,0 +1,510 @@
+//! Reusable job descriptions for batch execution.
+//!
+//! `mosaic-service` (and any other batch driver) talks in [`JobSpec`]s: a
+//! self-contained, JSON-serializable description of one generation — the
+//! two images (either synthetic scene recipes or literal pixels), plus the
+//! [`MosaicConfig`]. [`JobSpec::cache_key`] content-addresses the part of
+//! the job that determines the Step-2 error matrix, so executors can reuse
+//! matrices across identical submissions via
+//! [`generate_with_matrix`](crate::pipeline::generate_with_matrix).
+
+use crate::config::MosaicConfig;
+use crate::json::Json;
+use crate::pipeline::MosaicResult;
+use mosaic_image::synth::Scene;
+use mosaic_image::{Gray, GrayImage};
+
+/// Where a job's image comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImageSource {
+    /// Render a deterministic synthetic scene (cheap to ship over the
+    /// wire: three scalars).
+    Synth {
+        /// Scene role.
+        scene: Scene,
+        /// Edge length in pixels.
+        size: usize,
+        /// Render seed.
+        seed: u64,
+    },
+    /// Literal grayscale pixels, row-major, `size × size`.
+    Pixels {
+        /// Edge length in pixels.
+        size: usize,
+        /// `size * size` intensity bytes.
+        pixels: Vec<u8>,
+    },
+}
+
+impl ImageSource {
+    /// Materialize the image.
+    ///
+    /// # Errors
+    /// Returns a description when a `Pixels` source's byte count does not
+    /// match its declared size.
+    pub fn resolve(&self) -> Result<GrayImage, String> {
+        match self {
+            ImageSource::Synth { scene, size, seed } => {
+                if *size == 0 {
+                    return Err("image size must be positive".to_string());
+                }
+                Ok(scene.render(*size, *seed))
+            }
+            ImageSource::Pixels { size, pixels } => {
+                let data: Vec<Gray> = pixels.iter().map(|&b| Gray(b)).collect();
+                GrayImage::from_vec(*size, *size, data)
+                    .map_err(|e| format!("bad pixel payload: {e:?}"))
+            }
+        }
+    }
+
+    /// Serialize for the wire (pixels are hex-encoded).
+    pub fn to_json(&self) -> Json {
+        match self {
+            ImageSource::Synth { scene, size, seed } => Json::obj([
+                ("kind", Json::from("synth")),
+                ("scene", Json::from(scene.name())),
+                ("size", Json::from(*size)),
+                ("seed", Json::Str(seed.to_string())),
+            ]),
+            ImageSource::Pixels { size, pixels } => Json::obj([
+                ("kind", Json::from("pixels")),
+                ("size", Json::from(*size)),
+                ("pixels", Json::Str(hex_encode(pixels))),
+            ]),
+        }
+    }
+
+    /// Parse the shape produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed or unknown field.
+    pub fn from_json(value: &Json) -> Result<ImageSource, String> {
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("image source needs a \"kind\" string")?;
+        match kind {
+            "synth" => {
+                let scene_name = value
+                    .get("scene")
+                    .and_then(Json::as_str)
+                    .ok_or("synth source needs a \"scene\" string")?;
+                let scene = Scene::ALL
+                    .into_iter()
+                    .find(|s| s.name() == scene_name)
+                    .ok_or_else(|| format!("unknown scene {scene_name:?}"))?;
+                let size = value
+                    .get("size")
+                    .and_then(Json::as_u64)
+                    .ok_or("synth source needs an integer \"size\"")?
+                    as usize;
+                let seed = match value.get("seed") {
+                    None => 0,
+                    Some(Json::Str(s)) => s
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid seed {s:?}"))?,
+                    Some(other) => other.as_u64().ok_or("invalid seed")?,
+                };
+                Ok(ImageSource::Synth { scene, size, seed })
+            }
+            "pixels" => {
+                let size = value
+                    .get("size")
+                    .and_then(Json::as_u64)
+                    .ok_or("pixels source needs an integer \"size\"")?
+                    as usize;
+                let hex = value
+                    .get("pixels")
+                    .and_then(Json::as_str)
+                    .ok_or("pixels source needs a \"pixels\" hex string")?;
+                Ok(ImageSource::Pixels {
+                    size,
+                    pixels: hex_decode(hex)?,
+                })
+            }
+            other => Err(format!("unknown image source kind {other:?}")),
+        }
+    }
+}
+
+/// One generation job: two image sources plus the pipeline configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// The image whose tiles are rearranged.
+    pub input: ImageSource,
+    /// The image being reproduced.
+    pub target: ImageSource,
+    /// Pipeline configuration.
+    pub config: MosaicConfig,
+}
+
+impl JobSpec {
+    /// Materialize both images.
+    ///
+    /// # Errors
+    /// Propagates [`ImageSource::resolve`] failures, labeled by role.
+    pub fn resolve(&self) -> Result<(GrayImage, GrayImage), String> {
+        let input = self.input.resolve().map_err(|e| format!("input: {e}"))?;
+        let target = self.target.resolve().map_err(|e| format!("target: {e}"))?;
+        Ok((input, target))
+    }
+
+    /// Content hash (FNV-1a, 64-bit) of everything the Step-2 error
+    /// matrix depends on: both image sources, the grid, the preprocess
+    /// mode and the tile metric.
+    ///
+    /// The Step-3 algorithm and execution backend are deliberately
+    /// *excluded* — they do not affect the matrix, so jobs that differ
+    /// only in algorithm or backend share a cache entry. The metric and
+    /// the target image are *included* even though the issue's shorthand
+    /// names only `(input, grid, preprocess)`, because the matrix
+    /// compares preprocessed input tiles against target tiles under the
+    /// metric; omitting either would alias distinct matrices.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        hash_source(&mut h, &self.input);
+        hash_source(&mut h, &self.target);
+        h.write_u64(self.config.grid as u64);
+        h.write_bytes(self.config.preprocess.name().as_bytes());
+        h.write_bytes(self.config.metric.name().as_bytes());
+        h.finish()
+    }
+
+    /// Serialize for the wire.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("input", self.input.to_json()),
+            ("target", self.target.to_json()),
+            ("config", self.config.to_json()),
+        ])
+    }
+
+    /// Parse the shape produced by [`to_json`](Self::to_json). A missing
+    /// `config` falls back to the defaults.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed field.
+    pub fn from_json(value: &Json) -> Result<JobSpec, String> {
+        let input =
+            ImageSource::from_json(value.get("input").ok_or("job needs an \"input\" source")?)?;
+        let target =
+            ImageSource::from_json(value.get("target").ok_or("job needs a \"target\" source")?)?;
+        let config = match value.get("config") {
+            Some(c) => MosaicConfig::from_json(c)?,
+            None => MosaicConfig::default(),
+        };
+        Ok(JobSpec {
+            input,
+            target,
+            config,
+        })
+    }
+}
+
+/// A finished job, ready for the wire: the rearranged image, the
+/// assignment and the full [`GenerationReport`](crate::GenerationReport)
+/// (as JSON).
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The rearranged image.
+    pub image: GrayImage,
+    /// The tile assignment (`assignment[v] = u`).
+    pub assignment: Vec<usize>,
+    /// Report JSON (see `GenerationReport::to_json`).
+    pub report: Json,
+}
+
+impl From<MosaicResult> for JobResult {
+    fn from(result: MosaicResult) -> Self {
+        JobResult {
+            report: result.report.to_json(),
+            image: result.image,
+            assignment: result.assignment,
+        }
+    }
+}
+
+impl JobResult {
+    /// Serialize for the wire (pixels hex-encoded).
+    pub fn to_json(&self) -> Json {
+        let bytes: Vec<u8> = self.image.pixels().iter().map(|p| p.0).collect();
+        Json::obj([
+            (
+                "image",
+                Json::obj([
+                    ("size", Json::from(self.image.width())),
+                    ("pixels", Json::Str(hex_encode(&bytes))),
+                ]),
+            ),
+            (
+                "assignment",
+                Json::Arr(self.assignment.iter().map(|&u| Json::from(u)).collect()),
+            ),
+            ("report", self.report.clone()),
+        ])
+    }
+
+    /// Parse the shape produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed field.
+    pub fn from_json(value: &Json) -> Result<JobResult, String> {
+        let image = value.get("image").ok_or("result needs an \"image\"")?;
+        let size = image
+            .get("size")
+            .and_then(Json::as_u64)
+            .ok_or("result image needs an integer \"size\"")? as usize;
+        let hex = image
+            .get("pixels")
+            .and_then(Json::as_str)
+            .ok_or("result image needs a \"pixels\" hex string")?;
+        let data: Vec<Gray> = hex_decode(hex)?.into_iter().map(Gray).collect();
+        let image = GrayImage::from_vec(size, size, data)
+            .map_err(|e| format!("bad result image: {e:?}"))?;
+        let assignment = value
+            .get("assignment")
+            .and_then(Json::as_arr)
+            .ok_or("result needs an \"assignment\" array")?
+            .iter()
+            .map(|v| v.as_u64().map(|u| u as usize).ok_or("bad assignment entry"))
+            .collect::<Result<Vec<usize>, &str>>()?;
+        let report = value
+            .get("report")
+            .cloned()
+            .ok_or("result needs a \"report\"")?;
+        Ok(JobResult {
+            image,
+            assignment,
+            report,
+        })
+    }
+}
+
+fn hash_source(h: &mut Fnv1a, source: &ImageSource) {
+    match source {
+        ImageSource::Synth { scene, size, seed } => {
+            h.write_bytes(b"synth");
+            h.write_bytes(scene.name().as_bytes());
+            h.write_u64(*size as u64);
+            h.write_u64(*seed);
+        }
+        ImageSource::Pixels { size, pixels } => {
+            h.write_bytes(b"pixels");
+            h.write_u64(*size as u64);
+            h.write_bytes(pixels);
+        }
+    }
+}
+
+/// FNV-1a 64-bit hasher (std's `DefaultHasher` is not guaranteed stable
+/// across releases; cache keys should be).
+struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Length terminator so concatenations can't collide trivially.
+        self.write_u64(bytes.len() as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Encode bytes as lowercase hex.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).unwrap());
+        out.push(char::from_digit(u32::from(b & 0xF), 16).unwrap());
+    }
+    out
+}
+
+/// Decode lowercase/uppercase hex into bytes.
+///
+/// # Errors
+/// Returns a description on odd length or non-hex characters.
+pub fn hex_decode(hex: &str) -> Result<Vec<u8>, String> {
+    let bytes = hex.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err("hex string has odd length".to_string());
+    }
+    let digit = |b: u8| -> Result<u8, String> {
+        (b as char)
+            .to_digit(16)
+            .map(|d| d as u8)
+            .ok_or_else(|| format!("invalid hex byte {:?}", b as char))
+    };
+    bytes
+        .chunks_exact(2)
+        .map(|pair| Ok(digit(pair[0])? << 4 | digit(pair[1])?))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Algorithm, Backend, MosaicBuilder};
+    use mosaic_grid::TileMetric;
+
+    fn sample_spec() -> JobSpec {
+        JobSpec {
+            input: ImageSource::Synth {
+                scene: Scene::Portrait,
+                size: 32,
+                seed: 1,
+            },
+            target: ImageSource::Synth {
+                scene: Scene::Regatta,
+                size: 32,
+                seed: 2,
+            },
+            config: MosaicBuilder::new()
+                .grid(4)
+                .backend(Backend::Serial)
+                .build(),
+        }
+    }
+
+    #[test]
+    fn hex_roundtrips() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        assert_eq!(hex_encode(&[0x0f, 0xa0]), "0fa0");
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json_text() {
+        let mut spec = sample_spec();
+        spec.input = ImageSource::Pixels {
+            size: 2,
+            pixels: vec![1, 2, 3, 4],
+        };
+        let text = spec.to_json().encode();
+        let back = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn synth_sources_resolve_deterministically() {
+        let spec = sample_spec();
+        let (a_in, a_tg) = spec.resolve().unwrap();
+        let (b_in, b_tg) = spec.resolve().unwrap();
+        assert_eq!(a_in, b_in);
+        assert_eq!(a_tg, b_tg);
+        assert_eq!(a_in.dimensions(), (32, 32));
+    }
+
+    #[test]
+    fn bad_sources_are_errors() {
+        let bad = ImageSource::Pixels {
+            size: 3,
+            pixels: vec![0; 8], // 3x3 needs 9
+        };
+        assert!(bad.resolve().is_err());
+        let zero = ImageSource::Synth {
+            scene: Scene::Fur,
+            size: 0,
+            seed: 0,
+        };
+        assert!(zero.resolve().is_err());
+    }
+
+    #[test]
+    fn cache_key_tracks_matrix_inputs_only() {
+        let base = sample_spec();
+        let key = base.cache_key();
+        assert_eq!(key, sample_spec().cache_key(), "key must be deterministic");
+
+        // Fields the matrix depends on change the key …
+        let mut other = base.clone();
+        other.config.grid = 8;
+        assert_ne!(other.cache_key(), key);
+        let mut other = base.clone();
+        other.config.metric = TileMetric::Ssd;
+        assert_ne!(other.cache_key(), key);
+        let mut other = base.clone();
+        other.config.preprocess = crate::config::Preprocess::None;
+        assert_ne!(other.cache_key(), key);
+        let mut other = base.clone();
+        other.input = ImageSource::Synth {
+            scene: Scene::Portrait,
+            size: 32,
+            seed: 99,
+        };
+        assert_ne!(other.cache_key(), key);
+        let mut other = base.clone();
+        other.target = ImageSource::Synth {
+            scene: Scene::Checker,
+            size: 32,
+            seed: 2,
+        };
+        assert_ne!(other.cache_key(), key);
+
+        // … fields it does not depend on do not.
+        let mut other = base.clone();
+        other.config.algorithm = Algorithm::LocalSearch;
+        assert_eq!(other.cache_key(), key);
+        let mut other = base;
+        other.config.backend = Backend::Threads(4);
+        assert_eq!(other.cache_key(), key);
+    }
+
+    #[test]
+    fn pixel_sources_with_same_content_share_a_key() {
+        let rendered = Scene::Plasma.render(16, 7);
+        let bytes: Vec<u8> = rendered.pixels().iter().map(|p| p.0).collect();
+        let mk = || JobSpec {
+            input: ImageSource::Pixels {
+                size: 16,
+                pixels: bytes.clone(),
+            },
+            target: ImageSource::Synth {
+                scene: Scene::Checker,
+                size: 16,
+                seed: 0,
+            },
+            config: MosaicBuilder::new().grid(4).build(),
+        };
+        assert_eq!(mk().cache_key(), mk().cache_key());
+    }
+
+    #[test]
+    fn job_result_roundtrips_through_json_text() {
+        let spec = sample_spec();
+        let (input, target) = spec.resolve().unwrap();
+        let result = crate::generate(&input, &target, &spec.config).unwrap();
+        let job: JobResult = result.clone().into();
+        let text = job.to_json().encode();
+        let back = JobResult::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.image, result.image);
+        assert_eq!(back.assignment, result.assignment);
+        assert_eq!(
+            back.report.get("total_error").unwrap().as_u64(),
+            Some(result.report.total_error)
+        );
+    }
+}

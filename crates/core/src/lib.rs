@@ -58,6 +58,8 @@ pub mod anneal;
 pub mod config;
 pub mod database;
 pub mod errors;
+pub mod job;
+pub mod json;
 pub mod local_search;
 pub mod multires;
 pub mod optimal;
@@ -70,6 +72,8 @@ pub mod report;
 pub mod video;
 
 pub use config::{Algorithm, Backend, MosaicBuilder, MosaicConfig, Preprocess};
-pub use pipeline::{generate, MosaicResult};
+pub use job::{ImageSource, JobResult, JobSpec};
+pub use json::Json;
+pub use pipeline::{generate, generate_returning_matrix, generate_with_matrix, MosaicResult};
 pub use pipeline_rgb::{generate_rgb, RgbMosaicResult};
 pub use report::GenerationReport;

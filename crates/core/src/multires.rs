@@ -212,8 +212,8 @@ mod tests {
     use super::*;
     use crate::optimal::optimal_rearrangement;
     use mosaic_assign::SolverKind;
-    use mosaic_grid::build_error_matrix;
     use mosaic_grid::assemble;
+    use mosaic_grid::build_error_matrix;
     use mosaic_image::{metrics, synth};
 
     fn pair(n: usize) -> (GrayImage, GrayImage) {
@@ -257,8 +257,7 @@ mod tests {
         let layout = TileLayout::with_grid(128, 16).unwrap();
         let matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
         let opt = optimal_rearrangement(&matrix, SolverKind::JonkerVolgenant).total;
-        let identity_total =
-            matrix.assignment_total(&(0..layout.tile_count()).collect::<Vec<_>>());
+        let identity_total = matrix.assignment_total(&(0..layout.tile_count()).collect::<Vec<_>>());
         let config = MultiresConfig {
             leaf_grid: 4,
             metric: TileMetric::Sad,
@@ -292,8 +291,7 @@ mod tests {
         let (input, target) = pair(48);
         let layout = TileLayout::with_grid(48, 3).unwrap();
         let out =
-            hierarchical_rearrangement(&input, &target, layout, MultiresConfig::default())
-                .unwrap();
+            hierarchical_rearrangement(&input, &target, layout, MultiresConfig::default()).unwrap();
         let matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
         let opt = optimal_rearrangement(&matrix, SolverKind::JonkerVolgenant);
         assert_eq!(out.total, opt.total);

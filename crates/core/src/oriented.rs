@@ -135,19 +135,13 @@ pub fn build_oriented_error_matrix(
     for u in 0..s {
         let base = layout.tile_view(input, u).to_image();
         // Materialize each oriented variant once per input tile.
-        let variants: Vec<(Orientation, GrayImage)> = allowed
-            .iter()
-            .map(|&o| (o, o.apply(&base)))
-            .collect();
+        let variants: Vec<(Orientation, GrayImage)> =
+            allowed.iter().map(|&o| (o, o.apply(&base))).collect();
         for (v, tile_v) in target_tiles.iter().enumerate() {
             let mut best_err = u64::MAX;
             let mut best_o = allowed[0];
             for (o, variant) in &variants {
-                let e = mosaic_grid::tile_error(
-                    &variant.full_view(),
-                    &tile_v.full_view(),
-                    metric,
-                );
+                let e = mosaic_grid::tile_error(&variant.full_view(), &tile_v.full_view(), metric);
                 if e < best_err {
                     best_err = e;
                     best_o = *o;
@@ -201,8 +195,8 @@ pub fn generate_oriented(
     };
     let s = layout.tile_count();
     let m = layout.tile_size();
-    let mut image = Image::black(layout.image_size(), layout.image_size())
-        .expect("layout size is valid");
+    let mut image =
+        Image::black(layout.image_size(), layout.image_size()).expect("layout size is valid");
     let mut placed = Vec::with_capacity(s);
     for (v, &u) in outcome.assignment.iter().enumerate() {
         let orientation = oriented.best[u * s + v];
@@ -234,7 +228,11 @@ mod tests {
             .collect();
         variants.sort();
         variants.dedup();
-        assert_eq!(variants.len(), 8, "D4 orbit of an asymmetric tile has 8 elements");
+        assert_eq!(
+            variants.len(),
+            8,
+            "D4 orbit of an asymmetric tile has 8 elements"
+        );
     }
 
     #[test]
@@ -297,8 +295,7 @@ mod tests {
         let layout = TileLayout::new(48, 8).unwrap();
         let plain =
             mosaic_grid::build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
-        let plain_total =
-            optimal_rearrangement(&plain, SolverKind::JonkerVolgenant).total;
+        let plain_total = optimal_rearrangement(&plain, SolverKind::JonkerVolgenant).total;
         let oriented = generate_oriented(
             &input,
             &target,

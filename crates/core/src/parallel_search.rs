@@ -13,14 +13,14 @@
 //! * [`parallel_search_reference`] — groups executed on one thread, the
 //!   specification;
 //! * [`parallel_search_threads`] — each group's pairs split across
-//!   crossbeam workers;
+//!   scoped worker threads;
 //! * [`parallel_search_gpu`] — one simulated kernel launch per group, the
 //!   paper's GPU implementation.
 
 use crate::local_search::SearchOutcome;
 use mosaic_edgecolor::SwapSchedule;
-use mosaic_grid::ErrorMatrix;
 use mosaic_gpu::{BlockContext, GlobalBuffer, GlobalFlag, GpuSim, LaunchConfig, WorkProfile};
+use mosaic_grid::ErrorMatrix;
 
 /// A [`SearchOutcome`] plus the kernel-launch count the GPU path would
 /// issue (used for the analytic device model; identical across backends
@@ -53,10 +53,7 @@ pub fn step3_parallel_profile(s: usize, sweeps: usize, launches: usize) -> WorkP
 }
 
 /// Reference execution: groups in order, pairs in order, single thread.
-pub fn parallel_search_reference(
-    matrix: &ErrorMatrix,
-    schedule: &SwapSchedule,
-) -> ParallelOutcome {
+pub fn parallel_search_reference(matrix: &ErrorMatrix, schedule: &SwapSchedule) -> ParallelOutcome {
     assert_eq!(
         schedule.tiles(),
         matrix.size(),
@@ -127,17 +124,16 @@ pub fn parallel_search_threads(
             decisions.clear();
             decisions.resize(group.len(), false);
             let chunk = group.len().div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let assignment = &assignment;
                 for (pairs, flags) in group.chunks(chunk).zip(decisions.chunks_mut(chunk)) {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for (&(p, q), flag) in pairs.iter().zip(flags.iter_mut()) {
                             *flag = matrix.swap_gain(assignment, p, q) > 0;
                         }
                     });
                 }
-            })
-            .expect("swap-decision worker panicked");
+            });
             for (&(p, q), &doit) in group.iter().zip(&decisions) {
                 if doit {
                     assignment.swap(p, q);

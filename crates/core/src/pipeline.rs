@@ -7,18 +7,17 @@
 
 use crate::anneal::anneal_search;
 use crate::config::{Algorithm, Backend, MosaicConfig};
-use crate::errors::compute_error_matrix;
+use crate::errors::{compute_error_matrix, StepTrace};
 use crate::local_search::{local_search, SearchOutcome};
 use crate::optimal::{optimal_rearrangement, sparse_rearrangement};
 use crate::parallel_search::{
-    parallel_search_gpu, parallel_search_reference, parallel_search_threads,
-    step3_parallel_profile,
+    parallel_search_gpu, parallel_search_reference, parallel_search_threads, step3_parallel_profile,
 };
 use crate::preprocess::preprocess_gray;
 use crate::report::GenerationReport;
 use mosaic_edgecolor::SwapSchedule;
-use mosaic_grid::{assemble, LayoutError, TileLayout};
 use mosaic_gpu::{DeviceSpec, GpuSim, WorkProfile};
+use mosaic_grid::{assemble, LayoutError, TileLayout};
 use mosaic_image::GrayImage;
 use std::time::Instant;
 
@@ -44,6 +43,58 @@ pub fn generate(
     target: &GrayImage,
     config: &MosaicConfig,
 ) -> Result<MosaicResult, LayoutError> {
+    generate_impl(input, target, config, None).map(|(result, _)| result)
+}
+
+/// Like [`generate`], but also return the Step-2 error matrix so callers
+/// can cache and reuse it for identical inputs (see `mosaic-service`).
+///
+/// # Errors
+/// Same conditions as [`generate`].
+pub fn generate_returning_matrix(
+    input: &GrayImage,
+    target: &GrayImage,
+    config: &MosaicConfig,
+) -> Result<(MosaicResult, mosaic_grid::ErrorMatrix), LayoutError> {
+    let (result, matrix) = generate_impl(input, target, config, None)?;
+    Ok((
+        result,
+        matrix.expect("the matrix is always computed when none is supplied"),
+    ))
+}
+
+/// Like [`generate`], but reuse a previously computed Step-2 error matrix
+/// instead of recomputing it. Step 1 (preprocessing) still runs because
+/// the prepared image is needed for assembly; the report's `step2_wall`
+/// is zero and its `step2_profile` is empty since no Step-2 work was
+/// performed.
+///
+/// The caller is responsible for supplying a matrix computed from the
+/// *same* `(input, target, grid, preprocess, metric)` tuple — that is the
+/// cache invariant `mosaic-service` maintains via `JobSpec::cache_key`.
+///
+/// # Panics
+/// Panics if `matrix` is not `grid² × grid²` — a matrix of the right size
+/// but wrong content cannot be detected, so a size mismatch is treated as
+/// a caller bug rather than a recoverable error.
+///
+/// # Errors
+/// Same conditions as [`generate`].
+pub fn generate_with_matrix(
+    input: &GrayImage,
+    target: &GrayImage,
+    config: &MosaicConfig,
+    matrix: &mosaic_grid::ErrorMatrix,
+) -> Result<MosaicResult, LayoutError> {
+    generate_impl(input, target, config, Some(matrix)).map(|(result, _)| result)
+}
+
+fn generate_impl(
+    input: &GrayImage,
+    target: &GrayImage,
+    config: &MosaicConfig,
+    cached_matrix: Option<&mosaic_grid::ErrorMatrix>,
+) -> Result<(MosaicResult, Option<mosaic_grid::ErrorMatrix>), LayoutError> {
     let (w, h) = target.dimensions();
     if w != h {
         return Err(LayoutError::NotSquare {
@@ -60,13 +111,30 @@ pub fn generate(
     let prepared = preprocess_gray(input, target, config.preprocess);
     let step1_wall = t1.elapsed();
 
-    // Step 2: the S x S error matrix.
-    let (matrix, step2_trace) =
-        compute_error_matrix(&prepared, target, layout, config.metric, config.backend)?;
+    // Step 2: the S x S error matrix (skipped when a cached one is
+    // supplied).
+    let mut computed = None;
+    let (matrix, step2_trace): (&mosaic_grid::ErrorMatrix, StepTrace) = match cached_matrix {
+        Some(m) => {
+            assert_eq!(
+                m.size(),
+                layout.tile_count(),
+                "cached error matrix is {}x{0} but the layout has {} tiles",
+                m.size(),
+                layout.tile_count(),
+            );
+            (m, StepTrace::default())
+        }
+        None => {
+            let (m, trace) =
+                compute_error_matrix(&prepared, target, layout, config.metric, config.backend)?;
+            (computed.insert(m), trace)
+        }
+    };
 
     // Step 3: rearrangement.
     let t3 = Instant::now();
-    let (outcome, step3_profile) = run_step3(&matrix, config);
+    let (outcome, step3_profile) = run_step3(matrix, config);
     let step3_wall = t3.elapsed();
 
     let image = assemble(&prepared, layout, &outcome.assignment)?;
@@ -84,11 +152,14 @@ pub fn generate(
         step2_profile: step2_trace.profile,
         step3_profile,
     };
-    Ok(MosaicResult {
-        image,
-        assignment: outcome.assignment,
-        report,
-    })
+    Ok((
+        MosaicResult {
+            image,
+            assignment: outcome.assignment,
+            report,
+        },
+        computed,
+    ))
 }
 
 fn run_step3(
@@ -101,7 +172,10 @@ fn run_step3(
             // §V: "Regarding the optimization algorithm in Step 3, since it
             // is not easy to parallelize the algorithm, we sequentially
             // perform it on the CPU." No device profile.
-            (optimal_rearrangement(matrix, solver), WorkProfile::default())
+            (
+                optimal_rearrangement(matrix, solver),
+                WorkProfile::default(),
+            )
         }
         Algorithm::Greedy => (
             optimal_rearrangement(matrix, mosaic_assign::SolverKind::Greedy),
@@ -193,7 +267,10 @@ mod tests {
                 .algorithm(algorithm)
                 .backend(Backend::Serial)
                 .build();
-            generate(&input, &target, &config).unwrap().report.total_error
+            generate(&input, &target, &config)
+                .unwrap()
+                .report
+                .total_error
         };
         let optimal = run(Algorithm::Optimal(SolverKind::Hungarian));
         let serial = run(Algorithm::LocalSearch);
@@ -227,12 +304,7 @@ mod tests {
         };
         let serial = generate(&input, &target, &mk(Backend::Serial)).unwrap();
         let threads = generate(&input, &target, &mk(Backend::Threads(3))).unwrap();
-        let gpu = generate(
-            &input,
-            &target,
-            &mk(Backend::GpuSim { workers: Some(2) }),
-        )
-        .unwrap();
+        let gpu = generate(&input, &target, &mk(Backend::GpuSim { workers: Some(2) })).unwrap();
         assert_eq!(serial.image, threads.image);
         assert_eq!(serial.image, gpu.image);
         assert_eq!(serial.report.total_error, gpu.report.total_error);
@@ -241,7 +313,11 @@ mod tests {
     #[test]
     fn preprocess_modes_all_run() {
         let (input, target) = pair(32);
-        for preprocess in [Preprocess::MatchTarget, Preprocess::Equalize, Preprocess::None] {
+        for preprocess in [
+            Preprocess::MatchTarget,
+            Preprocess::Equalize,
+            Preprocess::None,
+        ] {
             let config = MosaicBuilder::new()
                 .grid(4)
                 .backend(Backend::Serial)
@@ -277,6 +353,38 @@ mod tests {
         assert_eq!(r.tile_size, 8);
         assert!(r.sweeps >= 1);
         assert!(!r.summary().is_empty());
+    }
+
+    #[test]
+    fn cached_matrix_reproduces_the_uncached_result() {
+        let (input, target) = pair(64);
+        for algorithm in [
+            Algorithm::Optimal(SolverKind::JonkerVolgenant),
+            Algorithm::ParallelSearch,
+        ] {
+            let config = MosaicBuilder::new()
+                .grid(8)
+                .algorithm(algorithm)
+                .backend(Backend::Serial)
+                .build();
+            let (fresh, matrix) = generate_returning_matrix(&input, &target, &config).unwrap();
+            let cached = generate_with_matrix(&input, &target, &config, &matrix).unwrap();
+            assert_eq!(cached.image, fresh.image);
+            assert_eq!(cached.assignment, fresh.assignment);
+            assert_eq!(cached.report.total_error, fresh.report.total_error);
+            // No Step-2 work is reported on the cached path.
+            assert_eq!(cached.report.step2_profile.launches, 0);
+            assert_eq!(cached.report.step2_profile.ops, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cached error matrix")]
+    fn wrong_sized_cached_matrix_panics() {
+        let (input, target) = pair(64);
+        let config = base_config(8);
+        let small = mosaic_grid::ErrorMatrix::from_vec(4, vec![0; 16]);
+        let _ = generate_with_matrix(&input, &target, &config, &small);
     }
 
     #[test]

@@ -18,8 +18,8 @@ use crate::parallel_search::{
 use crate::preprocess::preprocess_rgb;
 use crate::report::GenerationReport;
 use mosaic_edgecolor::SwapSchedule;
-use mosaic_grid::{assemble, LayoutError, TileLayout};
 use mosaic_gpu::{DeviceSpec, GpuSim, WorkProfile};
+use mosaic_grid::{assemble, LayoutError, TileLayout};
 use mosaic_image::RgbImage;
 use std::time::Instant;
 
@@ -66,9 +66,7 @@ pub fn generate_rgb(
     let t3 = Instant::now();
     let outcome: SearchOutcome = match config.algorithm {
         Algorithm::Optimal(solver) => optimal_rearrangement(&matrix, solver),
-        Algorithm::Greedy => {
-            optimal_rearrangement(&matrix, mosaic_assign::SolverKind::Greedy)
-        }
+        Algorithm::Greedy => optimal_rearrangement(&matrix, mosaic_assign::SolverKind::Greedy),
         Algorithm::SparseMatch { k } => sparse_rearrangement(&matrix, k),
         Algorithm::LocalSearch => local_search(&matrix),
         Algorithm::ParallelSearch => {
@@ -196,7 +194,10 @@ mod tests {
     fn rgb_geometry_errors() {
         let (input, _) = pair(32);
         let (_, target64) = pair(64);
-        let config = MosaicBuilder::new().grid(4).backend(Backend::Serial).build();
+        let config = MosaicBuilder::new()
+            .grid(4)
+            .backend(Backend::Serial)
+            .build();
         assert!(generate_rgb(&input, &target64, &config).is_err());
     }
 

@@ -92,7 +92,11 @@ mod tests {
             mosaic_image::Rgb::new(0, 30, 60),
             mosaic_image::Rgb::new(250, 240, 230),
         );
-        for mode in [Preprocess::MatchTarget, Preprocess::Equalize, Preprocess::None] {
+        for mode in [
+            Preprocess::MatchTarget,
+            Preprocess::Equalize,
+            Preprocess::None,
+        ] {
             let out = preprocess_rgb(&input, &target, mode);
             assert_eq!(out.dimensions(), input.dimensions());
         }

@@ -1,8 +1,21 @@
 //! Generation reports: everything the experiment harness prints.
 
 use crate::config::MosaicConfig;
+use crate::json::Json;
 use mosaic_gpu::{CostModel, DeviceSpec, WorkProfile};
 use std::time::Duration;
+
+fn profile_json(profile: &WorkProfile) -> Json {
+    Json::obj([
+        ("launches", Json::from(profile.launches)),
+        ("global_bytes", Json::from(profile.global_bytes as f64)),
+        ("ops", Json::from(profile.ops as f64)),
+    ])
+}
+
+fn duration_ms(d: Duration) -> Json {
+    Json::from(d.as_secs_f64() * 1000.0)
+}
 
 /// Timings, totals and work accounting of one mosaic generation.
 #[derive(Clone, Debug)]
@@ -52,6 +65,27 @@ impl GenerationReport {
         let k40 = CostModel::new(DeviceSpec::tesla_k40());
         let host = CostModel::new(DeviceSpec::host_single_core());
         k40.speedup_over(&host, &self.step2_profile.combine(&self.step3_profile))
+    }
+
+    /// Serialize to the stable JSON shape shared by the bench harness
+    /// output and the `mosaic-service` wire protocol. Durations are
+    /// reported in fractional milliseconds (`*_wall_ms`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("config", self.config.to_json()),
+            ("image_size", Json::from(self.image_size)),
+            ("tile_count", Json::from(self.tile_count)),
+            ("tile_size", Json::from(self.tile_size)),
+            ("total_error", Json::from(self.total_error as f64)),
+            ("sweeps", Json::from(self.sweeps)),
+            ("swaps", Json::from(self.swaps)),
+            ("step1_wall_ms", duration_ms(self.step1_wall)),
+            ("step2_wall_ms", duration_ms(self.step2_wall)),
+            ("step3_wall_ms", duration_ms(self.step3_wall)),
+            ("total_wall_ms", duration_ms(self.total_wall())),
+            ("step2_profile", profile_json(&self.step2_profile)),
+            ("step3_profile", profile_json(&self.step3_profile)),
+        ])
     }
 
     /// One-line human-readable summary.
@@ -114,6 +148,24 @@ mod tests {
         assert!(s.contains("N=64"));
         assert!(s.contains("S=4x4"));
         assert!(s.contains("sweeps=3"));
+    }
+
+    #[test]
+    fn to_json_roundtrips_through_text() {
+        let r = dummy_report();
+        let text = r.to_json().encode();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("total_error").unwrap().as_u64(), Some(1234));
+        assert_eq!(v.get("tile_count").unwrap().as_u64(), Some(16));
+        assert_eq!(v.get("step2_wall_ms").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("total_wall_ms").unwrap().as_f64(), Some(6.0));
+        let cfg = v.get("config").unwrap();
+        assert_eq!(
+            crate::config::MosaicConfig::from_json(cfg).unwrap(),
+            r.config
+        );
+        let p = v.get("step3_profile").unwrap();
+        assert_eq!(p.get("launches").unwrap().as_u64(), Some(45));
     }
 
     #[test]

@@ -147,9 +147,7 @@ mod tests {
     fn panning_frames(base: &GrayImage, count: usize) -> Vec<GrayImage> {
         let n = base.width();
         (0..count)
-            .map(|t| {
-                Image::from_fn(n, n, |x, y| base.pixel((x + 2 * t) % n, y)).unwrap()
-            })
+            .map(|t| Image::from_fn(n, n, |x, y| base.pixel((x + 2 * t) % n, y)).unwrap())
             .collect()
     }
 

@@ -1,37 +1,33 @@
 //! Property tests for the extension modules (oriented placement,
-//! hierarchical solving) over random tiled images.
+//! hierarchical solving) over random tiled images, driven by the
+//! deterministic [`mosaic_image::testutil`] PRNG (ported from the former
+//! `proptest` suite; every case reproduces from the printed seed).
 
 use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
+use mosaic_image::testutil::{gray_image, XorShift};
 use mosaic_image::{Gray, Image};
 use photomosaic::multires::{hierarchical_rearrangement, MultiresConfig};
 use photomosaic::oriented::{build_oriented_error_matrix, Orientation};
-use proptest::prelude::*;
 
 /// Random image pair whose grid is leaf * 2^k (leaf = 2), so the
 /// hierarchical solver always accepts it.
-fn arb_pair() -> impl Strategy<Value = (Image<Gray>, Image<Gray>, TileLayout)> {
-    (1u32..=2, 2usize..=4).prop_flat_map(|(doublings, tile)| {
-        let grid = 2usize << doublings; // 4 or 8
-        let n = grid * tile;
-        (
-            proptest::collection::vec(any::<u8>(), n * n),
-            proptest::collection::vec(any::<u8>(), n * n),
-        )
-            .prop_map(move |(a, b)| {
-                (
-                    Image::from_vec(n, n, a.into_iter().map(Gray).collect()).unwrap(),
-                    Image::from_vec(n, n, b.into_iter().map(Gray).collect()).unwrap(),
-                    TileLayout::new(n, tile).unwrap(),
-                )
-            })
-    })
+fn arb_pair(rng: &mut XorShift) -> (Image<Gray>, Image<Gray>, TileLayout) {
+    let doublings = rng.range(1, 2) as u32;
+    let tile = rng.range(2, 4);
+    let grid = 2usize << doublings; // 4 or 8
+    let n = grid * tile;
+    (
+        gray_image(rng, n, n),
+        gray_image(rng, n, n),
+        TileLayout::new(n, tile).unwrap(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn oriented_entries_pointwise_dominate_plain((input, target, layout) in arb_pair()) {
+#[test]
+fn oriented_entries_pointwise_dominate_plain() {
+    for seed in 0..12 {
+        let mut rng = XorShift::new(seed);
+        let (input, target, layout) = arb_pair(&mut rng);
         let plain = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
         let oriented = build_oriented_error_matrix(
             &input,
@@ -44,7 +40,7 @@ proptest! {
         let s = plain.size();
         for u in 0..s {
             for v in 0..s {
-                prop_assert!(oriented.matrix.get(u, v) <= plain.get(u, v));
+                assert!(oriented.matrix.get(u, v) <= plain.get(u, v), "seed {seed}");
             }
         }
         // The recorded best orientation actually achieves the stored value.
@@ -58,51 +54,69 @@ proptest! {
                     &layout.tile_view(&target, v),
                     TileMetric::Sad,
                 );
-                prop_assert_eq!(direct as u32, oriented.matrix.get(u, v));
+                assert_eq!(direct as u32, oriented.matrix.get(u, v), "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn orientation_apply_is_a_group_action((input, _t, layout) in arb_pair()) {
-        // Applying R180 twice is the identity; R90 four times is the
-        // identity; flips are involutions.
+#[test]
+fn orientation_apply_is_a_group_action() {
+    // Applying R180 twice is the identity; R90 four times is the
+    // identity; flips are involutions.
+    for seed in 0..12 {
+        let mut rng = XorShift::new(seed);
+        let (input, _t, layout) = arb_pair(&mut rng);
         let tile = layout.tile_view(&input, 0).to_image();
-        prop_assert_eq!(
+        assert_eq!(
             Orientation::R180.apply(&Orientation::R180.apply(&tile)),
-            tile.clone()
+            tile.clone(),
+            "seed {seed}"
         );
         let mut r = tile.clone();
         for _ in 0..4 {
             r = Orientation::R90.apply(&r);
         }
-        prop_assert_eq!(r, tile.clone());
-        prop_assert_eq!(
+        assert_eq!(r, tile.clone(), "seed {seed}");
+        assert_eq!(
             Orientation::FlipH.apply(&Orientation::FlipH.apply(&tile)),
-            tile.clone()
+            tile.clone(),
+            "seed {seed}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             Orientation::Transpose.apply(&Orientation::Transpose.apply(&tile)),
-            tile
+            tile,
+            "seed {seed}"
         );
     }
+}
 
-    #[test]
-    fn hierarchical_assignment_is_valid_and_bounded((input, target, layout) in arb_pair()) {
+#[test]
+fn hierarchical_assignment_is_valid_and_bounded() {
+    for seed in 0..12 {
+        let mut rng = XorShift::new(seed);
+        let (input, target, layout) = arb_pair(&mut rng);
         let config = MultiresConfig {
             leaf_grid: 2,
             metric: TileMetric::Sad,
         };
         let out = hierarchical_rearrangement(&input, &target, layout, config).unwrap();
-        prop_assert!(mosaic_grid::assemble::is_permutation(
-            &out.assignment,
-            layout.tile_count()
-        ));
+        assert!(
+            mosaic_grid::assemble::is_permutation(&out.assignment, layout.tile_count()),
+            "seed {seed}"
+        );
         let matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
-        prop_assert_eq!(out.total, matrix.assignment_total(&out.assignment));
+        assert_eq!(
+            out.total,
+            matrix.assignment_total(&out.assignment),
+            "seed {seed}"
+        );
         // Never worse than leaving the tiles in place (the identity is in
         // the hierarchy's search space at every level).
         let identity: Vec<usize> = (0..layout.tile_count()).collect();
-        prop_assert!(out.total <= matrix.assignment_total(&identity));
+        assert!(
+            out.total <= matrix.assignment_total(&identity),
+            "seed {seed}"
+        );
     }
 }

@@ -1,0 +1,120 @@
+//! Property-based tests on the core algorithms, driven by the
+//! deterministic [`mosaic_image::testutil`] PRNG (ported from the former
+//! `proptest` suite; every case reproduces from the printed seed).
+
+use mosaic_assign::SolverKind;
+use mosaic_edgecolor::SwapSchedule;
+use mosaic_grid::ErrorMatrix;
+use mosaic_image::testutil::XorShift;
+use photomosaic::anneal::anneal_search;
+use photomosaic::local_search::{is_swap_optimal, local_search, local_search_from};
+use photomosaic::optimal::optimal_rearrangement;
+use photomosaic::parallel_search::{parallel_search_reference, parallel_search_threads};
+
+fn arb_matrix(rng: &mut XorShift, max_n: usize, max_cost: u32) -> ErrorMatrix {
+    let n = rng.range(2, max_n);
+    let data: Vec<u32> = (0..n * n)
+        .map(|_| rng.next_u32() % (max_cost + 1))
+        .collect();
+    ErrorMatrix::from_vec(n, data)
+}
+
+#[test]
+fn local_search_reaches_swap_optimum() {
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let m = arb_matrix(&mut rng, 20, 10_000);
+        let out = local_search(&m);
+        assert!(is_swap_optimal(&m, &out.assignment), "seed {seed}");
+        assert_eq!(
+            out.total,
+            m.assignment_total(&out.assignment),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn parallel_search_reaches_swap_optimum() {
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let m = arb_matrix(&mut rng, 20, 10_000);
+        let sched = SwapSchedule::for_tiles(m.size());
+        let out = parallel_search_reference(&m, &sched);
+        assert!(is_swap_optimal(&m, &out.outcome.assignment), "seed {seed}");
+    }
+}
+
+#[test]
+fn threads_match_reference() {
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let m = arb_matrix(&mut rng, 16, 5_000);
+        let threads = rng.range(1, 5);
+        let sched = SwapSchedule::for_tiles(m.size());
+        assert_eq!(
+            parallel_search_threads(&m, &sched, threads),
+            parallel_search_reference(&m, &sched),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn optimal_lower_bounds_every_heuristic() {
+    for seed in 0..16 {
+        let mut rng = XorShift::new(seed);
+        let m = arb_matrix(&mut rng, 14, 5_000);
+        let opt = optimal_rearrangement(&m, SolverKind::JonkerVolgenant).total;
+        assert!(local_search(&m).total >= opt, "seed {seed}");
+        let sched = SwapSchedule::for_tiles(m.size());
+        assert!(
+            parallel_search_reference(&m, &sched).outcome.total >= opt,
+            "seed {seed}"
+        );
+        assert!(anneal_search(&m, 9, 3).total >= opt, "seed {seed}");
+        assert!(
+            optimal_rearrangement(&m, SolverKind::Greedy).total >= opt,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn search_never_worse_than_its_start() {
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let m = arb_matrix(&mut rng, 14, 5_000);
+        let perm = rng.permutation(m.size());
+        let start_total = m.assignment_total(&perm);
+        let out = local_search_from(&m, perm);
+        assert!(out.total <= start_total, "seed {seed}");
+    }
+}
+
+#[test]
+fn anneal_is_deterministic_per_seed() {
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let m = arb_matrix(&mut rng, 10, 1_000);
+        let anneal_seed = rng.next_u64();
+        assert_eq!(
+            anneal_search(&m, anneal_seed, 2),
+            anneal_search(&m, anneal_seed, 2),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn exact_solvers_agree_via_pipeline_reduction() {
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let m = arb_matrix(&mut rng, 12, 100_000);
+        let a = optimal_rearrangement(&m, SolverKind::Hungarian).total;
+        let b = optimal_rearrangement(&m, SolverKind::JonkerVolgenant).total;
+        let c = optimal_rearrangement(&m, SolverKind::Auction).total;
+        assert_eq!(a, b, "seed {seed}");
+        assert_eq!(a, c, "seed {seed}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Property tests: the circle method yields an optimal proper edge
+//! coloring for every n. Ported from the former `proptest` suite to
+//! exhaustive deterministic sweeps over the same ranges.
+
+use mosaic_edgecolor::{complete_graph_coloring, is_exact_cover, is_proper_coloring, SwapSchedule};
+
+#[test]
+fn coloring_is_proper_and_exact() {
+    for n in 2..200 {
+        let groups = complete_graph_coloring(n);
+        assert!(is_proper_coloring(&groups, n), "n={n}");
+        assert!(is_exact_cover(&groups, n), "n={n}");
+    }
+}
+
+#[test]
+fn color_count_matches_theorem_1() {
+    // Theorem 1: n-edge-colorable if n odd, (n-1)-edge-colorable if even.
+    for n in 2..200 {
+        let groups = complete_graph_coloring(n);
+        let expected = if n % 2 == 0 { n - 1 } else { n };
+        assert_eq!(groups.len(), expected, "n={n}");
+    }
+}
+
+#[test]
+fn every_vertex_appears_in_every_perfect_group() {
+    // For even n each group is a perfect matching: every vertex occurs
+    // exactly once per group. For odd n exactly one vertex sits out.
+    for n in 2..100 {
+        let groups = complete_graph_coloring(n);
+        for g in &groups {
+            let mut seen = vec![false; n];
+            for &(a, b) in g {
+                assert!(!seen[a] && !seen[b], "n={n}");
+                seen[a] = true;
+                seen[b] = true;
+            }
+            let idle = seen.iter().filter(|&&s| !s).count();
+            assert_eq!(idle, if n % 2 == 0 { 0 } else { 1 }, "n={n}");
+        }
+    }
+}
+
+#[test]
+fn schedule_pair_count_is_binomial() {
+    for s in 1..300 {
+        let sched = SwapSchedule::for_tiles(s);
+        assert_eq!(sched.pair_count(), s * (s - 1) / 2, "s={s}");
+        assert_eq!(sched.groups().len(), s, "s={s}");
+    }
+}

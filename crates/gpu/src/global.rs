@@ -199,18 +199,17 @@ mod tests {
         // The classic GPU histogram pattern: many threads atomicAdd into
         // shared bins.
         let bins = GlobalBuffer::filled(4, 0u32);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..8 {
                 let bins = &bins;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..1000 {
                         let prev = bins.fetch_add((t + i) % 4, 1);
                         let _ = prev;
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(bins.to_vec().iter().sum::<u32>(), 8000);
         assert_eq!(bins.to_vec(), vec![2000; 4]);
     }
@@ -225,17 +224,16 @@ mod tests {
     #[test]
     fn concurrent_stores_from_scoped_threads() {
         let buf = GlobalBuffer::filled(64, 0u32);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4 {
                 let buf = &buf;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in (t..64).step_by(4) {
                         buf.store(i, i as u32);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(buf.to_vec(), (0..64).collect::<Vec<u32>>());
     }
 

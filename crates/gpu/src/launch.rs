@@ -3,7 +3,7 @@
 //! The execution contract mirrors CUDA §V of the paper:
 //!
 //! * a launch enumerates `grid.count()` blocks;
-//! * blocks run concurrently (here: over a crossbeam worker pool) in an
+//! * blocks run concurrently (here: over a scoped worker pool) in an
 //!   unspecified order, so kernels must not assume any inter-block
 //!   ordering;
 //! * each block owns a private [`SharedMem`] arena, reset between blocks;
@@ -21,8 +21,8 @@ use crate::device::DeviceSpec;
 use crate::dim::Dim3;
 use crate::shared::SharedMem;
 use crate::stats::{ExecStats, LaunchRecord};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Grid/block geometry of one launch.
@@ -150,12 +150,15 @@ impl GpuSim {
 
     /// Snapshot of cumulative statistics.
     pub fn stats(&self) -> ExecStats {
-        self.stats.lock().clone()
+        self.stats
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Reset cumulative statistics.
     pub fn reset_stats(&self) {
-        *self.stats.lock() = ExecStats::default();
+        *self.stats.lock().unwrap_or_else(PoisonError::into_inner) = ExecStats::default();
     }
 
     /// Launch `kernel` over `config`. Blocks until every block has
@@ -170,9 +173,9 @@ impl GpuSim {
 
         if total_blocks > 0 {
             let workers = self.workers.min(total_blocks);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|_| {
+                    scope.spawn(|| {
                         let mut shared = SharedMem::new(self.device.shared_mem_per_block);
                         loop {
                             let b = next_block.fetch_add(1, Ordering::Relaxed);
@@ -189,8 +192,7 @@ impl GpuSim {
                         }
                     });
                 }
-            })
-            .expect("kernel block panicked");
+            });
         }
 
         let record = LaunchRecord {
@@ -198,7 +200,10 @@ impl GpuSim {
             threads: total_blocks * config.block.count(),
             wall: start.elapsed(),
         };
-        self.stats.lock().record(&record);
+        self.stats
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(&record);
         record
     }
 }

@@ -16,7 +16,7 @@
 //! * [`global`] — global-memory buffers with CUDA-like relaxed-atomic
 //!   access, shareable across blocks;
 //! * [`launch`] — the [`launch::Kernel`] trait and [`launch::GpuSim`]
-//!   executor: blocks are scheduled over a crossbeam worker pool, the
+//!   executor: blocks are scheduled over a scoped worker pool, the
 //!   launch returns only when every block finished (the kernel-boundary
 //!   barrier of Algorithm 2);
 //! * [`stats`] — per-launch and cumulative execution counters;

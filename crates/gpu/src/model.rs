@@ -120,7 +120,10 @@ mod tests {
             global_bytes: 0,
             ops: 1_000_000_000,
         };
-        let p2 = WorkProfile { ops: 2 * p1.ops, ..p1 };
+        let p2 = WorkProfile {
+            ops: 2 * p1.ops,
+            ..p1
+        };
         let m = k40();
         let t1 = m.estimate(&p1).as_secs_f64();
         let t2 = m.estimate(&p2).as_secs_f64();

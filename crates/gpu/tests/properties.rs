@@ -1,16 +1,19 @@
 //! Property tests for the CUDA-model simulator: scheduling exactness,
-//! barrier semantics, shared-memory isolation, panic propagation.
+//! barrier semantics, shared-memory isolation, panic propagation. Driven
+//! by the deterministic [`mosaic_image::testutil`] PRNG (ported from the
+//! former `proptest` suite; every case reproduces from the printed seed).
 
 use mosaic_gpu::{BlockContext, DeviceSpec, GlobalBuffer, GpuSim, LaunchConfig};
-use proptest::prelude::*;
+use mosaic_image::testutil::XorShift;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_block_runs_exactly_once(
-        gx in 1usize..12, gy in 1usize..6, gz in 1usize..4, workers in 1usize..6,
-    ) {
+#[test]
+fn every_block_runs_exactly_once() {
+    for seed in 0..48 {
+        let mut rng = XorShift::new(seed);
+        let gx = rng.range(1, 11);
+        let gy = rng.range(1, 5);
+        let gz = rng.range(1, 3);
+        let workers = rng.range(1, 5);
         let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), workers);
         let total = gx * gy * gz;
         let counts = GlobalBuffer::filled(total, 0u32);
@@ -24,12 +27,17 @@ proptest! {
             },
             &kernel,
         );
-        prop_assert_eq!(rec.blocks, total);
-        prop_assert!(counts.to_vec().iter().all(|&c| c == 1));
+        assert_eq!(rec.blocks, total, "seed {seed}");
+        assert!(counts.to_vec().iter().all(|&c| c == 1), "seed {seed}");
     }
+}
 
-    #[test]
-    fn block_ids_and_indices_are_consistent(gx in 1usize..10, gy in 1usize..10) {
+#[test]
+fn block_ids_and_indices_are_consistent() {
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let gx = rng.range(1, 9);
+        let gy = rng.range(1, 9);
         let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), 3);
         let grid = mosaic_gpu::Dim3::plane(gx, gy);
         let seen = GlobalBuffer::filled(gx * gy, 0usize);
@@ -38,14 +46,25 @@ proptest! {
             // Re-linearize and store where the block thinks it is.
             seen.store(ctx.block_id(), idx.y * ctx.grid_dim().x + idx.x);
         };
-        sim.launch(LaunchConfig { grid, block: mosaic_gpu::Dim3::linear(1) }, &kernel);
+        sim.launch(
+            LaunchConfig {
+                grid,
+                block: mosaic_gpu::Dim3::linear(1),
+            },
+            &kernel,
+        );
         for (i, v) in seen.to_vec().into_iter().enumerate() {
-            prop_assert_eq!(i, v);
+            assert_eq!(i, v, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn shared_memory_never_leaks_between_blocks(blocks in 1usize..80, workers in 1usize..5) {
+#[test]
+fn shared_memory_never_leaks_between_blocks() {
+    for seed in 0..24 {
+        let mut rng = XorShift::new(seed);
+        let blocks = rng.range(1, 79);
+        let workers = rng.range(1, 4);
         let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), workers);
         let dirty = GlobalBuffer::filled(1, 0u32);
         let kernel = |ctx: &mut BlockContext<'_>| {
@@ -56,15 +75,20 @@ proptest! {
             buf.fill(0xDEAD_BEEF);
         };
         sim.launch(LaunchConfig::linear(blocks, 8), &kernel);
-        prop_assert_eq!(dirty.load(0), 0);
+        assert_eq!(dirty.load(0), 0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn launch_result_threads_product(blocks in 0usize..50, tpb in 1usize..64) {
+#[test]
+fn launch_result_threads_product() {
+    for seed in 0..48 {
+        let mut rng = XorShift::new(seed);
+        let blocks = rng.below(50);
+        let tpb = rng.range(1, 63);
         let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), 2);
         let kernel = |_ctx: &mut BlockContext<'_>| {};
         let rec = sim.launch(LaunchConfig::linear(blocks, tpb), &kernel);
-        prop_assert_eq!(rec.threads, blocks * tpb);
+        assert_eq!(rec.threads, blocks * tpb, "seed {seed}");
     }
 }
 

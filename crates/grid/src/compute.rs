@@ -2,7 +2,7 @@
 //!
 //! [`build_error_matrix`] is the paper's sequential CPU reference.
 //! [`build_error_matrix_threaded`] is the multi-core CPU baseline, splitting
-//! rows across crossbeam scoped threads — each row of the matrix belongs to
+//! rows across scoped worker threads — each row of the matrix belongs to
 //! one input tile, mirroring the paper's GPU decomposition where "each CUDA
 //! block is responsible for computing S error values
 //! E(I_u, T_1) … E(I_u, T_S)".
@@ -83,7 +83,7 @@ pub fn build_error_matrix_threaded<P: Pixel>(
     let mut matrix = ErrorMatrix::zeros(s);
     let rows_per_worker = s.div_ceil(threads);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut remaining: Vec<&mut [u32]> = matrix.rows_mut().collect();
         let mut first_row = 0usize;
         while !remaining.is_empty() {
@@ -92,7 +92,7 @@ pub fn build_error_matrix_threaded<P: Pixel>(
             let chunk = std::mem::replace(&mut remaining, rest);
             let base = first_row;
             first_row += take;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let target_tiles = layout.tiles(target);
                 for (offset, row) in chunk.into_iter().enumerate() {
                     let iu = layout.tile_view(input, base + offset);
@@ -102,8 +102,7 @@ pub fn build_error_matrix_threaded<P: Pixel>(
                 }
             });
         }
-    })
-    .expect("error-matrix worker panicked");
+    });
 
     Ok(matrix)
 }
@@ -163,9 +162,7 @@ mod tests {
         let target = synth::gradient(64);
         let layout = TileLayout::new(32, 8).unwrap();
         assert!(build_error_matrix(&input, &target, layout, TileMetric::Sad).is_err());
-        assert!(
-            build_error_matrix_threaded(&input, &target, layout, TileMetric::Sad, 4).is_err()
-        );
+        assert!(build_error_matrix_threaded(&input, &target, layout, TileMetric::Sad, 4).is_err());
     }
 
     #[test]

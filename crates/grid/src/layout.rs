@@ -335,7 +335,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(TileLayout::new(10, 3).unwrap_err().to_string().contains("10"));
+        assert!(TileLayout::new(10, 3)
+            .unwrap_err()
+            .to_string()
+            .contains("10"));
         assert!(TileLayout::new(10, 0)
             .unwrap_err()
             .to_string()

@@ -214,8 +214,8 @@ pub fn match_histogram_rgb(
 ) -> Image<crate::pixel::Rgb> {
     let mut luts = Vec::with_capacity(3);
     for c in 0..3 {
-        let lut = Histogram::of_channel(input, c)
-            .specification_lut(&Histogram::of_channel(reference, c));
+        let lut =
+            Histogram::of_channel(input, c).specification_lut(&Histogram::of_channel(reference, c));
         luts.push(lut);
     }
     input.map(|p| {

@@ -9,7 +9,6 @@ use crate::pixel::{Gray, Pixel, Rgb};
 
 /// Dense row-major image buffer.
 #[derive(Clone, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Image<P: Pixel> {
     width: usize,
     height: usize,
@@ -234,7 +233,9 @@ impl<P: Pixel> Image<P> {
         let x_end = x.checked_add(width);
         let y_end = y.checked_add(height);
         match (x_end, y_end) {
-            (Some(xe), Some(ye)) if xe <= self.width && ye <= self.height && width > 0 && height > 0 => {
+            (Some(xe), Some(ye))
+                if xe <= self.width && ye <= self.height && width > 0 && height > 0 =>
+            {
                 Ok(ImageView {
                     image: self,
                     x,

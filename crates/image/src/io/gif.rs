@@ -146,7 +146,7 @@ pub fn write_gif_gray(frames: &[GrayImage], delay_cs: u16) -> Result<Vec<u8>, Im
     out.push(0b1111_0111); // GCT present, 8-bit color res, 256 entries
     out.push(0); // background color index
     out.push(0); // pixel aspect ratio
-    // Global color table: 256 grays.
+                 // Global color table: 256 grays.
     for i in 0..=255u8 {
         out.extend_from_slice(&[i, i, i]);
     }
@@ -170,7 +170,7 @@ pub fn write_gif_gray(frames: &[GrayImage], delay_cs: u16) -> Result<Vec<u8>, Im
         write_u16(&mut out, w as u16);
         write_u16(&mut out, h as u16);
         out.push(0); // no local color table, not interlaced
-        // LZW-compressed indices (identity palette: index = gray level).
+                     // LZW-compressed indices (identity palette: index = gray level).
         out.push(8); // minimum code size
         let indices: Vec<u8> = frame.pixels().iter().map(|p| p.0).collect();
         let compressed = lzw_compress(&indices, 8);
@@ -309,9 +309,7 @@ mod tests {
     #[test]
     fn gif_structure_and_frame_extraction() {
         let frames: Vec<GrayImage> = (0..3)
-            .map(|t| {
-                Image::from_fn(16, 8, |x, y| Gray(((x + y + t * 5) % 256) as u8)).unwrap()
-            })
+            .map(|t| Image::from_fn(16, 8, |x, y| Gray(((x + y + t * 5) % 256) as u8)).unwrap())
             .collect();
         let gif = write_gif_gray(&frames, 10).unwrap();
         assert_eq!(&gif[..6], b"GIF89a");
@@ -364,22 +362,26 @@ mod tests {
         assert!(write_gif_gray(&[a, b], 5).is_err());
     }
 
-    use proptest::prelude::*;
+    use crate::testutil::XorShift;
 
-    proptest::proptest! {
-        #[test]
-        fn lzw_roundtrips_arbitrary_data(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+    #[test]
+    fn lzw_roundtrips_arbitrary_data() {
+        for seed in 0..24 {
+            let mut rng = XorShift::new(seed);
+            let len = rng.below(4096);
+            let data = rng.bytes(len);
             let compressed = lzw_compress(&data, 8);
-            prop_assert_eq!(lzw_decompress(&compressed, 8), data);
+            assert_eq!(lzw_decompress(&compressed, 8), data, "seed {seed}");
         }
+    }
 
-        #[test]
-        fn gif_frames_decode_back(
-            (w, h, pixels) in (1usize..24, 1usize..24).prop_flat_map(|(w, h)| {
-                proptest::collection::vec(any::<u8>(), w * h)
-                    .prop_map(move |v| (w, h, v))
-            })
-        ) {
+    #[test]
+    fn gif_frames_decode_back() {
+        for seed in 0..24 {
+            let mut rng = XorShift::new(seed);
+            let w = rng.range(1, 23);
+            let h = rng.range(1, 23);
+            let pixels = rng.bytes(w * h);
             let frame = Image::from_vec(w, h, pixels.iter().copied().map(Gray).collect()).unwrap();
             let gif = write_gif_gray(std::slice::from_ref(&frame), 4).unwrap();
             // Locate the image descriptor, then the LZW stream.
@@ -391,7 +393,7 @@ mod tests {
                 .map(|(i, _)| i)
                 .unwrap();
             let lzw_start = desc + 10;
-            prop_assert_eq!(gif[lzw_start], 8);
+            assert_eq!(gif[lzw_start], 8, "seed {seed}");
             let mut pos = lzw_start + 1;
             let mut compressed = Vec::new();
             loop {
@@ -403,7 +405,7 @@ mod tests {
                 compressed.extend_from_slice(&gif[pos..pos + len]);
                 pos += len;
             }
-            prop_assert_eq!(lzw_decompress(&compressed, 8), pixels);
+            assert_eq!(lzw_decompress(&compressed, 8), pixels, "seed {seed}");
         }
     }
 

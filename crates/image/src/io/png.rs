@@ -208,12 +208,8 @@ mod tests {
 
     #[test]
     fn idat_payload_reconstructs_raster() {
-        let img = crate::Image::from_vec(
-            2,
-            2,
-            vec![Gray(10), Gray(20), Gray(30), Gray(40)],
-        )
-        .unwrap();
+        let img =
+            crate::Image::from_vec(2, 2, vec![Gray(10), Gray(20), Gray(30), Gray(40)]).unwrap();
         let png = write_png_gray(&img);
         // Find IDAT.
         let idat_pos = png
@@ -238,8 +234,8 @@ mod tests {
         let png = write_png_gray(&img);
         let mut pos = 8;
         while pos < png.len() {
-            let len = u32::from_be_bytes([png[pos], png[pos + 1], png[pos + 2], png[pos + 3]])
-                as usize;
+            let len =
+                u32::from_be_bytes([png[pos], png[pos + 1], png[pos + 2], png[pos + 3]]) as usize;
             let body = &png[pos + 4..pos + 8 + len];
             let stored = u32::from_be_bytes([
                 png[pos + 8 + len],

@@ -319,7 +319,8 @@ mod tests {
 
     #[test]
     fn header_comments_are_skipped() {
-        let src = b"P2 # comment after magic\n# full line comment\n 2 2 # dims\n255\n0 64\n128 255\n";
+        let src =
+            b"P2 # comment after magic\n# full line comment\n 2 2 # dims\n255\n0 64\n128 255\n";
         let img = read_pgm(src).unwrap();
         assert_eq!(img.pixel(0, 0), Gray(0));
         assert_eq!(img.pixel(1, 1), Gray(255));
@@ -359,10 +360,7 @@ mod tests {
     fn wrong_magic_is_reported() {
         let img = synth::gradient(4);
         let pgm = write_pgm(&img);
-        assert!(matches!(
-            read_ppm(&pgm),
-            Err(ImageError::PnmFormat { .. })
-        ));
+        assert!(matches!(read_ppm(&pgm), Err(ImageError::PnmFormat { .. })));
         let src = b"P7\n1 1\n255\n\x00";
         assert!(matches!(read_pgm(src), Err(ImageError::PnmFormat { .. })));
     }

@@ -48,6 +48,7 @@ pub mod ops;
 pub mod pixel;
 pub mod resize;
 pub mod synth;
+pub mod testutil;
 
 pub use crate::error::ImageError;
 pub use crate::image::{GrayImage, Image, ImageView, RgbImage};

@@ -34,9 +34,7 @@ pub fn blit<P: Pixel>(
 ) -> Result<(), ImageError> {
     let (sw, sh) = src.dimensions();
     let (dw, dh) = dst.dimensions();
-    let fits = x
-        .checked_add(sw)
-        .is_some_and(|xe| xe <= dw)
+    let fits = x.checked_add(sw).is_some_and(|xe| xe <= dw)
         && y.checked_add(sh).is_some_and(|ye| ye <= dh);
     if !fits {
         return Err(ImageError::RegionOutOfBounds {
@@ -74,9 +72,7 @@ pub fn blit_region<P: Pixel>(
 ) -> Result<(), ImageError> {
     let view = src.view(src_x, src_y, width, height)?;
     let (dw, dh) = dst.dimensions();
-    let fits = dst_x
-        .checked_add(width)
-        .is_some_and(|xe| xe <= dw)
+    let fits = dst_x.checked_add(width).is_some_and(|xe| xe <= dw)
         && dst_y.checked_add(height).is_some_and(|ye| ye <= dh);
     if !fits {
         return Err(ImageError::RegionOutOfBounds {
@@ -195,10 +191,7 @@ mod tests {
     fn flip_horizontal_mirrors_first_row() {
         let img = numbered(4, 1);
         let f = flip_horizontal(&img);
-        assert_eq!(
-            f.pixels(),
-            &[Gray(3), Gray(2), Gray(1), Gray(0)]
-        );
+        assert_eq!(f.pixels(), &[Gray(3), Gray(2), Gray(1), Gray(0)]);
     }
 
     #[test]

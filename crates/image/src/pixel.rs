@@ -54,7 +54,6 @@ pub trait Pixel: Copy + Clone + PartialEq + Eq + std::fmt::Debug + Send + Sync +
 
 /// 8-bit grayscale pixel.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Gray(pub u8);
 
 impl Gray {
@@ -113,7 +112,6 @@ impl Pixel for Gray {
 
 /// 8-bit RGB pixel.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rgb(pub [u8; 3]);
 
 impl Rgb {
@@ -182,7 +180,9 @@ impl Pixel for Rgb {
     fn abs_diff(&self, other: &Self) -> u32 {
         let a = self.0;
         let b = other.0;
-        u32::from(a[0].abs_diff(b[0])) + u32::from(a[1].abs_diff(b[1])) + u32::from(a[2].abs_diff(b[2]))
+        u32::from(a[0].abs_diff(b[0]))
+            + u32::from(a[1].abs_diff(b[1]))
+            + u32::from(a[2].abs_diff(b[2]))
     }
 
     #[inline]

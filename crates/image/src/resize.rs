@@ -145,12 +145,7 @@ mod tests {
 
     #[test]
     fn box_downscale_averages() {
-        let img = Image::from_vec(
-            2,
-            2,
-            vec![Gray(0), Gray(100), Gray(200), Gray(100)],
-        )
-        .unwrap();
+        let img = Image::from_vec(2, 2, vec![Gray(0), Gray(100), Gray(200), Gray(100)]).unwrap();
         let one = resize_box(&img, 1, 1).unwrap();
         assert_eq!(one.pixel(0, 0), Gray(100));
     }
@@ -173,12 +168,7 @@ mod tests {
 
     #[test]
     fn bilinear_preserves_corner_values() {
-        let img = Image::from_vec(
-            2,
-            2,
-            vec![Gray(0), Gray(100), Gray(200), Gray(50)],
-        )
-        .unwrap();
+        let img = Image::from_vec(2, 2, vec![Gray(0), Gray(100), Gray(200), Gray(50)]).unwrap();
         let up = resize_bilinear(&img, 5, 5).unwrap();
         assert_eq!(up.pixel(0, 0), Gray(0));
         assert_eq!(up.pixel(4, 0), Gray(100));
@@ -205,10 +195,8 @@ mod tests {
 
     #[test]
     fn rgb_resize_runs_per_channel() {
-        let img = Image::from_fn(4, 4, |x, y| {
-            Rgb::new((x * 60) as u8, (y * 60) as u8, 128)
-        })
-        .unwrap();
+        let img =
+            Image::from_fn(4, 4, |x, y| Rgb::new((x * 60) as u8, (y * 60) as u8, 128)).unwrap();
         let out = resize_box(&img, 2, 2).unwrap();
         for (_, _, p) in out.enumerate_pixels() {
             assert_eq!(p.b(), 128);

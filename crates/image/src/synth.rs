@@ -28,7 +28,11 @@ impl XorShift64 {
     /// because xorshift has a fixed point at zero.
     pub fn new(seed: u64) -> Self {
         XorShift64 {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -354,8 +358,7 @@ mod tests {
         for scene in Scene::ALL {
             let img = scene.render(128, 5);
             let h = Histogram::of_luma(&img);
-            let spread =
-                i32::from(h.max_value().unwrap()) - i32::from(h.min_value().unwrap());
+            let spread = i32::from(h.max_value().unwrap()) - i32::from(h.min_value().unwrap());
             assert!(spread > 60, "{scene:?} spread {spread} too narrow");
         }
     }
@@ -386,8 +389,7 @@ mod tests {
 
     #[test]
     fn tint_maps_black_white_to_palette() {
-        let img =
-            Image::from_vec(2, 1, vec![Gray(0), Gray(255)]).expect("dimensions are valid");
+        let img = Image::from_vec(2, 1, vec![Gray(0), Gray(255)]).expect("dimensions are valid");
         let out = tint(&img, Rgb::new(10, 20, 30), Rgb::new(200, 210, 220));
         assert_eq!(out.pixel(0, 0), Rgb::new(10, 20, 30));
         assert_eq!(out.pixel(1, 0), Rgb::new(200, 210, 220));

@@ -1,0 +1,163 @@
+//! Deterministic pseudo-random helpers shared by the workspace's test
+//! suites.
+//!
+//! The offline build keeps the dependency graph empty, so the former
+//! `proptest` suites are driven by this tiny xorshift64* generator
+//! instead: every test iterates a fixed set of seeds and derives its
+//! "arbitrary" inputs deterministically. Failures therefore reproduce
+//! bit-for-bit from the seed printed in the assertion message.
+
+/// A xorshift64* PRNG. Deterministic, seedable, and good enough for
+/// generating test inputs (not for cryptography or statistics).
+#[derive(Clone, Debug)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Create a generator from `seed` (0 is remapped to a fixed odd seed).
+    pub fn new(seed: u64) -> Self {
+        XorShift {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Next byte.
+    pub fn next_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics when `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    /// Panics when `lo > hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty range");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A vector of `n` pseudo-random bytes.
+    pub fn bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_u8()).collect()
+    }
+
+    /// In-place Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A pseudo-random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut perm: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut perm);
+        perm
+    }
+}
+
+/// A `w × h` grayscale image with pseudo-random pixels.
+pub fn gray_image(rng: &mut XorShift, w: usize, h: usize) -> crate::Image<crate::Gray> {
+    crate::Image::from_vec(
+        w,
+        h,
+        rng.bytes(w * h).into_iter().map(crate::Gray).collect(),
+    )
+    .expect("dimensions are positive")
+}
+
+/// A `w × h` RGB image with pseudo-random pixels.
+pub fn rgb_image(rng: &mut XorShift, w: usize, h: usize) -> crate::Image<crate::Rgb> {
+    let pixels = (0..w * h)
+        .map(|_| crate::Rgb::new(rng.next_u8(), rng.next_u8(), rng.next_u8()))
+        .collect();
+    crate::Image::from_vec(w, h, pixels).expect("dimensions are positive")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = XorShift::new(1);
+        let mut b = XorShift::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn range_is_inclusive_and_bounded() {
+        let mut rng = XorShift::new(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.range(3, 6);
+            assert!((3..=6).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 6;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = XorShift::new(11);
+        for n in [1, 2, 9, 64] {
+            let mut p = rng.permutation(n);
+            p.sort_unstable();
+            assert_eq!(p, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut rng = XorShift::new(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn image_helpers_produce_requested_dimensions() {
+        let mut rng = XorShift::new(3);
+        assert_eq!(gray_image(&mut rng, 5, 7).dimensions(), (5, 7));
+        assert_eq!(rgb_image(&mut rng, 4, 2).dimensions(), (4, 2));
+    }
+}

@@ -1,0 +1,177 @@
+//! LRU cache for Step-2 error matrices, keyed by
+//! [`JobSpec::cache_key`](photomosaic::JobSpec::cache_key).
+//!
+//! The matrix is the expensive part of a job (`S² × M²` pixel
+//! comparisons), and it depends only on the (input, target, grid,
+//! preprocess, metric) tuple — not on the Step-3 algorithm or backend —
+//! so repeated submissions of the same images reuse it across jobs.
+//! Entries are `Arc`s: a worker can hold a matrix while another job
+//! evicts it.
+
+use mosaic_grid::ErrorMatrix;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Hit/miss counters, as observed at some instant.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a matrix.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+struct Inner {
+    // Most-recently-used entry at the front. Linear scan — capacities are
+    // small (the value is a full S²-entry matrix, so dozens at most).
+    entries: VecDeque<(u64, Arc<ErrorMatrix>)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Thread-safe LRU map from cache key to shared error matrix.
+pub struct MatrixCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl MatrixCache {
+    /// Cache at most `capacity` matrices; `0` disables caching (every
+    /// lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        MatrixCache {
+            inner: Mutex::new(Inner {
+                entries: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Maximum number of cached matrices.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up `key`, counting a hit or miss and refreshing recency on
+    /// hit.
+    pub fn get(&self, key: u64) -> Option<Arc<ErrorMatrix>> {
+        let mut inner = self.lock();
+        match inner.entries.iter().position(|(k, _)| *k == key) {
+            Some(pos) => {
+                inner.hits += 1;
+                let entry = inner.entries.remove(pos).expect("position just found");
+                let matrix = Arc::clone(&entry.1);
+                inner.entries.push_front(entry);
+                Some(matrix)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry
+    /// beyond capacity.
+    pub fn insert(&self, key: u64, matrix: Arc<ErrorMatrix>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(pos) = inner.entries.iter().position(|(k, _)| *k == key) {
+            inner.entries.remove(pos);
+        }
+        inner.entries.push_front((key, matrix));
+        while inner.entries.len() > self.capacity {
+            inner.entries.pop_back();
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.entries.len(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(n: usize, fill: u32) -> Arc<ErrorMatrix> {
+        Arc::new(ErrorMatrix::from_vec(n, vec![fill; n * n]))
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = MatrixCache::new(4);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, matrix(2, 7));
+        let got = cache.get(1).expect("inserted entry");
+        assert_eq!(got.get(0, 0), 7);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let cache = MatrixCache::new(2);
+        cache.insert(1, matrix(2, 1));
+        cache.insert(2, matrix(2, 2));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, matrix(2, 3));
+        assert!(cache.get(2).is_none(), "2 was least recently used");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let cache = MatrixCache::new(2);
+        cache.insert(1, matrix(2, 1));
+        cache.insert(2, matrix(2, 2));
+        cache.insert(1, matrix(2, 10)); // refresh: 2 is now LRU
+        cache.insert(3, matrix(2, 3));
+        assert_eq!(cache.get(1).unwrap().get(0, 0), 10);
+        assert!(cache.get(2).is_none());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = MatrixCache::new(0);
+        cache.insert(1, matrix(2, 1));
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn shared_entries_survive_eviction() {
+        let cache = MatrixCache::new(1);
+        cache.insert(1, matrix(2, 5));
+        let held = cache.get(1).unwrap();
+        cache.insert(2, matrix(2, 6)); // evicts key 1
+        assert!(cache.get(1).is_none());
+        assert_eq!(held.get(1, 1), 5, "the Arc keeps the matrix alive");
+    }
+}

@@ -1,0 +1,241 @@
+//! Client side of the wire protocol, plus a multi-threaded load
+//! generator for exercising a running server.
+
+use crate::protocol::{read_message, write_message, Request, Response};
+use photomosaic::{JobSpec, Json};
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A connected protocol client. One request/response at a time, in
+/// order; open one client per thread for concurrency.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one request and wait for its response.
+    ///
+    /// # Errors
+    /// I/O failures, a server-side disconnect, or a malformed response
+    /// (surfaced as [`std::io::ErrorKind::InvalidData`]).
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        write_message(&mut self.writer, &request.to_json())?;
+        let message = read_message(&mut self.reader)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )
+        })?;
+        Response::from_json(&message)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Submit one job.
+    ///
+    /// # Errors
+    /// See [`request`](Self::request).
+    pub fn submit(&mut self, spec: &JobSpec) -> std::io::Result<Response> {
+        self.request(&Request::Submit(Box::new(spec.clone())))
+    }
+
+    /// Submit one job, retrying on queue-full rejections with the
+    /// server-suggested back-off, up to `max_attempts`. Returns the final
+    /// response (which is `Rejected` only if every attempt was rejected)
+    /// plus the number of rejections absorbed.
+    ///
+    /// # Errors
+    /// See [`request`](Self::request).
+    pub fn submit_with_retry(
+        &mut self,
+        spec: &JobSpec,
+        max_attempts: usize,
+    ) -> std::io::Result<(Response, u64)> {
+        let mut rejections = 0;
+        for attempt in 0..max_attempts.max(1) {
+            match self.submit(spec)? {
+                Response::Rejected { retry_after_ms } => {
+                    rejections += 1;
+                    if attempt + 1 < max_attempts {
+                        std::thread::sleep(Duration::from_millis(retry_after_ms));
+                    } else {
+                        return Ok((Response::Rejected { retry_after_ms }, rejections));
+                    }
+                }
+                other => return Ok((other, rejections)),
+            }
+        }
+        unreachable!("loop always returns");
+    }
+
+    /// Fetch aggregate metrics.
+    ///
+    /// # Errors
+    /// See [`request`](Self::request).
+    pub fn stats(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Stats)
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    /// See [`request`](Self::request).
+    pub fn ping(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Ping)
+    }
+
+    /// Ask the server to shut down gracefully.
+    ///
+    /// # Errors
+    /// See [`request`](Self::request).
+    pub fn shutdown(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Shutdown)
+    }
+}
+
+/// Outcome of a [`run_load`] session.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoadSummary {
+    /// Jobs that returned a result.
+    pub completed: u64,
+    /// Queue-full rejections absorbed (including retried ones).
+    pub rejections: u64,
+    /// Jobs that ended in an error response or an I/O failure.
+    pub failed: u64,
+    /// Results whose report marked the error matrix as cached.
+    pub cache_hits: u64,
+    /// Total wall time of the whole session in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Drive a server with `specs`, `concurrency` connections at a time
+/// (client mode for load generation). Spec `i` is handled by connection
+/// `i % concurrency`; each job is retried on rejection up to 40 times.
+///
+/// # Errors
+/// Propagates connection failures; per-job errors are counted in the
+/// summary instead.
+pub fn run_load(
+    addr: impl ToSocketAddrs,
+    specs: &[JobSpec],
+    concurrency: usize,
+) -> std::io::Result<LoadSummary> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let concurrency = concurrency.max(1);
+    let start = Instant::now();
+    let mut summary = LoadSummary::default();
+
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut handles = Vec::new();
+        for lane in 0..concurrency {
+            let lane_specs: Vec<&JobSpec> = specs.iter().skip(lane).step_by(concurrency).collect();
+            handles.push(scope.spawn(move || -> std::io::Result<LoadSummary> {
+                let mut lane_summary = LoadSummary::default();
+                if lane_specs.is_empty() {
+                    return Ok(lane_summary);
+                }
+                let mut client = Client::connect(addr)?;
+                for spec in lane_specs {
+                    match client.submit_with_retry(spec, 40) {
+                        Ok((Response::Result { result }, rejections)) => {
+                            lane_summary.completed += 1;
+                            lane_summary.rejections += rejections;
+                            let hit = result
+                                .get("report")
+                                .and_then(|r| r.get("cache_hit"))
+                                .and_then(Json::as_bool);
+                            if hit == Some(true) {
+                                lane_summary.cache_hits += 1;
+                            }
+                        }
+                        Ok((Response::Rejected { .. }, rejections)) => {
+                            lane_summary.rejections += rejections;
+                            lane_summary.failed += 1;
+                        }
+                        Ok(_) | Err(_) => lane_summary.failed += 1,
+                    }
+                }
+                Ok(lane_summary)
+            }));
+        }
+        for handle in handles {
+            let lane = handle.join().expect("load lane panicked")?;
+            summary.completed += lane.completed;
+            summary.rejections += lane.rejections;
+            summary.failed += lane.failed;
+            summary.cache_hits += lane.cache_hits;
+        }
+        Ok(())
+    })?;
+
+    summary.wall_ms = start.elapsed().as_millis() as u64;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServiceConfig};
+    use mosaic_image::synth::Scene;
+    use photomosaic::{Backend, ImageSource, MosaicBuilder};
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec {
+            input: ImageSource::Synth {
+                scene: Scene::Plasma,
+                size: 16,
+                seed,
+            },
+            target: ImageSource::Synth {
+                scene: Scene::Drapery,
+                size: 16,
+                seed,
+            },
+            config: MosaicBuilder::new()
+                .grid(4)
+                .backend(Backend::Serial)
+                .build(),
+        }
+    }
+
+    #[test]
+    fn load_generator_completes_all_jobs() {
+        let server = Server::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let specs: Vec<JobSpec> = (0..8).map(|i| spec(i % 3)).collect();
+        let summary = run_load(server.local_addr(), &specs, 4).unwrap();
+        assert_eq!(summary.completed, 8);
+        assert_eq!(summary.failed, 0);
+        // 3 distinct jobs, 8 submissions: at least 5 served from cache.
+        assert!(summary.cache_hits >= 5, "{summary:?}");
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn connect_failure_is_an_error() {
+        // Port 1 on localhost is essentially never listening.
+        assert!(Client::connect("127.0.0.1:1").is_err());
+    }
+}

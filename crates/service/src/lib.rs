@@ -1,0 +1,54 @@
+//! A std-only batch mosaic server.
+//!
+//! Turns the library pipeline into a long-running service: clients
+//! submit [`JobSpec`](photomosaic::JobSpec)s over a line-delimited JSON
+//! TCP protocol ([`protocol`]), a bounded [`queue`] applies backpressure
+//! (full queue → reject with a retry-after hint), a fixed worker pool
+//! executes jobs, and an LRU [`cache`] reuses Step-2 error matrices
+//! across submissions of the same content. [`metrics`] aggregates
+//! per-job and lifetime counters, served by the `stats` request.
+//!
+//! Everything is `std`: `std::net` sockets, `std::thread` workers,
+//! `std::sync::mpsc` replies — no external dependencies, matching the
+//! offline-buildable workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use mosaic_service::client::Client;
+//! use mosaic_service::protocol::Response;
+//! use mosaic_service::server::{Server, ServiceConfig};
+//! use mosaic_image::synth::Scene;
+//! use photomosaic::{Backend, ImageSource, JobSpec, MosaicBuilder};
+//!
+//! let server = Server::start(ServiceConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//!
+//! let spec = JobSpec {
+//!     input: ImageSource::Synth { scene: Scene::Portrait, size: 16, seed: 1 },
+//!     target: ImageSource::Synth { scene: Scene::Regatta, size: 16, seed: 2 },
+//!     config: MosaicBuilder::new().grid(4).backend(Backend::Serial).build(),
+//! };
+//! let response = client.submit(&spec).unwrap();
+//! assert!(matches!(response, Response::Result { .. }));
+//!
+//! client.shutdown().unwrap();
+//! server.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheStats, MatrixCache};
+pub use client::{run_load, Client, LoadSummary};
+pub use metrics::ServiceMetrics;
+pub use protocol::{Request, Response};
+pub use queue::{JobQueue, PushError};
+pub use server::{Server, ServiceConfig};

@@ -1,0 +1,202 @@
+//! Aggregate service metrics, reported by the `stats` request.
+
+use crate::cache::CacheStats;
+use photomosaic::{GenerationReport, Json};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+#[derive(Clone, Debug, Default)]
+struct Inner {
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    failed: u64,
+    in_flight: u64,
+    queue_wait: Duration,
+    step1_wall: Duration,
+    step2_wall: Duration,
+    step3_wall: Duration,
+}
+
+/// Counters and accumulated timings across the server's lifetime.
+#[derive(Default)]
+pub struct ServiceMetrics {
+    inner: Mutex<Inner>,
+}
+
+impl ServiceMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A job was accepted into the queue.
+    pub fn job_submitted(&self) {
+        self.lock().submitted += 1;
+    }
+
+    /// A job was refused because the queue was full.
+    pub fn job_rejected(&self) {
+        self.lock().rejected += 1;
+    }
+
+    /// A worker picked a job up after waiting `queue_wait` in the queue.
+    pub fn job_started(&self, queue_wait: Duration) {
+        let mut inner = self.lock();
+        inner.in_flight += 1;
+        inner.queue_wait += queue_wait;
+    }
+
+    /// A job finished successfully; fold its step timings in.
+    pub fn job_completed(&self, report: &GenerationReport) {
+        let mut inner = self.lock();
+        inner.in_flight = inner.in_flight.saturating_sub(1);
+        inner.completed += 1;
+        inner.step1_wall += report.step1_wall;
+        inner.step2_wall += report.step2_wall;
+        inner.step3_wall += report.step3_wall;
+    }
+
+    /// A job failed after being picked up.
+    pub fn job_failed(&self) {
+        let mut inner = self.lock();
+        inner.in_flight = inner.in_flight.saturating_sub(1);
+        inner.failed += 1;
+    }
+
+    /// Jobs currently being executed by workers.
+    pub fn in_flight(&self) -> u64 {
+        self.lock().in_flight
+    }
+
+    /// Total jobs refused with a retry-after rejection.
+    pub fn rejected(&self) -> u64 {
+        self.lock().rejected
+    }
+
+    /// Snapshot as the `stats` response payload. `queue_len`/`capacity`
+    /// and the cache counters are sampled by the caller so this module
+    /// stays independent of the queue and cache types.
+    pub fn snapshot(
+        &self,
+        workers: usize,
+        queue_len: usize,
+        queue_capacity: usize,
+        cache: CacheStats,
+        cache_capacity: usize,
+    ) -> Json {
+        let inner = self.lock().clone();
+        let ms = |d: Duration| Json::from(d.as_secs_f64() * 1000.0);
+        Json::obj([
+            ("workers", Json::from(workers)),
+            (
+                "jobs",
+                Json::obj([
+                    ("submitted", Json::from(inner.submitted)),
+                    ("completed", Json::from(inner.completed)),
+                    ("rejected", Json::from(inner.rejected)),
+                    ("failed", Json::from(inner.failed)),
+                    ("in_flight", Json::from(inner.in_flight)),
+                ]),
+            ),
+            (
+                "queue",
+                Json::obj([
+                    ("length", Json::from(queue_len)),
+                    ("capacity", Json::from(queue_capacity)),
+                    ("wait_ms_total", ms(inner.queue_wait)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::from(cache.hits)),
+                    ("misses", Json::from(cache.misses)),
+                    ("entries", Json::from(cache.entries)),
+                    ("capacity", Json::from(cache_capacity)),
+                ]),
+            ),
+            (
+                "walls",
+                Json::obj([
+                    ("step1_ms_total", ms(inner.step1_wall)),
+                    ("step2_ms_total", ms(inner.step2_wall)),
+                    ("step3_ms_total", ms(inner.step3_wall)),
+                ]),
+            ),
+        ])
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photomosaic::MosaicBuilder;
+
+    fn report(step2_ms: u64) -> GenerationReport {
+        GenerationReport {
+            config: MosaicBuilder::new().grid(2).build(),
+            image_size: 8,
+            tile_count: 4,
+            tile_size: 4,
+            total_error: 1,
+            sweeps: 1,
+            swaps: 0,
+            step1_wall: Duration::from_millis(1),
+            step2_wall: Duration::from_millis(step2_ms),
+            step3_wall: Duration::from_millis(2),
+            step2_profile: Default::default(),
+            step3_profile: Default::default(),
+        }
+    }
+
+    #[test]
+    fn lifecycle_counters() {
+        let m = ServiceMetrics::new();
+        m.job_submitted();
+        m.job_submitted();
+        m.job_rejected();
+        m.job_started(Duration::from_millis(10));
+        assert_eq!(m.in_flight(), 1);
+        m.job_completed(&report(5));
+        assert_eq!(m.in_flight(), 0);
+        m.job_started(Duration::from_millis(20));
+        m.job_failed();
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.rejected(), 1);
+
+        let snap = m.snapshot(3, 1, 8, CacheStats::default(), 4);
+        let jobs = snap.get("jobs").unwrap();
+        assert_eq!(jobs.get("submitted").unwrap().as_u64(), Some(2));
+        assert_eq!(jobs.get("completed").unwrap().as_u64(), Some(1));
+        assert_eq!(jobs.get("rejected").unwrap().as_u64(), Some(1));
+        assert_eq!(jobs.get("failed").unwrap().as_u64(), Some(1));
+        assert_eq!(jobs.get("in_flight").unwrap().as_u64(), Some(0));
+        let queue = snap.get("queue").unwrap();
+        assert_eq!(queue.get("capacity").unwrap().as_u64(), Some(8));
+        assert_eq!(queue.get("wait_ms_total").unwrap().as_f64(), Some(30.0));
+        let walls = snap.get("walls").unwrap();
+        assert_eq!(walls.get("step2_ms_total").unwrap().as_f64(), Some(5.0));
+        assert_eq!(snap.get("workers").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn snapshot_reflects_cache_counters() {
+        let m = ServiceMetrics::new();
+        let cache = CacheStats {
+            hits: 7,
+            misses: 3,
+            entries: 2,
+        };
+        let snap = m.snapshot(1, 0, 4, cache, 16);
+        let c = snap.get("cache").unwrap();
+        assert_eq!(c.get("hits").unwrap().as_u64(), Some(7));
+        assert_eq!(c.get("misses").unwrap().as_u64(), Some(3));
+        assert_eq!(c.get("entries").unwrap().as_u64(), Some(2));
+        assert_eq!(c.get("capacity").unwrap().as_u64(), Some(16));
+    }
+}

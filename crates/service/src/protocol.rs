@@ -1,0 +1,289 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! Each request and each response is one JSON object on one line,
+//! terminated by `\n` (no newlines inside a message — the std-only
+//! encoder in `photomosaic::json` never emits any). A connection may
+//! carry any number of request/response pairs, in order.
+//!
+//! Requests (`"op"` selects the operation):
+//!
+//! ```json
+//! {"op":"submit","job":{"input":{...},"target":{...},"config":{...}}}
+//! {"op":"stats"}
+//! {"op":"ping"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses (`"kind"` selects the shape):
+//!
+//! ```json
+//! {"kind":"result","result":{"image":{...},"assignment":[...],"report":{...}}}
+//! {"kind":"rejected","retry_after_ms":50}
+//! {"kind":"stats","stats":{...}}
+//! {"kind":"pong"}
+//! {"kind":"shutting-down"}
+//! {"kind":"error","message":"..."}
+//! ```
+//!
+//! A `result`'s `report` object is the job's
+//! [`GenerationReport::to_json`](photomosaic::GenerationReport::to_json)
+//! extended with two service-level keys: `queue_wait_ms` (time between
+//! acceptance and a worker picking the job up) and `cache_hit` (whether
+//! the Step-2 matrix came from the cache).
+
+use photomosaic::{JobSpec, Json};
+use std::io::{BufRead, Write};
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Run a job.
+    Submit(Box<JobSpec>),
+    /// Report aggregate service metrics.
+    Stats,
+    /// Liveness check.
+    Ping,
+    /// Begin graceful shutdown (control command).
+    Shutdown,
+}
+
+impl Request {
+    /// Serialize for the wire.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Submit(spec) => {
+                Json::obj([("op", Json::from("submit")), ("job", spec.to_json())])
+            }
+            Request::Stats => Json::obj([("op", Json::from("stats"))]),
+            Request::Ping => Json::obj([("op", Json::from("ping"))]),
+            Request::Shutdown => Json::obj([("op", Json::from("shutdown"))]),
+        }
+    }
+
+    /// Parse the shape produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed field.
+    pub fn from_json(value: &Json) -> Result<Request, String> {
+        let op = value
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request needs an \"op\" string")?;
+        match op {
+            "submit" => {
+                let job = value.get("job").ok_or("submit needs a \"job\"")?;
+                Ok(Request::Submit(Box::new(JobSpec::from_json(job)?)))
+            }
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A finished job (`JobResult::to_json` with service metrics folded
+    /// into the report).
+    Result {
+        /// The serialized `JobResult`.
+        result: Json,
+    },
+    /// The queue was full; retry after the given delay.
+    Rejected {
+        /// Suggested client back-off.
+        retry_after_ms: u64,
+    },
+    /// Aggregate metrics snapshot.
+    Stats {
+        /// The metrics object.
+        stats: Json,
+    },
+    /// Liveness reply.
+    Pong,
+    /// Shutdown acknowledged; the server drains queued jobs then exits.
+    ShuttingDown,
+    /// The request failed.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Serialize for the wire.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Result { result } => {
+                Json::obj([("kind", Json::from("result")), ("result", result.clone())])
+            }
+            Response::Rejected { retry_after_ms } => Json::obj([
+                ("kind", Json::from("rejected")),
+                ("retry_after_ms", Json::from(*retry_after_ms)),
+            ]),
+            Response::Stats { stats } => {
+                Json::obj([("kind", Json::from("stats")), ("stats", stats.clone())])
+            }
+            Response::Pong => Json::obj([("kind", Json::from("pong"))]),
+            Response::ShuttingDown => Json::obj([("kind", Json::from("shutting-down"))]),
+            Response::Error { message } => Json::obj([
+                ("kind", Json::from("error")),
+                ("message", Json::from(message.as_str())),
+            ]),
+        }
+    }
+
+    /// Parse the shape produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed field.
+    pub fn from_json(value: &Json) -> Result<Response, String> {
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("response needs a \"kind\" string")?;
+        match kind {
+            "result" => Ok(Response::Result {
+                result: value
+                    .get("result")
+                    .cloned()
+                    .ok_or("result response needs a \"result\"")?,
+            }),
+            "rejected" => Ok(Response::Rejected {
+                retry_after_ms: value
+                    .get("retry_after_ms")
+                    .and_then(Json::as_u64)
+                    .ok_or("rejected response needs \"retry_after_ms\"")?,
+            }),
+            "stats" => Ok(Response::Stats {
+                stats: value
+                    .get("stats")
+                    .cloned()
+                    .ok_or("stats response needs \"stats\"")?,
+            }),
+            "pong" => Ok(Response::Pong),
+            "shutting-down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error {
+                message: value
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string(),
+            }),
+            other => Err(format!("unknown response kind {other:?}")),
+        }
+    }
+}
+
+/// Write one message (JSON + `\n`) and flush.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_message(writer: &mut impl Write, message: &Json) -> std::io::Result<()> {
+    let mut line = message.encode();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+/// Read one message. Returns `Ok(None)` on clean EOF before any bytes.
+///
+/// # Errors
+/// Propagates I/O failures; malformed JSON surfaces as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn read_message(reader: &mut impl BufRead) -> std::io::Result<Option<Json>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    Json::parse(line.trim_end_matches(['\r', '\n']))
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photomosaic::{ImageSource, MosaicConfig};
+
+    fn sample_spec() -> JobSpec {
+        JobSpec {
+            input: ImageSource::Synth {
+                scene: mosaic_image::synth::Scene::Portrait,
+                size: 16,
+                seed: 3,
+            },
+            target: ImageSource::Pixels {
+                size: 2,
+                pixels: vec![9, 8, 7, 6],
+            },
+            config: MosaicConfig::default(),
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for request in [
+            Request::Submit(Box::new(sample_spec())),
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ] {
+            let text = request.to_json().encode();
+            let back = Request::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for response in [
+            Response::Result {
+                result: Json::obj([("x", Json::from(1u64))]),
+            },
+            Response::Rejected { retry_after_ms: 75 },
+            Response::Stats {
+                stats: Json::obj([("jobs", Json::from(2u64))]),
+            },
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::Error {
+                message: "boom".to_string(),
+            },
+        ] {
+            let text = response.to_json().encode();
+            let back = Response::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn framing_roundtrips_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, &Request::Ping.to_json()).unwrap();
+        write_message(&mut wire, &Request::Stats.to_json()).unwrap();
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        let first = read_message(&mut reader).unwrap().unwrap();
+        assert_eq!(Request::from_json(&first).unwrap(), Request::Ping);
+        let second = read_message(&mut reader).unwrap().unwrap();
+        assert_eq!(Request::from_json(&second).unwrap(), Request::Stats);
+        assert!(read_message(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn malformed_lines_are_invalid_data() {
+        let mut reader = std::io::BufReader::new(&b"{nope\n"[..]);
+        let err = read_message(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unknown_ops_are_rejected() {
+        let v = Json::parse(r#"{"op":"dance"}"#).unwrap();
+        assert!(Request::from_json(&v).is_err());
+        let v = Json::parse(r#"{"kind":"dance"}"#).unwrap();
+        assert!(Response::from_json(&v).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Bounded blocking job queue with backpressure and graceful close.
+//!
+//! Producers (connection handlers) use [`JobQueue::try_push`], which
+//! never blocks: a full queue is reported back so the server can answer
+//! with a retry-after rejection instead of stalling the socket.
+//! Consumers (workers) use [`JobQueue::pop`], which blocks until a job
+//! arrives or the queue is closed *and drained* — closing stops intake
+//! immediately but lets already-accepted jobs finish, which is what makes
+//! shutdown graceful.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why [`JobQueue::try_push`] refused an item; the item is handed back so
+/// the caller can report on it.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — retry later.
+    Full(T),
+    /// The queue was closed — the server is shutting down.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Create a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue without blocking.
+    ///
+    /// # Errors
+    /// Returns the item back inside [`PushError::Full`] when at capacity
+    /// or [`PushError::Closed`] after [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while the queue is empty and open. Returns
+    /// `None` once the queue is closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stop accepting new items; blocked consumers drain what remains and
+    /// then observe `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let q = JobQueue::new(3);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_and_returns_the_item() {
+        let q = JobQueue::new(2);
+        q.try_push(10).unwrap();
+        q.try_push(20).unwrap();
+        match q.try_push(30) {
+            Err(PushError::Full(item)) => assert_eq!(item, 30),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Draining one slot re-opens intake.
+        assert_eq!(q.pop(), Some(10));
+        q.try_push(30).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_signals_none() {
+        let q = JobQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        match q.try_push("c") {
+            Err(PushError::Closed(item)) => assert_eq!(item, "c"),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed queue stays closed");
+    }
+
+    #[test]
+    fn pop_blocks_until_a_push_arrives() {
+        let q = Arc::new(JobQueue::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(99).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(99));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(1));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        for c in consumers {
+            assert_eq!(c.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = JobQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+    }
+}

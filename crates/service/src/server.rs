@@ -1,0 +1,423 @@
+//! The batch mosaic server.
+//!
+//! Thread structure (all plain `std::thread`):
+//!
+//! ```text
+//! accept loop ──spawns──▶ connection handlers (one per client)
+//!                              │  try_push(Job)           ▲ reply via mpsc
+//!                              ▼                          │
+//!                        bounded JobQueue ──pop──▶ worker pool (fixed size)
+//!                                                      │
+//!                                                MatrixCache (LRU)
+//! ```
+//!
+//! Invariants:
+//!
+//! * handlers never block on a full queue — they answer `rejected` with a
+//!   retry-after so backpressure reaches the client immediately;
+//! * every job accepted into the queue gets exactly one response: the
+//!   queue is closed (not dropped) on shutdown, so workers drain it and
+//!   each handler's `mpsc::Receiver` resolves;
+//! * the cache key covers everything the Step-2 matrix depends on
+//!   ([`JobSpec::cache_key`]), so a hit may skip Step 2 entirely and the
+//!   result is bit-identical to an uncached run (backends are
+//!   bit-identical by construction, so a matrix computed under one
+//!   backend is valid for every other).
+
+use crate::cache::MatrixCache;
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{read_message, write_message, Request, Response};
+use crate::queue::{JobQueue, PushError};
+use photomosaic::{generate_returning_matrix, generate_with_matrix, JobResult, JobSpec, Json};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Error-matrix LRU capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Back-off hint sent with queue-full rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 8,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// One accepted job travelling from a handler to a worker.
+struct Job {
+    spec: JobSpec,
+    accepted_at: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Shared {
+    queue: JobQueue<Job>,
+    cache: MatrixCache,
+    metrics: ServiceMetrics,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    config: ServiceConfig,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        // Stop intake; workers drain what was already accepted.
+        self.queue.close();
+        // The accept loop sits in a blocking `accept()`; a throw-away
+        // connection to ourselves wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    fn stats_snapshot(&self) -> Json {
+        self.metrics.snapshot(
+            self.config.workers,
+            self.queue.len(),
+            self.queue.capacity(),
+            self.cache.stats(),
+            self.cache.capacity(),
+        )
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop it; call
+/// [`shutdown`](Server::shutdown) (or send the `shutdown` request) and
+/// then [`join`](Server::join).
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start the accept loop and worker pool.
+    ///
+    /// # Errors
+    /// Propagates socket bind failures.
+    pub fn start(config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            cache: MatrixCache::new(config.cache_capacity),
+            metrics: ServiceMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            config: config.clone(),
+        });
+
+        let worker_handles = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mosaic-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("mosaic-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Trigger graceful shutdown: stop accepting, drain the queue.
+    /// Idempotent; also triggered by the `shutdown` wire request.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Wait for the accept loop and all workers to exit. Implies
+    /// [`shutdown`](Server::shutdown) has been (or will be) triggered —
+    /// joining a server nobody shuts down blocks forever.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a late client); drop it.
+                    break;
+                }
+                let shared = Arc::clone(shared);
+                // Handlers are detached: they exit when their client
+                // disconnects, and queued work is answered because the
+                // workers drain the closed queue before exiting.
+                let _ = std::thread::Builder::new()
+                    .name("mosaic-conn".to_string())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+            Err(_) => continue, // transient accept error
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let message = match read_message(&mut reader) {
+            Ok(Some(m)) => m,
+            Ok(None) => return, // client closed
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let _ = write_message(
+                    &mut writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    }
+                    .to_json(),
+                );
+                return; // framing is lost; drop the connection
+            }
+            Err(_) => return,
+        };
+        let response = match Request::from_json(&message) {
+            Err(problem) => Response::Error { message: problem },
+            Ok(Request::Ping) => Response::Pong,
+            Ok(Request::Stats) => Response::Stats {
+                stats: shared.stats_snapshot(),
+            },
+            Ok(Request::Shutdown) => {
+                shared.begin_shutdown();
+                Response::ShuttingDown
+            }
+            Ok(Request::Submit(spec)) => submit(*spec, shared),
+        };
+        if write_message(&mut writer, &response.to_json()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Enqueue a job and wait for its result (the wait happens on the
+/// connection handler thread, so the accept loop and other connections
+/// are unaffected).
+fn submit(spec: JobSpec, shared: &Arc<Shared>) -> Response {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        spec,
+        accepted_at: Instant::now(),
+        reply: reply_tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {
+            shared.metrics.job_submitted();
+            reply_rx.recv().unwrap_or_else(|_| Response::Error {
+                message: "worker dropped the job".to_string(),
+            })
+        }
+        Err(PushError::Full(_)) => {
+            shared.metrics.job_rejected();
+            Response::Rejected {
+                retry_after_ms: shared.config.retry_after_ms,
+            }
+        }
+        Err(PushError::Closed(_)) => Response::Error {
+            message: "server is shutting down".to_string(),
+        },
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let queue_wait = job.accepted_at.elapsed();
+        shared.metrics.job_started(queue_wait);
+        let queue_wait_ms = queue_wait.as_secs_f64() * 1000.0;
+        let response = match execute(&job.spec, shared, queue_wait_ms) {
+            Ok(response) => response,
+            Err(message) => {
+                shared.metrics.job_failed();
+                Response::Error { message }
+            }
+        };
+        // A handler that gave up (client gone) is not an error.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn execute(spec: &JobSpec, shared: &Arc<Shared>, queue_wait_ms: f64) -> Result<Response, String> {
+    let (input, target) = spec.resolve()?;
+    let key = spec.cache_key();
+    let (result, cache_hit) = match shared.cache.get(key) {
+        Some(matrix) => {
+            let result = generate_with_matrix(&input, &target, &spec.config, &matrix)
+                .map_err(|e| format!("generation failed: {e:?}"))?;
+            (result, true)
+        }
+        None => {
+            let (result, matrix) = generate_returning_matrix(&input, &target, &spec.config)
+                .map_err(|e| format!("generation failed: {e:?}"))?;
+            shared.cache.insert(key, Arc::new(matrix));
+            (result, false)
+        }
+    };
+    shared.metrics.job_completed(&result.report);
+
+    // Fold the per-job service metrics into the report object.
+    let mut job_result = JobResult::from(result);
+    if let Json::Obj(pairs) = &mut job_result.report {
+        pairs.push(("queue_wait_ms".to_string(), Json::from(queue_wait_ms)));
+        pairs.push(("cache_hit".to_string(), Json::Bool(cache_hit)));
+    }
+    Ok(Response::Result {
+        result: job_result.to_json(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use mosaic_image::synth::Scene;
+    use photomosaic::{Backend, ImageSource, MosaicBuilder};
+
+    fn small_spec(seed: u64) -> JobSpec {
+        JobSpec {
+            input: ImageSource::Synth {
+                scene: Scene::Portrait,
+                size: 16,
+                seed,
+            },
+            target: ImageSource::Synth {
+                scene: Scene::Checker,
+                size: 16,
+                seed: seed + 1,
+            },
+            config: MosaicBuilder::new()
+                .grid(4)
+                .backend(Backend::Serial)
+                .build(),
+        }
+    }
+
+    #[test]
+    fn ping_stats_submit_shutdown_lifecycle() {
+        let server = Server::start(ServiceConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(client.ping().unwrap(), Response::Pong);
+
+        let response = client.submit(&small_spec(1)).unwrap();
+        let Response::Result { result } = response else {
+            panic!("expected a result, got {response:?}");
+        };
+        let report = result.get("report").unwrap();
+        assert_eq!(report.get("cache_hit").unwrap().as_bool(), Some(false));
+        assert!(report.get("queue_wait_ms").unwrap().as_f64().unwrap() >= 0.0);
+
+        // Same job again: the matrix cache serves Step 2.
+        let Response::Result { result } = client.submit(&small_spec(1)).unwrap() else {
+            panic!("expected a result");
+        };
+        assert_eq!(
+            result
+                .get("report")
+                .unwrap()
+                .get("cache_hit")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+
+        let Response::Stats { stats } = client.stats().unwrap() else {
+            panic!("expected stats");
+        };
+        let jobs = stats.get("jobs").unwrap();
+        assert_eq!(jobs.get("completed").unwrap().as_u64(), Some(2));
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+
+        assert_eq!(client.shutdown().unwrap(), Response::ShuttingDown);
+        server.join();
+    }
+
+    #[test]
+    fn shutdown_via_handle_unblocks_join() {
+        let server = Server::start(ServiceConfig::default()).unwrap();
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_errors() {
+        let server = Server::start(ServiceConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        match client.submit(&small_spec(5)) {
+            Ok(Response::Error { message }) => assert!(message.contains("shutting down")),
+            other => panic!("expected shutdown error, got {other:?}"),
+        }
+        server.join();
+    }
+
+    #[test]
+    fn invalid_jobs_fail_without_killing_the_worker() {
+        let server = Server::start(ServiceConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let mut bad = small_spec(2);
+        bad.input = ImageSource::Pixels {
+            size: 5,
+            pixels: vec![0; 3],
+        };
+        match client.submit(&bad) {
+            Ok(Response::Error { .. }) => {}
+            other => panic!("expected an error response, got {other:?}"),
+        }
+        // The worker is still alive and serves the next job.
+        assert!(matches!(
+            client.submit(&small_spec(3)),
+            Ok(Response::Result { .. })
+        ));
+        client.shutdown().unwrap();
+        server.join();
+    }
+}

@@ -9,10 +9,10 @@
 //! reproduces a portrait target twice — once with unlimited repetition
 //! and once with a per-tile usage cap — and compares the errors.
 
-use photomosaic::database::{database_mosaic, SelectionPolicy, TileLibrary};
 use mosaic_grid::TileMetric;
 use mosaic_image::io::save_pgm;
 use mosaic_image::synth::Scene;
+use photomosaic::database::{database_mosaic, SelectionPolicy, TileLibrary};
 use photomosaic_suite::out_dir;
 
 fn main() {
@@ -43,8 +43,7 @@ fn main() {
         ("unlimited", SelectionPolicy::Unlimited),
         ("cap-2", SelectionPolicy::UsageCap(2)),
     ] {
-        let mosaic =
-            database_mosaic(&target, &library, TileMetric::Sad, policy).expect("feasible");
+        let mosaic = database_mosaic(&target, &library, TileMetric::Sad, policy).expect("feasible");
         let distinct = {
             let mut c = mosaic.choices.clone();
             c.sort_unstable();
@@ -56,8 +55,11 @@ fn main() {
             mosaic.total_error,
             library.len()
         );
-        save_pgm(dir.join(format!("database_mosaic_{name}.pgm")), &mosaic.image)
-            .expect("write mosaic");
+        save_pgm(
+            dir.join(format!("database_mosaic_{name}.pgm")),
+            &mosaic.image,
+        )
+        .expect("write mosaic");
     }
     println!("images written to {}", dir.display());
 }

@@ -56,7 +56,8 @@ fn main() {
         if matches!(backend, Backend::GpuSim { .. }) {
             println!(
                 "{:>10} | modeled Tesla K40 over 1-core host: {:>6.1}x (paper Table IV: 22-67x)",
-                "", result.report.modeled_speedup()
+                "",
+                result.report.modeled_speedup()
             );
         }
     }

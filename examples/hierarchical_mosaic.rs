@@ -40,16 +40,14 @@ fn main() {
         metric: TileMetric::Sad,
     };
     let t1 = Instant::now();
-    let pure = photomosaic::multires::hierarchical_rearrangement(
-        &prepared, &target, layout, mcfg,
-    )
-    .expect("grid = leaf * 2^k");
+    let pure = photomosaic::multires::hierarchical_rearrangement(&prepared, &target, layout, mcfg)
+        .expect("grid = leaf * 2^k");
     let pure_time = t1.elapsed();
 
     // Hierarchy + Algorithm-1 polish (assembles the output image too).
     let t2 = Instant::now();
-    let (image, hier) = generate_hierarchical(&input, &target, grid, mcfg)
-        .expect("grid = leaf * 2^k");
+    let (image, hier) =
+        generate_hierarchical(&input, &target, grid, mcfg).expect("grid = leaf * 2^k");
     let polish_time = t2.elapsed();
 
     println!("S = {grid}x{grid}, N = {size} (histogram-matched pair)");

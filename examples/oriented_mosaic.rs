@@ -24,8 +24,7 @@ fn main() {
     let (input, target) = figure2_pair(size);
     let layout = TileLayout::with_grid(size, grid).expect("divisible");
 
-    let plain_matrix =
-        build_error_matrix(&input, &target, layout, TileMetric::Sad).expect("valid");
+    let plain_matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).expect("valid");
     let plain = optimal_rearrangement(&plain_matrix, SolverKind::JonkerVolgenant);
     println!("plain rearrangement      : total error {}", plain.total);
 

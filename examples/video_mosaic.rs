@@ -57,8 +57,7 @@ fn main() {
             report.wall.as_secs_f64() * 1e3,
         );
         if t == 0 || t == frames - 1 {
-            save_pgm(dir.join(format!("video_frame_{t:02}.pgm")), &image)
-                .expect("write frame");
+            save_pgm(dir.join(format!("video_frame_{t:02}.pgm")), &image).expect("write frame");
         }
         animation.push(image);
     }

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Full offline verification: release build, tests, formatting, lints.
+# The workspace has no external dependencies, so everything here must
+# succeed without network access.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline
+run cargo test -q --offline
+run cargo fmt --check
+run cargo clippy --offline --all-targets -- -D warnings
+
+echo "==> all checks passed"

@@ -23,12 +23,26 @@ fn synth_generate_compare_workflow() {
     let out = dir.join("mosaic.pgm");
 
     run(&[
-        "synth", "--scene", "portrait", "--size", "64", "--seed", "1", "--out",
+        "synth",
+        "--scene",
+        "portrait",
+        "--size",
+        "64",
+        "--seed",
+        "1",
+        "--out",
         input.to_str().unwrap(),
     ])
     .unwrap();
     run(&[
-        "synth", "--scene", "regatta", "--size", "64", "--seed", "2", "--out",
+        "synth",
+        "--scene",
+        "regatta",
+        "--size",
+        "64",
+        "--seed",
+        "2",
+        "--out",
         target.to_str().unwrap(),
     ])
     .unwrap();
@@ -51,14 +65,10 @@ fn synth_generate_compare_workflow() {
     assert!(out.exists());
 
     // The mosaic must be closer to the target than the raw input is.
-    let mosaic_vs_target = run(&["compare", out.to_str().unwrap(), target.to_str().unwrap()])
-        .unwrap();
-    let input_vs_target = run(&[
-        "compare",
-        input.to_str().unwrap(),
-        target.to_str().unwrap(),
-    ])
-    .unwrap();
+    let mosaic_vs_target =
+        run(&["compare", out.to_str().unwrap(), target.to_str().unwrap()]).unwrap();
+    let input_vs_target =
+        run(&["compare", input.to_str().unwrap(), target.to_str().unwrap()]).unwrap();
     let sad = |s: &str| -> u64 {
         s.lines()
             .find(|l| l.starts_with("SAD"))
@@ -76,10 +86,26 @@ fn every_algorithm_flag_works_end_to_end() {
     let dir = workdir("algorithms");
     let input = dir.join("in.pgm");
     let target = dir.join("tg.pgm");
-    run(&["synth", "--scene", "plasma", "--size", "32", "--out", input.to_str().unwrap()])
-        .unwrap();
-    run(&["synth", "--scene", "fur", "--size", "32", "--out", target.to_str().unwrap()])
-        .unwrap();
+    run(&[
+        "synth",
+        "--scene",
+        "plasma",
+        "--size",
+        "32",
+        "--out",
+        input.to_str().unwrap(),
+    ])
+    .unwrap();
+    run(&[
+        "synth",
+        "--scene",
+        "fur",
+        "--size",
+        "32",
+        "--out",
+        target.to_str().unwrap(),
+    ])
+    .unwrap();
     for algorithm in ["optimal", "local", "parallel", "greedy", "anneal"] {
         let out = dir.join(format!("{algorithm}.pgm"));
         run(&[
@@ -108,10 +134,26 @@ fn database_workflow() {
     let donor = dir.join("donor.pgm");
     let target = dir.join("target.pgm");
     let out = dir.join("db.pgm");
-    run(&["synth", "--scene", "drapery", "--size", "64", "--out", donor.to_str().unwrap()])
-        .unwrap();
-    run(&["synth", "--scene", "portrait", "--size", "64", "--out", target.to_str().unwrap()])
-        .unwrap();
+    run(&[
+        "synth",
+        "--scene",
+        "drapery",
+        "--size",
+        "64",
+        "--out",
+        donor.to_str().unwrap(),
+    ])
+    .unwrap();
+    run(&[
+        "synth",
+        "--scene",
+        "portrait",
+        "--size",
+        "64",
+        "--out",
+        target.to_str().unwrap(),
+    ])
+    .unwrap();
     let msg = run(&[
         "database",
         "--target",
@@ -134,10 +176,26 @@ fn geometry_errors_surface_cleanly() {
     let dir = workdir("errors");
     let small = dir.join("small.pgm");
     let big = dir.join("big.pgm");
-    run(&["synth", "--scene", "fur", "--size", "32", "--out", small.to_str().unwrap()])
-        .unwrap();
-    run(&["synth", "--scene", "fur", "--size", "64", "--out", big.to_str().unwrap()])
-        .unwrap();
+    run(&[
+        "synth",
+        "--scene",
+        "fur",
+        "--size",
+        "32",
+        "--out",
+        small.to_str().unwrap(),
+    ])
+    .unwrap();
+    run(&[
+        "synth",
+        "--scene",
+        "fur",
+        "--size",
+        "64",
+        "--out",
+        big.to_str().unwrap(),
+    ])
+    .unwrap();
     let err = run(&[
         "generate",
         "--input",

@@ -3,8 +3,8 @@
 
 use mosaic_assign::{CostMatrix, HungarianSolver, JonkerVolgenantSolver, Solver};
 use mosaic_edgecolor::{is_exact_cover, is_proper_coloring, SwapSchedule};
-use mosaic_grid::{assemble, build_error_matrix, TileLayout, TileMetric};
 use mosaic_gpu::{DeviceSpec, GpuSim};
+use mosaic_grid::{assemble, build_error_matrix, TileLayout, TileMetric};
 use mosaic_image::{metrics, synth};
 use photomosaic::errors::gpu_error_matrix;
 use photomosaic::local_search::local_search;

@@ -111,7 +111,10 @@ fn histogram_matching_improves_reproduction() {
             .backend(Backend::Serial)
             .preprocess(preprocess)
             .build();
-        generate(&input, &target, &config).unwrap().report.total_error
+        generate(&input, &target, &config)
+            .unwrap()
+            .report
+            .total_error
     };
     let matched = run(Preprocess::MatchTarget);
     let raw = run(Preprocess::None);
@@ -150,11 +153,8 @@ fn mosaic_is_closer_to_target_than_input_is() {
         .backend(Backend::Serial)
         .build();
     let result = generate(&input, &target, &config).unwrap();
-    let prepared = photomosaic::preprocess::preprocess_gray(
-        &input,
-        &target,
-        Preprocess::MatchTarget,
-    );
+    let prepared =
+        photomosaic::preprocess::preprocess_gray(&input, &target, Preprocess::MatchTarget);
     assert!(metrics::sad(&result.image, &target) < metrics::sad(&prepared, &target));
     assert!(metrics::psnr(&result.image, &target) > metrics::psnr(&prepared, &target));
 }

@@ -46,7 +46,10 @@ fn sparse_match_through_the_full_pipeline() {
             .algorithm(algorithm)
             .backend(Backend::Serial)
             .build();
-        generate(&input, &target, &config).unwrap().report.total_error
+        generate(&input, &target, &config)
+            .unwrap()
+            .report
+            .total_error
     };
     let optimal = run(Algorithm::Optimal(SolverKind::JonkerVolgenant));
     let full_k = run(Algorithm::SparseMatch { k: 144 });
@@ -111,10 +114,9 @@ fn video_session_frames_encode_as_animated_gif() {
     let base = mosaic_image::synth::Scene::Regatta.render(64, 2);
     let mut frames = Vec::new();
     for t in 0..3usize {
-        let target = mosaic_image::Image::from_fn(64, 64, |x, y| {
-            base.get((x + 2 * t) % 64, y).unwrap()
-        })
-        .unwrap();
+        let target =
+            mosaic_image::Image::from_fn(64, 64, |x, y| base.get((x + 2 * t) % 64, y).unwrap())
+                .unwrap();
         let (img, _) = session.next_frame(&target).unwrap();
         frames.push(img);
     }

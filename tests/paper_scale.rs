@@ -28,8 +28,7 @@ fn table1_at_paper_scale() {
         assert!(optimal.total_error <= serial.total_error, "grid {grid}");
         assert!(optimal.total_error <= parallel.total_error, "grid {grid}");
         // The paper's gaps are 1.7-2.3%; synthetic scenes stay below 5%.
-        let gap = (serial.total_error - optimal.total_error) as f64
-            / optimal.total_error as f64;
+        let gap = (serial.total_error - optimal.total_error) as f64 / optimal.total_error as f64;
         assert!(gap < 0.06, "grid {grid}: gap {gap}");
         // §IV-A: k stayed <= 9/8/16 for 16/32/64; allow 2x headroom.
         assert!(serial.sweeps <= 32, "grid {grid}: k = {}", serial.sweeps);

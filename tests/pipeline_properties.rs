@@ -1,46 +1,42 @@
-//! Property-based tests over the full pipeline on random images.
+//! Property-based tests over the full pipeline on random images, driven
+//! by the deterministic [`mosaic_image::testutil`] PRNG (ported from the
+//! former `proptest` suite; every case reproduces from the printed seed).
 
+use mosaic_image::testutil::{gray_image, XorShift};
 use mosaic_image::{metrics, Gray, Image};
 use photomosaic::{generate, Algorithm, Backend, MosaicBuilder, Preprocess};
-use proptest::prelude::*;
 
 /// Random square images whose size is `grid * tile` for small factors,
 /// generated as a same-sized pair.
-fn arb_pair() -> impl Strategy<Value = (Image<Gray>, Image<Gray>, usize)> {
-    (2usize..=4, 3usize..=6).prop_flat_map(|(grid, tile)| {
-        let n = grid * tile;
-        (
-            proptest::collection::vec(any::<u8>(), n * n),
-            proptest::collection::vec(any::<u8>(), n * n),
-        )
-            .prop_map(move |(a, b)| {
-                (
-                    Image::from_vec(n, n, a.into_iter().map(Gray).collect()).unwrap(),
-                    Image::from_vec(n, n, b.into_iter().map(Gray).collect()).unwrap(),
-                    grid,
-                )
-            })
-    })
+fn arb_pair(rng: &mut XorShift) -> (Image<Gray>, Image<Gray>, usize) {
+    let grid = rng.range(2, 4);
+    let tile = rng.range(3, 6);
+    let n = grid * tile;
+    (gray_image(rng, n, n), gray_image(rng, n, n), grid)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn pipeline_is_deterministic((input, target, grid) in arb_pair()) {
+#[test]
+fn pipeline_is_deterministic() {
+    for seed in 0..12 {
+        let mut rng = XorShift::new(seed);
+        let (input, target, grid) = arb_pair(&mut rng);
         let config = MosaicBuilder::new()
             .grid(grid)
             .backend(Backend::Serial)
             .build();
         let a = generate(&input, &target, &config).unwrap();
         let b = generate(&input, &target, &config).unwrap();
-        prop_assert_eq!(a.image, b.image);
-        prop_assert_eq!(a.assignment, b.assignment);
-        prop_assert_eq!(a.report.total_error, b.report.total_error);
+        assert_eq!(a.image, b.image, "seed {seed}");
+        assert_eq!(a.assignment, b.assignment, "seed {seed}");
+        assert_eq!(a.report.total_error, b.report.total_error, "seed {seed}");
     }
+}
 
-    #[test]
-    fn reported_total_equals_assembled_sad((input, target, grid) in arb_pair()) {
+#[test]
+fn reported_total_equals_assembled_sad() {
+    for seed in 0..12 {
+        let mut rng = XorShift::new(seed);
+        let (input, target, grid) = arb_pair(&mut rng);
         for algorithm in [
             Algorithm::Optimal(mosaic_assign::SolverKind::JonkerVolgenant),
             Algorithm::LocalSearch,
@@ -52,37 +48,49 @@ proptest! {
                 .backend(Backend::Serial)
                 .build();
             let result = generate(&input, &target, &config).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 result.report.total_error,
-                metrics::sad(&result.image, &target)
+                metrics::sad(&result.image, &target),
+                "seed {seed}"
             );
         }
     }
+}
 
-    #[test]
-    fn optimal_bounds_every_other_algorithm((input, target, grid) in arb_pair()) {
+#[test]
+fn optimal_bounds_every_other_algorithm() {
+    for seed in 0..8 {
+        let mut rng = XorShift::new(seed);
+        let (input, target, grid) = arb_pair(&mut rng);
         let run = |algorithm| {
             let config = MosaicBuilder::new()
                 .grid(grid)
                 .algorithm(algorithm)
                 .backend(Backend::Serial)
                 .build();
-            generate(&input, &target, &config).unwrap().report.total_error
+            generate(&input, &target, &config)
+                .unwrap()
+                .report
+                .total_error
         };
         let optimal = run(Algorithm::Optimal(mosaic_assign::SolverKind::Hungarian));
         let sparse = run(Algorithm::SparseMatch { k: 4 });
         let anneal = run(Algorithm::Anneal { seed: 1, sweeps: 2 });
         let blossom = run(Algorithm::Optimal(mosaic_assign::SolverKind::Blossom));
-        prop_assert!(run(Algorithm::LocalSearch) >= optimal);
-        prop_assert!(run(Algorithm::ParallelSearch) >= optimal);
-        prop_assert!(run(Algorithm::Greedy) >= optimal);
-        prop_assert!(sparse >= optimal);
-        prop_assert!(anneal >= optimal);
-        prop_assert_eq!(blossom, optimal);
+        assert!(run(Algorithm::LocalSearch) >= optimal, "seed {seed}");
+        assert!(run(Algorithm::ParallelSearch) >= optimal, "seed {seed}");
+        assert!(run(Algorithm::Greedy) >= optimal, "seed {seed}");
+        assert!(sparse >= optimal, "seed {seed}");
+        assert!(anneal >= optimal, "seed {seed}");
+        assert_eq!(blossom, optimal, "seed {seed}");
     }
+}
 
-    #[test]
-    fn mosaic_without_preprocess_is_a_tile_permutation((input, target, grid) in arb_pair()) {
+#[test]
+fn mosaic_without_preprocess_is_a_tile_permutation() {
+    for seed in 0..12 {
+        let mut rng = XorShift::new(seed);
+        let (input, target, grid) = arb_pair(&mut rng);
         let config = MosaicBuilder::new()
             .grid(grid)
             .backend(Backend::Serial)
@@ -93,22 +101,33 @@ proptest! {
         let mut b: Vec<u8> = result.image.pixels().iter().map(|p| p.0).collect();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    #[test]
-    fn rearranged_never_worse_than_unrearranged((input, target, grid) in arb_pair()) {
+#[test]
+fn rearranged_never_worse_than_unrearranged() {
+    for seed in 0..12 {
+        let mut rng = XorShift::new(seed);
+        let (input, target, grid) = arb_pair(&mut rng);
         let config = MosaicBuilder::new()
             .grid(grid)
             .backend(Backend::Serial)
             .preprocess(Preprocess::None)
             .build();
         let result = generate(&input, &target, &config).unwrap();
-        prop_assert!(result.report.total_error <= metrics::sad(&input, &target));
+        assert!(
+            result.report.total_error <= metrics::sad(&input, &target),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn backends_are_bit_identical((input, target, grid) in arb_pair()) {
+#[test]
+fn backends_are_bit_identical() {
+    for seed in 0..8 {
+        let mut rng = XorShift::new(seed);
+        let (input, target, grid) = arb_pair(&mut rng);
         let mk = |backend| {
             MosaicBuilder::new()
                 .grid(grid)
@@ -118,13 +137,8 @@ proptest! {
         };
         let serial = generate(&input, &target, &mk(Backend::Serial)).unwrap();
         let threads = generate(&input, &target, &mk(Backend::Threads(2))).unwrap();
-        let gpu = generate(
-            &input,
-            &target,
-            &mk(Backend::GpuSim { workers: Some(2) }),
-        )
-        .unwrap();
-        prop_assert_eq!(&serial.image, &threads.image);
-        prop_assert_eq!(&serial.image, &gpu.image);
+        let gpu = generate(&input, &target, &mk(Backend::GpuSim { workers: Some(2) })).unwrap();
+        assert_eq!(&serial.image, &threads.image, "seed {seed}");
+        assert_eq!(&serial.image, &gpu.image, "seed {seed}");
     }
 }

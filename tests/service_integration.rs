@@ -1,0 +1,214 @@
+//! End-to-end tests of the batch mosaic service: a real server on an
+//! ephemeral port, concurrent clients over TCP, error-matrix cache
+//! reuse, bounded-queue rejection, and graceful shutdown.
+
+use mosaic_image::synth::Scene;
+use mosaic_service::protocol::Response;
+use mosaic_service::server::{Server, ServiceConfig};
+use mosaic_service::Client;
+use photomosaic::{Backend, ImageSource, JobResult, JobSpec, Json, MosaicBuilder};
+
+fn spec(scene: Scene, seed: u64, grid: usize) -> JobSpec {
+    JobSpec {
+        input: ImageSource::Synth {
+            scene,
+            size: 32,
+            seed,
+        },
+        target: ImageSource::Synth {
+            scene: Scene::Regatta,
+            size: 32,
+            seed: seed + 100,
+        },
+        config: MosaicBuilder::new()
+            .grid(grid)
+            .backend(Backend::Serial)
+            .build(),
+    }
+}
+
+fn decode_result(response: Response) -> JobResult {
+    let Response::Result { result } = response else {
+        panic!("expected a result, got {response:?}");
+    };
+    JobResult::from_json(&result).expect("well-formed result")
+}
+
+/// Four clients on four threads, each with its own job; every wire
+/// result must be bit-identical to running `photomosaic::generate`
+/// directly on the same spec.
+#[test]
+fn concurrent_clients_match_direct_generation() {
+    let server = Server::start(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let specs = [
+        spec(Scene::Portrait, 1, 4),
+        spec(Scene::Fur, 2, 8),
+        spec(Scene::Plasma, 3, 4),
+        spec(Scene::Drapery, 4, 8),
+    ];
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for spec in &specs {
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                decode_result(client.submit(spec).unwrap())
+            }));
+        }
+        for (handle, spec) in handles.into_iter().zip(&specs) {
+            let remote = handle.join().expect("client thread panicked");
+            let (input, target) = spec.resolve().unwrap();
+            let direct = photomosaic::generate(&input, &target, &spec.config).unwrap();
+            assert_eq!(remote.image, direct.image);
+            assert_eq!(remote.assignment, direct.assignment);
+            assert_eq!(
+                remote.report.get("total_error").and_then(Json::as_u64),
+                Some(direct.report.total_error)
+            );
+        }
+    });
+
+    server.shutdown();
+    server.join();
+}
+
+/// Resubmitting identical content skips Step 2 via the matrix cache —
+/// visible per job (`cache_hit`) and in the aggregate stats — without
+/// changing the result.
+#[test]
+fn repeated_input_hits_the_matrix_cache() {
+    let server = Server::start(ServiceConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let job = spec(Scene::Checker, 7, 4);
+
+    let first = decode_result(client.submit(&job).unwrap());
+    assert_eq!(
+        first.report.get("cache_hit").and_then(Json::as_bool),
+        Some(false)
+    );
+
+    // A job differing only in Step-3 algorithm shares the cached matrix.
+    let mut variant = job.clone();
+    variant.config.algorithm = photomosaic::Algorithm::LocalSearch;
+    let second = decode_result(client.submit(&variant).unwrap());
+    assert_eq!(
+        second.report.get("cache_hit").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    let third = decode_result(client.submit(&job).unwrap());
+    assert_eq!(
+        third.report.get("cache_hit").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(third.image, first.image);
+    assert_eq!(third.assignment, first.assignment);
+
+    let Response::Stats { stats } = client.stats().unwrap() else {
+        panic!("expected stats");
+    };
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(2));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// With one worker and a one-slot queue, a simultaneous flood must see
+/// `rejected` responses carrying the configured retry-after hint, while
+/// retrying clients still complete every job.
+#[test]
+fn full_queue_rejects_with_retry_after() {
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_ms: 5,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    // All clients connect first and release together, so eight
+    // submissions hit the one-slot queue within microseconds of each
+    // other: at most one executing + one queued, the rest rejected.
+    let barrier = std::sync::Barrier::new(8);
+    let rejected: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    barrier.wait();
+                    // Distinct seeds defeat the cache so every job costs
+                    // real work and the queue actually backs up.
+                    let job = spec(Scene::Plasma, 1000 + i, 8);
+                    let (response, rejections) = client.submit_with_retry(&job, 200).unwrap();
+                    match response {
+                        Response::Result { .. } => rejections,
+                        Response::Rejected { retry_after_ms } => {
+                            assert_eq!(retry_after_ms, 5);
+                            panic!("job starved even after 200 attempts");
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .sum()
+    });
+    assert!(
+        rejected > 0,
+        "8 simultaneous submissions into a 1-slot queue never saw backpressure"
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    let Response::Stats { stats } = client.stats().unwrap() else {
+        panic!("expected stats");
+    };
+    let jobs = stats.get("jobs").unwrap();
+    assert_eq!(jobs.get("completed").and_then(Json::as_u64), Some(8));
+    assert_eq!(
+        jobs.get("rejected").and_then(Json::as_u64),
+        Some(rejected),
+        "server-side rejection count must match what clients observed"
+    );
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// Graceful shutdown: the control request stops intake, already-accepted
+/// work drains, and `join` returns instead of hanging.
+#[test]
+fn graceful_shutdown_drains_and_joins() {
+    let server = Server::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Land some completed work first so the drain has history behind it.
+    let mut client = Client::connect(addr).unwrap();
+    decode_result(client.submit(&spec(Scene::Portrait, 21, 4)).unwrap());
+
+    assert_eq!(client.shutdown().unwrap(), Response::ShuttingDown);
+    // Submissions after shutdown are refused, not dropped silently.
+    match client.submit(&spec(Scene::Portrait, 22, 4)) {
+        Ok(Response::Error { message }) => assert!(message.contains("shutting down")),
+        other => panic!("expected a shutdown error, got {other:?}"),
+    }
+    server.join();
+
+    // The listener is really gone once join returns.
+    assert!(Client::connect(addr).is_err());
+}
