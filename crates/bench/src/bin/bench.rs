@@ -19,6 +19,12 @@
 //! * `--json` — emit one machine-readable JSON document on stdout
 //!   instead of the human table (uses the same std-only encoder as
 //!   `GenerationReport::to_json`).
+//!
+//! Independently of `--json`, every run also writes one
+//! `out/BENCH_<suite>.json` per executed suite: the `mosaic-telemetry`
+//! metrics exposition of a per-suite registry holding one latency
+//! histogram per case (every timed sample recorded in microseconds), so
+//! downstream tooling gets p50/p90/p99 without re-parsing the table.
 
 use mosaic_assign::{CostMatrix, SolverKind};
 use mosaic_bench::figure2_pair;
@@ -88,6 +94,8 @@ struct Case {
     min: Duration,
     mean: Duration,
     samples: usize,
+    /// Every timed sample, in microseconds, for the histogram exposition.
+    samples_us: Vec<u64>,
 }
 
 fn run_case<R>(
@@ -100,12 +108,14 @@ fn run_case<R>(
     let _ = f();
     let mut total = Duration::ZERO;
     let mut min = Duration::MAX;
+    let mut samples_us = Vec::with_capacity(samples);
     for _ in 0..samples {
         let start = Instant::now();
         let _ = f();
         let elapsed = start.elapsed();
         total += elapsed;
         min = min.min(elapsed);
+        samples_us.push(elapsed.as_micros().min(u64::MAX as u128) as u64);
     }
     Case {
         suite,
@@ -113,6 +123,40 @@ fn run_case<R>(
         min,
         mean: total / samples as u32,
         samples,
+        samples_us,
+    }
+}
+
+/// Write `out/BENCH_<suite>.json` for each suite present in `cases`: the
+/// telemetry metrics exposition of one histogram per case.
+fn write_suite_expositions(cases: &[Case]) {
+    let dir = mosaic_bench::out_dir();
+    let mut suites: Vec<&'static str> = Vec::new();
+    for case in cases {
+        if !suites.contains(&case.suite) {
+            suites.push(case.suite);
+        }
+    }
+    for suite in suites {
+        let registry = mosaic_telemetry::Registry::new();
+        for case in cases.iter().filter(|c| c.suite == suite) {
+            let slug: String = case
+                .name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let histogram = registry.histogram(&format!("bench_{suite}_{slug}_us"));
+            for &us in &case.samples_us {
+                histogram.record(us);
+            }
+            registry
+                .counter(&format!("bench_{suite}_samples_total"))
+                .add(case.samples_us.len() as u64);
+        }
+        let path = dir.join(format!("BENCH_{suite}.json"));
+        std::fs::write(&path, mosaic_telemetry::metrics_json(&registry))
+            .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
     }
 }
 
@@ -330,6 +374,8 @@ fn main() {
             _ => unreachable!(),
         }
     }
+
+    write_suite_expositions(&cases);
 
     if options.json {
         let entries: Vec<Json> = cases

@@ -48,6 +48,8 @@ pub enum Command {
         out: String,
         /// Pipeline configuration.
         config: photomosaic::MosaicConfig,
+        /// Optional path for a JSON trace/metrics dump of the run.
+        trace_out: Option<String>,
     },
     /// `mosaic database`.
     Database {
@@ -144,8 +146,10 @@ pub enum SubmitAction {
         /// Concurrent connections for load generation.
         connections: usize,
     },
-    /// Fetch aggregate metrics.
+    /// Fetch aggregate metrics (JSON).
     Stats,
+    /// Fetch the Prometheus-style text exposition.
+    Metrics,
     /// Liveness check.
     Ping,
     /// Ask the server to shut down gracefully.
@@ -349,7 +353,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "generate" => {
             let flags = split_flags(rest)?;
-            let mut known = vec!["input", "target", "out"];
+            let mut known = vec!["input", "target", "out", "trace-out"];
             known.extend(CONFIG_FLAGS);
             flags.check_known(&known)?;
             let config = parse_config(&flags)?;
@@ -358,6 +362,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 target: flags.require("target")?.to_string(),
                 out: flags.require("out")?.to_string(),
                 config,
+                trace_out: flags.optional("trace-out").map(str::to_string),
             })
         }
         "serve" => {
@@ -387,10 +392,11 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let op = flags.optional("op").unwrap_or("job");
             let addr = flags.require("addr")?.to_string();
             match op {
-                "stats" | "ping" | "shutdown" => {
+                "stats" | "metrics" | "ping" | "shutdown" => {
                     flags.check_known(&["addr", "op"])?;
                     let action = match op {
                         "stats" => SubmitAction::Stats,
+                        "metrics" => SubmitAction::Metrics,
                         "ping" => SubmitAction::Ping,
                         _ => SubmitAction::Shutdown,
                     };
@@ -429,7 +435,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     })
                 }
                 other => Err(CliError(format!(
-                    "--op expects job|stats|ping|shutdown, got {other:?}"
+                    "--op expects job|stats|metrics|ping|shutdown, got {other:?}"
                 ))),
             }
         }
@@ -551,6 +557,23 @@ mod tests {
         assert_eq!(config.backend, Backend::Threads(4));
         assert_eq!(config.metric, TileMetric::Ssd);
         assert_eq!(config.preprocess, Preprocess::None);
+    }
+
+    #[test]
+    fn generate_trace_out_is_optional() {
+        let cmd = parse(&argv("generate --input a --target b --out c")).unwrap();
+        let Command::Generate { trace_out, .. } = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(trace_out, None);
+        let cmd = parse(&argv(
+            "generate --input a --target b --out c --trace-out t.json",
+        ))
+        .unwrap();
+        let Command::Generate { trace_out, .. } = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(trace_out.as_deref(), Some("t.json"));
     }
 
     #[test]
@@ -759,6 +782,7 @@ mod tests {
     fn submit_control_ops_and_errors() {
         let ops = [
             ("stats", SubmitAction::Stats),
+            ("metrics", SubmitAction::Metrics),
             ("ping", SubmitAction::Ping),
             ("shutdown", SubmitAction::Shutdown),
         ];

@@ -6,6 +6,7 @@ use mosaic_image::io::{load_pgm, save_pgm};
 use mosaic_image::metrics;
 use mosaic_service::protocol::Response;
 use mosaic_service::{run_load, Client, Server, ServiceConfig};
+use mosaic_telemetry as telemetry;
 use photomosaic::database::{database_mosaic, SelectionPolicy, TileLibrary};
 use photomosaic::{ImageSource, JobResult, JobSpec, Json};
 
@@ -21,13 +22,28 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             target,
             out,
             config,
+            trace_out,
         } => {
             let input_img = load_pgm(&input)?;
             let target_img = load_pgm(&target)?;
+            if trace_out.is_some() {
+                // Start this run's trace from a clean buffer; metrics
+                // are cumulative by design and are dumped as-is.
+                telemetry::tracer().clear();
+                telemetry::tracer().set_enabled(true);
+            }
             let result = photomosaic::generate(&input_img, &target_img, &config)?;
+            let mut trace_note = String::new();
+            if let Some(trace_path) = trace_out {
+                telemetry::tracer().set_enabled(false);
+                let dump = telemetry::dump_json(telemetry::tracer(), telemetry::registry());
+                std::fs::write(&trace_path, dump)
+                    .map_err(|e| CliError(format!("failed to write {trace_path}: {e}")))?;
+                trace_note = format!("\nwrote trace to {trace_path}");
+            }
             save_pgm(&out, &result.image)?;
             Ok(format!(
-                "{}\nPSNR = {:.2} dB, SSIM = {:.4}\nwrote {out}",
+                "{}\nPSNR = {:.2} dB, SSIM = {:.4}\nwrote {out}{trace_note}",
                 result.report.summary(),
                 metrics::psnr(&result.image, &target_img),
                 metrics::ssim(&result.image, &target_img),
@@ -176,6 +192,13 @@ fn submit(addr: &str, action: SubmitAction) -> Result<String, CliError> {
                 other => Err(unexpected(&other)),
             }
         }
+        SubmitAction::Metrics => {
+            let mut client = Client::connect(addr).map_err(io_err)?;
+            match client.metrics().map_err(io_err)? {
+                Response::Metrics { text } => Ok(text),
+                other => Err(unexpected(&other)),
+            }
+        }
         SubmitAction::Shutdown => {
             let mut client = Client::connect(addr).map_err(io_err)?;
             match client.shutdown().map_err(io_err)? {
@@ -297,6 +320,7 @@ mod tests {
             target: target.clone(),
             out: out.clone(),
             config,
+            trace_out: None,
         })
         .unwrap();
         assert!(msg.contains("error="));
@@ -430,6 +454,17 @@ mod tests {
         })
         .unwrap();
         assert!(msg.contains("\"completed\""), "{msg}");
+
+        let msg = execute(Command::Submit {
+            addr: addr.clone(),
+            action: SubmitAction::Metrics,
+        })
+        .unwrap();
+        assert!(
+            msg.contains("# TYPE service_jobs_completed_total counter"),
+            "{msg}"
+        );
+        assert!(msg.contains("service_queue_wait_us_count"), "{msg}");
 
         let msg = execute(Command::Submit {
             addr: addr.clone(),

@@ -42,13 +42,14 @@ USAGE:
                   [--solver jv|hungarian|auction|blossom|greedy]
                   [--backend serial|threads|gpu] [--metric sad|ssd|mean]
                   [--preprocess match|equalize|none] [--seed <n>] [--sweeps <n>] [--k <n>]
+                  [--trace-out <path>]
   mosaic database --target <pgm> --donors <pgm,pgm,...> --tile <n> --out <pgm>
                   [--cap <n>] [--metric sad|ssd|mean]
   mosaic synth    --scene portrait|regatta|fur|drapery|plasma|checker
                   --size <n> --out <pgm> [--seed <n>]
   mosaic serve    [--addr <host:port>] [--workers <n>] [--queue <n>]
                   [--cache <n>] [--retry-ms <n>]
-  mosaic submit   --addr <host:port> [--op job|stats|ping|shutdown]
+  mosaic submit   --addr <host:port> [--op job|stats|metrics|ping|shutdown]
                   job: --input <pgm> | --input-scene <name> [--input-seed <n>]
                        --target <pgm> | --target-scene <name> [--target-seed <n>]
                        [--size <n>] [--jobs <n>] [--connections <n>]
@@ -60,5 +61,7 @@ USAGE:
 serve runs the batch mosaic server: a bounded job queue feeding a fixed
 worker pool, with an LRU cache that reuses Step-2 error matrices across
 jobs with identical content. submit talks to it over line-delimited
-JSON; --jobs > 1 turns it into a load generator.
+JSON; --jobs > 1 turns it into a load generator. --op metrics fetches
+a Prometheus-style text exposition of server counters and histograms;
+generate --trace-out writes a JSON span trace plus metric summaries.
 ";

@@ -41,6 +41,7 @@ pub fn local_search_from(matrix: &ErrorMatrix, mut assignment: Vec<usize>) -> Se
     let mut sweeps = 0usize;
     let mut swaps = 0usize;
     loop {
+        let _sweep = mosaic_telemetry::tracer().span("local_search_sweep");
         sweeps += 1;
         let mut swapped = false;
         for p in 0..s {
@@ -85,6 +86,7 @@ pub fn local_search_traced(matrix: &ErrorMatrix) -> (SearchOutcome, ConvergenceT
     let mut swaps_per_sweep = Vec::new();
     let mut swaps = 0usize;
     loop {
+        let _sweep = mosaic_telemetry::tracer().span("local_search_sweep");
         let mut sweep_swaps = 0usize;
         for p in 0..s {
             for q in (p + 1)..s {

@@ -65,6 +65,7 @@ pub fn parallel_search_reference(matrix: &ErrorMatrix, schedule: &SwapSchedule) 
     let mut swaps = 0usize;
     let mut launches = 0usize;
     loop {
+        let _sweep = mosaic_telemetry::tracer().span("parallel_search_sweep");
         sweeps += 1;
         let mut swapped = false;
         for group in schedule.occupied_groups() {
@@ -117,6 +118,7 @@ pub fn parallel_search_threads(
     let mut launches = 0usize;
     let mut decisions: Vec<bool> = Vec::new();
     loop {
+        let _sweep = mosaic_telemetry::tracer().span("parallel_search_sweep");
         sweeps += 1;
         let mut swapped = false;
         for group in schedule.occupied_groups() {
@@ -184,6 +186,7 @@ pub fn parallel_search_gpu(
     let mut launches = 0usize;
 
     loop {
+        let _sweep = mosaic_telemetry::tracer().span("parallel_search_sweep");
         sweeps += 1;
         flag.clear();
         for group in schedule.occupied_groups() {

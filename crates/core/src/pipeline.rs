@@ -19,6 +19,7 @@ use mosaic_edgecolor::SwapSchedule;
 use mosaic_gpu::{DeviceSpec, GpuSim, WorkProfile};
 use mosaic_grid::{assemble, LayoutError, TileLayout};
 use mosaic_image::GrayImage;
+use mosaic_telemetry as telemetry;
 use std::time::Instant;
 
 /// Rearranged image plus full accounting.
@@ -106,13 +107,19 @@ fn generate_impl(
     layout.check_image(input)?;
     layout.check_image(target)?;
 
+    let _generate_span = telemetry::tracer().span("generate");
+
     // Step 1: preprocess + (implicit) tiling.
     let t1 = Instant::now();
-    let prepared = preprocess_gray(input, target, config.preprocess);
+    let prepared = {
+        let _span = telemetry::tracer().span("step1");
+        preprocess_gray(input, target, config.preprocess)
+    };
     let step1_wall = t1.elapsed();
 
     // Step 2: the S x S error matrix (skipped when a cached one is
     // supplied).
+    let step2_span = telemetry::tracer().span("step2");
     let mut computed = None;
     let (matrix, step2_trace): (&mosaic_grid::ErrorMatrix, StepTrace) = match cached_matrix {
         Some(m) => {
@@ -131,11 +138,33 @@ fn generate_impl(
             (computed.insert(m), trace)
         }
     };
+    drop(step2_span);
 
     // Step 3: rearrangement.
     let t3 = Instant::now();
-    let (outcome, step3_profile) = run_step3(matrix, config);
+    let (outcome, step3_profile) = {
+        let _span = telemetry::tracer().span("step3");
+        run_step3(matrix, config)
+    };
     let step3_wall = t3.elapsed();
+
+    let metrics = telemetry::registry();
+    metrics.counter("pipeline_runs_total").inc();
+    metrics
+        .histogram("pipeline_step1_us")
+        .record_duration_us(step1_wall);
+    metrics
+        .histogram("pipeline_step2_us")
+        .record_duration_us(step2_trace.wall);
+    metrics
+        .histogram("pipeline_step3_us")
+        .record_duration_us(step3_wall);
+    metrics
+        .histogram("pipeline_sweeps")
+        .record(outcome.sweeps as u64);
+    metrics
+        .gauge("pipeline_total_error")
+        .set(i64::try_from(outcome.total).unwrap_or(i64::MAX));
 
     let image = assemble(&prepared, layout, &outcome.assignment)?;
     let report = GenerationReport {

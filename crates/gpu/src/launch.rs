@@ -21,8 +21,9 @@ use crate::device::DeviceSpec;
 use crate::dim::Dim3;
 use crate::shared::SharedMem;
 use crate::stats::{ExecStats, LaunchRecord};
+use mosaic_telemetry::{lock_unpoisoned, registry, tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Grid/block geometry of one launch.
@@ -150,15 +151,12 @@ impl GpuSim {
 
     /// Snapshot of cumulative statistics.
     pub fn stats(&self) -> ExecStats {
-        self.stats
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+        lock_unpoisoned(&self.stats).clone()
     }
 
     /// Reset cumulative statistics.
     pub fn reset_stats(&self) {
-        *self.stats.lock().unwrap_or_else(PoisonError::into_inner) = ExecStats::default();
+        *lock_unpoisoned(&self.stats) = ExecStats::default();
     }
 
     /// Launch `kernel` over `config`. Blocks until every block has
@@ -167,9 +165,11 @@ impl GpuSim {
     /// # Panics
     /// Propagates panics from kernel blocks.
     pub fn launch<K: Kernel>(&self, config: LaunchConfig, kernel: &K) -> LaunchRecord {
+        let _span = tracer().span("gpu_launch");
         let start = Instant::now();
         let total_blocks = config.grid.count();
         let next_block = AtomicUsize::new(0);
+        let shared_peak = AtomicUsize::new(0);
 
         if total_blocks > 0 {
             let workers = self.workers.min(total_blocks);
@@ -177,6 +177,7 @@ impl GpuSim {
                 for _ in 0..workers {
                     scope.spawn(|| {
                         let mut shared = SharedMem::new(self.device.shared_mem_per_block);
+                        let mut max_used = 0usize;
                         loop {
                             let b = next_block.fetch_add(1, Ordering::Relaxed);
                             if b >= total_blocks {
@@ -189,7 +190,9 @@ impl GpuSim {
                                 shared: &mut shared,
                             };
                             kernel.block(&mut ctx);
+                            max_used = max_used.max(shared.used());
                         }
+                        shared_peak.fetch_max(max_used, Ordering::Relaxed);
                     });
                 }
             });
@@ -198,12 +201,25 @@ impl GpuSim {
         let record = LaunchRecord {
             blocks: total_blocks,
             threads: total_blocks * config.block.count(),
+            shared_bytes: shared_peak.load(Ordering::Relaxed),
             wall: start.elapsed(),
         };
-        self.stats
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .record(&record);
+        lock_unpoisoned(&self.stats).record(&record);
+
+        let metrics = registry();
+        metrics.counter("gpu_launches_total").inc();
+        metrics
+            .counter("gpu_blocks_total")
+            .add(record.blocks as u64);
+        metrics
+            .counter("gpu_threads_total")
+            .add(record.threads as u64);
+        metrics
+            .gauge("gpu_shared_bytes_peak")
+            .fetch_max(record.shared_bytes as i64);
+        metrics
+            .histogram("gpu_launch_wall_us")
+            .record_duration_us(record.wall);
         record
     }
 }
@@ -307,6 +323,27 @@ mod tests {
         assert_eq!(stats.threads, 40);
         sim.reset_stats();
         assert_eq!(sim.stats().launches, 0);
+    }
+
+    #[test]
+    fn launch_reports_shared_memory_high_water() {
+        let sim = sim();
+        let kernel = |ctx: &mut BlockContext<'_>| {
+            // Block 3 allocates the most shared memory.
+            let n = if ctx.block_id() == 3 { 96 } else { 16 };
+            let _ = ctx.shared().alloc_u8(n);
+        };
+        let rec = sim.launch(LaunchConfig::linear(8, 1), &kernel);
+        assert_eq!(rec.shared_bytes, 96, "peak across blocks");
+        assert_eq!(sim.stats().shared_bytes_peak, 96);
+
+        // A later, smaller launch does not lower the cumulative peak.
+        let small = |ctx: &mut BlockContext<'_>| {
+            let _ = ctx.shared().alloc_u8(8);
+        };
+        let rec = sim.launch(LaunchConfig::linear(2, 1), &small);
+        assert_eq!(rec.shared_bytes, 8);
+        assert_eq!(sim.stats().shared_bytes_peak, 96);
     }
 
     #[test]

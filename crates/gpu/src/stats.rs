@@ -9,6 +9,8 @@ pub struct LaunchRecord {
     pub blocks: usize,
     /// Logical threads simulated (`blocks × block size`).
     pub threads: usize,
+    /// Peak shared-memory bytes used by any single block.
+    pub shared_bytes: usize,
     /// Host wall-clock time of the launch.
     pub wall: Duration,
 }
@@ -22,6 +24,9 @@ pub struct ExecStats {
     pub blocks: usize,
     /// Total logical threads simulated.
     pub threads: usize,
+    /// High-water mark of per-block shared-memory bytes, over all
+    /// launches.
+    pub shared_bytes_peak: usize,
     /// Total host wall-clock time inside launches.
     pub wall: Duration,
 }
@@ -32,6 +37,7 @@ impl ExecStats {
         self.launches += 1;
         self.blocks += rec.blocks;
         self.threads += rec.threads;
+        self.shared_bytes_peak = self.shared_bytes_peak.max(rec.shared_bytes);
         self.wall += rec.wall;
     }
 }
@@ -46,16 +52,19 @@ mod tests {
         stats.record(&LaunchRecord {
             blocks: 4,
             threads: 128,
+            shared_bytes: 256,
             wall: Duration::from_millis(2),
         });
         stats.record(&LaunchRecord {
             blocks: 2,
             threads: 64,
+            shared_bytes: 64,
             wall: Duration::from_millis(3),
         });
         assert_eq!(stats.launches, 2);
         assert_eq!(stats.blocks, 6);
         assert_eq!(stats.threads, 192);
+        assert_eq!(stats.shared_bytes_peak, 256, "peak, not sum");
         assert_eq!(stats.wall, Duration::from_millis(5));
     }
 }

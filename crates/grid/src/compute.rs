@@ -47,6 +47,7 @@ pub fn build_error_matrix<P: Pixel>(
     metric: TileMetric,
 ) -> Result<ErrorMatrix, LayoutError> {
     checked_layouts(input, target, layout, metric)?;
+    let _span = mosaic_telemetry::tracer().span("error_matrix_serial");
     let s = layout.tile_count();
     let input_tiles = layout.tiles(input);
     let target_tiles = layout.tiles(target);
@@ -79,6 +80,7 @@ pub fn build_error_matrix_threaded<P: Pixel>(
 ) -> Result<ErrorMatrix, LayoutError> {
     assert!(threads > 0, "at least one worker thread is required");
     checked_layouts(input, target, layout, metric)?;
+    let _span = mosaic_telemetry::tracer().span("error_matrix_threaded");
     let s = layout.tile_count();
     let mut matrix = ErrorMatrix::zeros(s);
     let rows_per_worker = s.div_ceil(threads);

@@ -9,8 +9,9 @@
 //! evicts it.
 
 use mosaic_grid::ErrorMatrix;
+use mosaic_telemetry::lock_unpoisoned;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 
 /// Hit/miss counters, as observed at some instant.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -102,7 +103,7 @@ impl MatrixCache {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        lock_unpoisoned(&self.inner)
     }
 }
 

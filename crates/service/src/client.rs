@@ -90,6 +90,14 @@ impl Client {
         self.request(&Request::Stats)
     }
 
+    /// Fetch the Prometheus-style text exposition.
+    ///
+    /// # Errors
+    /// See [`request`](Self::request).
+    pub fn metrics(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Metrics)
+    }
+
     /// Liveness check.
     ///
     /// # Errors

@@ -1,27 +1,52 @@
-//! Aggregate service metrics, reported by the `stats` request.
+//! Aggregate service metrics, reported by the `stats` request (JSON)
+//! and the `metrics` request (Prometheus text).
+//!
+//! Backed by a private `mosaic_telemetry::Registry` — private so that
+//! several servers in one process (the integration tests run them in
+//! parallel) never share counters. The `stats` wire shape predates the
+//! registry and is kept bit-compatible; the registry additionally
+//! enables the Prometheus exposition and latency percentiles for free.
 
 use crate::cache::CacheStats;
+use mosaic_telemetry::{Counter, Gauge, Histogram, HistogramSummary, Registry};
 use photomosaic::{GenerationReport, Json};
-use std::sync::{Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::Duration;
 
-#[derive(Clone, Debug, Default)]
-struct Inner {
-    submitted: u64,
-    completed: u64,
-    rejected: u64,
-    failed: u64,
-    in_flight: u64,
-    queue_wait: Duration,
-    step1_wall: Duration,
-    step2_wall: Duration,
-    step3_wall: Duration,
+/// Counters and latency histograms across the server's lifetime.
+pub struct ServiceMetrics {
+    registry: Registry,
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    failed: Arc<Counter>,
+    in_flight: Arc<Gauge>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    queue_wait_us: Arc<Histogram>,
+    step1_us: Arc<Histogram>,
+    step2_us: Arc<Histogram>,
+    step3_us: Arc<Histogram>,
 }
 
-/// Counters and accumulated timings across the server's lifetime.
-#[derive(Default)]
-pub struct ServiceMetrics {
-    inner: Mutex<Inner>,
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        let registry = Registry::new();
+        ServiceMetrics {
+            submitted: registry.counter("service_jobs_submitted_total"),
+            completed: registry.counter("service_jobs_completed_total"),
+            rejected: registry.counter("service_jobs_rejected_total"),
+            failed: registry.counter("service_jobs_failed_total"),
+            in_flight: registry.gauge("service_jobs_in_flight"),
+            cache_hits: registry.counter("service_cache_hits_total"),
+            cache_misses: registry.counter("service_cache_misses_total"),
+            queue_wait_us: registry.histogram("service_queue_wait_us"),
+            step1_us: registry.histogram("service_step1_us"),
+            step2_us: registry.histogram("service_step2_us"),
+            step3_us: registry.histogram("service_step3_us"),
+            registry,
+        }
+    }
 }
 
 impl ServiceMetrics {
@@ -32,46 +57,52 @@ impl ServiceMetrics {
 
     /// A job was accepted into the queue.
     pub fn job_submitted(&self) {
-        self.lock().submitted += 1;
+        self.submitted.inc();
     }
 
     /// A job was refused because the queue was full.
     pub fn job_rejected(&self) {
-        self.lock().rejected += 1;
+        self.rejected.inc();
     }
 
     /// A worker picked a job up after waiting `queue_wait` in the queue.
     pub fn job_started(&self, queue_wait: Duration) {
-        let mut inner = self.lock();
-        inner.in_flight += 1;
-        inner.queue_wait += queue_wait;
+        self.in_flight.add(1);
+        self.queue_wait_us.record_duration_us(queue_wait);
     }
 
     /// A job finished successfully; fold its step timings in.
     pub fn job_completed(&self, report: &GenerationReport) {
-        let mut inner = self.lock();
-        inner.in_flight = inner.in_flight.saturating_sub(1);
-        inner.completed += 1;
-        inner.step1_wall += report.step1_wall;
-        inner.step2_wall += report.step2_wall;
-        inner.step3_wall += report.step3_wall;
+        self.in_flight.add(-1);
+        self.completed.inc();
+        self.step1_us.record_duration_us(report.step1_wall);
+        self.step2_us.record_duration_us(report.step2_wall);
+        self.step3_us.record_duration_us(report.step3_wall);
     }
 
     /// A job failed after being picked up.
     pub fn job_failed(&self) {
-        let mut inner = self.lock();
-        inner.in_flight = inner.in_flight.saturating_sub(1);
-        inner.failed += 1;
+        self.in_flight.add(-1);
+        self.failed.inc();
+    }
+
+    /// A Step-2 matrix cache lookup resolved as a hit or a miss.
+    pub fn cache_lookup(&self, hit: bool) {
+        if hit {
+            self.cache_hits.inc();
+        } else {
+            self.cache_misses.inc();
+        }
     }
 
     /// Jobs currently being executed by workers.
     pub fn in_flight(&self) -> u64 {
-        self.lock().in_flight
+        self.in_flight.get().max(0) as u64
     }
 
     /// Total jobs refused with a retry-after rejection.
     pub fn rejected(&self) -> u64 {
-        self.lock().rejected
+        self.rejected.get()
     }
 
     /// Snapshot as the `stats` response payload. `queue_len`/`capacity`
@@ -85,18 +116,19 @@ impl ServiceMetrics {
         cache: CacheStats,
         cache_capacity: usize,
     ) -> Json {
-        let inner = self.lock().clone();
-        let ms = |d: Duration| Json::from(d.as_secs_f64() * 1000.0);
+        // Totals were recorded as integer microseconds, so dividing by
+        // 1000 keeps millisecond totals exact for µs-granular inputs.
+        let sum_ms = |h: &Histogram| Json::from(h.sum() as f64 / 1000.0);
         Json::obj([
             ("workers", Json::from(workers)),
             (
                 "jobs",
                 Json::obj([
-                    ("submitted", Json::from(inner.submitted)),
-                    ("completed", Json::from(inner.completed)),
-                    ("rejected", Json::from(inner.rejected)),
-                    ("failed", Json::from(inner.failed)),
-                    ("in_flight", Json::from(inner.in_flight)),
+                    ("submitted", Json::from(self.submitted.get())),
+                    ("completed", Json::from(self.completed.get())),
+                    ("rejected", Json::from(self.rejected.get())),
+                    ("failed", Json::from(self.failed.get())),
+                    ("in_flight", Json::from(self.in_flight())),
                 ]),
             ),
             (
@@ -104,7 +136,8 @@ impl ServiceMetrics {
                 Json::obj([
                     ("length", Json::from(queue_len)),
                     ("capacity", Json::from(queue_capacity)),
-                    ("wait_ms_total", ms(inner.queue_wait)),
+                    ("wait_ms_total", sum_ms(&self.queue_wait_us)),
+                    ("wait_us", summary_json(self.queue_wait_us.summary())),
                 ]),
             ),
             (
@@ -119,17 +152,51 @@ impl ServiceMetrics {
             (
                 "walls",
                 Json::obj([
-                    ("step1_ms_total", ms(inner.step1_wall)),
-                    ("step2_ms_total", ms(inner.step2_wall)),
-                    ("step3_ms_total", ms(inner.step3_wall)),
+                    ("step1_ms_total", sum_ms(&self.step1_us)),
+                    ("step2_ms_total", sum_ms(&self.step2_us)),
+                    ("step3_ms_total", sum_ms(&self.step3_us)),
                 ]),
             ),
         ])
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Prometheus text exposition of every service metric, with the
+    /// caller-sampled queue and cache occupancy folded in as gauges.
+    pub fn prometheus(
+        &self,
+        workers: usize,
+        queue_len: usize,
+        queue_capacity: usize,
+        cache: CacheStats,
+        cache_capacity: usize,
+    ) -> String {
+        self.registry.gauge("service_workers").set(workers as i64);
+        self.registry
+            .gauge("service_queue_length")
+            .set(queue_len as i64);
+        self.registry
+            .gauge("service_queue_capacity")
+            .set(queue_capacity as i64);
+        self.registry
+            .gauge("service_cache_entries")
+            .set(cache.entries as i64);
+        self.registry
+            .gauge("service_cache_capacity")
+            .set(cache_capacity as i64);
+        mosaic_telemetry::prometheus(&self.registry)
     }
+}
+
+fn summary_json(s: HistogramSummary) -> Json {
+    Json::obj([
+        ("count", Json::from(s.count)),
+        ("sum", Json::from(s.sum)),
+        ("min", Json::from(s.min)),
+        ("max", Json::from(s.max)),
+        ("p50", Json::from(s.p50)),
+        ("p90", Json::from(s.p90)),
+        ("p99", Json::from(s.p99)),
+    ])
 }
 
 #[cfg(test)]
@@ -198,5 +265,59 @@ mod tests {
         assert_eq!(c.get("misses").unwrap().as_u64(), Some(3));
         assert_eq!(c.get("entries").unwrap().as_u64(), Some(2));
         assert_eq!(c.get("capacity").unwrap().as_u64(), Some(16));
+    }
+
+    #[test]
+    fn snapshot_exposes_queue_wait_histogram() {
+        let m = ServiceMetrics::new();
+        m.job_started(Duration::from_micros(100));
+        m.job_started(Duration::from_micros(200));
+        let snap = m.snapshot(1, 0, 4, CacheStats::default(), 4);
+        let wait = snap.get("queue").unwrap().get("wait_us").unwrap();
+        assert_eq!(wait.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(wait.get("sum").unwrap().as_u64(), Some(300));
+        assert_eq!(wait.get("min").unwrap().as_u64(), Some(100));
+        assert_eq!(wait.get("max").unwrap().as_u64(), Some(200));
+        // 200 µs lives in bucket [128, 255].
+        assert_eq!(wait.get("p99").unwrap().as_u64(), Some(255));
+    }
+
+    #[test]
+    fn prometheus_exposes_counters_and_histograms() {
+        let m = ServiceMetrics::new();
+        m.job_submitted();
+        m.job_started(Duration::from_micros(64));
+        m.job_completed(&report(5));
+        m.cache_lookup(true);
+        m.cache_lookup(false);
+        let cache = CacheStats {
+            hits: 1,
+            misses: 1,
+            entries: 1,
+        };
+        let text = m.prometheus(2, 0, 16, cache, 8);
+        assert!(text.contains("# TYPE service_jobs_submitted_total counter"));
+        assert!(text.contains("service_jobs_submitted_total 1\n"));
+        assert!(text.contains("service_jobs_completed_total 1\n"));
+        assert!(text.contains("service_cache_hits_total 1\n"));
+        assert!(text.contains("service_cache_misses_total 1\n"));
+        assert!(text.contains("# TYPE service_queue_wait_us histogram"));
+        assert!(text.contains("service_queue_wait_us_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("service_queue_wait_us_sum 64\n"));
+        assert!(text.contains("service_workers 2\n"));
+        assert!(text.contains("service_queue_capacity 16\n"));
+        assert!(text.contains("service_cache_entries 1\n"));
+    }
+
+    #[test]
+    fn two_instances_do_not_share_state() {
+        let a = ServiceMetrics::new();
+        let b = ServiceMetrics::new();
+        a.job_submitted();
+        let snap = b.snapshot(1, 0, 1, CacheStats::default(), 1);
+        assert_eq!(
+            snap.get("jobs").unwrap().get("submitted").unwrap().as_u64(),
+            Some(0)
+        );
     }
 }

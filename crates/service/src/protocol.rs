@@ -10,6 +10,7 @@
 //! ```json
 //! {"op":"submit","job":{"input":{...},"target":{...},"config":{...}}}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! ```
@@ -20,6 +21,7 @@
 //! {"kind":"result","result":{"image":{...},"assignment":[...],"report":{...}}}
 //! {"kind":"rejected","retry_after_ms":50}
 //! {"kind":"stats","stats":{...}}
+//! {"kind":"metrics","text":"..."}
 //! {"kind":"pong"}
 //! {"kind":"shutting-down"}
 //! {"kind":"error","message":"..."}
@@ -39,8 +41,10 @@ use std::io::{BufRead, Write};
 pub enum Request {
     /// Run a job.
     Submit(Box<JobSpec>),
-    /// Report aggregate service metrics.
+    /// Report aggregate service metrics (JSON).
     Stats,
+    /// Report service metrics as Prometheus-style text.
+    Metrics,
     /// Liveness check.
     Ping,
     /// Begin graceful shutdown (control command).
@@ -55,6 +59,7 @@ impl Request {
                 Json::obj([("op", Json::from("submit")), ("job", spec.to_json())])
             }
             Request::Stats => Json::obj([("op", Json::from("stats"))]),
+            Request::Metrics => Json::obj([("op", Json::from("metrics"))]),
             Request::Ping => Json::obj([("op", Json::from("ping"))]),
             Request::Shutdown => Json::obj([("op", Json::from("shutdown"))]),
         }
@@ -75,6 +80,7 @@ impl Request {
                 Ok(Request::Submit(Box::new(JobSpec::from_json(job)?)))
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op {other:?}")),
@@ -101,6 +107,12 @@ pub enum Response {
         /// The metrics object.
         stats: Json,
     },
+    /// Prometheus-style text exposition (newlines survive the wire via
+    /// JSON string escaping).
+    Metrics {
+        /// The exposition text.
+        text: String,
+    },
     /// Liveness reply.
     Pong,
     /// Shutdown acknowledged; the server drains queued jobs then exits.
@@ -126,6 +138,10 @@ impl Response {
             Response::Stats { stats } => {
                 Json::obj([("kind", Json::from("stats")), ("stats", stats.clone())])
             }
+            Response::Metrics { text } => Json::obj([
+                ("kind", Json::from("metrics")),
+                ("text", Json::from(text.as_str())),
+            ]),
             Response::Pong => Json::obj([("kind", Json::from("pong"))]),
             Response::ShuttingDown => Json::obj([("kind", Json::from("shutting-down"))]),
             Response::Error { message } => Json::obj([
@@ -162,6 +178,13 @@ impl Response {
                     .get("stats")
                     .cloned()
                     .ok_or("stats response needs \"stats\"")?,
+            }),
+            "metrics" => Ok(Response::Metrics {
+                text: value
+                    .get("text")
+                    .and_then(Json::as_str)
+                    .ok_or("metrics response needs \"text\"")?
+                    .to_string(),
             }),
             "pong" => Ok(Response::Pong),
             "shutting-down" => Ok(Response::ShuttingDown),
@@ -228,6 +251,7 @@ mod tests {
         for request in [
             Request::Submit(Box::new(sample_spec())),
             Request::Stats,
+            Request::Metrics,
             Request::Ping,
             Request::Shutdown,
         ] {
@@ -246,6 +270,9 @@ mod tests {
             Response::Rejected { retry_after_ms: 75 },
             Response::Stats {
                 stats: Json::obj([("jobs", Json::from(2u64))]),
+            },
+            Response::Metrics {
+                text: "# TYPE a counter\na 1\n".to_string(),
             },
             Response::Pong,
             Response::ShuttingDown,

@@ -8,6 +8,7 @@
 //! immediately but lets already-accepted jobs finish, which is what makes
 //! shutdown graceful.
 
+use mosaic_telemetry::lock_unpoisoned;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, PoisonError};
 
@@ -91,6 +92,9 @@ impl<T> JobQueue<T> {
             if inner.closed {
                 return None;
             }
+            // `Condvar::wait` re-acquires the lock itself, so it cannot
+            // route through `lock_unpoisoned`; apply the same recovery
+            // policy (see `mosaic_telemetry::sync`) inline.
             inner = self
                 .available
                 .wait(inner)
@@ -106,7 +110,7 @@ impl<T> JobQueue<T> {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        lock_unpoisoned(&self.inner)
     }
 }
 

@@ -100,6 +100,16 @@ impl Shared {
             self.cache.capacity(),
         )
     }
+
+    fn prometheus_text(&self) -> String {
+        self.metrics.prometheus(
+            self.config.workers,
+            self.queue.len(),
+            self.queue.capacity(),
+            self.cache.stats(),
+            self.cache.capacity(),
+        )
+    }
 }
 
 /// A running server. Dropping the handle does *not* stop it; call
@@ -225,6 +235,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Ok(Request::Stats) => Response::Stats {
                 stats: shared.stats_snapshot(),
             },
+            Ok(Request::Metrics) => Response::Metrics {
+                text: shared.prometheus_text(),
+            },
             Ok(Request::Shutdown) => {
                 shared.begin_shutdown();
                 Response::ShuttingDown
@@ -268,6 +281,7 @@ fn submit(spec: JobSpec, shared: &Arc<Shared>) -> Response {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        let _job_span = mosaic_telemetry::tracer().span("service_job");
         let queue_wait = job.accepted_at.elapsed();
         shared.metrics.job_started(queue_wait);
         let queue_wait_ms = queue_wait.as_secs_f64() * 1000.0;
@@ -299,6 +313,7 @@ fn execute(spec: &JobSpec, shared: &Arc<Shared>, queue_wait_ms: f64) -> Result<R
             (result, false)
         }
     };
+    shared.metrics.cache_lookup(cache_hit);
     shared.metrics.job_completed(&result.report);
 
     // Fold the per-job service metrics into the report object.

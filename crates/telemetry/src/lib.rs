@@ -1,0 +1,87 @@
+//! Std-only tracing and metrics for the photomosaic workspace.
+//!
+//! Three pieces, usable separately or together:
+//!
+//! - [`Tracer`] / [`SpanGuard`]: hierarchical RAII spans with
+//!   per-thread nesting and monotonic timestamps ([`span`] module).
+//! - [`Registry`] with [`Counter`], [`Gauge`], and log-bucketed
+//!   [`Histogram`] metrics with p50/p90/p99 summaries ([`metrics`]
+//!   module).
+//! - [`export`]: JSON and Prometheus-style text exposition for both.
+//!
+//! Most call sites use the process-global [`tracer()`] and
+//! [`registry()`]. The global tracer starts **disabled**, so
+//! instrumentation left in hot paths costs one atomic load until a
+//! front end (e.g. the CLI's `--trace-out`) enables it; metrics are
+//! always on — recording is a handful of relaxed atomic ops.
+//!
+//! ```
+//! use mosaic_telemetry as telemetry;
+//!
+//! // Metrics: get a handle once, record lock-free.
+//! let latency = telemetry::registry().histogram("doc_latency_us");
+//! latency.record(250);
+//! assert!(latency.count() >= 1);
+//!
+//! // Spans: scoped collection with a local tracer.
+//! let tracer = telemetry::Tracer::new();
+//! {
+//!     let _step = tracer.span("step1");
+//! }
+//! assert_eq!(tracer.snapshot()[0].name, "step1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+pub mod sync;
+
+pub use export::{dump_json, metrics_json, prometheus, trace_json};
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSummary, Metric,
+    Registry, BUCKETS,
+};
+pub use span::{SpanGuard, SpanRecord, Tracer, DEFAULT_SPAN_CAPACITY};
+pub use sync::lock_unpoisoned;
+
+use std::sync::OnceLock;
+
+/// The process-global tracer. Starts **disabled**; enable it with
+/// `tracer().set_enabled(true)` (the CLI does this for `--trace-out`).
+pub fn tracer() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(Tracer::disabled)
+}
+
+/// The process-global metric registry. Always on.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_tracer_starts_disabled_and_is_shared() {
+        let t = tracer();
+        assert!(std::ptr::eq(t, tracer()));
+        // Other tests may have enabled it; only assert stability of the
+        // handle and that toggling round-trips.
+        let was = t.is_enabled();
+        t.set_enabled(!was);
+        assert_eq!(t.is_enabled(), !was);
+        t.set_enabled(was);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = registry().counter("lib_test_shared_total");
+        c.inc();
+        assert!(registry().counter("lib_test_shared_total").get() >= 1);
+    }
+}

@@ -1,0 +1,377 @@
+//! Hierarchical spans: RAII-guarded timed regions with parent/child
+//! nesting tracked per thread.
+//!
+//! A [`Tracer`] hands out [`SpanGuard`]s; opening a guard pushes the
+//! span onto the current thread's stack (so spans opened underneath it
+//! become its children) and dropping it records a [`SpanRecord`] with a
+//! monotonic start offset and wall duration. Stacks are per thread —
+//! spans opened on different threads never nest into each other, which
+//! is the honest answer for scoped worker pools.
+//!
+//! Recording is gated on [`Tracer::set_enabled`]: a disabled tracer
+//! hands out no-op guards whose open/close cost is one atomic load, so
+//! hot paths (per-sweep loops, kernel launches) can stay instrumented
+//! unconditionally.
+
+use crate::sync::lock_unpoisoned;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Spans kept per tracer before new ones are dropped (and counted in
+/// [`Tracer::dropped`]). Bounds memory for long-running processes that
+/// leave tracing enabled.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 20;
+
+/// One finished span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the tracer (1-based; ids are allocated in open
+    /// order).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for a root.
+    pub parent: u64,
+    /// Span name.
+    pub name: String,
+    /// Name of the thread the span ran on (thread-id string when the
+    /// thread is unnamed).
+    pub thread: String,
+    /// Monotonic start offset from the tracer's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall duration, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+// Each tracer gets a process-unique id so the per-thread span stack can
+// interleave guards from several tracers without cross-linking them.
+static NEXT_TRACER_ID: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    // (tracer id, span id) pairs, innermost last.
+    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A span collector. Cheap to share behind `&'static` or `Arc`.
+pub struct Tracer {
+    tracer_id: usize,
+    epoch: Instant,
+    enabled: AtomicBool,
+    next_span_id: AtomicU64,
+    dropped: AtomicU64,
+    capacity: usize,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A fresh, **enabled** tracer (unit tests and scoped collection).
+    pub fn new() -> Tracer {
+        Tracer::with_enabled(true)
+    }
+
+    /// A fresh, **disabled** tracer — the state the process-global
+    /// tracer starts in, so always-on instrumentation costs one atomic
+    /// load until somebody opts in.
+    pub fn disabled() -> Tracer {
+        Tracer::with_enabled(false)
+    }
+
+    fn with_enabled(enabled: bool) -> Tracer {
+        Tracer {
+            tracer_id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(enabled),
+            next_span_id: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            capacity: DEFAULT_SPAN_CAPACITY,
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Turn recording on or off. Guards opened while disabled record
+    /// nothing even if the tracer is re-enabled before they close.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether spans are currently being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Open a span. Drop the guard to record it.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let tracer = mosaic_telemetry::Tracer::new();
+    /// {
+    ///     let _outer = tracer.span("outer");
+    ///     let _inner = tracer.span("inner");
+    /// } // recorded on drop, innermost first
+    /// let spans = tracer.snapshot();
+    /// assert_eq!(spans.len(), 2);
+    /// assert_eq!(spans[0].name, "inner");
+    /// assert_eq!(spans[0].parent, spans[1].id);
+    /// ```
+    #[must_use = "the span is recorded when the guard is dropped"]
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard {
+                tracer: None,
+                id: 0,
+                parent: 0,
+                name: String::new(),
+                start: self.epoch,
+                _not_send: PhantomData,
+            };
+        }
+        let id = self.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == self.tracer_id)
+                .map_or(0, |&(_, id)| id);
+            stack.push((self.tracer_id, id));
+            parent
+        });
+        SpanGuard {
+            tracer: Some(self),
+            id,
+            parent,
+            name: name.to_string(),
+            start: Instant::now(),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Copy out all recorded spans, in completion order.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        lock_unpoisoned(&self.spans).clone()
+    }
+
+    /// Remove and return all recorded spans.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *lock_unpoisoned(&self.spans))
+    }
+
+    /// Discard all recorded spans and reset the dropped-span counter.
+    pub fn clear(&self) {
+        lock_unpoisoned(&self.spans).clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Spans discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, record: SpanRecord) {
+        let mut spans = lock_unpoisoned(&self.spans);
+        if spans.len() >= self.capacity {
+            drop(spans);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        spans.push(record);
+    }
+}
+
+/// RAII guard for an open span; records on drop. Not `Send` — a span
+/// must close on the thread that opened it, because nesting lives in a
+/// thread-local stack.
+pub struct SpanGuard<'a> {
+    tracer: Option<&'a Tracer>,
+    id: u64,
+    parent: u64,
+    name: String,
+    start: Instant,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard<'_> {
+    /// The span's id (0 when the tracer was disabled at open time).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(tracer) = self.tracer else {
+            return;
+        };
+        let wall_ns = self.start.elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards are RAII and !Send, so this thread's innermost
+            // entry for this tracer is ours.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(t, id)| t == tracer.tracer_id && id == self.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        let start_ns = self
+            .start
+            .duration_since(tracer.epoch)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        let thread = std::thread::current();
+        tracer.record(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            thread: thread
+                .name()
+                .map_or_else(|| format!("{:?}", thread.id()), str::to_string),
+            start_ns,
+            wall_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn nesting_links_parents_on_one_thread() {
+        let tracer = Tracer::new();
+        {
+            let _a = tracer.span("a");
+            {
+                let _b = tracer.span("b");
+                let _c = tracer.span("c");
+            }
+            let _d = tracer.span("d");
+        }
+        let spans = tracer.snapshot();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap().clone();
+        let (a, b, c, d) = (by_name("a"), by_name("b"), by_name("c"), by_name("d"));
+        assert_eq!(a.parent, 0);
+        assert_eq!(b.parent, a.id);
+        assert_eq!(c.parent, b.id);
+        assert_eq!(d.parent, a.id);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let tracer = Tracer::new();
+        {
+            let _root = tracer.span("root");
+            for _ in 0..3 {
+                let _child = tracer.span("child");
+            }
+        }
+        let spans = tracer.snapshot();
+        let root_id = spans.iter().find(|s| s.name == "root").unwrap().id;
+        let children: Vec<_> = spans.iter().filter(|s| s.name == "child").collect();
+        assert_eq!(children.len(), 3);
+        assert!(children.iter().all(|c| c.parent == root_id));
+    }
+
+    #[test]
+    fn wall_time_is_monotone_and_contains_children() {
+        let tracer = Tracer::new();
+        {
+            let _outer = tracer.span("outer");
+            let _inner = tracer.span("inner");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let spans = tracer.snapshot();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert!(outer.wall_ns >= inner.wall_ns);
+        assert!(inner.wall_ns >= 4_000_000, "slept 5ms inside the span");
+        assert!(outer.start_ns <= inner.start_ns);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        {
+            let guard = tracer.span("ignored");
+            assert_eq!(guard.id(), 0);
+        }
+        assert!(tracer.snapshot().is_empty());
+        tracer.set_enabled(true);
+        {
+            let _g = tracer.span("kept");
+        }
+        assert_eq!(tracer.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn spans_on_other_threads_are_roots() {
+        let tracer = Tracer::new();
+        let _outer = tracer.span("outer");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _worker = tracer.span("worker");
+            });
+        });
+        let spans = tracer.snapshot();
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_eq!(worker.parent, 0, "nesting is per-thread");
+    }
+
+    #[test]
+    fn two_tracers_do_not_cross_link() {
+        let t1 = Tracer::new();
+        let t2 = Tracer::new();
+        {
+            let _a = t1.span("a");
+            let _b = t2.span("b");
+            let _c = t1.span("c");
+        }
+        let spans1 = t1.snapshot();
+        let a = spans1.iter().find(|s| s.name == "a").unwrap();
+        let c = spans1.iter().find(|s| s.name == "c").unwrap();
+        assert_eq!(c.parent, a.id);
+        let spans2 = t2.snapshot();
+        assert_eq!(spans2.len(), 1);
+        assert_eq!(spans2[0].parent, 0, "t2's span must not nest under t1's");
+    }
+
+    #[test]
+    fn take_drains_and_clear_resets() {
+        let tracer = Tracer::new();
+        {
+            let _s = tracer.span("s");
+        }
+        assert_eq!(tracer.take().len(), 1);
+        assert!(tracer.snapshot().is_empty());
+        {
+            let _s = tracer.span("t");
+        }
+        tracer.clear();
+        assert!(tracer.snapshot().is_empty());
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn ids_are_unique_and_ordered() {
+        let tracer = Tracer::new();
+        for _ in 0..10 {
+            let _s = tracer.span("s");
+        }
+        let spans = tracer.snapshot();
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+    }
+}

@@ -1,0 +1,57 @@
+//! Poison-tolerant locking, shared by every crate in the workspace.
+//!
+//! `std::sync::Mutex` poisons itself when a holder panics. For the
+//! observability and service state guarded across this workspace
+//! (metric counters, LRU caches, job queues, launch statistics) the
+//! right recovery is always the same: **keep the inner state and carry
+//! on**. Every guarded update in those structures is a single-field
+//! write or an append that leaves the state well-formed even if the
+//! holder panicked mid-critical-section, so the data is never torn —
+//! at worst one in-progress update is missing, which observability
+//! consumers must tolerate anyway. Discarding the whole history (or
+//! propagating the panic into unrelated threads) would turn one failed
+//! job into silent loss of every counter recorded so far.
+//!
+//! All `PoisonError` handling in the workspace goes through
+//! [`lock_unpoisoned`] so that this policy is stated — and changed —
+//! in exactly one place.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock `mutex`, recovering the guard (and the untouched inner state)
+/// when a previous holder panicked.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Mutex;
+/// use mosaic_telemetry::sync::lock_unpoisoned;
+///
+/// let counter = Mutex::new(0u64);
+/// *lock_unpoisoned(&counter) += 1;
+/// assert_eq!(*lock_unpoisoned(&counter), 1);
+/// ```
+pub fn lock_unpoisoned<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_state_after_a_panicking_holder() {
+        let shared = std::sync::Arc::new(Mutex::new(vec![1, 2, 3]));
+        let clone = std::sync::Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(shared.lock().is_err(), "mutex must actually be poisoned");
+        assert_eq!(*lock_unpoisoned(&shared), vec![1, 2, 3]);
+        lock_unpoisoned(&shared).push(4);
+        assert_eq!(lock_unpoisoned(&shared).len(), 4);
+    }
+}

@@ -16,4 +16,25 @@ run cargo test -q --offline
 run cargo fmt --check
 run cargo clippy --offline --all-targets -- -D warnings
 
+# The telemetry crate's API examples are doctests; make sure they
+# actually run (a crate-level cfg or harness slip that ignores them
+# would otherwise pass silently).
+echo "==> cargo test --offline -p mosaic-telemetry --doc (no skips)"
+doc_out=$(cargo test --offline -p mosaic-telemetry --doc 2>&1) || {
+    echo "$doc_out"
+    exit 1
+}
+doc_summary=$(echo "$doc_out" | grep '^test result:' | tail -1)
+echo "$doc_summary"
+doc_passed=$(echo "$doc_summary" | sed -n 's/.* \([0-9][0-9]*\) passed.*/\1/p')
+doc_ignored=$(echo "$doc_summary" | sed -n 's/.* \([0-9][0-9]*\) ignored.*/\1/p')
+if [ "${doc_passed:-0}" -eq 0 ]; then
+    echo "error: no mosaic-telemetry doctests ran" >&2
+    exit 1
+fi
+if [ "${doc_ignored:-0}" -ne 0 ]; then
+    echo "error: $doc_ignored mosaic-telemetry doctest(s) skipped" >&2
+    exit 1
+fi
+
 echo "==> all checks passed"

@@ -116,6 +116,23 @@ fn repeated_input_hits_the_matrix_cache() {
     assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(2));
     assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
 
+    // The same observations surface as a queue-wait histogram in the
+    // JSON stats and as Prometheus text via the metrics op.
+    let wait = stats.get("queue").unwrap().get("wait_us").unwrap();
+    assert_eq!(wait.get("count").and_then(Json::as_u64), Some(3));
+    assert!(wait.get("p99").and_then(Json::as_u64).is_some());
+
+    let Response::Metrics { text } = client.metrics().unwrap() else {
+        panic!("expected metrics text");
+    };
+    assert!(text.contains("# TYPE service_cache_hits_total counter"));
+    assert!(text.contains("service_cache_hits_total 2\n"));
+    assert!(text.contains("service_cache_misses_total 1\n"));
+    assert!(text.contains("# TYPE service_queue_wait_us histogram"));
+    assert!(text.contains("service_queue_wait_us_bucket{le=\"+Inf\"} 3\n"));
+    assert!(text.contains("service_queue_wait_us_count 3\n"));
+    assert!(text.contains("service_jobs_completed_total 3\n"));
+
     client.shutdown().unwrap();
     server.join();
 }

@@ -1,0 +1,122 @@
+//! Acceptance test for `generate --trace-out`: the written JSON dump
+//! must contain a `generate` root span whose `step1`/`step2`/`step3`
+//! children sum to no more than the root's wall time, plus the pipeline
+//! metric summaries.
+//!
+//! The global tracer is process-wide state, so everything that enables
+//! it lives in this single test function (integration-test binaries run
+//! their tests in parallel threads).
+
+use mosaic_cli::commands::execute;
+use mosaic_cli::Command;
+use mosaic_image::io::save_pgm;
+use mosaic_image::synth::Scene;
+use photomosaic::Json;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mosaic_trace_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn write_scene(name: &str, scene: Scene, size: usize, seed: u64) -> String {
+    let path = tmp(name);
+    save_pgm(&path, &scene.render(size, seed)).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+fn span_field(span: &Json, key: &str) -> u64 {
+    span.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("span missing numeric {key:?}: {span:?}"))
+}
+
+#[test]
+fn trace_out_dump_nests_step_spans_under_generate() {
+    let input = write_scene("trace_in.pgm", Scene::Portrait, 64, 11);
+    let target = write_scene("trace_tg.pgm", Scene::Regatta, 64, 12);
+    let out = tmp("trace_out.pgm").to_string_lossy().into_owned();
+    let trace_path = tmp("trace.json").to_string_lossy().into_owned();
+
+    let config = photomosaic::MosaicBuilder::new()
+        .grid(8)
+        .backend(photomosaic::Backend::Serial)
+        .build();
+    let msg = execute(Command::Generate {
+        input,
+        target,
+        out,
+        config,
+        trace_out: Some(trace_path.clone()),
+    })
+    .unwrap();
+    assert!(msg.contains("wrote trace to"), "{msg}");
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let dump = Json::parse(&text).expect("trace dump parses with the workspace Json reader");
+
+    // Locate the generate root and its direct step children.
+    let spans = dump
+        .get("trace")
+        .and_then(|t| t.get("spans"))
+        .and_then(Json::as_arr)
+        .expect("trace.spans array");
+    let root = spans
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some("generate"))
+        .expect("a generate span");
+    let root_id = span_field(root, "id");
+    let root_wall = span_field(root, "wall_ns");
+
+    let mut step_sum = 0u64;
+    for step in ["step1", "step2", "step3"] {
+        let span = spans
+            .iter()
+            .find(|s| {
+                s.get("name").and_then(Json::as_str) == Some(step)
+                    && span_field(s, "parent") == root_id
+            })
+            .unwrap_or_else(|| panic!("no {step} span parented to generate"));
+        step_sum += span_field(span, "wall_ns");
+    }
+    assert!(
+        step_sum <= root_wall,
+        "steps sum to {step_sum} ns > generate wall {root_wall} ns"
+    );
+    assert!(step_sum > 0, "steps recorded no time at all");
+
+    // Sweep spans nest under the run too (serial local/parallel search).
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.get("name").and_then(Json::as_str) == Some("parallel_search_sweep")),
+        "expected at least one sweep span"
+    );
+
+    // The metrics half of the dump carries the pipeline histograms.
+    let histograms = dump
+        .get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .expect("metrics.histograms object");
+    for name in [
+        "pipeline_step1_us",
+        "pipeline_step2_us",
+        "pipeline_step3_us",
+    ] {
+        let summary = histograms
+            .get(name)
+            .unwrap_or_else(|| panic!("missing histogram {name}"));
+        assert!(
+            summary.get("count").and_then(Json::as_u64) >= Some(1),
+            "{name} never recorded"
+        );
+    }
+    assert!(
+        dump.get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("pipeline_runs_total"))
+            .and_then(Json::as_u64)
+            >= Some(1)
+    );
+}
