@@ -133,6 +133,7 @@ impl MaxMatching {
         let pr = self.flower[b]
             .iter()
             .position(|&x| x == xr)
+            // lint:allow(panic) get_pr is only called with xr taken from flower[b]
             .expect("xr is a member of blossom b");
         if pr % 2 == 1 {
             self.flower[b][1..].reverse();
@@ -443,6 +444,7 @@ pub fn min_weight_perfect_matching(weights: &[Vec<i64>]) -> (Vec<usize>, u64) {
                 .map(|(_, &w)| w)
         })
         .max()
+        // lint:allow(panic) the n < 2 cases returned earlier, so the off-diagonal iterator is non-empty
         .expect("n >= 2");
     // Flip to maximization with strictly positive weights: perfect
     // matchings all have n/2 edges, so the transform is exact, and

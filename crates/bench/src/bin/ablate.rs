@@ -15,6 +15,8 @@
 //!   buys;
 //! * **Workers** — simulated-device scaling with host worker count.
 
+#![forbid(unsafe_code)]
+
 use mosaic_assign::SolverKind;
 use mosaic_bench::{figure2_pair, fmt_secs, RunScale};
 use mosaic_edgecolor::SwapSchedule;

@@ -26,6 +26,8 @@
 //! histogram per case (every timed sample recorded in microseconds), so
 //! downstream tooling gets p50/p90/p99 without re-parsing the table.
 
+#![forbid(unsafe_code)]
+
 use mosaic_assign::{CostMatrix, SolverKind};
 use mosaic_bench::figure2_pair;
 use mosaic_edgecolor::SwapSchedule;

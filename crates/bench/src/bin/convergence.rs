@@ -9,6 +9,8 @@
 //! local search — and how close each sweep gets to the exact optimum —
 //! plus a CSV block for plotting.
 
+#![forbid(unsafe_code)]
+
 use mosaic_assign::SolverKind;
 use mosaic_bench::{figure2_pair, RunScale};
 use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};

@@ -12,6 +12,8 @@
 //!   (simulated GPU) at S = 16², 32², 64² (quick scale: 8², 16², 32²);
 //! * **Figure 8** — three more optimization examples at 32×32.
 
+#![forbid(unsafe_code)]
+
 use mosaic_assign::SolverKind;
 use mosaic_bench::{figure2_pair, out_dir, RunScale};
 use mosaic_edgecolor::complete_graph_coloring;

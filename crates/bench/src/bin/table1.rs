@@ -11,6 +11,8 @@
 //! row, with a small relative gap, and the two approximations close to
 //! each other.
 
+#![forbid(unsafe_code)]
+
 use mosaic_assign::SolverKind;
 use mosaic_bench::{figure2_pair, RunScale};
 use photomosaic::{generate, Algorithm, Backend, MosaicBuilder};

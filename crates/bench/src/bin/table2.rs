@@ -9,6 +9,8 @@
 //! predicted speedup, the number comparable to the paper's 58–92×).
 //! Timings are averaged over the four experiment pairs like the paper's.
 
+#![forbid(unsafe_code)]
+
 use mosaic_bench::{fmt_secs, fmt_speedup, timing_pairs, RunScale};
 use mosaic_gpu::{CostModel, DeviceSpec, GpuSim};
 use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};

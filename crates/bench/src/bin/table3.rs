@@ -13,6 +13,8 @@
 //! The modeled-K40 column applies the analytic device model to Algorithm
 //! 2's work profile.
 
+#![forbid(unsafe_code)]
+
 use mosaic_assign::SolverKind;
 use mosaic_bench::{fmt_secs, timing_pairs, RunScale};
 use mosaic_edgecolor::SwapSchedule;

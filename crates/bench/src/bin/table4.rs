@@ -15,6 +15,8 @@
 //! The modeled-K40 column applies the analytic device model to the same
 //! work profiles (comparable to the paper's 6.76–66.76× range).
 
+#![forbid(unsafe_code)]
+
 use mosaic_assign::SolverKind;
 use mosaic_bench::{fmt_secs, fmt_speedup, timing_pairs, RunScale};
 use photomosaic::{generate, Algorithm, Backend, MosaicBuilder};

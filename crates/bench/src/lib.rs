@@ -123,6 +123,7 @@ pub fn out_dir() -> std::path::PathBuf {
     let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("out");
+    // lint:allow(panic) bench harness setup; documented "# Panics" — an unwritable out/ should abort the run
     std::fs::create_dir_all(&dir).expect("failed to create out/");
     dir
 }

@@ -7,6 +7,7 @@
 
 use mosaic_assign::SolverKind;
 use mosaic_grid::TileMetric;
+use mosaic_service::protocol::ops;
 use photomosaic::{Algorithm, Backend, Preprocess};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -387,17 +388,18 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 retry_ms: flags.number("retry-ms", 50)? as u64,
             })
         }
-        "submit" => {
+        ops::SUBMIT => {
             let flags = split_flags(rest)?;
             let op = flags.optional("op").unwrap_or("job");
             let addr = flags.require("addr")?.to_string();
             match op {
-                "stats" | "metrics" | "ping" | "shutdown" => {
+                // The `--op` control words are the wire ops themselves.
+                ops::STATS | ops::METRICS | ops::PING | ops::SHUTDOWN => {
                     flags.check_known(&["addr", "op"])?;
                     let action = match op {
-                        "stats" => SubmitAction::Stats,
-                        "metrics" => SubmitAction::Metrics,
-                        "ping" => SubmitAction::Ping,
+                        ops::STATS => SubmitAction::Stats,
+                        ops::METRICS => SubmitAction::Metrics,
+                        ops::PING => SubmitAction::Ping,
                         _ => SubmitAction::Shutdown,
                     };
                     Ok(Command::Submit { addr, action })

@@ -4,7 +4,7 @@ use crate::args::{CliError, Command, ImageArg, SubmitAction};
 use mosaic_image::histogram::Histogram;
 use mosaic_image::io::{load_pgm, save_pgm};
 use mosaic_image::metrics;
-use mosaic_service::protocol::Response;
+use mosaic_service::protocol::{self, Response};
 use mosaic_service::{run_load, Client, Server, ServiceConfig};
 use mosaic_telemetry as telemetry;
 use photomosaic::database::{database_mosaic, SelectionPolicy, TileLibrary};
@@ -181,7 +181,7 @@ fn submit(addr: &str, action: SubmitAction) -> Result<String, CliError> {
         SubmitAction::Ping => {
             let mut client = Client::connect(addr).map_err(io_err)?;
             match client.ping().map_err(io_err)? {
-                Response::Pong => Ok("pong".to_string()),
+                Response::Pong => Ok(protocol::kinds::PONG.to_string()),
                 other => Err(unexpected(&other)),
             }
         }

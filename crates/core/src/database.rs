@@ -137,6 +137,7 @@ pub fn database_mosaic(
             .map(|v| {
                 (0..l)
                     .min_by_key(|&t| cost(t, v))
+                    // lint:allow(panic) l >= 1 was validated when the library was built
                     .expect("library non-empty")
             })
             .collect(),
@@ -175,12 +176,14 @@ pub fn database_mosaic(
 
     // Assemble and account.
     let m = library.tile_size();
+    // lint:allow(panic) target dimensions were validated against the layout earlier in this function
     let mut image = Image::black(target.width(), target.width()).expect("valid size");
     let mut total_error = 0u64;
     for (v, &t) in choices.iter().enumerate() {
         total_error += cost(t, v);
         let (x, y) = layout.tile_origin(v);
         mosaic_image::ops::blit(&mut image, library.tile(t), x, y)
+            // lint:allow(panic) tile_origin places every m-sized tile inside the layout image
             .expect("tile fits by construction");
         let _ = m;
     }

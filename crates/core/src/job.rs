@@ -333,10 +333,11 @@ impl Fnv1a {
 
 /// Encode bytes as lowercase hex.
 pub fn hex_encode(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
     let mut out = String::with_capacity(bytes.len() * 2);
     for &b in bytes {
-        out.push(char::from_digit(u32::from(b >> 4), 16).unwrap());
-        out.push(char::from_digit(u32::from(b & 0xF), 16).unwrap());
+        out.push(DIGITS[usize::from(b >> 4)] as char);
+        out.push(DIGITS[usize::from(b & 0xF)] as char);
     }
     out
 }

@@ -103,6 +103,7 @@ pub fn local_search_traced(matrix: &ErrorMatrix) -> (SearchOutcome, ConvergenceT
             break;
         }
     }
+    // lint:allow(panic) the loop above pushes a total before any break can run
     let total = *totals.last().expect("at least one sweep runs");
     let sweeps = totals.len();
     (

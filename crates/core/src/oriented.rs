@@ -196,6 +196,7 @@ pub fn generate_oriented(
     let s = layout.tile_count();
     let m = layout.tile_size();
     let mut image =
+        // lint:allow(panic) a constructed TileLayout always has a positive image_size
         Image::black(layout.image_size(), layout.image_size()).expect("layout size is valid");
     let mut placed = Vec::with_capacity(s);
     for (v, &u) in outcome.assignment.iter().enumerate() {
@@ -203,6 +204,7 @@ pub fn generate_oriented(
         placed.push(orientation);
         let tile = orientation.apply(&layout.tile_view(input, u).to_image());
         let (x, y) = layout.tile_origin(v);
+        // lint:allow(panic) tile_origin places every m-sized tile inside the layout image
         ops::blit(&mut image, &tile, x, y).expect("tile fits by construction");
         debug_assert_eq!(tile.dimensions(), (m, m));
     }

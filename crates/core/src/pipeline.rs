@@ -60,6 +60,7 @@ pub fn generate_returning_matrix(
     let (result, matrix) = generate_impl(input, target, config, None)?;
     Ok((
         result,
+        // lint:allow(panic) generate_impl returns Some(matrix) whenever its matrix argument is None
         matrix.expect("the matrix is always computed when none is supplied"),
     ))
 }

@@ -45,6 +45,7 @@ pub fn assemble<P: Pixel>(
     );
     let m = layout.tile_size();
     let mut out =
+        // lint:allow(panic) a constructed TileLayout always has a positive image_size
         Image::black(layout.image_size(), layout.image_size()).expect("layout size is valid");
     for (v, &u) in assignment.iter().enumerate() {
         let (dst_x, dst_y) = layout.tile_origin(v);

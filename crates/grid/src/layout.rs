@@ -207,6 +207,7 @@ impl TileLayout {
     pub fn tile_view<'a, P: Pixel>(&self, img: &'a Image<P>, index: usize) -> ImageView<'a, P> {
         let (x, y) = self.tile_origin(index);
         img.view(x, y, self.tile_size, self.tile_size)
+            // lint:allow(panic) documented "# Panics" contract: callers pass images matching the layout
             .expect("image must match the layout geometry")
     }
 

@@ -36,6 +36,7 @@ fn convolve_1d<P: Pixel>(src: &Image<P>, kernel: &[f64], horizontal: bool) -> Im
         }
         P::from_channels(&channels[..P::CHANNELS])
     })
+    // lint:allow(panic) from_fn over src's own dimensions cannot fail
     .expect("same dimensions as src")
 }
 
@@ -90,6 +91,7 @@ pub fn sobel_magnitude<P: Pixel>(src: &Image<P>) -> Image<Gray> {
         let mag = (gx * gx + gy * gy).sqrt() / (4.0 * 255.0 * std::f64::consts::SQRT_2) * 255.0;
         Gray(mag.round().clamp(0.0, 255.0) as u8)
     })
+    // lint:allow(panic) from_fn over src's own dimensions cannot fail
     .expect("same dimensions as src")
 }
 

@@ -134,6 +134,7 @@ impl Histogram {
             .iter()
             .copied()
             .find(|&c| c > 0)
+            // lint:allow(panic) the total == 0 case returned just above, and the cdf ends at total
             .expect("total > 0 implies a nonzero cdf entry");
         let denom = self.total - cdf_min;
         for (v, slot) in lut.iter_mut().enumerate() {

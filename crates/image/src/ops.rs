@@ -95,36 +95,42 @@ pub fn blit_region<P: Pixel>(
 /// Mirror horizontally (left-right).
 pub fn flip_horizontal<P: Pixel>(src: &Image<P>) -> Image<P> {
     let (w, h) = src.dimensions();
+    // lint:allow(panic) from_fn over src's own (or swapped) dimensions cannot fail
     Image::from_fn(w, h, |x, y| src.pixel(w - 1 - x, y)).expect("same dimensions as src")
 }
 
 /// Mirror vertically (top-bottom).
 pub fn flip_vertical<P: Pixel>(src: &Image<P>) -> Image<P> {
     let (w, h) = src.dimensions();
+    // lint:allow(panic) from_fn over src's own (or swapped) dimensions cannot fail
     Image::from_fn(w, h, |x, y| src.pixel(x, h - 1 - y)).expect("same dimensions as src")
 }
 
 /// Rotate 90° clockwise (width and height swap).
 pub fn rotate90<P: Pixel>(src: &Image<P>) -> Image<P> {
     let (w, h) = src.dimensions();
+    // lint:allow(panic) from_fn over src's own (or swapped) dimensions cannot fail
     Image::from_fn(h, w, |x, y| src.pixel(y, h - 1 - x)).expect("swapped dimensions are valid")
 }
 
 /// Rotate 180°.
 pub fn rotate180<P: Pixel>(src: &Image<P>) -> Image<P> {
     let (w, h) = src.dimensions();
+    // lint:allow(panic) from_fn over src's own (or swapped) dimensions cannot fail
     Image::from_fn(w, h, |x, y| src.pixel(w - 1 - x, h - 1 - y)).expect("same dimensions as src")
 }
 
 /// Rotate 270° clockwise (i.e. 90° counter-clockwise).
 pub fn rotate270<P: Pixel>(src: &Image<P>) -> Image<P> {
     let (w, h) = src.dimensions();
+    // lint:allow(panic) from_fn over src's own (or swapped) dimensions cannot fail
     Image::from_fn(h, w, |x, y| src.pixel(w - 1 - y, x)).expect("swapped dimensions are valid")
 }
 
 /// Transpose rows and columns.
 pub fn transpose<P: Pixel>(src: &Image<P>) -> Image<P> {
     let (w, h) = src.dimensions();
+    // lint:allow(panic) from_fn over src's own (or swapped) dimensions cannot fail
     Image::from_fn(h, w, |x, y| src.pixel(y, x)).expect("swapped dimensions are valid")
 }
 

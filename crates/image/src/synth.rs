@@ -104,6 +104,7 @@ pub fn plasma(size: usize, seed: u64, octaves: u32) -> GrayImage {
         .into_iter()
         .map(|v| Gray(clamp_u8(v / total_amp * 255.0)))
         .collect();
+    // lint:allow(panic) size > 0 was asserted at the top of this function
     Image::from_vec(size, size, data).expect("size validated above")
 }
 
@@ -152,6 +153,7 @@ pub fn regatta(size: usize, seed: u64) -> GrayImage {
         }
         Gray(clamp_u8(v))
     })
+    // lint:allow(panic) size > 0 was asserted at the top of this function
     .expect("size validated above")
 }
 
@@ -176,6 +178,7 @@ pub fn drapery(size: usize, seed: u64) -> GrayImage {
         let phase = (x as f64 * 0.35 + y as f64 * 0.1).sin();
         Gray(clamp_u8(base * 0.7 + 64.0 + 48.0 * phase))
     })
+    // lint:allow(panic) size > 0 was asserted at the top of this function
     .expect("size validated above")
 }
 
@@ -193,6 +196,7 @@ pub fn portrait(size: usize, seed: u64) -> GrayImage {
         let bg = 60.0 + 0.3 * f64::from(noise.pixel(x, y).0);
         Gray(clamp_u8(bg + face))
     })
+    // lint:allow(panic) size > 0 was asserted at the top of this function
     .expect("size validated above")
 }
 
@@ -212,6 +216,7 @@ pub fn checker(size: usize, cell: usize, seed: u64) -> GrayImage {
         let j = jitter[cy * cells + cx];
         Gray((base + j).clamp(0, 255) as u8)
     })
+    // lint:allow(panic) size > 0 was asserted at the top of this function
     .expect("size validated above")
 }
 
@@ -222,6 +227,7 @@ pub fn gradient(size: usize) -> GrayImage {
     Image::from_fn(size, size, |x, y| {
         Gray((((x + y) * 255) / (2 * size - 2).max(1)) as u8)
     })
+    // lint:allow(panic) size > 0 was asserted at the top of this function
     .expect("size validated above")
 }
 

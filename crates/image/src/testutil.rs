@@ -90,6 +90,7 @@ pub fn gray_image(rng: &mut XorShift, w: usize, h: usize) -> crate::Image<crate:
         h,
         rng.bytes(w * h).into_iter().map(crate::Gray).collect(),
     )
+    // lint:allow(panic) from_vec gets exactly w*h pixels built two lines up
     .expect("dimensions are positive")
 }
 
@@ -98,6 +99,7 @@ pub fn rgb_image(rng: &mut XorShift, w: usize, h: usize) -> crate::Image<crate::
     let pixels = (0..w * h)
         .map(|_| crate::Rgb::new(rng.next_u8(), rng.next_u8(), rng.next_u8()))
         .collect();
+    // lint:allow(panic) from_vec gets exactly w*h pixels built two lines up
     crate::Image::from_vec(w, h, pixels).expect("dimensions are positive")
 }
 

@@ -1,0 +1,502 @@
+//! A small Rust lexer: just enough to classify every byte of a source
+//! file as code, comment, doc comment, string/char literal, or
+//! `#[cfg(test)]` region, and to decode string-literal values.
+//!
+//! The rules in this crate are textual, so the classifier is what keeps
+//! them honest: a `.lock()` inside a comment, a doc example, a string,
+//! or a test module is not a finding. The lexer handles line and
+//! (nested) block comments, doc comments (`///`, `//!`, `/** */`,
+//! `/*! */`), cooked and raw strings with `b`/`c` prefixes, char
+//! literals vs. lifetimes, and raw identifiers.
+
+/// Byte-level classification of a source file.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// Plain code (identifiers, punctuation, whitespace).
+    Code,
+    /// A non-doc comment (`//`, `/* */`).
+    Comment,
+    /// A doc comment — excluded from every rule because its fenced
+    /// examples are doctests (test code).
+    DocComment,
+    /// A string or byte-string literal, including the quotes.
+    Str,
+    /// A char or byte literal, including the quotes.
+    Char,
+}
+
+/// One string literal with its decoded value.
+#[derive(Clone, Debug)]
+pub struct StrLit {
+    /// Byte offset of the opening quote (or prefix).
+    pub start: usize,
+    /// Byte offset one past the closing quote.
+    pub end: usize,
+    /// The decoded contents (escape sequences resolved best-effort).
+    pub value: String,
+}
+
+/// A comment's span and text (used for `SAFETY:` and suppression
+/// scanning).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Byte offset of the `//` or `/*`.
+    pub start: usize,
+    /// Byte offset one past the end.
+    pub end: usize,
+    /// The raw comment text, markers included.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Per-byte classification, same length as the source text.
+    pub classes: Vec<Class>,
+    /// `true` for bytes inside a `#[cfg(test)]` item.
+    pub test_mask: Vec<bool>,
+    /// Every string literal outside comments.
+    pub strings: Vec<StrLit>,
+    /// Every non-doc comment.
+    pub comments: Vec<Comment>,
+}
+
+impl Default for Class {
+    fn default() -> Self {
+        Class::Code
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Classify `text` byte by byte.
+pub fn lex(text: &str) -> Lexed {
+    let bytes = text.as_bytes();
+    let n = bytes.len();
+    let mut classes = vec![Class::Code; n];
+    let mut strings = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0;
+
+    while i < n {
+        let b = bytes[i];
+        if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+            let start = i;
+            // `///x` (not `////`) and `//!` are doc comments.
+            let doc = (bytes.get(i + 2) == Some(&b'/') && bytes.get(i + 3) != Some(&b'/'))
+                || bytes.get(i + 2) == Some(&b'!');
+            while i < n && bytes[i] != b'\n' {
+                i += 1;
+            }
+            let class = if doc {
+                Class::DocComment
+            } else {
+                Class::Comment
+            };
+            classes[start..i].fill(class);
+            if !doc {
+                comments.push(Comment {
+                    start,
+                    end: i,
+                    text: text[start..i].to_string(),
+                });
+            }
+            continue;
+        }
+        if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            let start = i;
+            let doc = (bytes.get(i + 2) == Some(&b'*') && bytes.get(i + 3) != Some(&b'/'))
+                || bytes.get(i + 2) == Some(&b'!');
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let class = if doc {
+                Class::DocComment
+            } else {
+                Class::Comment
+            };
+            classes[start..i].fill(class);
+            if !doc {
+                comments.push(Comment {
+                    start,
+                    end: i,
+                    text: text[start..i].to_string(),
+                });
+            }
+            continue;
+        }
+        if is_ident(b) && !b.is_ascii_digit() {
+            // Scan the whole identifier so `for`'s `r` or `crate`'s `c`
+            // is never mistaken for a raw-string prefix; then check
+            // whether the identifier *is* a literal prefix.
+            let start = i;
+            if bytes[i..].starts_with(b"r#") && i + 2 < n && is_ident(bytes[i + 2]) {
+                // Raw identifier `r#match`: skip it whole.
+                i += 2;
+                while i < n && is_ident(bytes[i]) {
+                    i += 1;
+                }
+                continue;
+            }
+            while i < n && is_ident(bytes[i]) {
+                i += 1;
+            }
+            let ident = &text[start..i];
+            let next = bytes.get(i).copied();
+            let raw = matches!(ident, "r" | "br" | "cr");
+            let cooked_prefix = matches!(ident, "b" | "c");
+            if raw && matches!(next, Some(b'"' | b'#')) {
+                if let Some(end) = scan_raw_string(bytes, i) {
+                    classes[start..end].fill(Class::Str);
+                    let hash = bytes[i..].iter().take_while(|&&c| c == b'#').count();
+                    let body = &text[i + hash + 1..end - 1 - hash];
+                    strings.push(StrLit {
+                        start,
+                        end,
+                        value: body.to_string(),
+                    });
+                    i = end;
+                }
+                continue;
+            }
+            if cooked_prefix && next == Some(b'"') {
+                let (end, value) = scan_cooked_string(text, i);
+                classes[start..end].fill(Class::Str);
+                strings.push(StrLit { start, end, value });
+                i = end;
+                continue;
+            }
+            if ident == "b" && next == Some(b'\'') {
+                let end = scan_char(bytes, i);
+                classes[start..end].fill(Class::Char);
+                i = end;
+            }
+            continue;
+        }
+        if b == b'"' {
+            let start = i;
+            let (end, value) = scan_cooked_string(text, i);
+            classes[start..end].fill(Class::Str);
+            strings.push(StrLit { start, end, value });
+            i = end;
+            continue;
+        }
+        if b == b'\'' {
+            // Lifetime (`'a`) or char literal (`'a'`, `'\n'`)?
+            let is_char = match bytes.get(i + 1) {
+                Some(b'\\') => true,
+                Some(&c) if is_ident(c) => {
+                    // `'x'` is a char; `'x` followed by anything else is
+                    // a lifetime (identifiers are longer than one byte
+                    // only for lifetimes).
+                    let mut j = i + 1;
+                    while j < n && is_ident(bytes[j]) {
+                        j += 1;
+                    }
+                    bytes.get(j) == Some(&b'\'') && j == i + 2
+                        || (bytes.get(j) == Some(&b'\'') && text[i + 1..j].chars().count() == 1)
+                }
+                Some(_) => true, // e.g. '(' — a char literal
+                None => false,
+            };
+            if is_char {
+                let start = i;
+                let end = scan_char(bytes, i);
+                classes[start..end].fill(Class::Char);
+                i = end;
+            } else {
+                i += 1; // lifetime tick
+            }
+            continue;
+        }
+        i += 1;
+    }
+
+    let test_mask = mark_cfg_test(text, &classes);
+    Lexed {
+        classes,
+        test_mask,
+        strings,
+        comments,
+    }
+}
+
+/// Scan a cooked (escaped) string starting at the opening quote; returns
+/// (one past the closing quote, decoded value).
+fn scan_cooked_string(text: &str, quote: usize) -> (usize, String) {
+    let bytes = text.as_bytes();
+    let n = bytes.len();
+    let mut i = quote + 1;
+    let mut value = String::new();
+    while i < n {
+        match bytes[i] {
+            b'"' => return (i + 1, value),
+            b'\\' => {
+                match bytes.get(i + 1) {
+                    Some(b'n') => value.push('\n'),
+                    Some(b't') => value.push('\t'),
+                    Some(b'r') => value.push('\r'),
+                    Some(b'0') => value.push('\0'),
+                    Some(b'\\') => value.push('\\'),
+                    Some(b'"') => value.push('"'),
+                    Some(b'\'') => value.push('\''),
+                    // \xNN, \u{...}, and line continuations: skip the
+                    // escape without decoding (rule comparisons only
+                    // need plain ASCII values).
+                    _ => {}
+                }
+                i += 2;
+                continue;
+            }
+            _ => {
+                // Copy one UTF-8 scalar.
+                let ch_len = text[i..].chars().next().map_or(1, char::len_utf8);
+                value.push_str(&text[i..i + ch_len]);
+                i += ch_len;
+            }
+        }
+    }
+    (n, value)
+}
+
+/// Scan a raw string; `i` points at the first `#` or the quote. Returns
+/// one past the end, or `None` if this is not actually a raw string.
+fn scan_raw_string(bytes: &[u8], i: usize) -> Option<usize> {
+    let n = bytes.len();
+    let mut j = i;
+    let mut hashes = 0usize;
+    while j < n && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    while j < n {
+        if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut closing = 0usize;
+            while k < n && bytes[k] == b'#' && closing < hashes {
+                closing += 1;
+                k += 1;
+            }
+            if closing == hashes {
+                return Some(k);
+            }
+        }
+        j += 1;
+    }
+    Some(n)
+}
+
+/// Scan a char/byte literal starting at the tick; returns one past the
+/// closing tick.
+fn scan_char(bytes: &[u8], tick: usize) -> usize {
+    let n = bytes.len();
+    let mut i = tick + 1;
+    while i < n {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Overlay: mark every byte belonging to a `#[cfg(test)]` item (the
+/// attribute, any further attributes, and the item through its closing
+/// brace or semicolon) as test code.
+fn mark_cfg_test(text: &str, classes: &[Class]) -> Vec<bool> {
+    let bytes = text.as_bytes();
+    let n = bytes.len();
+    let mut mask = vec![false; n];
+    let mut search = 0;
+    while let Some(rel) = text[search..].find("#[cfg(test)]") {
+        let attr_start = search + rel;
+        search = attr_start + 1;
+        if classes[attr_start] != Class::Code {
+            continue;
+        }
+        let mut i = attr_start + "#[cfg(test)]".len();
+        // Skip whitespace, comments, and further attributes up to the
+        // item itself.
+        loop {
+            while i < n && (bytes[i].is_ascii_whitespace() || classes[i] != Class::Code) {
+                i += 1;
+            }
+            if i < n && bytes[i] == b'#' {
+                let mut depth = 0usize;
+                while i < n {
+                    match bytes[i] {
+                        b'[' if classes[i] == Class::Code => depth += 1,
+                        b']' if classes[i] == Class::Code => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // Consume the item: to the matching `}` of its first brace, or
+        // to a top-level `;` if one comes first (e.g. a gated `use`).
+        let mut depth = 0usize;
+        let mut end = n;
+        while i < n {
+            if classes[i] == Class::Code {
+                match bytes[i] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            end = i + 1;
+                            break;
+                        }
+                    }
+                    b';' if depth == 0 => {
+                        end = i + 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        mask[attr_start..end].fill(true);
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes_at(lexed: &Lexed, text: &str, needle: &str) -> Class {
+        let at = text.find(needle).expect("needle present");
+        lexed.classes[at]
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let text = r#"
+fn f() {
+    // a comment with .lock() inside
+    let s = "a string with panic! inside";
+    let c = '"'; // char, not a string opener
+    let real = s.len();
+}
+"#;
+        let lexed = lex(text);
+        assert_eq!(classes_at(&lexed, text, ".lock()"), Class::Comment);
+        assert_eq!(classes_at(&lexed, text, "panic!"), Class::Str);
+        assert_eq!(classes_at(&lexed, text, "real"), Class::Code);
+        assert_eq!(lexed.strings.len(), 1);
+        assert_eq!(lexed.strings[0].value, "a string with panic! inside");
+    }
+
+    #[test]
+    fn doc_comments_are_distinct_from_plain_comments() {
+        let text = "/// doc with .unwrap()\n//! inner doc\n// plain\nfn f() {}\n";
+        let lexed = lex(text);
+        assert_eq!(classes_at(&lexed, text, "doc with"), Class::DocComment);
+        assert_eq!(classes_at(&lexed, text, "inner doc"), Class::DocComment);
+        assert_eq!(classes_at(&lexed, text, "plain"), Class::Comment);
+        assert_eq!(lexed.comments.len(), 1, "doc comments are not comments");
+    }
+
+    #[test]
+    fn raw_strings_and_prefixes() {
+        let text = r####"
+let a = r#"raw "with quotes" and panic!"#;
+let b = b"bytes";
+let c = br#"raw bytes"#;
+for x in 0..3 { let _ = x; }
+"####;
+        let lexed = lex(text);
+        assert_eq!(classes_at(&lexed, text, "panic!"), Class::Str);
+        assert_eq!(classes_at(&lexed, text, "bytes\""), Class::Str);
+        assert_eq!(classes_at(&lexed, text, "for x"), Class::Code);
+        let values: Vec<&str> = lexed.strings.iter().map(|s| s.value.as_str()).collect();
+        assert!(values.contains(&"raw \"with quotes\" and panic!"));
+        assert!(values.contains(&"bytes"));
+        assert!(values.contains(&"raw bytes"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let text = "fn f<'a>(x: &'a str) -> &'a str { let c = 'y'; let _ = c; x }\n";
+        let lexed = lex(text);
+        assert_eq!(classes_at(&lexed, text, "'y'"), Class::Char);
+        // The lifetime tick must not swallow the rest of the line.
+        assert_eq!(classes_at(&lexed, text, "str) ->"), Class::Code);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let text = r#"let s = "she said \"hi\" loudly"; let t = 1;"#;
+        let lexed = lex(text);
+        assert_eq!(lexed.strings.len(), 1);
+        assert_eq!(lexed.strings[0].value, "she said \"hi\" loudly");
+        assert_eq!(classes_at(&lexed, text, "let t"), Class::Code);
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let text = r#"
+fn library() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn inside() { let x: Option<u8> = None; x.unwrap(); }
+}
+
+fn after() {}
+"#;
+        let lexed = lex(text);
+        let unwrap_at = text.find(".unwrap()").expect("unwrap present");
+        assert!(lexed.test_mask[unwrap_at]);
+        let lib_at = text.find("fn library").expect("library present");
+        let after_at = text.find("fn after").expect("after present");
+        assert!(!lexed.test_mask[lib_at]);
+        assert!(!lexed.test_mask[after_at]);
+    }
+
+    #[test]
+    fn cfg_test_on_a_use_ends_at_the_semicolon() {
+        let text = "#[cfg(test)]\nuse std::sync::Arc;\nfn live() {}\n";
+        let lexed = lex(text);
+        let use_at = text.find("use std").expect("use present");
+        let live_at = text.find("fn live").expect("live present");
+        assert!(lexed.test_mask[use_at]);
+        assert!(!lexed.test_mask[live_at]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let text = "/* outer /* inner */ still comment */ fn code() {}\n";
+        let lexed = lex(text);
+        assert_eq!(classes_at(&lexed, text, "still comment"), Class::Comment);
+        assert_eq!(classes_at(&lexed, text, "fn code"), Class::Code);
+    }
+}

@@ -1,0 +1,77 @@
+//! `mosaic-lint` — std-only static analysis for the photomosaic
+//! workspace.
+//!
+//! The optimization pipeline's correctness claims (Theorem-1
+//! conflict-freedom, matching optimality) and the service's liveness
+//! rest on invariants that rustc does not check: every `Mutex`
+//! acquisition routes through the one poison-recovery policy, no
+//! user-reachable code path panics, wire words never fork between
+//! client and server, telemetry names stay stable for dashboards. This
+//! crate makes those conventions machine-checked, offline, with zero
+//! dependencies beyond the workspace's own `Json` writer.
+//!
+//! The rules (details in DESIGN.md §10):
+//!
+//! | rule | enforces |
+//! |---|---|
+//! | `lock-discipline` | no raw `.lock()` / inline poison recovery outside `telemetry::sync` |
+//! | `panic-free` | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`unreachable!` in library code |
+//! | `unsafe-hygiene` | `// SAFETY:` before `unsafe`; `#![forbid(unsafe_code)]` on unsafe-free targets |
+//! | `protocol-registry` | wire op/kind words defined once, in `protocol::{ops,kinds}` |
+//! | `telemetry-names` | snake_case names; DESIGN.md §9 names actually registered |
+//! | `suppression` | every `lint:allow` carries a known tag and a reason |
+//!
+//! Suppression syntax, trailing or on the line above the site:
+//!
+//! ```text
+//! // lint:allow(panic) index returned by position() on the same deque
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use mosaic_lint::{analyze_sources, Rule};
+//!
+//! let findings = analyze_sources(vec![(
+//!     "crates/demo/src/lib.rs".to_string(),
+//!     "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n".to_string(),
+//! )]);
+//! assert!(findings.iter().any(|f| f.rule == Rule::PanicFree));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod model;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use model::{Finding, Rule, SourceFile};
+pub use report::{baseline_json, render_text, report_json, Baseline};
+pub use walk::Workspace;
+
+use std::path::Path;
+
+/// Load the workspace rooted at `root` and run every rule.
+///
+/// # Errors
+/// Propagates I/O failures while reading source files.
+pub fn analyze(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let workspace = Workspace::load(root)?;
+    Ok(rules::run_all(&workspace))
+}
+
+/// Run every rule over in-memory sources (used by fixture tests; no
+/// DESIGN.md cross-checks since there is no root directory).
+pub fn analyze_sources(sources: Vec<(String, String)>) -> Vec<Finding> {
+    let workspace = Workspace {
+        root: std::path::PathBuf::from("/nonexistent-lint-root"),
+        files: sources
+            .into_iter()
+            .map(|(path, text)| SourceFile::new(path, text))
+            .collect(),
+    };
+    rules::run_all(&workspace)
+}

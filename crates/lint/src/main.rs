@@ -1,0 +1,126 @@
+//! The `mosaic-lint` binary: run the workspace rules, print findings,
+//! write `out/LINT.json`, and exit non-zero on any non-baselined
+//! finding.
+//!
+//! ```text
+//! mosaic-lint [--root DIR] [--json PATH] [--baseline PATH] [--write-baseline]
+//! ```
+//!
+//! * `--root` — workspace root to scan (default: current directory).
+//! * `--json` — report path (default: `<root>/out/LINT.json`).
+//! * `--baseline` — committed baseline of grandfathered findings
+//!   (default: `<root>/lint-baseline.json` when it exists).
+//! * `--write-baseline` — rewrite the baseline to absorb every current
+//!   finding, then exit 0.
+
+#![forbid(unsafe_code)]
+
+use mosaic_lint::{baseline_json, render_text, report_json, rules, Baseline, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        root: PathBuf::from("."),
+        json: None,
+        baseline: None,
+        write_baseline: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut path_value = |name: &str| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} needs a path argument"))
+        };
+        match arg.as_str() {
+            "--root" => options.root = path_value("--root")?,
+            "--json" => options.json = Some(path_value("--json")?),
+            "--baseline" => options.baseline = Some(path_value("--baseline")?),
+            "--write-baseline" => options.write_baseline = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn run(options: &Options) -> Result<bool, String> {
+    let workspace =
+        Workspace::load(&options.root).map_err(|e| format!("failed to load workspace: {e}"))?;
+    let findings = rules::run_all(&workspace);
+    let files_scanned = workspace.files.len();
+
+    let baseline_path = options
+        .baseline
+        .clone()
+        .unwrap_or_else(|| options.root.join("lint-baseline.json"));
+
+    if options.write_baseline {
+        let text = baseline_json(&findings).encode();
+        std::fs::write(&baseline_path, text + "\n")
+            .map_err(|e| format!("failed to write {}: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} ({} grandfathered finding(s))",
+            baseline_path.display(),
+            findings.len()
+        );
+        return Ok(true);
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text)
+            .map_err(|e| format!("malformed baseline {}: {e}", baseline_path.display()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("failed to read {}: {e}", baseline_path.display())),
+    };
+    let (fresh, grandfathered) = baseline.partition(findings);
+
+    let json_path = options
+        .json
+        .clone()
+        .unwrap_or_else(|| options.root.join("out").join("LINT.json"));
+    if let Some(parent) = json_path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("failed to create {}: {e}", parent.display()))?;
+    }
+    let report = report_json(&fresh, &grandfathered, files_scanned).encode();
+    std::fs::write(&json_path, report + "\n")
+        .map_err(|e| format!("failed to write {}: {e}", json_path.display()))?;
+
+    print!("{}", render_text(&fresh));
+    println!(
+        "mosaic-lint: {} file(s), {} finding(s), {} baselined — report at {}",
+        files_scanned,
+        fresh.len(),
+        grandfathered.len(),
+        json_path.display()
+    );
+    Ok(fresh.is_empty())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("mosaic-lint: {e}");
+            eprintln!("usage: mosaic-lint [--root DIR] [--json PATH] [--baseline PATH] [--write-baseline]");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&options) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("mosaic-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

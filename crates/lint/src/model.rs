@@ -1,0 +1,282 @@
+//! Source-file model and finding types shared by every rule.
+
+use crate::lexer::{self, Class, Lexed};
+
+/// The stable identifier of each rule, as printed in findings, used in
+/// `lint:allow(...)` suppressions, and matched against the baseline.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// R1 — every `Mutex` acquisition routes through `lock_unpoisoned`.
+    LockDiscipline,
+    /// R2 — no panicking constructs in non-test library code.
+    PanicFree,
+    /// R3 — `// SAFETY:` before `unsafe`, `#![forbid(unsafe_code)]`
+    /// on unsafe-free targets.
+    UnsafeHygiene,
+    /// R4 — protocol op/kind words live in one registry, no drift.
+    ProtocolRegistry,
+    /// R5 — telemetry names are snake_case and match DESIGN.md §9.
+    TelemetryNames,
+    /// A malformed `lint:allow` comment (missing reason).
+    Suppression,
+}
+
+impl Rule {
+    /// The name printed in reports and used in the baseline.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::PanicFree => "panic-free",
+            Rule::UnsafeHygiene => "unsafe-hygiene",
+            Rule::ProtocolRegistry => "protocol-registry",
+            Rule::TelemetryNames => "telemetry-names",
+            Rule::Suppression => "suppression",
+        }
+    }
+
+    /// The tag accepted inside `// lint:allow(<tag>) reason`.
+    pub fn allow_tag(self) -> &'static str {
+        match self {
+            Rule::LockDiscipline => "lock",
+            Rule::PanicFree => "panic",
+            Rule::UnsafeHygiene => "safety",
+            Rule::ProtocolRegistry => "protocol",
+            Rule::TelemetryNames => "telemetry",
+            Rule::Suppression => "suppression",
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The offending line, trimmed (also the baseline matching key).
+    pub snippet: String,
+}
+
+impl Finding {
+    /// Baseline matching key: stable across line-number drift.
+    pub fn key(&self) -> String {
+        format!("{}|{}|{}", self.rule.name(), self.file, self.snippet)
+    }
+}
+
+/// An inline `// lint:allow(tag) reason` suppression.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The rule tag inside the parentheses.
+    pub tag: String,
+    /// The stated justification (may be empty — that is itself a
+    /// finding).
+    pub reason: String,
+    /// The line the suppression applies to.
+    pub applies_to_line: usize,
+    /// The line the comment itself is on.
+    pub comment_line: usize,
+}
+
+/// A lexed source file ready for rule checks.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// The raw text.
+    pub text: String,
+    /// Lexer output.
+    pub lexed: Lexed,
+    /// Byte offset of each line start.
+    pub line_starts: Vec<usize>,
+    /// Parsed suppression comments.
+    pub allows: Vec<Allow>,
+    /// Whether the file is test code in its entirety (under a `tests/`
+    /// directory or a fixture tree).
+    pub is_test_file: bool,
+}
+
+impl SourceFile {
+    /// Lex and index one file.
+    pub fn new(rel_path: String, text: String) -> SourceFile {
+        let lexed = lexer::lex(&text);
+        let mut line_starts = vec![0usize];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let is_test_file = rel_path.split('/').any(|part| part == "tests");
+        let allows = parse_allows(&text, &lexed, &line_starts);
+        SourceFile {
+            rel_path,
+            text,
+            lexed,
+            line_starts,
+            allows,
+            is_test_file,
+        }
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// The trimmed text of 1-based line `line`.
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.text.len(), |&next| next);
+        self.text[start..end].trim_end_matches(['\n', '\r']).trim()
+    }
+
+    /// Whether the byte at `offset` is plain, non-test code.
+    pub fn is_live_code(&self, offset: usize) -> bool {
+        !self.is_test_file
+            && self.lexed.classes[offset] == Class::Code
+            && !self.lexed.test_mask[offset]
+    }
+
+    /// Whether the string literal starting at `offset` belongs to live
+    /// (non-test) code.
+    pub fn is_live_code_string(&self, offset: usize) -> bool {
+        !self.is_test_file && !self.lexed.test_mask[offset]
+    }
+
+    /// Find every occurrence of `needle` classified as live code, with
+    /// identifier boundaries on both sides of the match.
+    pub fn code_occurrences(&self, needle: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        let bytes = self.text.as_bytes();
+        let mut from = 0;
+        while let Some(rel) = self.text[from..].find(needle) {
+            let at = from + rel;
+            from = at + 1;
+            if !self.is_live_code(at) {
+                continue;
+            }
+            let needle_bytes = needle.as_bytes();
+            let before_ok = !ident_byte(needle_bytes[0]) || at == 0 || !ident_byte(bytes[at - 1]);
+            let after = at + needle.len();
+            let after_ok = !ident_byte(needle_bytes[needle.len() - 1])
+                || after >= bytes.len()
+                || !ident_byte(bytes[after]);
+            if before_ok && after_ok {
+                out.push(at);
+            }
+        }
+        out
+    }
+
+    /// An active suppression for `rule` on `line`, if any (only
+    /// suppressions with a non-empty reason count).
+    pub fn allowed(&self, rule: Rule, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.tag == rule.allow_tag() && a.applies_to_line == line && !a.reason.is_empty())
+    }
+
+    /// Build a finding anchored at byte `offset`.
+    pub fn finding(&self, rule: Rule, offset: usize, message: String) -> Finding {
+        let line = self.line_of(offset);
+        Finding {
+            rule,
+            file: self.rel_path.clone(),
+            line,
+            message,
+            snippet: self.line_text(line).to_string(),
+        }
+    }
+}
+
+fn ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Parse `lint:allow(tag) reason` comments. A trailing comment applies
+/// to its own line; a comment alone on a line applies to the next line.
+fn parse_allows(text: &str, lexed: &Lexed, line_starts: &[usize]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for comment in &lexed.comments {
+        let Some(rel) = comment.text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &comment.text[rel + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let tag = rest[..close].trim().to_string();
+        let reason = rest[close + 1..]
+            .trim()
+            .trim_end_matches("*/")
+            .trim()
+            .to_string();
+        let comment_line = match line_starts.binary_search(&comment.start) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        let line_start = line_starts[comment_line - 1];
+        let leading = &text[line_start..comment.start];
+        let trailing = !leading.trim().is_empty();
+        allows.push(Allow {
+            tag,
+            reason,
+            applies_to_line: if trailing {
+                comment_line
+            } else {
+                comment_line + 1
+            },
+            comment_line,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_and_preceding_suppressions_target_the_right_line() {
+        let text = "fn f() {\n    x.unwrap(); // lint:allow(panic) index is in range\n    // lint:allow(panic) checked above\n    y.unwrap();\n}\n";
+        let file = SourceFile::new("crates/demo/src/lib.rs".to_string(), text.to_string());
+        assert_eq!(file.allows.len(), 2);
+        assert!(file.allowed(Rule::PanicFree, 2), "trailing form");
+        assert!(file.allowed(Rule::PanicFree, 4), "preceding form");
+        assert!(!file.allowed(Rule::PanicFree, 3));
+        assert!(!file.allowed(Rule::LockDiscipline, 2), "tag must match");
+    }
+
+    #[test]
+    fn empty_reasons_do_not_suppress() {
+        let text = "fn f() {\n    x.unwrap(); // lint:allow(panic)\n}\n";
+        let file = SourceFile::new("crates/demo/src/lib.rs".to_string(), text.to_string());
+        assert!(!file.allowed(Rule::PanicFree, 2));
+    }
+
+    #[test]
+    fn code_occurrences_respect_boundaries_and_regions() {
+        let text = "fn f() {\n    a.lock(); // .lock() in comment\n    let s = \".lock()\";\n    b.lockstep();\n    let _ = s;\n}\n";
+        let file = SourceFile::new("crates/demo/src/lib.rs".to_string(), text.to_string());
+        let hits = file.code_occurrences(".lock");
+        assert_eq!(hits.len(), 1, "comment, string, and .lockstep excluded");
+        assert_eq!(file.line_of(hits[0]), 2);
+    }
+
+    #[test]
+    fn tests_directories_are_never_live_code() {
+        let text = "fn helper() { x.unwrap(); }\n";
+        let file = SourceFile::new("crates/demo/tests/util.rs".to_string(), text.to_string());
+        assert!(file.code_occurrences(".unwrap").is_empty());
+    }
+}

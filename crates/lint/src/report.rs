@@ -1,0 +1,207 @@
+//! Rendering findings (human text + JSON via the workspace's own
+//! [`Json`] writer) and the committed-baseline mechanism for
+//! grandfathered findings.
+
+use crate::model::Finding;
+use photomosaic::Json;
+
+/// Counts of entries allowed per baseline key (a multiset: two
+/// identical grandfathered findings need two baseline entries).
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: Vec<(String, usize)>,
+}
+
+impl Baseline {
+    /// Parse the baseline JSON: `{"findings": [{"rule","file","snippet"}]}`.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed entry.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = Json::parse(text).map_err(|e| e.to_string())?;
+        let findings = value
+            .get("findings")
+            .and_then(Json::as_arr)
+            .ok_or("baseline needs a \"findings\" array")?;
+        let mut baseline = Baseline::default();
+        for entry in findings {
+            let field = |name: &str| -> Result<&str, String> {
+                entry
+                    .get(name)
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("baseline entry needs a {name:?} string"))
+            };
+            let key = format!(
+                "{}|{}|{}",
+                field("rule")?,
+                field("file")?,
+                field("snippet")?
+            );
+            baseline.add(key);
+        }
+        Ok(baseline)
+    }
+
+    fn add(&mut self, key: String) {
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, count)) => *count += 1,
+            None => self.entries.push((key, 1)),
+        }
+    }
+
+    /// Split `findings` into (new, baselined). Each baseline entry
+    /// absorbs at most one finding with the same key.
+    pub fn partition(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let mut remaining: Vec<(String, usize)> = self.entries.clone();
+        let mut fresh = Vec::new();
+        let mut grandfathered = Vec::new();
+        for finding in findings {
+            let key = finding.key();
+            match remaining.iter_mut().find(|(k, n)| *k == key && *n > 0) {
+                Some((_, n)) => {
+                    *n -= 1;
+                    grandfathered.push(finding);
+                }
+                None => fresh.push(finding),
+            }
+        }
+        (fresh, grandfathered)
+    }
+}
+
+/// Serialize findings (and scan metadata) as the `out/LINT.json` report.
+pub fn report_json(fresh: &[Finding], grandfathered: &[Finding], files_scanned: usize) -> Json {
+    let entry = |f: &Finding| {
+        Json::obj([
+            ("rule", Json::from(f.rule.name())),
+            ("file", Json::from(f.file.as_str())),
+            ("line", Json::from(f.line)),
+            ("message", Json::from(f.message.as_str())),
+            ("snippet", Json::from(f.snippet.as_str())),
+        ])
+    };
+    Json::obj([
+        ("version", Json::from(1u64)),
+        (
+            "summary",
+            Json::obj([
+                ("files_scanned", Json::from(files_scanned)),
+                ("findings", Json::from(fresh.len())),
+                ("baselined", Json::from(grandfathered.len())),
+            ]),
+        ),
+        ("findings", Json::Arr(fresh.iter().map(entry).collect())),
+        (
+            "baselined",
+            Json::Arr(grandfathered.iter().map(entry).collect()),
+        ),
+    ])
+}
+
+/// Serialize findings in the committed-baseline shape, for
+/// `--write-baseline`.
+pub fn baseline_json(findings: &[Finding]) -> Json {
+    Json::obj([(
+        "findings",
+        Json::Arr(
+            findings
+                .iter()
+                .map(|f| {
+                    Json::obj([
+                        ("rule", Json::from(f.rule.name())),
+                        ("file", Json::from(f.file.as_str())),
+                        ("snippet", Json::from(f.snippet.as_str())),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// One human-readable line per finding.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            f.file,
+            f.line,
+            f.rule.name(),
+            f.message,
+            f.snippet
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Rule;
+
+    fn finding(rule: Rule, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 7,
+            message: "msg".to_string(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn baseline_absorbs_matching_findings_once_each() {
+        let baseline = Baseline::parse(
+            r#"{"findings":[
+                {"rule":"panic-free","file":"a.rs","snippet":"x.unwrap()"},
+                {"rule":"panic-free","file":"a.rs","snippet":"x.unwrap()"}
+            ]}"#,
+        )
+        .expect("valid baseline");
+        let findings = vec![
+            finding(Rule::PanicFree, "a.rs", "x.unwrap()"),
+            finding(Rule::PanicFree, "a.rs", "x.unwrap()"),
+            finding(Rule::PanicFree, "a.rs", "x.unwrap()"),
+            finding(Rule::LockDiscipline, "a.rs", "x.unwrap()"),
+        ];
+        let (fresh, grandfathered) = baseline.partition(findings);
+        assert_eq!(grandfathered.len(), 2);
+        assert_eq!(fresh.len(), 2, "third copy and other rule are fresh");
+    }
+
+    #[test]
+    fn malformed_baselines_are_errors_not_panics() {
+        assert!(Baseline::parse("{nope").is_err());
+        assert!(Baseline::parse(r#"{"findings": 3}"#).is_err());
+        assert!(Baseline::parse(r#"{"findings": [{"rule": 1}]}"#).is_err());
+    }
+
+    #[test]
+    fn report_roundtrips_through_the_workspace_json_reader() {
+        let fresh = vec![finding(Rule::PanicFree, "a.rs", "snippet \"quoted\"")];
+        let text = report_json(&fresh, &[], 42).encode();
+        let back = Json::parse(&text).expect("report parses");
+        assert_eq!(
+            back.get("summary")
+                .and_then(|s| s.get("files_scanned"))
+                .and_then(Json::as_u64),
+            Some(42)
+        );
+        let entries = back.get("findings").and_then(Json::as_arr).expect("array");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].get("snippet").and_then(Json::as_str),
+            Some("snippet \"quoted\"")
+        );
+    }
+
+    #[test]
+    fn baseline_json_feeds_back_into_parse() {
+        let findings = vec![finding(Rule::UnsafeHygiene, "b.rs", "unsafe { }")];
+        let text = baseline_json(&findings).encode();
+        let baseline = Baseline::parse(&text).expect("roundtrip");
+        let (fresh, grandfathered) = baseline.partition(findings);
+        assert!(fresh.is_empty());
+        assert_eq!(grandfathered.len(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! R1 — lock discipline: every `Mutex` acquisition routes through
+//! `mosaic_telemetry::sync::lock_unpoisoned`, the one place the
+//! workspace's poison-recovery policy lives.
+//!
+//! Flagged:
+//! * `.lock()` calls anywhere outside `crates/telemetry/src/sync.rs`,
+//!   unless the receiver is `self` and the file defines a `fn lock`
+//!   helper that itself delegates to `lock_unpoisoned` (the pattern used
+//!   by `MatrixCache` and `JobQueue`);
+//! * direct `PoisonError::into_inner` recovery outside `sync.rs` — an
+//!   inline copy of the policy that would drift silently. The one
+//!   legitimate site (`Condvar::wait`, which re-acquires its mutex
+//!   internally and cannot call the helper) carries a
+//!   `lint:allow(lock)` justification.
+
+use crate::model::{Finding, Rule, SourceFile};
+use crate::walk::Workspace;
+
+/// The single file allowed to touch `Mutex::lock` directly.
+const POLICY_HOME: &str = "crates/telemetry/src/sync.rs";
+
+/// Run the rule.
+pub fn check(workspace: &Workspace, findings: &mut Vec<Finding>) {
+    for file in &workspace.files {
+        if file.rel_path == POLICY_HOME {
+            continue;
+        }
+        let has_delegating_helper = defines_delegating_lock_helper(file);
+        for at in file.code_occurrences(".lock") {
+            if !call_follows(file, at + ".lock".len()) {
+                continue;
+            }
+            let line = file.line_of(at);
+            if file.allowed(Rule::LockDiscipline, line) {
+                continue;
+            }
+            if has_delegating_helper && receiver_is_self(file, at) {
+                continue;
+            }
+            findings.push(
+                file.finding(
+                    Rule::LockDiscipline,
+                    at,
+                    "raw .lock() call; route Mutex acquisition through \
+                 mosaic_telemetry::lock_unpoisoned (workspace poison policy)"
+                        .to_string(),
+                ),
+            );
+        }
+        for at in file.code_occurrences("PoisonError::into_inner") {
+            let line = file.line_of(at);
+            if file.allowed(Rule::LockDiscipline, line) {
+                continue;
+            }
+            findings.push(
+                file.finding(
+                    Rule::LockDiscipline,
+                    at,
+                    "inline PoisonError recovery duplicates the lock_unpoisoned policy; \
+                 call the helper, or justify with lint:allow(lock) where it cannot apply"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// Does `fn lock` in this file delegate to `lock_unpoisoned`? Looks at
+/// the text between the definition and its function's end (approximated
+/// by the next `fn ` or end of file).
+fn defines_delegating_lock_helper(file: &SourceFile) -> bool {
+    file.code_occurrences("fn lock").iter().any(|&def| {
+        let tail = &file.text[def..];
+        let end = tail[3..].find("fn ").map_or(tail.len(), |i| i + 3);
+        tail[..end].contains("lock_unpoisoned")
+    })
+}
+
+/// Is the character after the method name (skipping whitespace) an
+/// opening parenthesis with no arguments — i.e. an acquisition call?
+fn call_follows(file: &SourceFile, after: usize) -> bool {
+    let rest = file.text[after..].trim_start();
+    rest.starts_with('(')
+}
+
+/// Does the receiver expression before `.lock` end in `self`?
+fn receiver_is_self(file: &SourceFile, dot_at: usize) -> bool {
+    let before = file.text[..dot_at].trim_end();
+    before.ends_with("self")
+        && !before[..before.len() - "self".len()]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+    use crate::walk::Workspace;
+
+    fn workspace_of(rel_path: &str, text: &str) -> Workspace {
+        Workspace {
+            root: std::path::PathBuf::from("."),
+            files: vec![SourceFile::new(rel_path.to_string(), text.to_string())],
+        }
+    }
+
+    #[test]
+    fn raw_lock_is_flagged() {
+        let ws = workspace_of(
+            "crates/demo/src/lib.rs",
+            "fn f(m: &std::sync::Mutex<u8>) { let _g = m.lock().unwrap(); }\n",
+        );
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::LockDiscipline);
+    }
+
+    #[test]
+    fn self_lock_with_delegating_helper_is_allowed() {
+        let text = "
+struct C { inner: std::sync::Mutex<u8> }
+impl C {
+    fn get(&self) -> u8 { *self.lock() }
+    fn lock(&self) -> std::sync::MutexGuard<'_, u8> {
+        mosaic_telemetry::lock_unpoisoned(&self.inner)
+    }
+}
+";
+        let ws = workspace_of("crates/demo/src/cache.rs", text);
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn self_lock_without_delegation_is_flagged() {
+        let text = "
+struct C { inner: std::sync::Mutex<u8> }
+impl C {
+    fn get(&self) -> u8 { *self.lock().unwrap() }
+    fn lock(&self) -> std::sync::LockResult<std::sync::MutexGuard<'_, u8>> {
+        self.inner.lock()
+    }
+}
+";
+        let ws = workspace_of("crates/demo/src/cache.rs", text);
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        // Both the helper body's raw `self.inner.lock()` and the
+        // non-delegating `self.lock()` call are findings.
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn policy_home_is_exempt() {
+        let ws = workspace_of(
+            "crates/telemetry/src/sync.rs",
+            "pub fn lock_unpoisoned() { m.lock().unwrap_or_else(PoisonError::into_inner); }\n",
+        );
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn inline_poison_recovery_needs_a_justification() {
+        let bare = "fn f() { g.wait(i).unwrap_or_else(PoisonError::into_inner); }\n";
+        let ws = workspace_of("crates/demo/src/queue.rs", bare);
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert_eq!(findings.len(), 1);
+
+        let justified = "fn f() {\n    // lint:allow(lock) Condvar::wait re-acquires internally\n    g.wait(i).unwrap_or_else(PoisonError::into_inner);\n}\n";
+        let ws = workspace_of("crates/demo/src/queue.rs", justified);
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,63 @@
+//! The rule engine: each rule walks the loaded [`Workspace`] and emits
+//! [`Finding`]s. See DESIGN.md §10 for the rule catalogue.
+
+use crate::model::{Finding, Rule};
+use crate::walk::Workspace;
+
+mod locks;
+mod panics;
+mod protocol;
+mod telemetry;
+mod unsafety;
+
+/// Tags accepted inside `lint:allow(...)`.
+const KNOWN_TAGS: [&str; 5] = ["lock", "panic", "safety", "protocol", "telemetry"];
+
+/// Run every rule over the workspace; findings are sorted by
+/// (file, line, rule).
+pub fn run_all(workspace: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    locks::check(workspace, &mut findings);
+    panics::check(workspace, &mut findings);
+    unsafety::check(workspace, &mut findings);
+    protocol::check(workspace, &mut findings);
+    telemetry::check(workspace, &mut findings);
+    check_suppressions(workspace, &mut findings);
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.name()).cmp(&(b.file.as_str(), b.line, b.rule.name()))
+    });
+    findings
+}
+
+/// Every `lint:allow` must carry a known tag and a non-empty reason —
+/// a suppression is a justification, not an off switch.
+fn check_suppressions(workspace: &Workspace, findings: &mut Vec<Finding>) {
+    for file in &workspace.files {
+        if file.is_test_file {
+            continue; // no rule applies there, so its allows are inert
+        }
+        for allow in &file.allows {
+            let message = if !KNOWN_TAGS.contains(&allow.tag.as_str()) {
+                format!(
+                    "lint:allow({}) names an unknown rule tag (expected one of {})",
+                    allow.tag,
+                    KNOWN_TAGS.join(", ")
+                )
+            } else if allow.reason.is_empty() {
+                format!(
+                    "lint:allow({}) needs a stated reason after the closing parenthesis",
+                    allow.tag
+                )
+            } else {
+                continue;
+            };
+            findings.push(Finding {
+                rule: Rule::Suppression,
+                file: file.rel_path.clone(),
+                line: allow.comment_line,
+                message,
+                snippet: file.line_text(allow.comment_line).to_string(),
+            });
+        }
+    }
+}

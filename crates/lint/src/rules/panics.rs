@@ -1,0 +1,131 @@
+//! R2 — panic policy: non-test library code must not contain panicking
+//! constructs (`.unwrap()`, `.expect(...)`, `panic!`, `todo!`,
+//! `unimplemented!`, `unreachable!`).
+//!
+//! A server worker that panics on a malformed request, or a pipeline
+//! that aborts on a degenerate image, turns one bad input into a dead
+//! process; library code returns typed errors instead. Sites protected
+//! by a local invariant (an index just computed, a dimension already
+//! validated) stay, but each must carry an inline
+//! `// lint:allow(panic) <why the invariant holds>` justification.
+//!
+//! Binaries (`main.rs`, `src/bin/`, `examples/`) and test code are out
+//! of scope: they own their process and aborting with a message is the
+//! correct behavior there.
+
+use crate::model::{Finding, Rule};
+use crate::walk::{is_library_code, Workspace};
+
+/// Method calls that panic on the failure variant.
+const PANICKING_METHODS: [&str; 2] = [".unwrap", ".expect"];
+
+/// Macros that unconditionally panic when reached.
+const PANICKING_MACROS: [&str; 4] = ["panic!", "todo!", "unimplemented!", "unreachable!"];
+
+/// Run the rule.
+pub fn check(workspace: &Workspace, findings: &mut Vec<Finding>) {
+    for file in &workspace.files {
+        if !is_library_code(&file.rel_path) {
+            continue;
+        }
+        for method in PANICKING_METHODS {
+            for at in file.code_occurrences(method) {
+                // Require a call — `.unwrap_or_else` is excluded by the
+                // identifier boundary, field accesses by the paren.
+                if !file.text[at + method.len()..].trim_start().starts_with('(') {
+                    continue;
+                }
+                let line = file.line_of(at);
+                if file.allowed(Rule::PanicFree, line) {
+                    continue;
+                }
+                findings.push(file.finding(
+                    Rule::PanicFree,
+                    at,
+                    format!(
+                        "{method}() in library code can abort the process; return a typed \
+                         error, or justify the invariant with lint:allow(panic)"
+                    ),
+                ));
+            }
+        }
+        for mac in PANICKING_MACROS {
+            for at in file.code_occurrences(mac) {
+                let line = file.line_of(at);
+                if file.allowed(Rule::PanicFree, line) {
+                    continue;
+                }
+                findings.push(file.finding(
+                    Rule::PanicFree,
+                    at,
+                    format!(
+                        "{mac} in library code aborts the process; return a typed error, \
+                         or justify the invariant with lint:allow(panic)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn findings_for(rel_path: &str, text: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            root: std::path::PathBuf::from("."),
+            files: vec![SourceFile::new(rel_path.to_string(), text.to_string())],
+        };
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unwrap_and_macros_are_flagged_in_library_code() {
+        let text = "fn f(x: Option<u8>) -> u8 {\n    if x.is_none() { panic!(\"no\"); }\n    x.unwrap()\n}\n";
+        let findings = findings_for("crates/demo/src/lib.rs", text);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        let mut lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![2, 3], "panic! on line 2, .unwrap() on line 3");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let text = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        assert!(findings_for("crates/demo/src/lib.rs", text).is_empty());
+    }
+
+    #[test]
+    fn binaries_examples_and_tests_are_out_of_scope() {
+        let text = "fn main() { std::fs::read(\"x\").unwrap(); }\n";
+        assert!(findings_for("crates/demo/src/main.rs", text).is_empty());
+        assert!(findings_for("crates/demo/src/bin/tool.rs", text).is_empty());
+        assert!(findings_for("examples/demo.rs", text).is_empty());
+        assert!(findings_for("crates/demo/tests/it.rs", text).is_empty());
+    }
+
+    #[test]
+    fn justified_sites_are_suppressed() {
+        let text = "fn f(v: &[u8]) -> u8 {\n    // lint:allow(panic) v is non-empty: checked by the caller's constructor\n    *v.last().unwrap()\n}\n";
+        assert!(findings_for("crates/demo/src/lib.rs", text).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let text = "fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(findings_for("crates/demo/src/lib.rs", text).is_empty());
+    }
+
+    #[test]
+    fn expect_named_methods_on_other_types_still_flag() {
+        // `.expect(` is flagged regardless of receiver: parser-style
+        // `expect` methods should use a distinct name (e.g.
+        // `expect_byte`) so the policy stays textual and honest.
+        let text = "fn f(p: &mut P) { p.expect(b'[') ; }\n";
+        assert_eq!(findings_for("crates/demo/src/lib.rs", text).len(), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! R4 — protocol registry: the wire protocol's `op` and `kind` words
+//! are defined exactly once, in the `ops`/`kinds` modules of
+//! `crates/service/src/protocol.rs`. Every other appearance of those
+//! words as a string literal in protocol-adjacent code is drift waiting
+//! to happen — the encoder, the decoder, and the CLI must all name the
+//! constants, so a rename cannot silently fork the wire format.
+
+use crate::model::{Finding, Rule, SourceFile};
+use crate::walk::Workspace;
+
+/// Where the registry lives.
+const REGISTRY_FILE: &str = "crates/service/src/protocol.rs";
+
+/// Files that speak the protocol and are checked for literal drift.
+const PROTOCOL_FILES: [&str; 5] = [
+    REGISTRY_FILE,
+    "crates/service/src/server.rs",
+    "crates/service/src/client.rs",
+    "crates/cli/src/args.rs",
+    "crates/cli/src/commands.rs",
+];
+
+/// Run the rule. Skipped entirely when the tree has no protocol module
+/// (the lint also runs on fixture trees).
+pub fn check(workspace: &Workspace, findings: &mut Vec<Finding>) {
+    let Some(protocol) = workspace.file(REGISTRY_FILE) else {
+        return;
+    };
+
+    let mut registry_ranges = Vec::new();
+    let mut registry_values: Vec<(String, String)> = Vec::new(); // (module, value)
+    for module in ["ops", "kinds"] {
+        match module_block(protocol, module) {
+            Some((start, end)) => {
+                for lit in &protocol.lexed.strings {
+                    if lit.start >= start && lit.end <= end {
+                        registry_values.push((module.to_string(), lit.value.clone()));
+                    }
+                }
+                registry_ranges.push((start, end));
+            }
+            None => findings.push(Finding {
+                rule: Rule::ProtocolRegistry,
+                file: protocol.rel_path.clone(),
+                line: 1,
+                message: format!(
+                    "protocol.rs must define a `pub mod {module}` registry of wire words"
+                ),
+                snippet: String::from("(module layout)"),
+            }),
+        }
+    }
+
+    // Duplicate values within one module mean two constants encode the
+    // same wire word — one of them is a stale copy.
+    for (i, (module, value)) in registry_values.iter().enumerate() {
+        if registry_values[..i]
+            .iter()
+            .any(|(m, v)| m == module && v == value)
+        {
+            findings.push(Finding {
+                rule: Rule::ProtocolRegistry,
+                file: protocol.rel_path.clone(),
+                line: 1,
+                message: format!("duplicate wire word {value:?} in the `{module}` registry"),
+                snippet: format!("mod {module}"),
+            });
+        }
+    }
+
+    let words: Vec<&str> = registry_values.iter().map(|(_, v)| v.as_str()).collect();
+    for rel_path in PROTOCOL_FILES {
+        let Some(file) = workspace.file(rel_path) else {
+            continue;
+        };
+        for lit in &file.lexed.strings {
+            if !file.is_live_code_string(lit.start) {
+                continue;
+            }
+            if !words.contains(&lit.value.as_str()) {
+                continue;
+            }
+            if rel_path == REGISTRY_FILE
+                && registry_ranges
+                    .iter()
+                    .any(|&(s, e)| lit.start >= s && lit.end <= e)
+            {
+                continue; // the defining constant itself
+            }
+            let line = file.line_of(lit.start);
+            if file.allowed(Rule::ProtocolRegistry, line) {
+                continue;
+            }
+            findings.push(file.finding(
+                Rule::ProtocolRegistry,
+                lit.start,
+                format!(
+                    "wire word {:?} spelled as a literal; use the protocol::ops / \
+                     protocol::kinds constant so the registry stays the single source of truth",
+                    lit.value
+                ),
+            ));
+        }
+    }
+}
+
+/// Byte range of `pub mod <name> { ... }` in `file` (the braces'
+/// content inclusive of the delimiters).
+fn module_block(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    let needle = format!("mod {name}");
+    for at in file.code_occurrences(&needle) {
+        let bytes = file.text.as_bytes();
+        let mut i = at + needle.len();
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) != Some(&b'{') {
+            continue;
+        }
+        let mut depth = 0usize;
+        while i < bytes.len() {
+            if file.lexed.classes[i] == crate::lexer::Class::Code {
+                match bytes[i] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some((at, i + 1));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn workspace_of(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            root: std::path::PathBuf::from("."),
+            files: files
+                .iter()
+                .map(|(p, t)| SourceFile::new(p.to_string(), t.to_string()))
+                .collect(),
+        }
+    }
+
+    const REGISTRY: &str = "
+pub mod ops {
+    pub const SUBMIT: &str = \"submit\";
+    pub const PING: &str = \"ping\";
+}
+pub mod kinds {
+    pub const PONG: &str = \"pong\";
+}
+fn encode() -> &'static str { ops::SUBMIT }
+";
+
+    #[test]
+    fn literal_drift_outside_the_registry_is_flagged() {
+        let server = "fn dispatch(op: &str) -> bool { op == \"submit\" }\n";
+        let ws = workspace_of(&[
+            ("crates/service/src/protocol.rs", REGISTRY),
+            ("crates/service/src/server.rs", server),
+        ]);
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("submit"));
+        assert_eq!(findings[0].file, "crates/service/src/server.rs");
+    }
+
+    #[test]
+    fn constants_and_unrelated_literals_are_clean() {
+        let server = "fn greet() -> &'static str { \"hello\" }\n";
+        let ws = workspace_of(&[
+            ("crates/service/src/protocol.rs", REGISTRY),
+            ("crates/service/src/server.rs", server),
+        ]);
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_registry_module_is_a_finding() {
+        let ws = workspace_of(&[(
+            "crates/service/src/protocol.rs",
+            "pub mod ops { pub const PING: &str = \"ping\"; }\n",
+        )]);
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("kinds"));
+    }
+
+    #[test]
+    fn duplicate_wire_words_are_findings() {
+        let text = "
+pub mod ops {
+    pub const A: &str = \"ping\";
+    pub const B: &str = \"ping\";
+}
+pub mod kinds { pub const PONG: &str = \"pong\"; }
+";
+        let ws = workspace_of(&[("crates/service/src/protocol.rs", text)]);
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("duplicate"));
+    }
+
+    #[test]
+    fn drift_in_tests_and_other_files_is_ignored() {
+        let elsewhere = "fn f() -> &'static str { \"submit\" }\n";
+        let ws = workspace_of(&[
+            ("crates/service/src/protocol.rs", REGISTRY),
+            ("crates/core/src/job.rs", elsewhere),
+            ("crates/service/tests/it.rs", elsewhere),
+        ]);
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

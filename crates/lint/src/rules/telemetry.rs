@@ -1,0 +1,230 @@
+//! R5 — telemetry naming: span and metric names are snake_case, and
+//! every name the DESIGN.md §9 paper-quantity table promises is
+//! actually registered somewhere in the code. Dashboards and the bench
+//! comparison scripts key on those names; a silent rename breaks them
+//! without failing any test.
+
+use crate::model::{Finding, Rule};
+use crate::walk::Workspace;
+
+/// Telemetry registration calls whose first argument is a name.
+const NAMING_CALLS: [&str; 4] = [".span", ".counter", ".gauge", ".histogram"];
+
+/// Run the rule.
+pub fn check(workspace: &Workspace, findings: &mut Vec<Finding>) {
+    check_snake_case(workspace, findings);
+    check_design_names(workspace, findings);
+}
+
+/// Every literal name passed to a telemetry registration call must be
+/// snake_case: `[a-z][a-z0-9_]*`.
+fn check_snake_case(workspace: &Workspace, findings: &mut Vec<Finding>) {
+    for file in &workspace.files {
+        for call in NAMING_CALLS {
+            for at in file.code_occurrences(call) {
+                let after = at + call.len();
+                let rest = file.text[after..].trim_start();
+                if !rest.starts_with('(') {
+                    continue;
+                }
+                let paren_at = after + (file.text[after..].len() - rest.len());
+                let arg_at = skip_ws(&file.text, paren_at + 1);
+                let Some(lit) = file.lexed.strings.iter().find(|s| s.start == arg_at) else {
+                    continue; // dynamic name: not checkable textually
+                };
+                if is_snake_case(&lit.value) {
+                    continue;
+                }
+                let line = file.line_of(at);
+                if file.allowed(Rule::TelemetryNames, line) {
+                    continue;
+                }
+                findings.push(file.finding(
+                    Rule::TelemetryNames,
+                    at,
+                    format!(
+                        "telemetry name {:?} is not snake_case ([a-z][a-z0-9_]*)",
+                        lit.value
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Every backticked name in the DESIGN.md §9 paper-quantity table must
+/// appear as a string literal in live code somewhere in the workspace.
+fn check_design_names(workspace: &Workspace, findings: &mut Vec<Finding>) {
+    let design_path = workspace.root.join("DESIGN.md");
+    let Ok(design) = std::fs::read_to_string(&design_path) else {
+        return; // fixture trees have no DESIGN.md
+    };
+    let mut registered: Vec<&str> = Vec::new();
+    for file in &workspace.files {
+        for lit in &file.lexed.strings {
+            if file.is_live_code_string(lit.start) {
+                registered.push(&lit.value);
+            }
+        }
+    }
+    for (line_no, name) in section9_names(&design) {
+        if registered.iter().any(|&r| r == name) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: Rule::TelemetryNames,
+            file: "DESIGN.md".to_string(),
+            line: line_no,
+            message: format!(
+                "DESIGN.md §9 documents telemetry name {name:?}, but no code registers it"
+            ),
+            snippet: name.clone(),
+        });
+    }
+}
+
+/// Extract candidate telemetry names from the §9 table: backticked
+/// tokens on `|` rows, with one level of `{a,b,c}` alternation expanded
+/// (`pipeline_step{1,2,3}_us` → three names).
+fn section9_names(design: &str) -> Vec<(usize, String)> {
+    let mut names = Vec::new();
+    let mut in_section9 = false;
+    for (i, line) in design.lines().enumerate() {
+        if line.starts_with("## ") {
+            in_section9 = line.starts_with("## 9");
+            continue;
+        }
+        if !in_section9 || !line.trim_start().starts_with('|') {
+            continue;
+        }
+        for token in backticked(line) {
+            for expanded in expand_braces(&token) {
+                if looks_like_telemetry_name(&expanded) {
+                    names.push((i + 1, expanded));
+                }
+            }
+        }
+    }
+    names
+}
+
+fn backticked(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find('`') {
+        let Some(close) = rest[open + 1..].find('`') else {
+            break;
+        };
+        out.push(rest[open + 1..open + 1 + close].to_string());
+        rest = &rest[open + 1 + close + 1..];
+    }
+    out
+}
+
+fn expand_braces(token: &str) -> Vec<String> {
+    let (Some(open), Some(close)) = (token.find('{'), token.find('}')) else {
+        return vec![token.to_string()];
+    };
+    if close < open {
+        return vec![token.to_string()];
+    }
+    let (head, tail) = (&token[..open], &token[close + 1..]);
+    token[open + 1..close]
+        .split(',')
+        .map(|alt| format!("{head}{}{tail}", alt.trim()))
+        .collect()
+}
+
+fn looks_like_telemetry_name(s: &str) -> bool {
+    is_snake_case(s) && !s.is_empty()
+}
+
+fn is_snake_case(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars.next().is_some_and(|c| c.is_ascii_lowercase())
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn skip_ws(text: &str, mut i: usize) -> usize {
+    let bytes = text.as_bytes();
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    #[test]
+    fn non_snake_case_names_are_flagged() {
+        let text = "fn f(r: &Registry) {\n    r.counter(\"jobsTotal\").inc();\n    r.gauge(\"jobs_in_flight\").set(1);\n}\n";
+        let ws = Workspace {
+            root: std::path::PathBuf::from("/nonexistent"),
+            files: vec![SourceFile::new(
+                "crates/demo/src/lib.rs".to_string(),
+                text.to_string(),
+            )],
+        };
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("jobsTotal"));
+    }
+
+    #[test]
+    fn dynamic_names_are_skipped() {
+        let text = "fn f(r: &Registry, name: &str) { r.counter(name).inc(); }\n";
+        let ws = Workspace {
+            root: std::path::PathBuf::from("/nonexistent"),
+            files: vec![SourceFile::new(
+                "crates/demo/src/lib.rs".to_string(),
+                text.to_string(),
+            )],
+        };
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn brace_alternations_expand() {
+        assert_eq!(
+            expand_braces("pipeline_step{1,2,3}_us"),
+            vec![
+                "pipeline_step1_us",
+                "pipeline_step2_us",
+                "pipeline_step3_us"
+            ]
+        );
+        assert_eq!(
+            expand_braces("error_matrix_{serial,threaded}"),
+            vec!["error_matrix_serial", "error_matrix_threaded"]
+        );
+        assert_eq!(expand_braces("plain_name"), vec!["plain_name"]);
+    }
+
+    #[test]
+    fn section9_table_names_are_extracted() {
+        let design = "## 8. Other\n| `ignored_name` |\n## 9. Telemetry\nprose with `not_in_table`? no — prose lines are skipped\n| paper | metric |\n|---|---|\n| Table I | `pipeline_total_error` (gauge) |\n| Table II | `pipeline_step{1,2}_us` histograms |\n## 10. Next\n| `also_ignored` |\n";
+        let names: Vec<String> = section9_names(design).into_iter().map(|(_, n)| n).collect();
+        assert!(names.contains(&"pipeline_total_error".to_string()));
+        assert!(names.contains(&"pipeline_step1_us".to_string()));
+        assert!(names.contains(&"pipeline_step2_us".to_string()));
+        assert!(!names.contains(&"ignored_name".to_string()));
+        assert!(!names.contains(&"also_ignored".to_string()));
+        assert!(!names.contains(&"not_in_table".to_string()));
+    }
+
+    #[test]
+    fn snake_case_predicate() {
+        assert!(is_snake_case("service_jobs_total"));
+        assert!(is_snake_case("generate"));
+        assert!(!is_snake_case("Generate"));
+        assert!(!is_snake_case("jobs-total"));
+        assert!(!is_snake_case("1jobs"));
+        assert!(!is_snake_case(""));
+    }
+}

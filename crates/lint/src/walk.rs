@@ -1,0 +1,146 @@
+//! Workspace discovery: find every Rust source file and classify it.
+
+use crate::model::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Everything the rules need to see, loaded and lexed.
+pub struct Workspace {
+    /// The workspace root the paths are relative to.
+    pub root: PathBuf,
+    /// Every discovered `.rs` file, sorted by path.
+    pub files: Vec<SourceFile>,
+}
+
+/// The directories scanned under the root. `target/` and hidden
+/// directories are always skipped.
+const SCAN_DIRS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+impl Workspace {
+    /// Load every source file under `root`.
+    ///
+    /// # Errors
+    /// Propagates I/O failures other than missing scan directories.
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut paths = Vec::new();
+        for dir in SCAN_DIRS {
+            let base = root.join(dir);
+            if base.is_dir() {
+                collect_rs(&base, &mut paths)?;
+            }
+        }
+        paths.sort();
+        let mut files = Vec::new();
+        for path in paths {
+            let text = std::fs::read_to_string(&path)?;
+            files.push(SourceFile::new(rel_path(root, &path), text));
+        }
+        Ok(Workspace {
+            root: root.into(),
+            files,
+        })
+    }
+
+    /// The file at `rel_path`, if present.
+    pub fn file(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel_path == rel_path)
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Is this a library source file (panic policy applies)? Library code
+/// is everything under a `src/` that is not a binary entry point:
+/// binaries and examples own their process and may abort on startup
+/// errors; library code must return typed errors instead.
+pub fn is_library_code(rel_path: &str) -> bool {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let Some(src_at) = parts.iter().position(|&p| p == "src") else {
+        return false;
+    };
+    if parts.iter().any(|&p| p == "tests" || p == "examples") {
+        return false;
+    }
+    let under_src = &parts[src_at + 1..];
+    if under_src.contains(&"bin") {
+        return false;
+    }
+    under_src.last() != Some(&"main.rs")
+}
+
+/// Is this file the root of a compilation target (crate attribute
+/// checks apply)? Covers crate `lib.rs`/`main.rs`, `src/bin/*.rs`,
+/// files directly under the workspace `src/`, and `examples/*.rs`.
+pub fn is_target_root(rel_path: &str) -> bool {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    match parts.as_slice() {
+        ["src", _name] => true,
+        ["examples", _name] => true,
+        ["crates", _crate, "src", name] => *name == "lib.rs" || *name == "main.rs",
+        ["crates", _crate, "src", "bin", _name] => true,
+        ["crates", _crate, "examples", _name] => true,
+        _ => false,
+    }
+}
+
+/// The crate directory prefix (`crates/<name>`) for per-crate checks;
+/// the workspace root package maps to `src`.
+pub fn crate_prefix(rel_path: &str) -> Option<String> {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    match parts.as_slice() {
+        ["crates", name, ..] => Some(format!("crates/{name}")),
+        ["src", ..] | ["examples", ..] | ["tests", ..] => Some("src".to_string()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_code_classification() {
+        assert!(is_library_code("crates/core/src/json.rs"));
+        assert!(is_library_code("crates/image/src/io/png.rs"));
+        assert!(is_library_code("src/suite.rs"));
+        assert!(!is_library_code("crates/cli/src/main.rs"));
+        assert!(!is_library_code("crates/bench/src/bin/bench.rs"));
+        assert!(!is_library_code("crates/core/tests/properties.rs"));
+        assert!(!is_library_code("examples/quickstart.rs"));
+    }
+
+    #[test]
+    fn target_root_classification() {
+        assert!(is_target_root("crates/core/src/lib.rs"));
+        assert!(is_target_root("crates/cli/src/main.rs"));
+        assert!(is_target_root("crates/bench/src/bin/table1.rs"));
+        assert!(is_target_root("src/suite.rs"));
+        assert!(is_target_root("examples/quickstart.rs"));
+        assert!(!is_target_root("crates/core/src/json.rs"));
+        assert!(!is_target_root("crates/image/src/io/png.rs"));
+        assert!(!is_target_root("tests/end_to_end.rs"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Fixture-driven rule tests: each fixture file under `tests/fixtures/`
+//! is fed to the analyzer under a library-crate path, and the findings
+//! are asserted down to the exact rule, file, and line.
+
+use mosaic_lint::{analyze_sources, Finding, Rule};
+
+/// Path the fixtures are analyzed under: library code, not a target
+/// root, so only the rule under test fires (no crate-attribute checks).
+const LIB_PATH: &str = "crates/fixture/src/util.rs";
+
+fn analyze_fixture(text: &str) -> Vec<Finding> {
+    analyze_sources(vec![(LIB_PATH.to_string(), text.to_string())])
+}
+
+fn lines_of(findings: &[Finding], rule: Rule) -> Vec<usize> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .inspect(|f| assert_eq!(f.file, LIB_PATH))
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn lock_fixture_findings_are_exact() {
+    let findings = analyze_fixture(include_str!("fixtures/lock_violations.rs"));
+    assert_eq!(
+        lines_of(&findings, Rule::LockDiscipline),
+        vec![13, 19, 20],
+        "raw .lock() x2 plus one inline PoisonError recovery: {findings:?}"
+    );
+    // The .unwrap() chained onto the first raw lock is a separate
+    // panic-free finding; nothing else fires.
+    assert_eq!(lines_of(&findings, Rule::PanicFree), vec![13]);
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn panic_fixture_findings_are_exact() {
+    let findings = analyze_fixture(include_str!("fixtures/panic_violations.rs"));
+    assert_eq!(
+        lines_of(&findings, Rule::PanicFree),
+        vec![5, 7, 16],
+        "panic!, bare .unwrap(), and the reasonless allow's site: {findings:?}"
+    );
+    // The justified site (line 12) is suppressed; the reasonless
+    // lint:allow on line 16 is itself a finding.
+    assert_eq!(lines_of(&findings, Rule::Suppression), vec![16]);
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn unsafe_fixture_findings_are_exact() {
+    let findings = analyze_fixture(include_str!("fixtures/unsafe_violations.rs"));
+    assert_eq!(
+        lines_of(&findings, Rule::UnsafeHygiene),
+        vec![11],
+        "only the undocumented unsafe block: {findings:?}"
+    );
+    assert_eq!(findings.len(), 1, "{findings:?}");
+}
+
+#[test]
+fn fixtures_under_tests_are_invisible_to_the_real_scan() {
+    // The same fixture text analyzed under its actual tests/ path
+    // produces nothing: whole-file test exemption.
+    let findings = analyze_sources(vec![(
+        "crates/lint/tests/fixtures/lock_violations.rs".to_string(),
+        include_str!("fixtures/lock_violations.rs").to_string(),
+    )]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unknown_tags_are_flagged() {
+    let findings = analyze_fixture(
+        "pub fn f() {\n    // lint:allow(warp) tags must come from the rule set\n    let _ = 1;\n}\n",
+    );
+    assert_eq!(lines_of(&findings, Rule::Suppression), vec![2]);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+}

@@ -1,0 +1,22 @@
+//! Fixture: every way the lock-discipline rule fires.
+//! (Lives under tests/, so the real lint never scans it; the
+//! integration test feeds it in under a library path.)
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Counter {
+    inner: Mutex<u64>,
+}
+
+impl Counter {
+    pub fn raw_lock(&self) -> u64 {
+        *self.inner.lock().unwrap()
+    }
+
+    pub fn inline_recovery(&self) -> u64 {
+        *self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}

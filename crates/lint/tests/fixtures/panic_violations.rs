@@ -1,0 +1,26 @@
+//! Fixture: panic-free rule, including suppressions and test exemptions.
+
+pub fn flagged(x: Option<u8>) -> u8 {
+    if x.is_none() {
+        panic!("no value");
+    }
+    x.unwrap()
+}
+
+pub fn justified(v: &[u8]) -> u8 {
+    // lint:allow(panic) v is non-empty: the caller's constructor checked
+    *v.last().unwrap()
+}
+
+pub fn reasonless(v: &[u8]) -> u8 {
+    *v.first().unwrap() // lint:allow(panic)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        super::flagged(Some(1));
+        Option::<u8>::None.unwrap();
+    }
+}

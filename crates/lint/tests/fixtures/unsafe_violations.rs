@@ -1,0 +1,12 @@
+//! Fixture: unsafe-hygiene rule — one commented block, one bare block.
+
+/// Reads a byte through a raw pointer, properly documented.
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: p is non-null and valid for reads; the caller upholds this.
+    unsafe { *p }
+}
+
+/// Reads a byte through a raw pointer with no justification.
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,47 @@
+//! The lint's own acceptance test: the real workspace has zero
+//! non-baselined findings, and the JSON report round-trips through the
+//! workspace's own `Json` reader.
+
+use mosaic_lint::{analyze, report_json, Baseline};
+use photomosaic::Json;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = workspace_root();
+    let findings = analyze(&root).expect("workspace sources are readable");
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is committed at the workspace root");
+    let baseline = Baseline::parse(&baseline_text).expect("committed baseline parses");
+    let (fresh, _grandfathered) = baseline.partition(findings);
+    assert!(
+        fresh.is_empty(),
+        "non-baselined lint findings:\n{}",
+        mosaic_lint::render_text(&fresh)
+    );
+}
+
+#[test]
+fn the_report_parses_with_the_workspace_json_reader() {
+    let root = workspace_root();
+    let findings = analyze(&root).expect("workspace sources are readable");
+    let count = findings.len();
+    let report = report_json(&findings, &[], 0).encode();
+    let back = Json::parse(&report).expect("LINT.json shape parses");
+    assert_eq!(
+        back.get("summary")
+            .and_then(|s| s.get("findings"))
+            .and_then(Json::as_u64),
+        Some(count as u64)
+    );
+    assert_eq!(
+        back.get("findings")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(count)
+    );
+}

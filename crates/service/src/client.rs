@@ -65,21 +65,20 @@ impl Client {
         spec: &JobSpec,
         max_attempts: usize,
     ) -> std::io::Result<(Response, u64)> {
+        let attempts = max_attempts.max(1) as u64;
         let mut rejections = 0;
-        for attempt in 0..max_attempts.max(1) {
+        loop {
             match self.submit(spec)? {
                 Response::Rejected { retry_after_ms } => {
                     rejections += 1;
-                    if attempt + 1 < max_attempts {
-                        std::thread::sleep(Duration::from_millis(retry_after_ms));
-                    } else {
+                    if rejections >= attempts {
                         return Ok((Response::Rejected { retry_after_ms }, rejections));
                     }
+                    std::thread::sleep(Duration::from_millis(retry_after_ms));
                 }
                 other => return Ok((other, rejections)),
             }
         }
-        unreachable!("loop always returns");
     }
 
     /// Fetch aggregate metrics.
@@ -184,7 +183,9 @@ pub fn run_load(
             }));
         }
         for handle in handles {
-            let lane = handle.join().expect("load lane panicked")?;
+            let lane = handle
+                .join()
+                .map_err(|_| std::io::Error::other("load lane panicked"))??;
             summary.completed += lane.completed;
             summary.rejections += lane.rejections;
             summary.failed += lane.failed;

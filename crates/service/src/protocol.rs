@@ -36,6 +36,41 @@
 use photomosaic::{JobSpec, Json};
 use std::io::{BufRead, Write};
 
+/// The request `"op"` words. This module is the registry: every
+/// encoder, decoder, and dispatcher names these constants, so the wire
+/// vocabulary is defined exactly once (enforced by `mosaic-lint`'s
+/// `protocol-registry` rule).
+pub mod ops {
+    /// Run a job.
+    pub const SUBMIT: &str = "submit";
+    /// Aggregate service metrics as JSON.
+    pub const STATS: &str = "stats";
+    /// Service metrics as Prometheus-style text.
+    pub const METRICS: &str = "metrics";
+    /// Liveness check.
+    pub const PING: &str = "ping";
+    /// Graceful shutdown.
+    pub const SHUTDOWN: &str = "shutdown";
+}
+
+/// The response `"kind"` words — the response half of the registry.
+pub mod kinds {
+    /// A finished job.
+    pub const RESULT: &str = "result";
+    /// Queue full; retry later.
+    pub const REJECTED: &str = "rejected";
+    /// Metrics snapshot (JSON).
+    pub const STATS: &str = "stats";
+    /// Metrics exposition (text).
+    pub const METRICS: &str = "metrics";
+    /// Liveness reply.
+    pub const PONG: &str = "pong";
+    /// Shutdown acknowledged.
+    pub const SHUTTING_DOWN: &str = "shutting-down";
+    /// The request failed.
+    pub const ERROR: &str = "error";
+}
+
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -56,12 +91,12 @@ impl Request {
     pub fn to_json(&self) -> Json {
         match self {
             Request::Submit(spec) => {
-                Json::obj([("op", Json::from("submit")), ("job", spec.to_json())])
+                Json::obj([("op", Json::from(ops::SUBMIT)), ("job", spec.to_json())])
             }
-            Request::Stats => Json::obj([("op", Json::from("stats"))]),
-            Request::Metrics => Json::obj([("op", Json::from("metrics"))]),
-            Request::Ping => Json::obj([("op", Json::from("ping"))]),
-            Request::Shutdown => Json::obj([("op", Json::from("shutdown"))]),
+            Request::Stats => Json::obj([("op", Json::from(ops::STATS))]),
+            Request::Metrics => Json::obj([("op", Json::from(ops::METRICS))]),
+            Request::Ping => Json::obj([("op", Json::from(ops::PING))]),
+            Request::Shutdown => Json::obj([("op", Json::from(ops::SHUTDOWN))]),
         }
     }
 
@@ -75,14 +110,14 @@ impl Request {
             .and_then(Json::as_str)
             .ok_or("request needs an \"op\" string")?;
         match op {
-            "submit" => {
+            ops::SUBMIT => {
                 let job = value.get("job").ok_or("submit needs a \"job\"")?;
                 Ok(Request::Submit(Box::new(JobSpec::from_json(job)?)))
             }
-            "stats" => Ok(Request::Stats),
-            "metrics" => Ok(Request::Metrics),
-            "ping" => Ok(Request::Ping),
-            "shutdown" => Ok(Request::Shutdown),
+            ops::STATS => Ok(Request::Stats),
+            ops::METRICS => Ok(Request::Metrics),
+            ops::PING => Ok(Request::Ping),
+            ops::SHUTDOWN => Ok(Request::Shutdown),
             other => Err(format!("unknown op {other:?}")),
         }
     }
@@ -128,24 +163,26 @@ impl Response {
     /// Serialize for the wire.
     pub fn to_json(&self) -> Json {
         match self {
-            Response::Result { result } => {
-                Json::obj([("kind", Json::from("result")), ("result", result.clone())])
-            }
+            Response::Result { result } => Json::obj([
+                ("kind", Json::from(kinds::RESULT)),
+                (kinds::RESULT, result.clone()),
+            ]),
             Response::Rejected { retry_after_ms } => Json::obj([
-                ("kind", Json::from("rejected")),
+                ("kind", Json::from(kinds::REJECTED)),
                 ("retry_after_ms", Json::from(*retry_after_ms)),
             ]),
-            Response::Stats { stats } => {
-                Json::obj([("kind", Json::from("stats")), ("stats", stats.clone())])
-            }
+            Response::Stats { stats } => Json::obj([
+                ("kind", Json::from(kinds::STATS)),
+                (kinds::STATS, stats.clone()),
+            ]),
             Response::Metrics { text } => Json::obj([
-                ("kind", Json::from("metrics")),
+                ("kind", Json::from(kinds::METRICS)),
                 ("text", Json::from(text.as_str())),
             ]),
-            Response::Pong => Json::obj([("kind", Json::from("pong"))]),
-            Response::ShuttingDown => Json::obj([("kind", Json::from("shutting-down"))]),
+            Response::Pong => Json::obj([("kind", Json::from(kinds::PONG))]),
+            Response::ShuttingDown => Json::obj([("kind", Json::from(kinds::SHUTTING_DOWN))]),
             Response::Error { message } => Json::obj([
-                ("kind", Json::from("error")),
+                ("kind", Json::from(kinds::ERROR)),
                 ("message", Json::from(message.as_str())),
             ]),
         }
@@ -161,34 +198,34 @@ impl Response {
             .and_then(Json::as_str)
             .ok_or("response needs a \"kind\" string")?;
         match kind {
-            "result" => Ok(Response::Result {
+            kinds::RESULT => Ok(Response::Result {
                 result: value
-                    .get("result")
+                    .get(kinds::RESULT)
                     .cloned()
                     .ok_or("result response needs a \"result\"")?,
             }),
-            "rejected" => Ok(Response::Rejected {
+            kinds::REJECTED => Ok(Response::Rejected {
                 retry_after_ms: value
                     .get("retry_after_ms")
                     .and_then(Json::as_u64)
                     .ok_or("rejected response needs \"retry_after_ms\"")?,
             }),
-            "stats" => Ok(Response::Stats {
+            kinds::STATS => Ok(Response::Stats {
                 stats: value
-                    .get("stats")
+                    .get(kinds::STATS)
                     .cloned()
                     .ok_or("stats response needs \"stats\"")?,
             }),
-            "metrics" => Ok(Response::Metrics {
+            kinds::METRICS => Ok(Response::Metrics {
                 text: value
                     .get("text")
                     .and_then(Json::as_str)
                     .ok_or("metrics response needs \"text\"")?
                     .to_string(),
             }),
-            "pong" => Ok(Response::Pong),
-            "shutting-down" => Ok(Response::ShuttingDown),
-            "error" => Ok(Response::Error {
+            kinds::PONG => Ok(Response::Pong),
+            kinds::SHUTTING_DOWN => Ok(Response::ShuttingDown),
+            kinds::ERROR => Ok(Response::Error {
                 message: value
                     .get("message")
                     .and_then(Json::as_str)

@@ -98,6 +98,7 @@ impl<T> JobQueue<T> {
             inner = self
                 .available
                 .wait(inner)
+                // lint:allow(lock) Condvar::wait re-acquires internally; this is the same policy inlined
                 .unwrap_or_else(PoisonError::into_inner);
         }
     }

@@ -138,21 +138,37 @@ impl Server {
             config: config.clone(),
         });
 
-        let worker_handles = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("mosaic-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        // A failed spawn (thread exhaustion) must not leave earlier
+        // workers parked on the queue forever: close it and join them
+        // before surfacing the error.
+        let abort = |handles: Vec<JoinHandle<()>>, error: std::io::Error| {
+            shared.queue.close();
+            for handle in handles {
+                let _ = handle.join();
+            }
+            Err(error)
+        };
+
+        let mut worker_handles = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let worker_shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("mosaic-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+            {
+                Ok(handle) => worker_handles.push(handle),
+                Err(e) => return abort(worker_handles, e),
+            }
+        }
 
         let accept_shared = Arc::clone(&shared);
-        let accept_handle = std::thread::Builder::new()
+        let accept_handle = match std::thread::Builder::new()
             .name("mosaic-accept".to_string())
             .spawn(move || accept_loop(&listener, &accept_shared))
-            .expect("spawn accept thread");
+        {
+            Ok(handle) => handle,
+            Err(e) => return abort(worker_handles, e),
+        };
 
         Ok(Server {
             shared,

@@ -272,6 +272,7 @@ impl Registry {
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         match self.get_or_insert(name, || Metric::Counter(Arc::default())) {
             Metric::Counter(c) => c,
+            // lint:allow(panic) documented "# Panics": a kind mismatch is a caller schema bug
             other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
         }
     }
@@ -283,6 +284,7 @@ impl Registry {
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         match self.get_or_insert(name, || Metric::Gauge(Arc::default())) {
             Metric::Gauge(g) => g,
+            // lint:allow(panic) documented "# Panics": a kind mismatch is a caller schema bug
             other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
         }
     }
@@ -294,6 +296,7 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         match self.get_or_insert(name, || Metric::Histogram(Arc::default())) {
             Metric::Histogram(h) => h,
+            // lint:allow(panic) documented "# Panics": a kind mismatch is a caller schema bug
             other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
         }
     }

@@ -11,6 +11,8 @@
 //! the color pipeline is the same few calls with `Rgb` images. Writes
 //! `out/color_{input,target,mosaic}.ppm`.
 
+#![forbid(unsafe_code)]
+
 use mosaic_assign::SolverKind;
 use mosaic_grid::{assemble, build_error_matrix_threaded, TileLayout, TileMetric};
 use mosaic_image::io::save_ppm;

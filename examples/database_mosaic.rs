@@ -9,6 +9,8 @@
 //! reproduces a portrait target twice — once with unlimited repetition
 //! and once with a per-tile usage cap — and compares the errors.
 
+#![forbid(unsafe_code)]
+
 use mosaic_grid::TileMetric;
 use mosaic_image::io::save_pgm;
 use mosaic_image::synth::Scene;

@@ -9,6 +9,8 @@
 //! the analytic model's predicted Tesla K40 speedup next to them (the
 //! quantity comparable to the paper's Table IV).
 
+#![forbid(unsafe_code)]
+
 use photomosaic::{generate, Algorithm, Backend, MosaicBuilder};
 use photomosaic_suite::figure2_pair;
 

@@ -11,6 +11,8 @@
 //! repairs the quality while staying well below the O(S³) exact cost —
 //! the gap widens with S (see EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 use mosaic_assign::SolverKind;
 use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
 use mosaic_image::io::save_pgm;

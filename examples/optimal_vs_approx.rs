@@ -9,6 +9,8 @@
 //! local search (Algorithm 1) and the parallel local search (Algorithm 2)
 //! are run on the same image pair and their total errors compared.
 
+#![forbid(unsafe_code)]
+
 use mosaic_assign::SolverKind;
 use photomosaic::{generate, Algorithm, Backend, MosaicBuilder};
 use photomosaic_suite::figure2_pair;

@@ -11,6 +11,8 @@
 //! total error; the example prints by how much, and how often non-trivial
 //! orientations are actually chosen.
 
+#![forbid(unsafe_code)]
+
 use mosaic_assign::SolverKind;
 use mosaic_grid::{build_error_matrix, TileLayout, TileMetric};
 use mosaic_image::io::save_pgm;

@@ -9,6 +9,8 @@
 //! regatta-like target, using the parallel approximation algorithm on the
 //! simulated device. Writes `out/quickstart_{input,target,mosaic}.pgm`.
 
+#![forbid(unsafe_code)]
+
 use mosaic_image::io::save_pgm;
 use photomosaic::{generate, Algorithm, Backend, MosaicBuilder};
 use photomosaic_suite::{figure2_pair, out_dir};

@@ -10,6 +10,8 @@
 //! frame's search from the previous frame's assignment; the per-frame
 //! swap counts show the warm start paying off.
 
+#![forbid(unsafe_code)]
+
 use mosaic_grid::TileMetric;
 use mosaic_image::io::{save_gif_gray, save_pgm};
 use mosaic_image::synth::Scene;

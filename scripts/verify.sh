@@ -37,4 +37,28 @@ if [ "${doc_ignored:-0}" -ne 0 ]; then
     exit 1
 fi
 
+# Static analysis: the workspace must be clean modulo the committed
+# baseline. This is a hard gate — new findings fail the build.
+run cargo run --release --offline -q -p mosaic-lint
+
+# Negative check: the lint must actually catch violations. Seed a raw
+# .lock().unwrap() into a throw-away mini-workspace and require a
+# non-zero exit.
+echo "==> mosaic-lint negative check (seeded violation must fail)"
+seed_dir=$(mktemp -d)
+trap 'rm -rf "$seed_dir"' EXIT
+mkdir -p "$seed_dir/crates/demo/src"
+cat > "$seed_dir/crates/demo/src/lib.rs" <<'EOF'
+#![forbid(unsafe_code)]
+use std::sync::Mutex;
+pub fn peek(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+EOF
+if cargo run --release --offline -q -p mosaic-lint -- --root "$seed_dir" > /dev/null 2>&1; then
+    echo "error: mosaic-lint passed a workspace with a seeded .lock().unwrap()" >&2
+    exit 1
+fi
+echo "seeded violation rejected, as it should be"
+
 echo "==> all checks passed"

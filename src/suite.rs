@@ -18,6 +18,7 @@ use std::path::PathBuf;
 /// Panics when the directory cannot be created.
 pub fn out_dir() -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("out");
+    // lint:allow(panic) example-suite setup; documented "# Panics" — an unwritable out/ should abort
     std::fs::create_dir_all(&dir).expect("failed to create out/ directory");
     dir
 }
