@@ -90,6 +90,14 @@ pub enum Command {
         cache: usize,
         /// Back-off hint sent with queue-full rejections.
         retry_ms: u64,
+        /// Largest request frame accepted, in bytes (0 = unlimited).
+        max_frame_bytes: usize,
+        /// Socket read/write deadline in milliseconds (0 = none).
+        io_timeout_ms: u64,
+        /// Concurrent connection cap (0 = unlimited).
+        max_connections: usize,
+        /// Per-job execution deadline in milliseconds (0 = none).
+        job_deadline_ms: u64,
     },
     /// `mosaic submit` — talk to a running server.
     Submit {
@@ -368,7 +376,17 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         }
         "serve" => {
             let flags = split_flags(rest)?;
-            flags.check_known(&["addr", "workers", "queue", "cache", "retry-ms"])?;
+            flags.check_known(&[
+                "addr",
+                "workers",
+                "queue",
+                "cache",
+                "retry-ms",
+                "max-frame-bytes",
+                "io-timeout-ms",
+                "max-connections",
+                "job-deadline-ms",
+            ])?;
             let default_workers = std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(2);
@@ -386,6 +404,10 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 queue,
                 cache: flags.number("cache", 8)?,
                 retry_ms: flags.number("retry-ms", 50)? as u64,
+                max_frame_bytes: flags.number("max-frame-bytes", 16 * 1024 * 1024)?,
+                io_timeout_ms: flags.number("io-timeout-ms", 30_000)? as u64,
+                max_connections: flags.number("max-connections", 64)?,
+                job_deadline_ms: flags.number("job-deadline-ms", 60_000)? as u64,
             })
         }
         ops::SUBMIT => {
@@ -693,6 +715,10 @@ mod tests {
             queue,
             cache,
             retry_ms,
+            max_frame_bytes,
+            io_timeout_ms,
+            max_connections,
+            job_deadline_ms,
         } = parse(&argv("serve")).unwrap()
         else {
             panic!("wrong command");
@@ -700,6 +726,10 @@ mod tests {
         assert_eq!(addr, "127.0.0.1:7733");
         assert!(workers >= 1);
         assert_eq!((queue, cache, retry_ms), (16, 8, 50));
+        assert_eq!(max_frame_bytes, 16 * 1024 * 1024);
+        assert_eq!(io_timeout_ms, 30_000);
+        assert_eq!(max_connections, 64);
+        assert_eq!(job_deadline_ms, 60_000);
 
         let Command::Serve {
             addr,
@@ -707,8 +737,14 @@ mod tests {
             queue,
             cache,
             retry_ms,
+            max_frame_bytes,
+            io_timeout_ms,
+            max_connections,
+            job_deadline_ms,
         } = parse(&argv(
-            "serve --addr 0.0.0.0:9000 --workers 3 --queue 4 --cache 2 --retry-ms 10",
+            "serve --addr 0.0.0.0:9000 --workers 3 --queue 4 --cache 2 --retry-ms 10 \
+             --max-frame-bytes 1024 --io-timeout-ms 500 --max-connections 2 \
+             --job-deadline-ms 750",
         ))
         .unwrap()
         else {
@@ -716,8 +752,45 @@ mod tests {
         };
         assert_eq!(addr, "0.0.0.0:9000");
         assert_eq!((workers, queue, cache, retry_ms), (3, 4, 2, 10));
+        assert_eq!(
+            (
+                max_frame_bytes,
+                io_timeout_ms,
+                max_connections,
+                job_deadline_ms
+            ),
+            (1024, 500, 2, 750),
+        );
         assert!(parse(&argv("serve --queue 0")).is_err());
         assert!(parse(&argv("serve --port 1")).is_err());
+    }
+
+    #[test]
+    fn serve_hardening_zero_means_unlimited() {
+        let Command::Serve {
+            max_frame_bytes,
+            io_timeout_ms,
+            max_connections,
+            job_deadline_ms,
+            ..
+        } = parse(&argv(
+            "serve --max-frame-bytes 0 --io-timeout-ms 0 --max-connections 0 \
+             --job-deadline-ms 0",
+        ))
+        .unwrap()
+        else {
+            panic!("wrong command");
+        };
+        // 0 is the documented "off" value for every hardening knob.
+        assert_eq!(
+            (
+                max_frame_bytes,
+                io_timeout_ms,
+                max_connections,
+                job_deadline_ms
+            ),
+            (0, 0, 0, 0),
+        );
     }
 
     #[test]

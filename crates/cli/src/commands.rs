@@ -112,6 +112,10 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             queue,
             cache,
             retry_ms,
+            max_frame_bytes,
+            io_timeout_ms,
+            max_connections,
+            job_deadline_ms,
         } => {
             let server = Server::start(ServiceConfig {
                 addr,
@@ -119,6 +123,11 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                 queue_capacity: queue,
                 cache_capacity: cache,
                 retry_after_ms: retry_ms,
+                max_frame_bytes,
+                io_timeout_ms,
+                max_connections,
+                job_deadline_ms,
+                faults: mosaic_service::FaultPlan::none(),
             })
             .map_err(|e| CliError(format!("failed to start server: {e}")))?;
             // Print the address immediately — with port 0 the caller
@@ -379,6 +388,10 @@ mod tests {
                 queue: 8,
                 cache: 4,
                 retry_ms: 10,
+                max_frame_bytes: 16 * 1024 * 1024,
+                io_timeout_ms: 30_000,
+                max_connections: 64,
+                job_deadline_ms: 60_000,
             })
         });
         let mut attempts = 0;

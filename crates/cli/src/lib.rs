@@ -48,7 +48,9 @@ USAGE:
   mosaic synth    --scene portrait|regatta|fur|drapery|plasma|checker
                   --size <n> --out <pgm> [--seed <n>]
   mosaic serve    [--addr <host:port>] [--workers <n>] [--queue <n>]
-                  [--cache <n>] [--retry-ms <n>]
+                  [--cache <n>] [--retry-ms <n>] [--max-frame-bytes <n>]
+                  [--io-timeout-ms <n>] [--max-connections <n>]
+                  [--job-deadline-ms <n>]
   mosaic submit   --addr <host:port> [--op job|stats|metrics|ping|shutdown]
                   job: --input <pgm> | --input-scene <name> [--input-seed <n>]
                        --target <pgm> | --target-scene <name> [--target-seed <n>]
@@ -60,8 +62,12 @@ USAGE:
 
 serve runs the batch mosaic server: a bounded job queue feeding a fixed
 worker pool, with an LRU cache that reuses Step-2 error matrices across
-jobs with identical content. submit talks to it over line-delimited
-JSON; --jobs > 1 turns it into a load generator. --op metrics fetches
-a Prometheus-style text exposition of server counters and histograms;
-generate --trace-out writes a JSON span trace plus metric summaries.
+jobs with identical content. Hardening knobs (0 disables each):
+--max-frame-bytes caps a request line, --io-timeout-ms bounds socket
+reads/writes, --max-connections caps concurrent clients, and
+--job-deadline-ms cancels jobs that run too long. submit talks to it
+over line-delimited JSON; --jobs > 1 turns it into a load generator.
+--op metrics fetches a Prometheus-style text exposition of server
+counters and histograms; generate --trace-out writes a JSON span trace
+plus metric summaries.
 ";

@@ -11,7 +11,8 @@ use crate::config::Backend;
 use mosaic_gpu::{BlockContext, DeviceSpec, GlobalBuffer, GpuSim, LaunchConfig, WorkProfile};
 use mosaic_grid::LayoutError;
 use mosaic_grid::{
-    build_error_matrix, build_error_matrix_threaded, ErrorMatrix, TileLayout, TileMetric,
+    build_error_matrix, build_error_matrix_threaded_bounded, BuildError, Deadline, ErrorMatrix,
+    TileLayout, TileMetric,
 };
 use mosaic_image::{Image, Pixel};
 use std::time::{Duration, Instant};
@@ -61,11 +62,46 @@ pub fn compute_error_matrix<P: Pixel>(
     metric: TileMetric,
     backend: Backend,
 ) -> Result<(ErrorMatrix, StepTrace), LayoutError> {
+    match compute_error_matrix_bounded(input, target, layout, metric, backend, &Deadline::NONE) {
+        Ok(out) => Ok(out),
+        Err(BuildError::Layout(e)) => Err(e),
+        // lint:allow(panic) Deadline::NONE can never be exceeded
+        Err(BuildError::DeadlineExceeded(_)) => unreachable!("unbounded deadline expired"),
+    }
+}
+
+/// [`compute_error_matrix`] with cooperative cancellation.
+///
+/// The threaded backend polls `deadline` at row boundaries; the serial
+/// and simulated-GPU backends are not internally interruptible, so for
+/// those the deadline is only checked on entry (the overshoot is then one
+/// whole build — per-job deadlines in the service should pair with the
+/// threaded backend when tight bounds matter).
+///
+/// # Errors
+/// Returns [`BuildError::Layout`] when either image does not match
+/// `layout`, and [`BuildError::DeadlineExceeded`] when `deadline` expires.
+pub fn compute_error_matrix_bounded<P: Pixel>(
+    input: &Image<P>,
+    target: &Image<P>,
+    layout: TileLayout,
+    metric: TileMetric,
+    backend: Backend,
+    deadline: &Deadline,
+) -> Result<(ErrorMatrix, StepTrace), BuildError> {
+    deadline.check()?;
     let start = Instant::now();
     let (matrix, launches) = match backend {
         Backend::Serial => (build_error_matrix(input, target, layout, metric)?, 0),
         Backend::Threads(threads) => (
-            build_error_matrix_threaded(input, target, layout, metric, threads.max(1))?,
+            build_error_matrix_threaded_bounded(
+                input,
+                target,
+                layout,
+                metric,
+                threads.max(1),
+                deadline,
+            )?,
             0,
         ),
         Backend::GpuSim { workers } => {

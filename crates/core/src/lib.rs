@@ -74,6 +74,10 @@ pub mod video;
 pub use config::{Algorithm, Backend, MosaicBuilder, MosaicConfig, Preprocess};
 pub use job::{ImageSource, JobResult, JobSpec};
 pub use json::Json;
-pub use pipeline::{generate, generate_returning_matrix, generate_with_matrix, MosaicResult};
+pub use mosaic_grid::{Deadline, DeadlineExceeded};
+pub use pipeline::{
+    generate, generate_bounded, generate_returning_matrix, generate_returning_matrix_bounded,
+    generate_with_matrix, generate_with_matrix_bounded, GenerateError, MosaicResult,
+};
 pub use pipeline_rgb::{generate_rgb, RgbMosaicResult};
 pub use report::GenerationReport;

@@ -7,7 +7,7 @@
 //! a full sweep performs no swap; every swap strictly decreases the
 //! integer total, so termination is guaranteed.
 
-use mosaic_grid::ErrorMatrix;
+use mosaic_grid::{Deadline, DeadlineExceeded, ErrorMatrix};
 
 /// Result of a Step-3 search.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,9 +23,31 @@ pub struct SearchOutcome {
     pub swaps: usize,
 }
 
+/// Unwrap a bounded-search result produced under [`Deadline::NONE`].
+fn never_exceeded<T>(result: Result<T, DeadlineExceeded>) -> T {
+    match result {
+        Ok(value) => value,
+        // lint:allow(panic) callers pass Deadline::NONE, which never expires
+        Err(_) => unreachable!("unbounded deadline expired"),
+    }
+}
+
 /// Run Algorithm 1 to convergence.
 pub fn local_search(matrix: &ErrorMatrix) -> SearchOutcome {
     local_search_from(matrix, (0..matrix.size()).collect())
+}
+
+/// [`local_search`] with cooperative cancellation: the deadline is polled
+/// before every sweep, so overshoot past an expiry is at most one sweep.
+///
+/// # Errors
+/// Returns [`DeadlineExceeded`] when `deadline` expires before the search
+/// converges (including a deadline that was already expired on entry).
+pub fn local_search_bounded(
+    matrix: &ErrorMatrix,
+    deadline: &Deadline,
+) -> Result<SearchOutcome, DeadlineExceeded> {
+    local_search_from_bounded(matrix, (0..matrix.size()).collect(), deadline)
 }
 
 /// Run Algorithm 1 from an explicit starting arrangement (used by the
@@ -35,12 +57,33 @@ pub fn local_search(matrix: &ErrorMatrix) -> SearchOutcome {
 /// Panics when `assignment` is not a permutation of `0..S` (checked by
 /// the matrix total computation via out-of-range access) or has the wrong
 /// length.
-pub fn local_search_from(matrix: &ErrorMatrix, mut assignment: Vec<usize>) -> SearchOutcome {
+pub fn local_search_from(matrix: &ErrorMatrix, assignment: Vec<usize>) -> SearchOutcome {
+    never_exceeded(local_search_from_bounded(
+        matrix,
+        assignment,
+        &Deadline::NONE,
+    ))
+}
+
+/// [`local_search_from`] with cooperative cancellation (see
+/// [`local_search_bounded`] for the polling granularity).
+///
+/// # Errors
+/// Returns [`DeadlineExceeded`] when `deadline` expires before convergence.
+///
+/// # Panics
+/// Panics when `assignment` has the wrong length (as [`local_search_from`]).
+pub fn local_search_from_bounded(
+    matrix: &ErrorMatrix,
+    mut assignment: Vec<usize>,
+    deadline: &Deadline,
+) -> Result<SearchOutcome, DeadlineExceeded> {
     let s = matrix.size();
     assert_eq!(assignment.len(), s, "assignment length must equal S");
     let mut sweeps = 0usize;
     let mut swaps = 0usize;
     loop {
+        deadline.check()?;
         let _sweep = mosaic_telemetry::tracer().span("local_search_sweep");
         sweeps += 1;
         let mut swapped = false;
@@ -58,12 +101,12 @@ pub fn local_search_from(matrix: &ErrorMatrix, mut assignment: Vec<usize>) -> Se
         }
     }
     let total = matrix.assignment_total(&assignment);
-    SearchOutcome {
+    Ok(SearchOutcome {
         assignment,
         total,
         sweeps,
         swaps,
-    }
+    })
 }
 
 /// A per-sweep convergence trace.
@@ -260,5 +303,20 @@ mod tests {
     fn wrong_start_length_panics() {
         let m = ErrorMatrix::from_vec(2, vec![0, 1, 1, 0]);
         let _ = local_search_from(&m, vec![0]);
+    }
+
+    #[test]
+    fn bounded_with_live_deadline_matches_unbounded() {
+        let m = ErrorMatrix::from_vec(2, vec![10, 1, 1, 10]);
+        let deadline = Deadline::after(std::time::Duration::from_secs(3600));
+        let bounded = local_search_bounded(&m, &deadline).unwrap();
+        assert_eq!(bounded, local_search(&m));
+    }
+
+    #[test]
+    fn bounded_with_expired_deadline_exits_before_any_sweep() {
+        let m = ErrorMatrix::from_vec(2, vec![10, 1, 1, 10]);
+        let expired = Deadline::after(std::time::Duration::ZERO);
+        assert_eq!(local_search_bounded(&m, &expired), Err(DeadlineExceeded));
     }
 }

@@ -20,7 +20,16 @@
 use crate::local_search::SearchOutcome;
 use mosaic_edgecolor::SwapSchedule;
 use mosaic_gpu::{BlockContext, GlobalBuffer, GlobalFlag, GpuSim, LaunchConfig, WorkProfile};
-use mosaic_grid::ErrorMatrix;
+use mosaic_grid::{Deadline, DeadlineExceeded, ErrorMatrix};
+
+/// Unwrap a bounded-search result produced under [`Deadline::NONE`].
+fn never_exceeded<T>(result: Result<T, DeadlineExceeded>) -> T {
+    match result {
+        Ok(value) => value,
+        // lint:allow(panic) callers pass Deadline::NONE, which never expires
+        Err(_) => unreachable!("unbounded deadline expired"),
+    }
+}
 
 /// A [`SearchOutcome`] plus the kernel-launch count the GPU path would
 /// issue (used for the analytic device model; identical across backends
@@ -54,6 +63,25 @@ pub fn step3_parallel_profile(s: usize, sweeps: usize, launches: usize) -> WorkP
 
 /// Reference execution: groups in order, pairs in order, single thread.
 pub fn parallel_search_reference(matrix: &ErrorMatrix, schedule: &SwapSchedule) -> ParallelOutcome {
+    never_exceeded(parallel_search_reference_bounded(
+        matrix,
+        schedule,
+        &Deadline::NONE,
+    ))
+}
+
+/// [`parallel_search_reference`] with cooperative cancellation: the
+/// deadline is polled before every sweep, so overshoot past an expiry is
+/// at most one sweep.
+///
+/// # Errors
+/// Returns [`DeadlineExceeded`] when `deadline` expires before the search
+/// converges (including a deadline that was already expired on entry).
+pub fn parallel_search_reference_bounded(
+    matrix: &ErrorMatrix,
+    schedule: &SwapSchedule,
+    deadline: &Deadline,
+) -> Result<ParallelOutcome, DeadlineExceeded> {
     assert_eq!(
         schedule.tiles(),
         matrix.size(),
@@ -65,6 +93,7 @@ pub fn parallel_search_reference(matrix: &ErrorMatrix, schedule: &SwapSchedule) 
     let mut swaps = 0usize;
     let mut launches = 0usize;
     loop {
+        deadline.check()?;
         let _sweep = mosaic_telemetry::tracer().span("parallel_search_sweep");
         sweeps += 1;
         let mut swapped = false;
@@ -83,7 +112,7 @@ pub fn parallel_search_reference(matrix: &ErrorMatrix, schedule: &SwapSchedule) 
         }
     }
     let total = matrix.assignment_total(&assignment);
-    ParallelOutcome {
+    Ok(ParallelOutcome {
         outcome: SearchOutcome {
             assignment,
             total,
@@ -91,7 +120,7 @@ pub fn parallel_search_reference(matrix: &ErrorMatrix, schedule: &SwapSchedule) 
             swaps,
         },
         launches,
-    }
+    })
 }
 
 /// Multi-core CPU execution: within each group, pair decisions are
@@ -105,6 +134,28 @@ pub fn parallel_search_threads(
     schedule: &SwapSchedule,
     threads: usize,
 ) -> ParallelOutcome {
+    never_exceeded(parallel_search_threads_bounded(
+        matrix,
+        schedule,
+        threads,
+        &Deadline::NONE,
+    ))
+}
+
+/// [`parallel_search_threads`] with cooperative cancellation (deadline
+/// polled before every sweep, like the reference path).
+///
+/// # Errors
+/// Returns [`DeadlineExceeded`] when `deadline` expires before convergence.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn parallel_search_threads_bounded(
+    matrix: &ErrorMatrix,
+    schedule: &SwapSchedule,
+    threads: usize,
+    deadline: &Deadline,
+) -> Result<ParallelOutcome, DeadlineExceeded> {
     assert!(threads > 0, "at least one worker thread is required");
     assert_eq!(
         schedule.tiles(),
@@ -118,6 +169,7 @@ pub fn parallel_search_threads(
     let mut launches = 0usize;
     let mut decisions: Vec<bool> = Vec::new();
     loop {
+        deadline.check()?;
         let _sweep = mosaic_telemetry::tracer().span("parallel_search_sweep");
         sweeps += 1;
         let mut swapped = false;
@@ -149,7 +201,7 @@ pub fn parallel_search_threads(
         }
     }
     let total = matrix.assignment_total(&assignment);
-    ParallelOutcome {
+    Ok(ParallelOutcome {
         outcome: SearchOutcome {
             assignment,
             total,
@@ -157,7 +209,7 @@ pub fn parallel_search_threads(
             swaps,
         },
         launches,
-    }
+    })
 }
 
 /// Pairs each simulated block processes in the GPU path.
@@ -172,6 +224,26 @@ pub fn parallel_search_gpu(
     matrix: &ErrorMatrix,
     schedule: &SwapSchedule,
 ) -> ParallelOutcome {
+    never_exceeded(parallel_search_gpu_bounded(
+        sim,
+        matrix,
+        schedule,
+        &Deadline::NONE,
+    ))
+}
+
+/// [`parallel_search_gpu`] with cooperative cancellation: the deadline is
+/// polled at sweep boundaries (between simulated kernel launches, never
+/// inside one), so overshoot past an expiry is at most one sweep.
+///
+/// # Errors
+/// Returns [`DeadlineExceeded`] when `deadline` expires before convergence.
+pub fn parallel_search_gpu_bounded(
+    sim: &GpuSim,
+    matrix: &ErrorMatrix,
+    schedule: &SwapSchedule,
+    deadline: &Deadline,
+) -> Result<ParallelOutcome, DeadlineExceeded> {
     assert_eq!(
         schedule.tiles(),
         matrix.size(),
@@ -186,6 +258,7 @@ pub fn parallel_search_gpu(
     let mut launches = 0usize;
 
     loop {
+        deadline.check()?;
         let _sweep = mosaic_telemetry::tracer().span("parallel_search_sweep");
         sweeps += 1;
         flag.clear();
@@ -225,7 +298,7 @@ pub fn parallel_search_gpu(
 
     let assignment = assignment.into_vec();
     let total = matrix.assignment_total(&assignment);
-    ParallelOutcome {
+    Ok(ParallelOutcome {
         outcome: SearchOutcome {
             assignment,
             total,
@@ -233,7 +306,7 @@ pub fn parallel_search_gpu(
             swaps,
         },
         launches,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -354,5 +427,46 @@ mod tests {
         let m = random_matrix(4, 1, 10);
         let sched = SwapSchedule::for_tiles(5);
         let _ = parallel_search_reference(&m, &sched);
+    }
+
+    #[test]
+    fn bounded_variants_with_live_deadline_match_unbounded() {
+        let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), 2);
+        let m = random_matrix(16, 5, 1_000);
+        let sched = SwapSchedule::for_tiles(16);
+        let deadline = Deadline::after(std::time::Duration::from_secs(3600));
+        let reference = parallel_search_reference(&m, &sched);
+        assert_eq!(
+            parallel_search_reference_bounded(&m, &sched, &deadline).unwrap(),
+            reference
+        );
+        assert_eq!(
+            parallel_search_threads_bounded(&m, &sched, 3, &deadline).unwrap(),
+            reference
+        );
+        assert_eq!(
+            parallel_search_gpu_bounded(&sim, &m, &sched, &deadline).unwrap(),
+            reference
+        );
+    }
+
+    #[test]
+    fn bounded_variants_with_expired_deadline_exit_before_any_sweep() {
+        let sim = GpuSim::with_workers(DeviceSpec::tesla_k40(), 2);
+        let m = random_matrix(9, 5, 1_000);
+        let sched = SwapSchedule::for_tiles(9);
+        let expired = Deadline::after(std::time::Duration::ZERO);
+        assert_eq!(
+            parallel_search_reference_bounded(&m, &sched, &expired),
+            Err(DeadlineExceeded)
+        );
+        assert_eq!(
+            parallel_search_threads_bounded(&m, &sched, 3, &expired),
+            Err(DeadlineExceeded)
+        );
+        assert_eq!(
+            parallel_search_gpu_bounded(&sim, &m, &sched, &expired),
+            Err(DeadlineExceeded)
+        );
     }
 }

@@ -7,20 +7,73 @@
 
 use crate::anneal::anneal_search;
 use crate::config::{Algorithm, Backend, MosaicConfig};
-use crate::errors::{compute_error_matrix, StepTrace};
-use crate::local_search::{local_search, SearchOutcome};
+use crate::errors::{compute_error_matrix_bounded, StepTrace};
+use crate::local_search::{local_search_bounded, SearchOutcome};
 use crate::optimal::{optimal_rearrangement, sparse_rearrangement};
 use crate::parallel_search::{
-    parallel_search_gpu, parallel_search_reference, parallel_search_threads, step3_parallel_profile,
+    parallel_search_gpu_bounded, parallel_search_reference_bounded,
+    parallel_search_threads_bounded, step3_parallel_profile,
 };
 use crate::preprocess::preprocess_gray;
 use crate::report::GenerationReport;
 use mosaic_edgecolor::SwapSchedule;
 use mosaic_gpu::{DeviceSpec, GpuSim, WorkProfile};
-use mosaic_grid::{assemble, LayoutError, TileLayout};
+use mosaic_grid::{assemble, BuildError, Deadline, DeadlineExceeded, LayoutError, TileLayout};
 use mosaic_image::GrayImage;
 use mosaic_telemetry as telemetry;
 use std::time::Instant;
+
+/// Why a bounded generation run did not produce a mosaic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenerateError {
+    /// The images do not fit the configured layout (the unbounded
+    /// entry points surface exactly this case).
+    Layout(LayoutError),
+    /// The caller's [`Deadline`] expired mid-pipeline.
+    DeadlineExceeded(DeadlineExceeded),
+}
+
+impl From<LayoutError> for GenerateError {
+    fn from(e: LayoutError) -> Self {
+        GenerateError::Layout(e)
+    }
+}
+
+impl From<DeadlineExceeded> for GenerateError {
+    fn from(e: DeadlineExceeded) -> Self {
+        GenerateError::DeadlineExceeded(e)
+    }
+}
+
+impl From<BuildError> for GenerateError {
+    fn from(e: BuildError) -> Self {
+        match e {
+            BuildError::Layout(e) => GenerateError::Layout(e),
+            BuildError::DeadlineExceeded(e) => GenerateError::DeadlineExceeded(e),
+        }
+    }
+}
+
+impl std::fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenerateError::Layout(e) => write!(f, "layout error: {e:?}"),
+            GenerateError::DeadlineExceeded(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+/// Unwrap a bounded-generation result produced under [`Deadline::NONE`].
+fn never_exceeded<T>(result: Result<T, GenerateError>) -> Result<T, LayoutError> {
+    match result {
+        Ok(value) => Ok(value),
+        Err(GenerateError::Layout(e)) => Err(e),
+        // lint:allow(panic) callers pass Deadline::NONE, which never expires
+        Err(GenerateError::DeadlineExceeded(_)) => unreachable!("unbounded deadline expired"),
+    }
+}
 
 /// Rearranged image plus full accounting.
 #[derive(Clone, Debug)]
@@ -44,7 +97,27 @@ pub fn generate(
     target: &GrayImage,
     config: &MosaicConfig,
 ) -> Result<MosaicResult, LayoutError> {
-    generate_impl(input, target, config, None).map(|(result, _)| result)
+    never_exceeded(generate_bounded(input, target, config, &Deadline::NONE))
+}
+
+/// [`generate`] with cooperative cancellation: `deadline` is polled at
+/// sweep boundaries of the Step-3 searches and at row boundaries of the
+/// threaded Step-2 build, so a pathological job stops within one sweep
+/// (or one row per worker) of the deadline. Step 1 and the
+/// non-interruptible Step-3 solvers (optimal/greedy/sparse/anneal) only
+/// check the deadline before they start.
+///
+/// # Errors
+/// Returns [`GenerateError::Layout`] for the geometry errors of
+/// [`generate`] and [`GenerateError::DeadlineExceeded`] when the deadline
+/// expires mid-run.
+pub fn generate_bounded(
+    input: &GrayImage,
+    target: &GrayImage,
+    config: &MosaicConfig,
+    deadline: &Deadline,
+) -> Result<MosaicResult, GenerateError> {
+    generate_impl(input, target, config, None, deadline).map(|(result, _)| result)
 }
 
 /// Like [`generate`], but also return the Step-2 error matrix so callers
@@ -57,7 +130,27 @@ pub fn generate_returning_matrix(
     target: &GrayImage,
     config: &MosaicConfig,
 ) -> Result<(MosaicResult, mosaic_grid::ErrorMatrix), LayoutError> {
-    let (result, matrix) = generate_impl(input, target, config, None)?;
+    never_exceeded(generate_returning_matrix_bounded(
+        input,
+        target,
+        config,
+        &Deadline::NONE,
+    ))
+}
+
+/// [`generate_returning_matrix`] with cooperative cancellation (see
+/// [`generate_bounded`] for the polling granularity). On deadline expiry
+/// no matrix is returned — a partially built matrix is never exposed.
+///
+/// # Errors
+/// Same conditions as [`generate_bounded`].
+pub fn generate_returning_matrix_bounded(
+    input: &GrayImage,
+    target: &GrayImage,
+    config: &MosaicConfig,
+    deadline: &Deadline,
+) -> Result<(MosaicResult, mosaic_grid::ErrorMatrix), GenerateError> {
+    let (result, matrix) = generate_impl(input, target, config, None, deadline)?;
     Ok((
         result,
         // lint:allow(panic) generate_impl returns Some(matrix) whenever its matrix argument is None
@@ -88,7 +181,31 @@ pub fn generate_with_matrix(
     config: &MosaicConfig,
     matrix: &mosaic_grid::ErrorMatrix,
 ) -> Result<MosaicResult, LayoutError> {
-    generate_impl(input, target, config, Some(matrix)).map(|(result, _)| result)
+    never_exceeded(generate_with_matrix_bounded(
+        input,
+        target,
+        config,
+        matrix,
+        &Deadline::NONE,
+    ))
+}
+
+/// [`generate_with_matrix`] with cooperative cancellation (see
+/// [`generate_bounded`] for the polling granularity).
+///
+/// # Panics
+/// Same condition as [`generate_with_matrix`].
+///
+/// # Errors
+/// Same conditions as [`generate_bounded`].
+pub fn generate_with_matrix_bounded(
+    input: &GrayImage,
+    target: &GrayImage,
+    config: &MosaicConfig,
+    matrix: &mosaic_grid::ErrorMatrix,
+    deadline: &Deadline,
+) -> Result<MosaicResult, GenerateError> {
+    generate_impl(input, target, config, Some(matrix), deadline).map(|(result, _)| result)
 }
 
 fn generate_impl(
@@ -96,17 +213,19 @@ fn generate_impl(
     target: &GrayImage,
     config: &MosaicConfig,
     cached_matrix: Option<&mosaic_grid::ErrorMatrix>,
-) -> Result<(MosaicResult, Option<mosaic_grid::ErrorMatrix>), LayoutError> {
+    deadline: &Deadline,
+) -> Result<(MosaicResult, Option<mosaic_grid::ErrorMatrix>), GenerateError> {
     let (w, h) = target.dimensions();
     if w != h {
-        return Err(LayoutError::NotSquare {
+        return Err(GenerateError::Layout(LayoutError::NotSquare {
             width: w,
             height: h,
-        });
+        }));
     }
     let layout = TileLayout::with_grid(w, config.grid)?;
     layout.check_image(input)?;
     layout.check_image(target)?;
+    deadline.check()?;
 
     let _generate_span = telemetry::tracer().span("generate");
 
@@ -134,8 +253,14 @@ fn generate_impl(
             (m, StepTrace::default())
         }
         None => {
-            let (m, trace) =
-                compute_error_matrix(&prepared, target, layout, config.metric, config.backend)?;
+            let (m, trace) = compute_error_matrix_bounded(
+                &prepared,
+                target,
+                layout,
+                config.metric,
+                config.backend,
+                deadline,
+            )?;
             (computed.insert(m), trace)
         }
     };
@@ -145,7 +270,7 @@ fn generate_impl(
     let t3 = Instant::now();
     let (outcome, step3_profile) = {
         let _span = telemetry::tracer().span("step3");
-        run_step3(matrix, config)
+        run_step3(matrix, config, deadline)?
     };
     let step3_wall = t3.elapsed();
 
@@ -195,25 +320,34 @@ fn generate_impl(
 fn run_step3(
     matrix: &mosaic_grid::ErrorMatrix,
     config: &MosaicConfig,
-) -> (SearchOutcome, WorkProfile) {
+    deadline: &Deadline,
+) -> Result<(SearchOutcome, WorkProfile), DeadlineExceeded> {
     let s = matrix.size();
-    match config.algorithm {
+    let out = match config.algorithm {
         Algorithm::Optimal(solver) => {
             // §V: "Regarding the optimization algorithm in Step 3, since it
             // is not easy to parallelize the algorithm, we sequentially
-            // perform it on the CPU." No device profile.
+            // perform it on the CPU." No device profile. The solvers are
+            // not interruptible, so the deadline is checked only on entry.
+            deadline.check()?;
             (
                 optimal_rearrangement(matrix, solver),
                 WorkProfile::default(),
             )
         }
-        Algorithm::Greedy => (
-            optimal_rearrangement(matrix, mosaic_assign::SolverKind::Greedy),
-            WorkProfile::default(),
-        ),
-        Algorithm::SparseMatch { k } => (sparse_rearrangement(matrix, k), WorkProfile::default()),
+        Algorithm::Greedy => {
+            deadline.check()?;
+            (
+                optimal_rearrangement(matrix, mosaic_assign::SolverKind::Greedy),
+                WorkProfile::default(),
+            )
+        }
+        Algorithm::SparseMatch { k } => {
+            deadline.check()?;
+            (sparse_rearrangement(matrix, k), WorkProfile::default())
+        }
         Algorithm::LocalSearch => {
-            let outcome = local_search(matrix);
+            let outcome = local_search_bounded(matrix, deadline)?;
             // Algorithm 1 is the sequential baseline; profile it as pure
             // host work (no launches).
             let profile = step3_parallel_profile(s, outcome.sweeps, 0);
@@ -222,25 +356,31 @@ fn run_step3(
         Algorithm::ParallelSearch => {
             let schedule = SwapSchedule::for_tiles(s);
             let result = match config.backend {
-                Backend::Serial => parallel_search_reference(matrix, &schedule),
-                Backend::Threads(t) => parallel_search_threads(matrix, &schedule, t.max(1)),
+                Backend::Serial => parallel_search_reference_bounded(matrix, &schedule, deadline)?,
+                Backend::Threads(t) => {
+                    parallel_search_threads_bounded(matrix, &schedule, t.max(1), deadline)?
+                }
                 Backend::GpuSim { workers } => {
                     let sim = match workers {
                         Some(w) => GpuSim::with_workers(DeviceSpec::tesla_k40(), w),
                         None => GpuSim::new(DeviceSpec::tesla_k40()),
                     };
-                    parallel_search_gpu(&sim, matrix, &schedule)
+                    parallel_search_gpu_bounded(&sim, matrix, &schedule, deadline)?
                 }
             };
             let profile = step3_parallel_profile(s, result.outcome.sweeps, result.launches);
             (result.outcome, profile)
         }
         Algorithm::Anneal { seed, sweeps } => {
+            // The annealing post-pass runs a fixed sweep budget and is not
+            // internally interruptible; check on entry only.
+            deadline.check()?;
             let outcome = anneal_search(matrix, seed, sweeps);
             let profile = step3_parallel_profile(s, outcome.sweeps, 0);
             (outcome, profile)
         }
-    }
+    };
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -415,6 +555,68 @@ mod tests {
         let config = base_config(8);
         let small = mosaic_grid::ErrorMatrix::from_vec(4, vec![0; 16]);
         let _ = generate_with_matrix(&input, &target, &config, &small);
+    }
+
+    #[test]
+    fn bounded_generate_with_live_deadline_matches_unbounded() {
+        let (input, target) = pair(64);
+        let config = MosaicBuilder::new()
+            .grid(8)
+            .algorithm(Algorithm::ParallelSearch)
+            .backend(Backend::Threads(3))
+            .build();
+        let deadline = Deadline::after(std::time::Duration::from_secs(3600));
+        let plain = generate(&input, &target, &config).unwrap();
+        let bounded = generate_bounded(&input, &target, &config, &deadline).unwrap();
+        assert_eq!(plain.image, bounded.image);
+        assert_eq!(plain.assignment, bounded.assignment);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_every_algorithm() {
+        let (input, target) = pair(64);
+        let expired = Deadline::after(std::time::Duration::ZERO);
+        for algorithm in [
+            Algorithm::Optimal(SolverKind::JonkerVolgenant),
+            Algorithm::LocalSearch,
+            Algorithm::ParallelSearch,
+            Algorithm::Greedy,
+            Algorithm::Anneal { seed: 7, sweeps: 4 },
+            Algorithm::SparseMatch { k: 12 },
+        ] {
+            let config = MosaicBuilder::new()
+                .grid(8)
+                .algorithm(algorithm)
+                .backend(Backend::Serial)
+                .build();
+            let result = generate_bounded(&input, &target, &config, &expired);
+            assert!(
+                matches!(result, Err(GenerateError::DeadlineExceeded(_))),
+                "algorithm {:?} ignored the deadline",
+                config.algorithm
+            );
+        }
+    }
+
+    #[test]
+    fn layout_errors_win_over_expired_deadlines() {
+        // Geometry validation happens before any deadline check so callers
+        // get the more actionable error.
+        let square = synth::gradient(32);
+        let bigger = synth::gradient(64);
+        let expired = Deadline::after(std::time::Duration::ZERO);
+        let config = base_config(4);
+        let result = generate_bounded(&square, &bigger, &config, &expired);
+        assert!(matches!(result, Err(GenerateError::Layout(_))));
+    }
+
+    #[test]
+    fn bounded_returning_matrix_is_cancelled_without_a_matrix() {
+        let (input, target) = pair(64);
+        let config = base_config(8);
+        let expired = Deadline::after(std::time::Duration::ZERO);
+        let result = generate_returning_matrix_bounded(&input, &target, &config, &expired);
+        assert!(matches!(result, Err(GenerateError::DeadlineExceeded(_))));
     }
 
     #[test]

@@ -11,10 +11,43 @@
 //! simulated shared memory, lives in the `photomosaic` crate on top of
 //! `mosaic-gpu`.
 
+use crate::deadline::{Deadline, DeadlineExceeded};
 use crate::layout::{LayoutError, TileLayout};
 use crate::matrix::ErrorMatrix;
 use crate::metric::{tile_error, TileMetric};
 use mosaic_image::{Image, Pixel};
+
+/// Why a bounded matrix build did not produce a matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// One of the images does not match the layout.
+    Layout(LayoutError),
+    /// The deadline expired before the build finished.
+    DeadlineExceeded(DeadlineExceeded),
+}
+
+impl From<LayoutError> for BuildError {
+    fn from(e: LayoutError) -> Self {
+        BuildError::Layout(e)
+    }
+}
+
+impl From<DeadlineExceeded> for BuildError {
+    fn from(e: DeadlineExceeded) -> Self {
+        BuildError::DeadlineExceeded(e)
+    }
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Layout(e) => write!(f, "layout error: {e:?}"),
+            BuildError::DeadlineExceeded(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 fn checked_layouts<P: Pixel>(
     input: &Image<P>,
@@ -78,8 +111,46 @@ pub fn build_error_matrix_threaded<P: Pixel>(
     metric: TileMetric,
     threads: usize,
 ) -> Result<ErrorMatrix, LayoutError> {
+    match build_error_matrix_threaded_bounded(
+        input,
+        target,
+        layout,
+        metric,
+        threads,
+        &Deadline::NONE,
+    ) {
+        Ok(matrix) => Ok(matrix),
+        Err(BuildError::Layout(e)) => Err(e),
+        // lint:allow(panic) Deadline::NONE can never be exceeded
+        Err(BuildError::DeadlineExceeded(_)) => unreachable!("unbounded deadline expired"),
+    }
+}
+
+/// [`build_error_matrix_threaded`] with cooperative cancellation.
+///
+/// Workers poll `deadline` at every row boundary and stop early once it
+/// expires; the partially filled matrix is discarded and
+/// [`BuildError::DeadlineExceeded`] is returned. Worst-case overshoot is
+/// therefore one matrix row per worker.
+///
+/// # Errors
+/// Returns [`BuildError::Layout`] when either image does not match
+/// `layout`, and [`BuildError::DeadlineExceeded`] when `deadline` expires
+/// mid-build.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn build_error_matrix_threaded_bounded<P: Pixel>(
+    input: &Image<P>,
+    target: &Image<P>,
+    layout: TileLayout,
+    metric: TileMetric,
+    threads: usize,
+    deadline: &Deadline,
+) -> Result<ErrorMatrix, BuildError> {
     assert!(threads > 0, "at least one worker thread is required");
     checked_layouts(input, target, layout, metric)?;
+    deadline.check()?;
     let _span = mosaic_telemetry::tracer().span("error_matrix_threaded");
     let s = layout.tile_count();
     let mut matrix = ErrorMatrix::zeros(s);
@@ -97,6 +168,9 @@ pub fn build_error_matrix_threaded<P: Pixel>(
             scope.spawn(move || {
                 let target_tiles = layout.tiles(target);
                 for (offset, row) in chunk.into_iter().enumerate() {
+                    if deadline.expired() {
+                        return;
+                    }
                     let iu = layout.tile_view(input, base + offset);
                     for (v, tv) in target_tiles.iter().enumerate() {
                         row[v] = tile_error(&iu, tv, metric) as u32;
@@ -106,6 +180,7 @@ pub fn build_error_matrix_threaded<P: Pixel>(
         }
     });
 
+    deadline.check()?;
     Ok(matrix)
 }
 
@@ -173,6 +248,64 @@ mod tests {
         let img = synth::gradient(16);
         let layout = TileLayout::new(16, 8).unwrap();
         let _ = build_error_matrix_threaded(&img, &img, layout, TileMetric::Sad, 0);
+    }
+
+    #[test]
+    fn bounded_build_with_live_deadline_matches_serial() {
+        let input = synth::fur(48, 3);
+        let target = synth::drapery(48, 9);
+        let layout = TileLayout::new(48, 8).unwrap();
+        let serial = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+        let deadline = Deadline::after(std::time::Duration::from_secs(3600));
+        let bounded = build_error_matrix_threaded_bounded(
+            &input,
+            &target,
+            layout,
+            TileMetric::Sad,
+            4,
+            &deadline,
+        )
+        .unwrap();
+        assert_eq!(bounded, serial);
+    }
+
+    #[test]
+    fn bounded_build_with_expired_deadline_is_cancelled() {
+        let input = synth::fur(48, 3);
+        let target = synth::drapery(48, 9);
+        let layout = TileLayout::new(48, 8).unwrap();
+        let expired = Deadline::after(std::time::Duration::ZERO);
+        let result = build_error_matrix_threaded_bounded(
+            &input,
+            &target,
+            layout,
+            TileMetric::Sad,
+            4,
+            &expired,
+        );
+        assert_eq!(
+            result,
+            Err(BuildError::DeadlineExceeded(
+                crate::deadline::DeadlineExceeded
+            ))
+        );
+    }
+
+    #[test]
+    fn bounded_build_reports_layout_errors_before_deadline() {
+        let input = synth::gradient(32);
+        let target = synth::gradient(64);
+        let layout = TileLayout::new(32, 8).unwrap();
+        let expired = Deadline::after(std::time::Duration::ZERO);
+        let result = build_error_matrix_threaded_bounded(
+            &input,
+            &target,
+            layout,
+            TileMetric::Sad,
+            4,
+            &expired,
+        );
+        assert!(matches!(result, Err(BuildError::Layout(_))));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! * [`compute`] — serial and multi-threaded matrix builders (the threaded
 //!   builder is the CPU-parallel baseline; the CUDA-model builder lives in
 //!   the `photomosaic` crate on top of `mosaic-gpu`);
-//! * [`assemble`] — rebuilding the rearranged image R from an assignment.
+//! * [`assemble`] — rebuilding the rearranged image R from an assignment;
+//! * [`deadline`] — the cooperative [`Deadline`] token the bounded builders
+//!   and the search loops above this crate poll to cap worst-case work.
 //!
 //! # Example
 //!
@@ -41,12 +43,17 @@
 
 pub mod assemble;
 pub mod compute;
+pub mod deadline;
 pub mod layout;
 pub mod matrix;
 pub mod metric;
 
 pub use assemble::assemble;
-pub use compute::{build_error_matrix, build_error_matrix_threaded};
+pub use compute::{
+    build_error_matrix, build_error_matrix_threaded, build_error_matrix_threaded_bounded,
+    BuildError,
+};
+pub use deadline::{Deadline, DeadlineExceeded};
 pub use layout::{LayoutError, TileLayout};
 pub use matrix::ErrorMatrix;
 pub use metric::{tile_error, TileMetric};

@@ -6,7 +6,7 @@ use mosaic_image::histogram::{apply_lut, match_histogram, Histogram, LEVELS};
 use mosaic_image::io::{read_pgm, read_ppm, write_pgm, write_pgm_ascii, write_ppm};
 use mosaic_image::metrics;
 use mosaic_image::ops;
-use mosaic_image::pixel::{Gray, Rgb};
+use mosaic_image::pixel::{Gray, Pixel, Rgb};
 use mosaic_image::resize::{resize_bilinear, resize_box, resize_nearest};
 use mosaic_image::testutil::{gray_image, rgb_image, XorShift};
 use mosaic_image::Image;

@@ -218,6 +218,39 @@ pub mod kinds { pub const PONG: &str = \"pong\"; }
     }
 
     #[test]
+    fn hardening_kinds_are_learned_and_their_drift_is_caught() {
+        // The PR-4 wire words live in the kinds registry like any other;
+        // spelling either one as a literal in a protocol file is drift.
+        let registry = "
+pub mod ops {
+    pub const SUBMIT: &str = \"submit\";
+}
+pub mod kinds {
+    pub const FRAME_TOO_LARGE: &str = \"frame_too_large\";
+    pub const DEADLINE_EXCEEDED: &str = \"deadline_exceeded\";
+}
+";
+        let client = "fn is_cancel(kind: &str) -> bool { kind == \"deadline_exceeded\" }\n";
+        let server = "fn is_reject(kind: &str) -> bool { kind == \"frame_too_large\" }\n";
+        let ws = workspace_of(&[
+            ("crates/service/src/protocol.rs", registry),
+            ("crates/service/src/client.rs", client),
+            ("crates/service/src/server.rs", server),
+        ]);
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("deadline_exceeded")
+                && f.file == "crates/service/src/client.rs"));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("frame_too_large")
+                && f.file == "crates/service/src/server.rs"));
+    }
+
+    #[test]
     fn drift_in_tests_and_other_files_is_ignored() {
         let elsewhere = "fn f() -> &'static str { \"submit\" }\n";
         let ws = workspace_of(&[

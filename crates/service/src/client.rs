@@ -2,16 +2,46 @@
 //! generator for exercising a running server.
 
 use crate::protocol::{read_message, write_message, Request, Response};
+use mosaic_image::synth::XorShift64;
 use photomosaic::{JobSpec, Json};
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Response frames larger than this are treated as protocol errors.
+/// Generous — results carry base64-free JSON images — but bounded, so a
+/// confused or hostile server cannot make a client allocate without
+/// limit.
+const MAX_RESPONSE_FRAME_BYTES: usize = 256 * 1024 * 1024;
+
+/// Floor for the retry back-off: a server hint of 0 must not turn the
+/// retry loop into a hot spin.
+const BACKOFF_FLOOR_MS: u64 = 1;
+
+/// Cap for the exponential retry back-off.
+const BACKOFF_CAP_MS: u64 = 250;
+
+/// Back-off before retry number `rejection` (1-based), derived from the
+/// server's `retry_after_ms` hint: clamped to a floor, doubled per
+/// rejection up to a cap, then jittered to the upper half of the window
+/// so simultaneous rejectees fan out instead of re-colliding.
+fn backoff_delay_ms(hint_ms: u64, rejection: u64, rng: &mut XorShift64) -> u64 {
+    let base = hint_ms.clamp(BACKOFF_FLOOR_MS, BACKOFF_CAP_MS);
+    // Shift saturating at the cap; the exponent is bounded to keep the
+    // shift well-defined.
+    let exponent = rejection.saturating_sub(1).min(16) as u32;
+    let scaled = base.saturating_mul(1u64 << exponent).min(BACKOFF_CAP_MS);
+    // Jitter in [scaled/2, scaled] (never below the floor).
+    let low = (scaled / 2).max(BACKOFF_FLOOR_MS);
+    low + rng.next_below(scaled - low + 1)
+}
 
 /// A connected protocol client. One request/response at a time, in
 /// order; open one client per thread for concurrency.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    rng: XorShift64,
 }
 
 impl Client {
@@ -22,9 +52,16 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let writer = stream.try_clone()?;
+        // Jitter seed: the ephemeral local port differs per connection,
+        // which is exactly the property that de-synchronises retries.
+        let seed = stream
+            .local_addr()
+            .map(|a| u64::from(a.port()))
+            .unwrap_or(1);
         Ok(Client {
             writer,
             reader: BufReader::new(stream),
+            rng: XorShift64::new(seed ^ 0xB0FF_5EED),
         })
     }
 
@@ -35,12 +72,14 @@ impl Client {
     /// (surfaced as [`std::io::ErrorKind::InvalidData`]).
     pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
         write_message(&mut self.writer, &request.to_json())?;
-        let message = read_message(&mut self.reader)?.ok_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )
-        })?;
+        let message = read_message(&mut self.reader, MAX_RESPONSE_FRAME_BYTES)
+            .map_err(std::io::Error::from)?
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )
+            })?;
         Response::from_json(&message)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
@@ -53,8 +92,11 @@ impl Client {
         self.request(&Request::Submit(Box::new(spec.clone())))
     }
 
-    /// Submit one job, retrying on queue-full rejections with the
-    /// server-suggested back-off, up to `max_attempts`. Returns the final
+    /// Submit one job, retrying on queue-full rejections, up to
+    /// `max_attempts`. The server's `retry_after_ms` hint seeds a
+    /// floored, capped exponential back-off with per-connection jitter —
+    /// a hint of 0 never hot-spins, and simultaneous rejectees spread
+    /// out instead of stampeding back together. Returns the final
     /// response (which is `Rejected` only if every attempt was rejected)
     /// plus the number of rejections absorbed.
     ///
@@ -74,7 +116,8 @@ impl Client {
                     if rejections >= attempts {
                         return Ok((Response::Rejected { retry_after_ms }, rejections));
                     }
-                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                    let delay = backoff_delay_ms(retry_after_ms, rejections, &mut self.rng);
+                    std::thread::sleep(Duration::from_millis(delay));
                 }
                 other => return Ok((other, rejections)),
             }
@@ -246,5 +289,49 @@ mod tests {
     fn connect_failure_is_an_error() {
         // Port 1 on localhost is essentially never listening.
         assert!(Client::connect("127.0.0.1:1").is_err());
+    }
+
+    #[test]
+    fn zero_hint_never_yields_a_zero_delay() {
+        let mut rng = XorShift64::new(7);
+        for rejection in 1..=50 {
+            let delay = backoff_delay_ms(0, rejection, &mut rng);
+            assert!(delay >= BACKOFF_FLOOR_MS, "rejection {rejection}: {delay}");
+            assert!(delay <= BACKOFF_CAP_MS, "rejection {rejection}: {delay}");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_toward_the_cap_and_stays_bounded() {
+        let mut rng = XorShift64::new(11);
+        // With a 10 ms hint the un-jittered schedule is 10, 20, 40, ...
+        // capped at 250; jitter keeps each delay within [half, full].
+        for (rejection, expected_scaled) in [(1, 10u64), (2, 20), (3, 40), (6, 250), (60, 250)] {
+            for _ in 0..100 {
+                let delay = backoff_delay_ms(10, rejection, &mut rng);
+                assert!(delay <= expected_scaled, "rejection {rejection}: {delay}");
+                assert!(
+                    delay >= expected_scaled / 2,
+                    "rejection {rejection}: {delay}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_hints_are_clamped_to_the_cap() {
+        let mut rng = XorShift64::new(13);
+        for _ in 0..100 {
+            assert!(backoff_delay_ms(u64::MAX, 1, &mut rng) <= BACKOFF_CAP_MS);
+        }
+    }
+
+    #[test]
+    fn jitter_actually_varies_between_connections() {
+        let mut a = XorShift64::new(21);
+        let mut b = XorShift64::new(22);
+        let seq_a: Vec<u64> = (1..=8).map(|r| backoff_delay_ms(200, r, &mut a)).collect();
+        let seq_b: Vec<u64> = (1..=8).map(|r| backoff_delay_ms(200, r, &mut b)).collect();
+        assert_ne!(seq_a, seq_b, "distinct seeds must desynchronise retries");
     }
 }

@@ -41,6 +41,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
@@ -48,7 +49,10 @@ pub mod server;
 
 pub use cache::{CacheStats, MatrixCache};
 pub use client::{run_load, Client, LoadSummary};
+pub use fault::{
+    disconnect_mid_frame, probe_oversized_frame, stalled_connection_is_closed, FaultPlan,
+};
 pub use metrics::ServiceMetrics;
-pub use protocol::{Request, Response};
+pub use protocol::{ReadError, Request, Response};
 pub use queue::{JobQueue, PushError};
 pub use server::{Server, ServiceConfig};

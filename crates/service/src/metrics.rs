@@ -27,6 +27,10 @@ pub struct ServiceMetrics {
     step1_us: Arc<Histogram>,
     step2_us: Arc<Histogram>,
     step3_us: Arc<Histogram>,
+    frames_too_large: Arc<Counter>,
+    conns_timed_out: Arc<Counter>,
+    conns_rejected: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
 }
 
 impl Default for ServiceMetrics {
@@ -44,6 +48,10 @@ impl Default for ServiceMetrics {
             step1_us: registry.histogram("service_step1_us"),
             step2_us: registry.histogram("service_step2_us"),
             step3_us: registry.histogram("service_step3_us"),
+            frames_too_large: registry.counter("service_frames_too_large_total"),
+            conns_timed_out: registry.counter("service_connections_timed_out_total"),
+            conns_rejected: registry.counter("service_connections_rejected_total"),
+            deadline_exceeded: registry.counter("service_jobs_deadline_exceeded_total"),
             registry,
         }
     }
@@ -84,6 +92,28 @@ impl ServiceMetrics {
     pub fn job_failed(&self) {
         self.in_flight.add(-1);
         self.failed.inc();
+    }
+
+    /// A job ran past its deadline and was cancelled at the next work
+    /// boundary.
+    pub fn job_deadline_exceeded(&self) {
+        self.in_flight.add(-1);
+        self.deadline_exceeded.inc();
+    }
+
+    /// A connection sent a frame over `max_frame_bytes` and was dropped.
+    pub fn frame_too_large(&self) {
+        self.frames_too_large.inc();
+    }
+
+    /// A connection idled past the socket deadline and was dropped.
+    pub fn connection_timed_out(&self) {
+        self.conns_timed_out.inc();
+    }
+
+    /// A connection was refused because `max_connections` was reached.
+    pub fn connection_rejected(&self) {
+        self.conns_rejected.inc();
     }
 
     /// A Step-2 matrix cache lookup resolved as a hit or a miss.
@@ -155,6 +185,24 @@ impl ServiceMetrics {
                     ("step1_ms_total", sum_ms(&self.step1_us)),
                     ("step2_ms_total", sum_ms(&self.step2_us)),
                     ("step3_ms_total", sum_ms(&self.step3_us)),
+                ]),
+            ),
+            (
+                "hardening",
+                Json::obj([
+                    ("frames_too_large", Json::from(self.frames_too_large.get())),
+                    (
+                        "connections_timed_out",
+                        Json::from(self.conns_timed_out.get()),
+                    ),
+                    (
+                        "connections_rejected",
+                        Json::from(self.conns_rejected.get()),
+                    ),
+                    (
+                        "deadline_exceeded",
+                        Json::from(self.deadline_exceeded.get()),
+                    ),
                 ]),
             ),
         ])
@@ -307,6 +355,31 @@ mod tests {
         assert!(text.contains("service_workers 2\n"));
         assert!(text.contains("service_queue_capacity 16\n"));
         assert!(text.contains("service_cache_entries 1\n"));
+    }
+
+    #[test]
+    fn hardening_counters_flow_into_snapshot_and_prometheus() {
+        let m = ServiceMetrics::new();
+        m.frame_too_large();
+        m.frame_too_large();
+        m.connection_timed_out();
+        m.connection_rejected();
+        m.job_started(Duration::from_micros(10));
+        m.job_deadline_exceeded();
+        assert_eq!(m.in_flight(), 0, "deadline expiry releases in-flight");
+
+        let snap = m.snapshot(1, 0, 4, CacheStats::default(), 4);
+        let h = snap.get("hardening").unwrap();
+        assert_eq!(h.get("frames_too_large").unwrap().as_u64(), Some(2));
+        assert_eq!(h.get("connections_timed_out").unwrap().as_u64(), Some(1));
+        assert_eq!(h.get("connections_rejected").unwrap().as_u64(), Some(1));
+        assert_eq!(h.get("deadline_exceeded").unwrap().as_u64(), Some(1));
+
+        let text = m.prometheus(1, 0, 4, CacheStats::default(), 4);
+        assert!(text.contains("service_frames_too_large_total 2\n"));
+        assert!(text.contains("service_connections_timed_out_total 1\n"));
+        assert!(text.contains("service_connections_rejected_total 1\n"));
+        assert!(text.contains("service_jobs_deadline_exceeded_total 1\n"));
     }
 
     #[test]

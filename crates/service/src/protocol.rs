@@ -25,6 +25,8 @@
 //! {"kind":"pong"}
 //! {"kind":"shutting-down"}
 //! {"kind":"error","message":"..."}
+//! {"kind":"frame_too_large","max_frame_bytes":16777216}
+//! {"kind":"deadline_exceeded","deadline_ms":30000}
 //! ```
 //!
 //! A `result`'s `report` object is the job's
@@ -69,6 +71,10 @@ pub mod kinds {
     pub const SHUTTING_DOWN: &str = "shutting-down";
     /// The request failed.
     pub const ERROR: &str = "error";
+    /// The request frame exceeded the server's size limit.
+    pub const FRAME_TOO_LARGE: &str = "frame_too_large";
+    /// The job ran past the server's per-job deadline.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
 }
 
 /// A parsed client request.
@@ -157,6 +163,18 @@ pub enum Response {
         /// What went wrong.
         message: String,
     },
+    /// The request frame exceeded the server's size limit; the
+    /// connection is closed after this response because framing is lost.
+    FrameTooLarge {
+        /// The server's per-frame byte limit.
+        max_frame_bytes: u64,
+    },
+    /// The job ran past the server's per-job deadline and was cancelled
+    /// at the next sweep/row boundary.
+    DeadlineExceeded {
+        /// The deadline that was exceeded.
+        deadline_ms: u64,
+    },
 }
 
 impl Response {
@@ -184,6 +202,14 @@ impl Response {
             Response::Error { message } => Json::obj([
                 ("kind", Json::from(kinds::ERROR)),
                 ("message", Json::from(message.as_str())),
+            ]),
+            Response::FrameTooLarge { max_frame_bytes } => Json::obj([
+                ("kind", Json::from(kinds::FRAME_TOO_LARGE)),
+                ("max_frame_bytes", Json::from(*max_frame_bytes)),
+            ]),
+            Response::DeadlineExceeded { deadline_ms } => Json::obj([
+                ("kind", Json::from(kinds::DEADLINE_EXCEEDED)),
+                ("deadline_ms", Json::from(*deadline_ms)),
             ]),
         }
     }
@@ -232,6 +258,18 @@ impl Response {
                     .unwrap_or("unknown error")
                     .to_string(),
             }),
+            kinds::FRAME_TOO_LARGE => Ok(Response::FrameTooLarge {
+                max_frame_bytes: value
+                    .get("max_frame_bytes")
+                    .and_then(Json::as_u64)
+                    .ok_or("frame-too-large response needs \"max_frame_bytes\"")?,
+            }),
+            kinds::DEADLINE_EXCEEDED => Ok(Response::DeadlineExceeded {
+                deadline_ms: value
+                    .get("deadline_ms")
+                    .and_then(Json::as_u64)
+                    .ok_or("deadline-exceeded response needs \"deadline_ms\"")?,
+            }),
             other => Err(format!("unknown response kind {other:?}")),
         }
     }
@@ -248,19 +286,107 @@ pub fn write_message(writer: &mut impl Write, message: &Json) -> std::io::Result
     writer.flush()
 }
 
-/// Read one message. Returns `Ok(None)` on clean EOF before any bytes.
+/// Why [`read_message`] did not produce a message.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The frame exceeded `max_frame_bytes` before its newline arrived.
+    /// Framing is lost: the caller must drop the connection after
+    /// (optionally) answering with [`Response::FrameTooLarge`].
+    FrameTooLarge {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The line was complete but not valid UTF-8 JSON.
+    Malformed(String),
+    /// The underlying transport failed (includes read timeouts, which
+    /// surface as [`std::io::ErrorKind::WouldBlock`] or
+    /// [`std::io::ErrorKind::TimedOut`] depending on the platform).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::FrameTooLarge { limit } => {
+                write!(f, "frame exceeds the {limit}-byte limit")
+            }
+            ReadError::Malformed(e) => write!(f, "malformed message: {e}"),
+            ReadError::Io(e) => write!(f, "read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<ReadError> for std::io::Error {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Read one message of at most `max_frame_bytes` payload bytes
+/// (excluding the terminating newline). Returns `Ok(None)` on clean EOF
+/// before any bytes.
+///
+/// The line is accumulated through [`BufRead::fill_buf`] in transport-
+/// sized chunks and the limit is enforced *before* each chunk is copied,
+/// so peak allocation is bounded by `max_frame_bytes` plus the reader's
+/// own buffer no matter how many bytes a hostile peer streams.
 ///
 /// # Errors
-/// Propagates I/O failures; malformed JSON surfaces as
-/// [`std::io::ErrorKind::InvalidData`].
-pub fn read_message(reader: &mut impl BufRead) -> std::io::Result<Option<Json>> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
+/// [`ReadError::FrameTooLarge`] once the accumulated line would exceed
+/// the limit, [`ReadError::Malformed`] for non-JSON payloads, and
+/// [`ReadError::Io`] for transport failures.
+pub fn read_message(
+    reader: &mut impl BufRead,
+    max_frame_bytes: usize,
+) -> Result<Option<Json>, ReadError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ReadError::Io(e)),
+        };
+        if chunk.is_empty() {
+            if line.is_empty() {
+                return Ok(None); // clean EOF between messages
+            }
+            break; // EOF mid-line: try to parse what arrived
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(newline_at) => {
+                if line.len() + newline_at > max_frame_bytes {
+                    return Err(ReadError::FrameTooLarge {
+                        limit: max_frame_bytes,
+                    });
+                }
+                line.extend_from_slice(&chunk[..newline_at]);
+                reader.consume(newline_at + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                if line.len() + len > max_frame_bytes {
+                    return Err(ReadError::FrameTooLarge {
+                        limit: max_frame_bytes,
+                    });
+                }
+                line.extend_from_slice(chunk);
+                reader.consume(len);
+            }
+        }
     }
-    Json::parse(line.trim_end_matches(['\r', '\n']))
+    let text = match std::str::from_utf8(&line) {
+        Ok(text) => text,
+        Err(e) => return Err(ReadError::Malformed(e.to_string())),
+    };
+    Json::parse(text.trim_end_matches('\r'))
         .map(Some)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        .map_err(|e| ReadError::Malformed(e.to_string()))
 }
 
 #[cfg(test)]
@@ -316,6 +442,10 @@ mod tests {
             Response::Error {
                 message: "boom".to_string(),
             },
+            Response::FrameTooLarge {
+                max_frame_bytes: 16 * 1024 * 1024,
+            },
+            Response::DeadlineExceeded { deadline_ms: 30000 },
         ] {
             let text = response.to_json().encode();
             let back = Response::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -323,24 +453,96 @@ mod tests {
         }
     }
 
+    /// A frame cap comfortably above every message these tests write.
+    const TEST_LIMIT: usize = 64 * 1024;
+
     #[test]
     fn framing_roundtrips_over_a_buffer() {
         let mut wire = Vec::new();
         write_message(&mut wire, &Request::Ping.to_json()).unwrap();
         write_message(&mut wire, &Request::Stats.to_json()).unwrap();
         let mut reader = std::io::BufReader::new(wire.as_slice());
-        let first = read_message(&mut reader).unwrap().unwrap();
+        let first = read_message(&mut reader, TEST_LIMIT).unwrap().unwrap();
         assert_eq!(Request::from_json(&first).unwrap(), Request::Ping);
-        let second = read_message(&mut reader).unwrap().unwrap();
+        let second = read_message(&mut reader, TEST_LIMIT).unwrap().unwrap();
         assert_eq!(Request::from_json(&second).unwrap(), Request::Stats);
-        assert!(read_message(&mut reader).unwrap().is_none(), "clean EOF");
+        assert!(
+            read_message(&mut reader, TEST_LIMIT).unwrap().is_none(),
+            "clean EOF"
+        );
     }
 
     #[test]
-    fn malformed_lines_are_invalid_data() {
+    fn malformed_lines_are_typed_errors_and_io_errors() {
         let mut reader = std::io::BufReader::new(&b"{nope\n"[..]);
-        let err = read_message(&mut reader).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let err = read_message(&mut reader, TEST_LIMIT).unwrap_err();
+        assert!(matches!(err, ReadError::Malformed(_)), "{err:?}");
+        // The io::Error conversion clients use keeps the InvalidData kind.
+        let io: std::io::Error = err.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frame_exactly_at_the_limit_is_accepted() {
+        // Payload of exactly `limit` bytes (newline excluded) must pass.
+        let payload = format!("\"{}\"", "a".repeat(30));
+        assert_eq!(payload.len(), 32);
+        let wire = format!("{payload}\n");
+        let mut reader = std::io::BufReader::new(wire.as_bytes());
+        let value = read_message(&mut reader, 32).unwrap().unwrap();
+        assert_eq!(value.as_str(), Some("a".repeat(30).as_str()));
+    }
+
+    #[test]
+    fn frame_one_byte_over_the_limit_is_rejected() {
+        let wire = "[1,2,3,4,5,6]\n"; // 13 payload bytes
+        let mut reader = std::io::BufReader::new(wire.as_bytes());
+        let err = read_message(&mut reader, 12).unwrap_err();
+        assert!(matches!(err, ReadError::FrameTooLarge { limit: 12 }));
+    }
+
+    /// An infinite newline-free byte source that counts how much was
+    /// actually pulled, so the test can prove the reader stops early.
+    struct Firehose {
+        served: usize,
+        total: usize,
+    }
+
+    impl std::io::Read for Firehose {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.total - self.served);
+            buf[..n].fill(b'a');
+            self.served += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn hundred_megabyte_frame_is_rejected_with_bounded_peak_allocation() {
+        const FRAME: usize = 100 * 1024 * 1024;
+        const LIMIT: usize = 1024 * 1024;
+        let firehose = Firehose {
+            served: 0,
+            total: FRAME,
+        };
+        let mut reader = std::io::BufReader::new(firehose);
+        let err = read_message(&mut reader, LIMIT).unwrap_err();
+        assert!(matches!(err, ReadError::FrameTooLarge { limit: LIMIT }));
+        // The reader must bail as soon as the limit is crossed instead of
+        // slurping the whole 100 MB: what was pulled off the transport is
+        // the limit plus at most one BufReader refill.
+        let served = reader.get_ref().served;
+        assert!(
+            served <= LIMIT + 64 * 1024,
+            "pulled {served} bytes for a {LIMIT}-byte limit"
+        );
+    }
+
+    #[test]
+    fn eof_mid_frame_is_malformed_not_a_hang() {
+        let mut reader = std::io::BufReader::new(&b"{\"op\":\"pi"[..]);
+        let err = read_message(&mut reader, TEST_LIMIT).unwrap_err();
+        assert!(matches!(err, ReadError::Malformed(_)));
     }
 
     #[test]

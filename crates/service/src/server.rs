@@ -25,18 +25,25 @@
 //!   backend is valid for every other).
 
 use crate::cache::MatrixCache;
+use crate::fault::FaultPlan;
 use crate::metrics::ServiceMetrics;
-use crate::protocol::{read_message, write_message, Request, Response};
+use crate::protocol::{read_message, write_message, ReadError, Request, Response};
 use crate::queue::{JobQueue, PushError};
-use photomosaic::{generate_returning_matrix, generate_with_matrix, JobResult, JobSpec, Json};
+use photomosaic::{
+    generate_returning_matrix_bounded, generate_with_matrix_bounded, Deadline, GenerateError,
+    JobResult, JobSpec, Json,
+};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Server tuning knobs.
+/// Server tuning knobs. The hardening knobs (`max_frame_bytes`,
+/// `io_timeout_ms`, `max_connections`, `job_deadline_ms`) all treat `0`
+/// as "unlimited"; the defaults bound every per-connection and per-job
+/// resource.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Bind address; use port 0 for an ephemeral port.
@@ -49,6 +56,21 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Back-off hint sent with queue-full rejections.
     pub retry_after_ms: u64,
+    /// Per-request frame cap in bytes; larger frames are answered with
+    /// `frame_too_large` and the connection is dropped (0 = unlimited).
+    pub max_frame_bytes: usize,
+    /// Socket read/write deadline per connection in milliseconds; a
+    /// client idle past it (slowloris) is disconnected (0 = no deadline).
+    pub io_timeout_ms: u64,
+    /// Concurrent-connection cap; excess connections are answered with
+    /// `rejected` and dropped before a handler is spawned (0 = unlimited).
+    pub max_connections: usize,
+    /// Per-job wall-clock deadline in milliseconds, measured from worker
+    /// pickup; an overrunning job is cancelled at the next sweep/row
+    /// boundary and answered with `deadline_exceeded` (0 = no deadline).
+    pub job_deadline_ms: u64,
+    /// Fault-injection plan for tests; inert by default.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +81,11 @@ impl Default for ServiceConfig {
             queue_capacity: 16,
             cache_capacity: 8,
             retry_after_ms: 50,
+            max_frame_bytes: 16 * 1024 * 1024,
+            io_timeout_ms: 30_000,
+            max_connections: 64,
+            job_deadline_ms: 60_000,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -77,9 +104,65 @@ struct Shared {
     shutdown: AtomicBool,
     local_addr: SocketAddr,
     config: ServiceConfig,
+    active_connections: AtomicUsize,
+}
+
+/// RAII slot in the connection gate: decrements the active-connection
+/// count when the handler (or a failed spawn) drops it.
+struct ConnectionPermit {
+    shared: Arc<Shared>,
+}
+
+impl Drop for ConnectionPermit {
+    fn drop(&mut self) {
+        self.shared
+            .active_connections
+            .fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl Shared {
+    /// Claim a connection slot, or `None` when `max_connections` active
+    /// handlers already exist (0 = unlimited, but still counted).
+    fn try_acquire_connection(self: &Arc<Self>) -> Option<ConnectionPermit> {
+        let limit = self.config.max_connections;
+        let mut current = self.active_connections.load(Ordering::SeqCst);
+        loop {
+            if limit != 0 && current >= limit {
+                return None;
+            }
+            match self.active_connections.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Some(ConnectionPermit {
+                        shared: Arc::clone(self),
+                    })
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// The frame cap for `read_message` (0 = unlimited).
+    fn frame_limit(&self) -> usize {
+        match self.config.max_frame_bytes {
+            0 => usize::MAX,
+            limit => limit,
+        }
+    }
+
+    /// The per-connection socket deadline (None = no deadline).
+    fn io_timeout(&self) -> Option<Duration> {
+        match self.config.io_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        }
+    }
+
     fn begin_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return; // already shutting down
@@ -136,6 +219,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             local_addr,
             config: config.clone(),
+            active_connections: AtomicUsize::new(0),
         });
 
         // A failed spawn (thread exhaustion) must not leave earlier
@@ -209,13 +293,29 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     // The wake-up connection (or a late client); drop it.
                     break;
                 }
+                let Some(permit) = shared.try_acquire_connection() else {
+                    // At the connection cap: answer with the standard
+                    // backpressure shape right here on the accept thread
+                    // (bounded by the write deadline) and drop the socket.
+                    shared.metrics.connection_rejected();
+                    let _ = stream.set_write_timeout(shared.io_timeout());
+                    let _ = write_message(
+                        &mut &stream,
+                        &Response::Rejected {
+                            retry_after_ms: shared.config.retry_after_ms,
+                        }
+                        .to_json(),
+                    );
+                    continue;
+                };
                 let shared = Arc::clone(shared);
                 // Handlers are detached: they exit when their client
                 // disconnects, and queued work is answered because the
-                // workers drain the closed queue before exiting.
+                // workers drain the closed queue before exiting. A failed
+                // spawn drops the closure, releasing the permit.
                 let _ = std::thread::Builder::new()
                     .name("mosaic-conn".to_string())
-                    .spawn(move || handle_connection(stream, &shared));
+                    .spawn(move || handle_connection(stream, &shared, permit));
             }
             Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
             Err(_) => continue, // transient accept error
@@ -223,27 +323,56 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+/// True for the error kinds a socket deadline expiry produces
+/// (`WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, permit: ConnectionPermit) {
+    let _permit = permit; // held for the life of the handler
+    if let Some(timeout) = shared.io_timeout() {
+        // A slowloris client must not hold this thread forever: every
+        // read and write on the socket gets a deadline.
+        if stream.set_read_timeout(Some(timeout)).is_err()
+            || stream.set_write_timeout(Some(timeout)).is_err()
+        {
+            return;
+        }
+    }
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
     loop {
-        let message = match read_message(&mut reader) {
+        let message = match read_message(&mut reader, shared.frame_limit()) {
             Ok(Some(m)) => m,
             Ok(None) => return, // client closed
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            Err(ReadError::FrameTooLarge { limit }) => {
+                shared.metrics.frame_too_large();
                 let _ = write_message(
                     &mut writer,
-                    &Response::Error {
-                        message: e.to_string(),
+                    &Response::FrameTooLarge {
+                        max_frame_bytes: limit as u64,
                     }
                     .to_json(),
                 );
                 return; // framing is lost; drop the connection
             }
-            Err(_) => return,
+            Err(ReadError::Malformed(problem)) => {
+                let _ = write_message(&mut writer, &Response::Error { message: problem }.to_json());
+                return; // framing is lost; drop the connection
+            }
+            Err(ReadError::Io(e)) => {
+                if is_timeout(&e) {
+                    shared.metrics.connection_timed_out();
+                }
+                return;
+            }
         };
         let response = match Request::from_json(&message) {
             Err(problem) => Response::Error { message: problem },
@@ -295,15 +424,35 @@ fn submit(spec: JobSpec, shared: &Arc<Shared>) -> Response {
     }
 }
 
+/// Why a job produced no result.
+enum JobFailure {
+    /// The job outlived its per-job deadline and was cancelled.
+    DeadlineExceeded,
+    /// Any other failure, already rendered for the wire.
+    Error(String),
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         let _job_span = mosaic_telemetry::tracer().span("service_job");
         let queue_wait = job.accepted_at.elapsed();
         shared.metrics.job_started(queue_wait);
         let queue_wait_ms = queue_wait.as_secs_f64() * 1000.0;
-        let response = match execute(&job.spec, shared, queue_wait_ms) {
+        // The deadline clock starts when the worker picks the job up, so
+        // an injected stall consumes deadline budget like real wedging.
+        let deadline = Deadline::after_millis(shared.config.job_deadline_ms);
+        if let Some(stall) = shared.config.faults.take_stall() {
+            std::thread::sleep(stall);
+        }
+        let response = match execute(&job.spec, shared, queue_wait_ms, &deadline) {
             Ok(response) => response,
-            Err(message) => {
+            Err(JobFailure::DeadlineExceeded) => {
+                shared.metrics.job_deadline_exceeded();
+                Response::DeadlineExceeded {
+                    deadline_ms: shared.config.job_deadline_ms,
+                }
+            }
+            Err(JobFailure::Error(message)) => {
                 shared.metrics.job_failed();
                 Response::Error { message }
             }
@@ -313,18 +462,34 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-fn execute(spec: &JobSpec, shared: &Arc<Shared>, queue_wait_ms: f64) -> Result<Response, String> {
-    let (input, target) = spec.resolve()?;
+fn generate_failure(error: GenerateError) -> JobFailure {
+    match error {
+        GenerateError::DeadlineExceeded(_) => JobFailure::DeadlineExceeded,
+        other => JobFailure::Error(format!("generation failed: {other:?}")),
+    }
+}
+
+fn execute(
+    spec: &JobSpec,
+    shared: &Arc<Shared>,
+    queue_wait_ms: f64,
+    deadline: &Deadline,
+) -> Result<Response, JobFailure> {
+    let (input, target) = spec.resolve().map_err(JobFailure::Error)?;
     let key = spec.cache_key();
     let (result, cache_hit) = match shared.cache.get(key) {
         Some(matrix) => {
-            let result = generate_with_matrix(&input, &target, &spec.config, &matrix)
-                .map_err(|e| format!("generation failed: {e:?}"))?;
+            let result =
+                generate_with_matrix_bounded(&input, &target, &spec.config, &matrix, deadline)
+                    .map_err(generate_failure)?;
             (result, true)
         }
         None => {
-            let (result, matrix) = generate_returning_matrix(&input, &target, &spec.config)
-                .map_err(|e| format!("generation failed: {e:?}"))?;
+            // On deadline expiry no matrix is cached: a partial build must
+            // not poison future hits.
+            let (result, matrix) =
+                generate_returning_matrix_bounded(&input, &target, &spec.config, deadline)
+                    .map_err(generate_failure)?;
             shared.cache.insert(key, Arc::new(matrix));
             (result, false)
         }

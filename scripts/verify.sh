@@ -37,6 +37,23 @@ if [ "${doc_ignored:-0}" -ne 0 ]; then
     exit 1
 fi
 
+# Fault-injection suite: the hardening layer must hold up against
+# scripted hostile clients (oversized frames, slowloris, floods,
+# mid-frame disconnects, stalled workers). A hard gate with a passed
+# count so a renamed or filtered-out suite cannot pass vacuously.
+echo "==> cargo test -q --offline --test service_integration fault_"
+fault_out=$(cargo test -q --offline --test service_integration fault_ 2>&1) || {
+    echo "$fault_out"
+    exit 1
+}
+fault_summary=$(echo "$fault_out" | grep '^test result:' | tail -1)
+echo "$fault_summary"
+fault_passed=$(echo "$fault_summary" | sed -n 's/.* \([0-9][0-9]*\) passed.*/\1/p')
+if [ "${fault_passed:-0}" -lt 5 ]; then
+    echo "error: expected at least 5 fault-injection tests, ran ${fault_passed:-0}" >&2
+    exit 1
+fi
+
 # Static analysis: the workspace must be clean modulo the committed
 # baseline. This is a hard gate — new findings fail the build.
 run cargo run --release --offline -q -p mosaic-lint

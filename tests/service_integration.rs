@@ -3,10 +3,14 @@
 //! reuse, bounded-queue rejection, and graceful shutdown.
 
 use mosaic_image::synth::Scene;
+use mosaic_service::fault::{
+    disconnect_mid_frame, probe_oversized_frame, stalled_connection_is_closed,
+};
 use mosaic_service::protocol::Response;
 use mosaic_service::server::{Server, ServiceConfig};
-use mosaic_service::Client;
+use mosaic_service::{Client, FaultPlan};
 use photomosaic::{Backend, ImageSource, JobResult, JobSpec, Json, MosaicBuilder};
+use std::time::Duration;
 
 fn spec(scene: Scene, seed: u64, grid: usize) -> JobSpec {
     JobSpec {
@@ -200,6 +204,242 @@ fn full_queue_rejects_with_retry_after() {
     );
 
     client.shutdown().unwrap();
+    server.join();
+}
+
+/// Fetch the `hardening` counter object from a live server's stats.
+fn hardening_counter(client: &mut Client, key: &str) -> u64 {
+    let Response::Stats { stats } = client.stats().unwrap() else {
+        panic!("expected stats");
+    };
+    stats
+        .get("hardening")
+        .and_then(|h| h.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing hardening counter {key:?}"))
+}
+
+/// A frame past `max_frame_bytes` draws the typed `frame_too_large`
+/// response (echoing the limit), bumps the counter, and never makes the
+/// server buffer the oversized line.
+#[test]
+fn fault_oversized_frame_draws_a_typed_rejection() {
+    let server = Server::start(ServiceConfig {
+        max_frame_bytes: 1024,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    // 4 KiB against a 1 KiB limit: small enough that the server's reader
+    // buffers the whole attack (no RST racing the response), large
+    // enough to trip the limit.
+    let response = probe_oversized_frame(addr, 4096).unwrap();
+    assert_eq!(
+        response,
+        Some(Response::FrameTooLarge {
+            max_frame_bytes: 1024
+        })
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(hardening_counter(&mut client, "frames_too_large"), 1);
+    // The connection that tripped the limit is gone, but the server
+    // still serves well-formed clients.
+    decode_result(client.submit(&spec(Scene::Portrait, 31, 4)).unwrap());
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// A slowloris client — connect, send half a frame, go silent — is
+/// disconnected once the socket read deadline expires, and the timeout
+/// is counted.
+#[test]
+fn fault_slowloris_is_disconnected_within_the_io_timeout() {
+    let server = Server::start(ServiceConfig {
+        io_timeout_ms: 200,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    let severed =
+        stalled_connection_is_closed(addr, b"{\"op\":\"sub", Duration::from_secs(5)).unwrap();
+    assert!(
+        severed,
+        "server kept a stalled connection past its deadline"
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(hardening_counter(&mut client, "connections_timed_out"), 1);
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// With `max_connections = 2`, a third simultaneous connection is
+/// answered with the standard `rejected` backpressure shape and dropped;
+/// once a slot frees, new connections are accepted again.
+#[test]
+fn fault_connection_flood_beyond_the_cap_is_rejected_then_recovers() {
+    let server = Server::start(ServiceConfig {
+        max_connections: 2,
+        retry_after_ms: 7,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    let first = Client::connect(addr).unwrap();
+    let second = Client::connect(addr).unwrap();
+    // Third connection: the accept loop answers `rejected` without
+    // spawning a handler, so even a ping comes back as backpressure.
+    let mut third = Client::connect(addr).unwrap();
+    match third.ping() {
+        Ok(Response::Rejected { retry_after_ms }) => assert_eq!(retry_after_ms, 7),
+        other => panic!("expected rejection at the connection cap, got {other:?}"),
+    }
+
+    // Free both slots; handlers notice EOF and release their permits.
+    drop(first);
+    drop(second);
+    let mut client = connect_with_retry(addr);
+    assert_eq!(hardening_counter(&mut client, "connections_rejected"), 1);
+    decode_result(client.submit(&spec(Scene::Fur, 33, 4)).unwrap());
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// Keep connecting until a connection survives a ping — used after
+/// freeing connection slots, where permit release races the reconnect.
+fn connect_with_retry(addr: std::net::SocketAddr) -> Client {
+    for _ in 0..200 {
+        if let Ok(mut client) = Client::connect(addr) {
+            match client.ping() {
+                Ok(Response::Pong) => return client,
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+    panic!("server never accepted a new connection after slots freed");
+}
+
+/// A client that vanishes mid-frame must not wedge anything: the
+/// handler unwinds, and later well-formed traffic sees a consistent
+/// queue and metrics.
+#[test]
+fn fault_disconnect_mid_frame_leaves_the_server_consistent() {
+    let server = Server::start(ServiceConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    for _ in 0..3 {
+        disconnect_mid_frame(addr, b"{\"op\":\"submit\",\"spec\":{").unwrap();
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    decode_result(client.submit(&spec(Scene::Drapery, 35, 4)).unwrap());
+    let Response::Stats { stats } = client.stats().unwrap() else {
+        panic!("expected stats");
+    };
+    let jobs = stats.get("jobs").unwrap();
+    // The abandoned half-frames never became jobs; the real one did.
+    assert_eq!(jobs.get("submitted").and_then(Json::as_u64), Some(1));
+    assert_eq!(jobs.get("completed").and_then(Json::as_u64), Some(1));
+    assert_eq!(jobs.get("in_flight").and_then(Json::as_u64), Some(0));
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// A worker wedged past the per-job deadline returns the typed
+/// `deadline_exceeded` response while the other worker keeps draining
+/// jobs to completion.
+#[test]
+fn fault_stalled_worker_hits_the_deadline_while_others_drain() {
+    let server = Server::start(ServiceConfig {
+        workers: 2,
+        job_deadline_ms: 60,
+        faults: FaultPlan::stall_first_jobs(1, 300),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Two jobs, two workers: exactly one claims the injected stall and
+    // blows its deadline; the other must complete normally.
+    let responses: Vec<Response> = std::thread::scope(|scope| {
+        (0..2)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client.submit(&spec(Scene::Plasma, 40 + i, 4)).unwrap()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let cancelled = responses
+        .iter()
+        .filter(|r| matches!(r, Response::DeadlineExceeded { deadline_ms: 60 }))
+        .count();
+    let completed = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Result { .. }))
+        .count();
+    assert_eq!(
+        (cancelled, completed),
+        (1, 1),
+        "expected one cancellation and one result, got {responses:?}"
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(hardening_counter(&mut client, "deadline_exceeded"), 1);
+    let Response::Stats { stats } = client.stats().unwrap() else {
+        panic!("expected stats");
+    };
+    let jobs = stats.get("jobs").unwrap();
+    assert_eq!(jobs.get("completed").and_then(Json::as_u64), Some(1));
+    assert_eq!(jobs.get("in_flight").and_then(Json::as_u64), Some(0));
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// Graceful shutdown still drains accepted work when workers are being
+/// stalled by injected faults: every in-flight job gets a real answer
+/// and `join` returns.
+#[test]
+fn fault_shutdown_drains_stalled_workers() {
+    let server = Server::start(ServiceConfig {
+        workers: 2,
+        // Stalls are long enough to overlap the shutdown, short enough
+        // to stay far inside the (default) job deadline.
+        faults: FaultPlan::stall_first_jobs(2, 150),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client.submit(&spec(Scene::Checker, 50 + i, 4)).unwrap()
+                })
+            })
+            .collect();
+        // Let both jobs reach their workers, then shut down mid-stall.
+        std::thread::sleep(Duration::from_millis(40));
+        let mut control = Client::connect(addr).unwrap();
+        assert_eq!(control.shutdown().unwrap(), Response::ShuttingDown);
+        for handle in workers {
+            let response = handle.join().expect("client thread panicked");
+            assert!(
+                matches!(response, Response::Result { .. }),
+                "stalled job dropped during shutdown: {response:?}"
+            );
+        }
+    });
     server.join();
 }
 
