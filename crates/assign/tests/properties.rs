@@ -166,6 +166,7 @@ fn blossom_general_matches_dp_oracle() {
         let half = rng.range(1, 6);
         let n = 2 * half;
         let mut w = vec![vec![0i64; n]; n];
+        #[allow(clippy::needless_range_loop)] // symmetric fill: i and j index both triangles
         for i in 0..n {
             for j in (i + 1)..n {
                 let v = (rng.next_u32() % 5_000) as i64;

@@ -1,14 +1,18 @@
 //! Dependency-free micro-benchmark harness (replaces the former
 //! `criterion` benches so the workspace builds offline).
 //!
-//! Covers the same four suites the criterion benches did:
+//! Covers the four suites the criterion benches did, plus the pool
+//! comparison:
 //!
 //! * `error_matrix` — Step 2 on each backend (Table II's measured core);
 //! * `rearrange` — Step 3 algorithms on a shared matrix (Table III);
 //! * `solvers` — the assignment-solver ablation on random and real
 //!   mosaic matrices (DESIGN.md §5);
 //! * `ablations` — metric / preprocess / search-effort / end-to-end
-//!   backend sweeps.
+//!   backend sweeps;
+//! * `search` — Algorithm 2 on the persistent `mosaic-pool` workers vs
+//!   the pre-pool scoped-thread dispatch (kept verbatim here as the
+//!   baseline), full-search and per-sweep, at S = 256 and S = 1024.
 //!
 //! Usage: `cargo run --release -p mosaic-bench --bin bench [-- OPTIONS]`
 //!
@@ -25,6 +29,9 @@
 //! metrics exposition of a per-suite registry holding one latency
 //! histogram per case (every timed sample recorded in microseconds), so
 //! downstream tooling gets p50/p90/p99 without re-parsing the table.
+//! Each exposition is also copied to the workspace root (committed
+//! there), so the last published numbers are inspectable — and testable
+//! by `tests/bench_artifacts.rs` — without running the harness.
 
 #![forbid(unsafe_code)]
 
@@ -40,7 +47,9 @@ use photomosaic::errors::gpu_error_matrix;
 use photomosaic::json::Json;
 use photomosaic::local_search::local_search;
 use photomosaic::optimal::optimal_rearrangement;
-use photomosaic::parallel_search::{parallel_search_gpu, parallel_search_reference};
+use photomosaic::parallel_search::{
+    parallel_search_gpu, parallel_search_reference, parallel_search_threads,
+};
 use photomosaic::preprocess::preprocess_gray;
 use photomosaic::{generate, Algorithm, Backend, MosaicBuilder, Preprocess};
 use std::time::{Duration, Instant};
@@ -84,7 +93,7 @@ fn parse_options() -> Options {
 fn usage(problem: &str) -> ! {
     eprintln!("bench: {problem}");
     eprintln!("usage: bench [--suite NAME]... [--samples N] [--full] [--json]");
-    eprintln!("suites: error_matrix rearrange solvers ablations");
+    eprintln!("suites: error_matrix rearrange solvers ablations search");
     std::process::exit(2);
 }
 
@@ -129,10 +138,12 @@ fn run_case<R>(
     }
 }
 
-/// Write `out/BENCH_<suite>.json` for each suite present in `cases`: the
-/// telemetry metrics exposition of one histogram per case.
+/// Write `out/BENCH_<suite>.json` for each suite present in `cases` (the
+/// telemetry metrics exposition of one histogram per case), and copy each
+/// to the workspace root, where it is committed as the published numbers.
 fn write_suite_expositions(cases: &[Case]) {
     let dir = mosaic_bench::out_dir();
+    let root = mosaic_bench::root_dir();
     let mut suites: Vec<&'static str> = Vec::new();
     for case in cases {
         if !suites.contains(&case.suite) {
@@ -155,10 +166,15 @@ fn write_suite_expositions(cases: &[Case]) {
                 .counter(&format!("bench_{suite}_samples_total"))
                 .add(case.samples_us.len() as u64);
         }
+        let exposition = mosaic_telemetry::metrics_json(&registry);
         let path = dir.join(format!("BENCH_{suite}.json"));
-        std::fs::write(&path, mosaic_telemetry::metrics_json(&registry))
+        std::fs::write(&path, &exposition)
             .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());
+        let published = root.join(format!("BENCH_{suite}.json"));
+        std::fs::write(&published, &exposition)
+            .unwrap_or_else(|e| panic!("failed to write {}: {e}", published.display()));
+        eprintln!("wrote {}", published.display());
     }
 }
 
@@ -349,9 +365,104 @@ fn suite_ablations(options: &Options, cases: &mut Vec<Case>) {
     }
 }
 
+/// The scoped-thread Algorithm-2 dispatch `parallel_search_threads`
+/// shipped with before the `mosaic-pool` rewiring, kept verbatim as the
+/// measured baseline: every occupied group of every sweep spawns `threads`
+/// OS threads, so a full search costs O(groups × sweeps × threads)
+/// spawns. Returns the sweep count so callers can derive per-sweep cost.
+fn scoped_search_sweeps(matrix: &ErrorMatrix, schedule: &SwapSchedule, threads: usize) -> usize {
+    let s = matrix.size();
+    let mut assignment: Vec<usize> = (0..s).collect();
+    let mut sweeps = 0usize;
+    let mut decisions: Vec<bool> = Vec::new();
+    loop {
+        sweeps += 1;
+        let mut swapped = false;
+        for group in schedule.occupied_groups() {
+            decisions.clear();
+            decisions.resize(group.len(), false);
+            let chunk = group.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let assignment = &assignment;
+                for (pairs, flags) in group.chunks(chunk).zip(decisions.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (&(p, q), flag) in pairs.iter().zip(flags.iter_mut()) {
+                            *flag = matrix.swap_gain(assignment, p, q) > 0;
+                        }
+                    });
+                }
+            });
+            for (&(p, q), &doit) in group.iter().zip(&decisions) {
+                if doit {
+                    assignment.swap(p, q);
+                    swapped = true;
+                }
+            }
+        }
+        if !swapped {
+            break;
+        }
+    }
+    sweeps
+}
+
+/// Derive a `<kind>-sweep/...` case from a full-search case: the same
+/// samples divided by the (deterministic) sweep count, so the exposition
+/// reports amortized per-sweep cost next to end-to-end cost.
+fn per_sweep_case(full: &Case, kind: &str, s: usize, threads: usize, sweeps: usize) -> Case {
+    let sweeps = sweeps.max(1) as u64;
+    Case {
+        suite: full.suite,
+        name: format!("{kind}-sweep/s{s}/t{threads}"),
+        min: full.min / sweeps as u32,
+        mean: full.mean / sweeps as u32,
+        samples: full.samples,
+        samples_us: full.samples_us.iter().map(|&us| us / sweeps).collect(),
+    }
+}
+
+fn suite_search(options: &Options, cases: &mut Vec<Case>) {
+    let size = 256;
+    let (input, target) = figure2_pair(size);
+    let threads = 4usize;
+    // Grid 16 -> S = 256, grid 32 -> S = 1024 (the acceptance scale: at
+    // S = 1024 the scoped baseline pays 1023 groups x 4 spawns per sweep).
+    for grid in [16usize, 32] {
+        let layout = TileLayout::with_grid(size, grid).unwrap();
+        let matrix = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+        let schedule = SwapSchedule::for_tiles(matrix.size());
+        let s = matrix.size();
+        // Both strategies make identical decisions, so both converge in
+        // the same number of sweeps; measure it once, untimed.
+        let sweeps = scoped_search_sweeps(&matrix, &schedule, threads);
+        let scoped = run_case(
+            "search",
+            format!("scoped/s{s}/t{threads}"),
+            options.samples,
+            || scoped_search_sweeps(&matrix, &schedule, threads),
+        );
+        let pooled = run_case(
+            "search",
+            format!("pool/s{s}/t{threads}"),
+            options.samples,
+            || parallel_search_threads(&matrix, &schedule, threads),
+        );
+        cases.push(per_sweep_case(&scoped, "scoped", s, threads, sweeps));
+        cases.push(per_sweep_case(&pooled, "pool", s, threads, sweeps));
+        cases.push(scoped);
+        cases.push(pooled);
+    }
+}
+
 fn main() {
     let options = parse_options();
-    let all = ["error_matrix", "rearrange", "solvers", "ablations"];
+    let all = [
+        "error_matrix",
+        "rearrange",
+        "solvers",
+        "ablations",
+        "search",
+    ];
     let selected: Vec<&str> = if options.suites.is_empty() {
         all.to_vec()
     } else {
@@ -373,6 +484,7 @@ fn main() {
             "rearrange" => suite_rearrange(&options, &mut cases),
             "solvers" => suite_solvers(&options, &mut cases),
             "ablations" => suite_ablations(&options, &mut cases),
+            "search" => suite_search(&options, &mut cases),
             _ => unreachable!(),
         }
     }

@@ -128,6 +128,13 @@ pub fn out_dir() -> std::path::PathBuf {
     dir
 }
 
+/// Workspace root (the repo checkout). Committed benchmark artifacts —
+/// the `BENCH_<suite>.json` expositions — live here so they are visible
+/// without running anything, while transient outputs stay under `out/`.
+pub fn root_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +154,12 @@ mod tests {
         for (a, b) in &pairs {
             assert_ne!(a, b);
         }
+    }
+
+    #[test]
+    fn root_dir_is_the_workspace_checkout() {
+        assert!(root_dir().join("Cargo.toml").exists());
+        assert!(root_dir().join("crates").is_dir());
     }
 
     #[test]

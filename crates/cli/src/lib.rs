@@ -62,7 +62,9 @@ USAGE:
 
 serve runs the batch mosaic server: a bounded job queue feeding a fixed
 worker pool, with an LRU cache that reuses Step-2 error matrices across
-jobs with identical content. Hardening knobs (0 disables each):
+jobs with identical content. --workers also sizes the server's shared
+compute pool (persistent threads that the matrix builds and swap
+sweeps of every job dispatch onto). Hardening knobs (0 disables each):
 --max-frame-bytes caps a request line, --io-timeout-ms bounds socket
 reads/writes, --max-connections caps concurrent clients, and
 --job-deadline-ms cancels jobs that run too long. submit talks to it

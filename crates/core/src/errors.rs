@@ -11,10 +11,12 @@ use crate::config::Backend;
 use mosaic_gpu::{BlockContext, DeviceSpec, GlobalBuffer, GpuSim, LaunchConfig, WorkProfile};
 use mosaic_grid::LayoutError;
 use mosaic_grid::{
-    build_error_matrix, build_error_matrix_threaded_bounded, BuildError, Deadline, ErrorMatrix,
+    build_error_matrix, build_error_matrix_threaded_bounded_in, BuildError, Deadline, ErrorMatrix,
     TileLayout, TileMetric,
 };
 use mosaic_image::{Image, Pixel};
+use mosaic_pool::ThreadPool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Timing and work accounting of one pipeline step.
@@ -89,12 +91,38 @@ pub fn compute_error_matrix_bounded<P: Pixel>(
     backend: Backend,
     deadline: &Deadline,
 ) -> Result<(ErrorMatrix, StepTrace), BuildError> {
+    compute_error_matrix_bounded_in(
+        mosaic_pool::global(),
+        input,
+        target,
+        layout,
+        metric,
+        backend,
+        deadline,
+    )
+}
+
+/// [`compute_error_matrix_bounded`] with the parallel backends dispatched
+/// on an explicit [`ThreadPool`] instead of the process-wide one.
+///
+/// # Errors
+/// See [`compute_error_matrix_bounded`].
+pub fn compute_error_matrix_bounded_in<P: Pixel>(
+    pool: &Arc<ThreadPool>,
+    input: &Image<P>,
+    target: &Image<P>,
+    layout: TileLayout,
+    metric: TileMetric,
+    backend: Backend,
+    deadline: &Deadline,
+) -> Result<(ErrorMatrix, StepTrace), BuildError> {
     deadline.check()?;
     let start = Instant::now();
     let (matrix, launches) = match backend {
         Backend::Serial => (build_error_matrix(input, target, layout, metric)?, 0),
         Backend::Threads(threads) => (
-            build_error_matrix_threaded_bounded(
+            build_error_matrix_threaded_bounded_in(
+                pool,
                 input,
                 target,
                 layout,
@@ -105,10 +133,8 @@ pub fn compute_error_matrix_bounded<P: Pixel>(
             0,
         ),
         Backend::GpuSim { workers } => {
-            let sim = match workers {
-                Some(w) => GpuSim::with_workers(DeviceSpec::tesla_k40(), w),
-                None => GpuSim::new(DeviceSpec::tesla_k40()),
-            };
+            let lanes = workers.unwrap_or_else(|| pool.threads());
+            let sim = GpuSim::with_pool(DeviceSpec::tesla_k40(), Arc::clone(pool), lanes);
             (gpu_error_matrix(&sim, input, target, layout, metric)?, 1)
         }
     };

@@ -76,8 +76,9 @@ pub use job::{ImageSource, JobResult, JobSpec};
 pub use json::Json;
 pub use mosaic_grid::{Deadline, DeadlineExceeded};
 pub use pipeline::{
-    generate, generate_bounded, generate_returning_matrix, generate_returning_matrix_bounded,
-    generate_with_matrix, generate_with_matrix_bounded, GenerateError, MosaicResult,
+    generate, generate_bounded, generate_bounded_in, generate_returning_matrix,
+    generate_returning_matrix_bounded, generate_returning_matrix_bounded_in, generate_with_matrix,
+    generate_with_matrix_bounded, generate_with_matrix_bounded_in, GenerateError, MosaicResult,
 };
 pub use pipeline_rgb::{generate_rgb, RgbMosaicResult};
 pub use report::GenerationReport;

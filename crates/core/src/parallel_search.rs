@@ -12,8 +12,9 @@
 //!
 //! * [`parallel_search_reference`] — groups executed on one thread, the
 //!   specification;
-//! * [`parallel_search_threads`] — each group's pairs split across
-//!   scoped worker threads;
+//! * [`parallel_search_threads`] — each group's pairs split across the
+//!   persistent `mosaic-pool` workers (one batch per group, no per-group
+//!   thread spawns);
 //! * [`parallel_search_gpu`] — one simulated kernel launch per group, the
 //!   paper's GPU implementation.
 
@@ -21,6 +22,7 @@ use crate::local_search::SearchOutcome;
 use mosaic_edgecolor::SwapSchedule;
 use mosaic_gpu::{BlockContext, GlobalBuffer, GlobalFlag, GpuSim, LaunchConfig, WorkProfile};
 use mosaic_grid::{Deadline, DeadlineExceeded, ErrorMatrix};
+use mosaic_pool::ThreadPool;
 
 /// Unwrap a bounded-search result produced under [`Deadline::NONE`].
 fn never_exceeded<T>(result: Result<T, DeadlineExceeded>) -> T {
@@ -156,6 +158,26 @@ pub fn parallel_search_threads_bounded(
     threads: usize,
     deadline: &Deadline,
 ) -> Result<ParallelOutcome, DeadlineExceeded> {
+    parallel_search_threads_bounded_in(mosaic_pool::global(), matrix, schedule, threads, deadline)
+}
+
+/// [`parallel_search_threads_bounded`] dispatching on an explicit
+/// [`ThreadPool`] instead of the process-wide one. One pool batch per
+/// color group replaces the old per-group `thread::scope`, which cost
+/// O(groups × sweeps × threads) OS thread spawns per search.
+///
+/// # Errors
+/// Returns [`DeadlineExceeded`] when `deadline` expires before convergence.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn parallel_search_threads_bounded_in(
+    pool: &ThreadPool,
+    matrix: &ErrorMatrix,
+    schedule: &SwapSchedule,
+    threads: usize,
+    deadline: &Deadline,
+) -> Result<ParallelOutcome, DeadlineExceeded> {
     assert!(threads > 0, "at least one worker thread is required");
     assert_eq!(
         schedule.tiles(),
@@ -178,16 +200,15 @@ pub fn parallel_search_threads_bounded(
             decisions.clear();
             decisions.resize(group.len(), false);
             let chunk = group.len().div_ceil(threads);
-            std::thread::scope(|scope| {
+            {
                 let assignment = &assignment;
-                for (pairs, flags) in group.chunks(chunk).zip(decisions.chunks_mut(chunk)) {
-                    scope.spawn(move || {
-                        for (&(p, q), flag) in pairs.iter().zip(flags.iter_mut()) {
-                            *flag = matrix.swap_gain(assignment, p, q) > 0;
-                        }
-                    });
-                }
-            });
+                pool.parallel_for_mut(&mut decisions, chunk, |index, flags| {
+                    let pairs = &group[index * chunk..][..flags.len()];
+                    for (&(p, q), flag) in pairs.iter().zip(flags.iter_mut()) {
+                        *flag = matrix.swap_gain(assignment, p, q) > 0;
+                    }
+                });
+            }
             for (&(p, q), &doit) in group.iter().zip(&decisions) {
                 if doit {
                     assignment.swap(p, q);
@@ -337,6 +358,81 @@ mod tests {
             let gpu = parallel_search_gpu(&sim, &m, &sched);
             assert_eq!(reference, threads, "threads diverged at n={n}");
             assert_eq!(reference, gpu, "gpu diverged at n={n}");
+        }
+    }
+
+    /// The scoped-thread implementation this module shipped with before
+    /// the pool rewiring, kept verbatim as a test oracle: the pool-backed
+    /// path must be decision-for-decision identical to it.
+    fn scoped_thread_search(
+        matrix: &ErrorMatrix,
+        schedule: &SwapSchedule,
+        threads: usize,
+    ) -> ParallelOutcome {
+        let s = matrix.size();
+        let mut assignment: Vec<usize> = (0..s).collect();
+        let mut sweeps = 0usize;
+        let mut swaps = 0usize;
+        let mut launches = 0usize;
+        let mut decisions: Vec<bool> = Vec::new();
+        loop {
+            sweeps += 1;
+            let mut swapped = false;
+            for group in schedule.occupied_groups() {
+                launches += 1;
+                decisions.clear();
+                decisions.resize(group.len(), false);
+                let chunk = group.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    let assignment = &assignment;
+                    for (pairs, flags) in group.chunks(chunk).zip(decisions.chunks_mut(chunk)) {
+                        scope.spawn(move || {
+                            for (&(p, q), flag) in pairs.iter().zip(flags.iter_mut()) {
+                                *flag = matrix.swap_gain(assignment, p, q) > 0;
+                            }
+                        });
+                    }
+                });
+                for (&(p, q), &doit) in group.iter().zip(&decisions) {
+                    if doit {
+                        assignment.swap(p, q);
+                        swapped = true;
+                        swaps += 1;
+                    }
+                }
+            }
+            if !swapped {
+                break;
+            }
+        }
+        let total = matrix.assignment_total(&assignment);
+        ParallelOutcome {
+            outcome: SearchOutcome {
+                assignment,
+                total,
+                sweeps,
+                swaps,
+            },
+            launches,
+        }
+    }
+
+    #[test]
+    fn pool_backed_search_equals_scoped_threads_across_thread_counts() {
+        let m = random_matrix(40, 11, 10_000);
+        let sched = SwapSchedule::for_tiles(40);
+        for threads in [1usize, 2, 3, 7, 16] {
+            let scoped = scoped_thread_search(&m, &sched, threads);
+            let pooled = parallel_search_threads(&m, &sched, threads);
+            assert_eq!(pooled, scoped, "diverged at threads={threads}");
+            let own_pool = mosaic_pool::ThreadPool::new(2);
+            let explicit =
+                parallel_search_threads_bounded_in(&own_pool, &m, &sched, threads, &Deadline::NONE)
+                    .unwrap();
+            assert_eq!(
+                explicit, scoped,
+                "explicit pool diverged at threads={threads}"
+            );
         }
     }
 

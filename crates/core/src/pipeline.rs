@@ -7,12 +7,12 @@
 
 use crate::anneal::anneal_search;
 use crate::config::{Algorithm, Backend, MosaicConfig};
-use crate::errors::{compute_error_matrix_bounded, StepTrace};
+use crate::errors::{compute_error_matrix_bounded_in, StepTrace};
 use crate::local_search::{local_search_bounded, SearchOutcome};
 use crate::optimal::{optimal_rearrangement, sparse_rearrangement};
 use crate::parallel_search::{
     parallel_search_gpu_bounded, parallel_search_reference_bounded,
-    parallel_search_threads_bounded, step3_parallel_profile,
+    parallel_search_threads_bounded_in, step3_parallel_profile,
 };
 use crate::preprocess::preprocess_gray;
 use crate::report::GenerationReport;
@@ -20,7 +20,9 @@ use mosaic_edgecolor::SwapSchedule;
 use mosaic_gpu::{DeviceSpec, GpuSim, WorkProfile};
 use mosaic_grid::{assemble, BuildError, Deadline, DeadlineExceeded, LayoutError, TileLayout};
 use mosaic_image::GrayImage;
+use mosaic_pool::ThreadPool;
 use mosaic_telemetry as telemetry;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Why a bounded generation run did not produce a mosaic.
@@ -117,7 +119,23 @@ pub fn generate_bounded(
     config: &MosaicConfig,
     deadline: &Deadline,
 ) -> Result<MosaicResult, GenerateError> {
-    generate_impl(input, target, config, None, deadline).map(|(result, _)| result)
+    generate_bounded_in(mosaic_pool::global(), input, target, config, deadline)
+}
+
+/// [`generate_bounded`] with the parallel stages dispatched on an explicit
+/// [`ThreadPool`] instead of the process-wide one (the service hands every
+/// job its per-server pool, sized by `--workers`).
+///
+/// # Errors
+/// Same conditions as [`generate_bounded`].
+pub fn generate_bounded_in(
+    pool: &Arc<ThreadPool>,
+    input: &GrayImage,
+    target: &GrayImage,
+    config: &MosaicConfig,
+    deadline: &Deadline,
+) -> Result<MosaicResult, GenerateError> {
+    generate_impl(pool, input, target, config, None, deadline).map(|(result, _)| result)
 }
 
 /// Like [`generate`], but also return the Step-2 error matrix so callers
@@ -150,7 +168,21 @@ pub fn generate_returning_matrix_bounded(
     config: &MosaicConfig,
     deadline: &Deadline,
 ) -> Result<(MosaicResult, mosaic_grid::ErrorMatrix), GenerateError> {
-    let (result, matrix) = generate_impl(input, target, config, None, deadline)?;
+    generate_returning_matrix_bounded_in(mosaic_pool::global(), input, target, config, deadline)
+}
+
+/// [`generate_returning_matrix_bounded`] on an explicit [`ThreadPool`].
+///
+/// # Errors
+/// Same conditions as [`generate_bounded`].
+pub fn generate_returning_matrix_bounded_in(
+    pool: &Arc<ThreadPool>,
+    input: &GrayImage,
+    target: &GrayImage,
+    config: &MosaicConfig,
+    deadline: &Deadline,
+) -> Result<(MosaicResult, mosaic_grid::ErrorMatrix), GenerateError> {
+    let (result, matrix) = generate_impl(pool, input, target, config, None, deadline)?;
     Ok((
         result,
         // lint:allow(panic) generate_impl returns Some(matrix) whenever its matrix argument is None
@@ -205,10 +237,36 @@ pub fn generate_with_matrix_bounded(
     matrix: &mosaic_grid::ErrorMatrix,
     deadline: &Deadline,
 ) -> Result<MosaicResult, GenerateError> {
-    generate_impl(input, target, config, Some(matrix), deadline).map(|(result, _)| result)
+    generate_with_matrix_bounded_in(
+        mosaic_pool::global(),
+        input,
+        target,
+        config,
+        matrix,
+        deadline,
+    )
+}
+
+/// [`generate_with_matrix_bounded`] on an explicit [`ThreadPool`].
+///
+/// # Panics
+/// Same condition as [`generate_with_matrix`].
+///
+/// # Errors
+/// Same conditions as [`generate_bounded`].
+pub fn generate_with_matrix_bounded_in(
+    pool: &Arc<ThreadPool>,
+    input: &GrayImage,
+    target: &GrayImage,
+    config: &MosaicConfig,
+    matrix: &mosaic_grid::ErrorMatrix,
+    deadline: &Deadline,
+) -> Result<MosaicResult, GenerateError> {
+    generate_impl(pool, input, target, config, Some(matrix), deadline).map(|(result, _)| result)
 }
 
 fn generate_impl(
+    pool: &Arc<ThreadPool>,
     input: &GrayImage,
     target: &GrayImage,
     config: &MosaicConfig,
@@ -253,7 +311,8 @@ fn generate_impl(
             (m, StepTrace::default())
         }
         None => {
-            let (m, trace) = compute_error_matrix_bounded(
+            let (m, trace) = compute_error_matrix_bounded_in(
+                pool,
                 &prepared,
                 target,
                 layout,
@@ -270,7 +329,7 @@ fn generate_impl(
     let t3 = Instant::now();
     let (outcome, step3_profile) = {
         let _span = telemetry::tracer().span("step3");
-        run_step3(matrix, config, deadline)?
+        run_step3(pool, matrix, config, deadline)?
     };
     let step3_wall = t3.elapsed();
 
@@ -318,6 +377,7 @@ fn generate_impl(
 }
 
 fn run_step3(
+    pool: &Arc<ThreadPool>,
     matrix: &mosaic_grid::ErrorMatrix,
     config: &MosaicConfig,
     deadline: &Deadline,
@@ -358,13 +418,11 @@ fn run_step3(
             let result = match config.backend {
                 Backend::Serial => parallel_search_reference_bounded(matrix, &schedule, deadline)?,
                 Backend::Threads(t) => {
-                    parallel_search_threads_bounded(matrix, &schedule, t.max(1), deadline)?
+                    parallel_search_threads_bounded_in(pool, matrix, &schedule, t.max(1), deadline)?
                 }
                 Backend::GpuSim { workers } => {
-                    let sim = match workers {
-                        Some(w) => GpuSim::with_workers(DeviceSpec::tesla_k40(), w),
-                        None => GpuSim::new(DeviceSpec::tesla_k40()),
-                    };
+                    let lanes = workers.unwrap_or_else(|| pool.threads());
+                    let sim = GpuSim::with_pool(DeviceSpec::tesla_k40(), Arc::clone(pool), lanes);
                     parallel_search_gpu_bounded(&sim, matrix, &schedule, deadline)?
                 }
             };

@@ -3,9 +3,9 @@
 //! The execution contract mirrors CUDA §V of the paper:
 //!
 //! * a launch enumerates `grid.count()` blocks;
-//! * blocks run concurrently (here: over a scoped worker pool) in an
-//!   unspecified order, so kernels must not assume any inter-block
-//!   ordering;
+//! * blocks run concurrently (here: over lanes of a persistent
+//!   `mosaic-pool` worker pool) in an unspecified order, so kernels must
+//!   not assume any inter-block ordering;
 //! * each block owns a private [`SharedMem`] arena, reset between blocks;
 //! * global memory is shared ([`crate::GlobalBuffer`], relaxed atomics);
 //! * the launch returns only when every block has finished — the
@@ -21,9 +21,10 @@ use crate::device::DeviceSpec;
 use crate::dim::Dim3;
 use crate::shared::SharedMem;
 use crate::stats::{ExecStats, LaunchRecord};
+use mosaic_pool::ThreadPool;
 use mosaic_telemetry::{lock_unpoisoned, registry, tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Grid/block geometry of one launch.
@@ -109,30 +110,46 @@ impl<F: Fn(&mut BlockContext<'_>) + Sync> Kernel for F {
 }
 
 /// The simulated device executor.
+///
+/// Worker lanes are dispatched onto a persistent [`ThreadPool`] — by
+/// default the process-wide `mosaic_pool::global()` — so repeated
+/// launches (one per color group per sweep in Algorithm 2) reuse the
+/// same OS threads instead of spawning a fresh scope every time.
 pub struct GpuSim {
     device: DeviceSpec,
     workers: usize,
+    pool: Arc<ThreadPool>,
     stats: Mutex<ExecStats>,
 }
 
 impl GpuSim {
-    /// Simulator for `device` with one worker per available CPU core.
+    /// Simulator for `device` with one worker lane per available CPU core.
     pub fn new(device: DeviceSpec) -> Self {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self::with_workers(device, workers)
+        let pool = Arc::clone(mosaic_pool::global());
+        let workers = pool.threads();
+        Self::with_pool(device, pool, workers)
     }
 
-    /// Simulator with an explicit worker count (≥ 1).
+    /// Simulator with an explicit worker-lane count (≥ 1) on the shared
+    /// process-wide pool.
     ///
     /// # Panics
     /// Panics when `workers == 0`.
     pub fn with_workers(device: DeviceSpec, workers: usize) -> Self {
+        Self::with_pool(device, Arc::clone(mosaic_pool::global()), workers)
+    }
+
+    /// Simulator dispatching its block lanes on an explicit pool (the
+    /// service gives every `Server` its own).
+    ///
+    /// # Panics
+    /// Panics when `workers == 0`.
+    pub fn with_pool(device: DeviceSpec, pool: Arc<ThreadPool>, workers: usize) -> Self {
         assert!(workers > 0, "at least one worker is required");
         GpuSim {
             device,
             workers,
+            pool,
             stats: Mutex::new(ExecStats::default()),
         }
     }
@@ -143,7 +160,7 @@ impl GpuSim {
         &self.device
     }
 
-    /// Worker threads used to execute blocks.
+    /// Worker lanes used to execute blocks.
     #[inline]
     pub fn workers(&self) -> usize {
         self.workers
@@ -172,29 +189,29 @@ impl GpuSim {
         let shared_peak = AtomicUsize::new(0);
 
         if total_blocks > 0 {
-            let workers = self.workers.min(total_blocks);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| {
-                        let mut shared = SharedMem::new(self.device.shared_mem_per_block);
-                        let mut max_used = 0usize;
-                        loop {
-                            let b = next_block.fetch_add(1, Ordering::Relaxed);
-                            if b >= total_blocks {
-                                break;
-                            }
-                            shared.reset();
-                            let mut ctx = BlockContext {
-                                block_idx: config.grid.delinearize(b),
-                                config,
-                                shared: &mut shared,
-                            };
-                            kernel.block(&mut ctx);
-                            max_used = max_used.max(shared.used());
-                        }
-                        shared_peak.fetch_max(max_used, Ordering::Relaxed);
-                    });
+            // One pool chunk per worker lane; lanes race to claim blocks
+            // from the shared counter exactly as the scoped threads did.
+            // A single lane runs inline on the caller, preserving strict
+            // block order for sequential-semantics users.
+            let lanes = self.workers.min(total_blocks);
+            self.pool.parallel_for(lanes, |_lane| {
+                let mut shared = SharedMem::new(self.device.shared_mem_per_block);
+                let mut max_used = 0usize;
+                loop {
+                    let b = next_block.fetch_add(1, Ordering::Relaxed);
+                    if b >= total_blocks {
+                        break;
+                    }
+                    shared.reset();
+                    let mut ctx = BlockContext {
+                        block_idx: config.grid.delinearize(b),
+                        config,
+                        shared: &mut shared,
+                    };
+                    kernel.block(&mut ctx);
+                    max_used = max_used.max(shared.used());
                 }
+                shared_peak.fetch_max(max_used, Ordering::Relaxed);
             });
         }
 
@@ -375,5 +392,19 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = GpuSim::with_workers(DeviceSpec::tesla_k40(), 0);
+    }
+
+    #[test]
+    fn explicit_pool_executes_every_block() {
+        let pool = Arc::new(mosaic_pool::ThreadPool::new(2));
+        let sim = GpuSim::with_pool(DeviceSpec::tesla_k40(), pool, 3);
+        let out = GlobalBuffer::filled(50, 0u32);
+        let kernel = |ctx: &mut BlockContext<'_>| {
+            let id = ctx.block_id();
+            out.store(id, out.load(id) + 1);
+        };
+        let rec = sim.launch(LaunchConfig::linear(50, 1), &kernel);
+        assert_eq!(rec.blocks, 50);
+        assert!(out.to_vec().iter().all(|&v| v == 1));
     }
 }

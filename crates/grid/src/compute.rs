@@ -16,6 +16,8 @@ use crate::layout::{LayoutError, TileLayout};
 use crate::matrix::ErrorMatrix;
 use crate::metric::{tile_error, TileMetric};
 use mosaic_image::{Image, Pixel};
+use mosaic_pool::ThreadPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Why a bounded matrix build did not produce a matrix.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -148,40 +150,97 @@ pub fn build_error_matrix_threaded_bounded<P: Pixel>(
     threads: usize,
     deadline: &Deadline,
 ) -> Result<ErrorMatrix, BuildError> {
+    build_error_matrix_threaded_bounded_in(
+        mosaic_pool::global(),
+        input,
+        target,
+        layout,
+        metric,
+        threads,
+        deadline,
+    )
+}
+
+/// [`build_error_matrix_threaded_bounded`] dispatching on an explicit
+/// [`ThreadPool`] instead of the process-wide one (the service hands
+/// every job its per-server pool).
+///
+/// # Errors
+/// See [`build_error_matrix_threaded_bounded`].
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn build_error_matrix_threaded_bounded_in<P: Pixel>(
+    pool: &ThreadPool,
+    input: &Image<P>,
+    target: &Image<P>,
+    layout: TileLayout,
+    metric: TileMetric,
+    threads: usize,
+    deadline: &Deadline,
+) -> Result<ErrorMatrix, BuildError> {
+    build_threaded_impl(
+        pool,
+        input,
+        target,
+        layout,
+        metric,
+        threads,
+        deadline,
+        &|| (),
+    )
+}
+
+/// The shared implementation. `row_hook` runs after each row's deadline
+/// poll and before its errors are computed; production callers pass a
+/// no-op, the deadline regression tests inject a delay to pin down the
+/// expiry-after-completion race deterministically.
+#[allow(clippy::too_many_arguments)]
+fn build_threaded_impl<P: Pixel>(
+    pool: &ThreadPool,
+    input: &Image<P>,
+    target: &Image<P>,
+    layout: TileLayout,
+    metric: TileMetric,
+    threads: usize,
+    deadline: &Deadline,
+    row_hook: &(dyn Fn() + Sync),
+) -> Result<ErrorMatrix, BuildError> {
     assert!(threads > 0, "at least one worker thread is required");
     checked_layouts(input, target, layout, metric)?;
     deadline.check()?;
     let _span = mosaic_telemetry::tracer().span("error_matrix_threaded");
     let s = layout.tile_count();
-    let mut matrix = ErrorMatrix::zeros(s);
     let rows_per_worker = s.div_ceil(threads);
+    let mut entries = vec![0u32; s * s];
+    let rows_done = AtomicUsize::new(0);
 
-    std::thread::scope(|scope| {
-        let mut remaining: Vec<&mut [u32]> = matrix.rows_mut().collect();
-        let mut first_row = 0usize;
-        while !remaining.is_empty() {
-            let take = rows_per_worker.min(remaining.len());
-            let rest = remaining.split_off(take);
-            let chunk = std::mem::replace(&mut remaining, rest);
-            let base = first_row;
-            first_row += take;
-            scope.spawn(move || {
-                let target_tiles = layout.tiles(target);
-                for (offset, row) in chunk.into_iter().enumerate() {
-                    if deadline.expired() {
-                        return;
-                    }
-                    let iu = layout.tile_view(input, base + offset);
-                    for (v, tv) in target_tiles.iter().enumerate() {
-                        row[v] = tile_error(&iu, tv, metric) as u32;
-                    }
-                }
-            });
+    // One pool chunk per worker's row range; each chunk is a disjoint
+    // slab of whole rows, so workers never share a row.
+    pool.parallel_for_mut(&mut entries, rows_per_worker * s, |chunk, slab| {
+        let target_tiles = layout.tiles(target);
+        let base = chunk * rows_per_worker;
+        for (offset, row) in slab.chunks_mut(s).enumerate() {
+            if deadline.expired() {
+                return;
+            }
+            row_hook();
+            let iu = layout.tile_view(input, base + offset);
+            for (v, tv) in target_tiles.iter().enumerate() {
+                row[v] = tile_error(&iu, tv, metric) as u32;
+            }
+            rows_done.fetch_add(1, Ordering::Relaxed);
         }
     });
 
-    deadline.check()?;
-    Ok(matrix)
+    // Fail only when a worker actually abandoned rows. A deadline that
+    // expires after the last row is computed must not discard a
+    // complete, valid matrix (it used to: the old epilogue re-checked
+    // the clock instead of the work).
+    if rows_done.load(Ordering::Relaxed) < s {
+        return Err(BuildError::DeadlineExceeded(DeadlineExceeded));
+    }
+    Ok(ErrorMatrix::from_vec(s, entries))
 }
 
 #[cfg(test)]
@@ -306,6 +365,79 @@ mod tests {
             &expired,
         );
         assert!(matches!(result, Err(BuildError::Layout(_))));
+    }
+
+    /// Regression: the old epilogue was `deadline.check()?` — a deadline
+    /// that expired *after* every row was computed (but before the
+    /// epilogue ran) discarded a complete matrix. The injected row hook
+    /// outlasts the deadline while the only row is being computed, so
+    /// by the time the build finishes the clock has expired even though
+    /// no work was abandoned. That must be a success.
+    #[test]
+    fn deadline_expiring_after_all_rows_complete_is_not_an_error() {
+        let img = synth::gradient(16);
+        let layout = TileLayout::new(16, 16).unwrap(); // S = 1: one row
+        let pool = mosaic_pool::ThreadPool::new(1);
+        let deadline = Deadline::after(std::time::Duration::from_millis(40));
+        let result = build_threaded_impl(
+            &pool,
+            &img,
+            &img,
+            layout,
+            TileMetric::Sad,
+            1,
+            &deadline,
+            &|| std::thread::sleep(std::time::Duration::from_millis(120)),
+        );
+        assert!(deadline.expired(), "hook must outlast the deadline");
+        let matrix = result.expect("completed work must survive a late expiry");
+        assert_eq!(matrix.get(0, 0), 0);
+    }
+
+    /// The converse still fails: with the same mid-row delay but a
+    /// second row to go, the worker really does abandon work.
+    #[test]
+    fn deadline_expiring_with_rows_left_is_still_cancelled() {
+        let img = synth::gradient(32);
+        let layout = TileLayout::new(32, 16).unwrap(); // S = 4
+        let pool = mosaic_pool::ThreadPool::new(1);
+        let deadline = Deadline::after(std::time::Duration::from_millis(40));
+        let result = build_threaded_impl(
+            &pool,
+            &img,
+            &img,
+            layout,
+            TileMetric::Sad,
+            1,
+            &deadline,
+            &|| std::thread::sleep(std::time::Duration::from_millis(120)),
+        );
+        assert_eq!(
+            result,
+            Err(BuildError::DeadlineExceeded(
+                crate::deadline::DeadlineExceeded
+            ))
+        );
+    }
+
+    #[test]
+    fn explicit_pool_variant_matches_serial() {
+        let input = synth::fur(48, 3);
+        let target = synth::drapery(48, 9);
+        let layout = TileLayout::new(48, 8).unwrap();
+        let serial = build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap();
+        let pool = mosaic_pool::ThreadPool::new(3);
+        let built = build_error_matrix_threaded_bounded_in(
+            &pool,
+            &input,
+            &target,
+            layout,
+            TileMetric::Sad,
+            5,
+            &Deadline::NONE,
+        )
+        .unwrap();
+        assert_eq!(built, serial);
     }
 
     #[test]

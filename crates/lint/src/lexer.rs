@@ -10,9 +10,10 @@
 //! literals vs. lifetimes, and raw identifiers.
 
 /// Byte-level classification of a source file.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub enum Class {
     /// Plain code (identifiers, punctuation, whitespace).
+    #[default]
     Code,
     /// A non-doc comment (`//`, `/* */`).
     Comment,
@@ -59,12 +60,6 @@ pub struct Lexed {
     pub strings: Vec<StrLit>,
     /// Every non-doc comment.
     pub comments: Vec<Comment>,
-}
-
-impl Default for Class {
-    fn default() -> Self {
-        Class::Code
-    }
 }
 
 fn is_ident(b: u8) -> bool {

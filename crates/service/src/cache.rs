@@ -58,8 +58,13 @@ impl MatrixCache {
     }
 
     /// Look up `key`, counting a hit or miss and refreshing recency on
-    /// hit.
+    /// hit. A capacity-0 (disabled) cache answers `None` without taking
+    /// the lock or counting a miss — a server run with caching off must
+    /// report a zeroed hit rate, not a 0% one.
     pub fn get(&self, key: u64) -> Option<Arc<ErrorMatrix>> {
+        if self.capacity == 0 {
+            return None;
+        }
         let mut inner = self.lock();
         match inner.entries.iter().position(|(k, _)| *k == key) {
             Some(pos) => {
@@ -164,7 +169,14 @@ mod tests {
         let cache = MatrixCache::new(0);
         cache.insert(1, matrix(2, 1));
         assert!(cache.get(1).is_none());
-        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.get(2).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        // Disabled means *disabled*: lookups on a capacity-0 cache must
+        // not count as misses, or the reported hit rate of a server run
+        // with caching off reads as pathologically bad instead of n/a.
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hits, 0);
     }
 
     #[test]

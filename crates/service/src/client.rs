@@ -175,6 +175,9 @@ pub struct LoadSummary {
 /// Drive a server with `specs`, `concurrency` connections at a time
 /// (client mode for load generation). Spec `i` is handled by connection
 /// `i % concurrency`; each job is retried on rejection up to 40 times.
+/// Lanes run on the process-wide `mosaic-pool` workers, so repeated load
+/// sessions (the bench harness runs many) reuse threads instead of
+/// spawning a scope per call.
 ///
 /// # Errors
 /// Propagates connection failures; per-job errors are counted in the
@@ -190,53 +193,52 @@ pub fn run_load(
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
     let concurrency = concurrency.max(1);
     let start = Instant::now();
-    let mut summary = LoadSummary::default();
 
-    std::thread::scope(|scope| -> std::io::Result<()> {
-        let mut handles = Vec::new();
-        for lane in 0..concurrency {
-            let lane_specs: Vec<&JobSpec> = specs.iter().skip(lane).step_by(concurrency).collect();
-            handles.push(scope.spawn(move || -> std::io::Result<LoadSummary> {
-                let mut lane_summary = LoadSummary::default();
-                if lane_specs.is_empty() {
-                    return Ok(lane_summary);
-                }
-                let mut client = Client::connect(addr)?;
-                for spec in lane_specs {
-                    match client.submit_with_retry(spec, 40) {
-                        Ok((Response::Result { result }, rejections)) => {
-                            lane_summary.completed += 1;
-                            lane_summary.rejections += rejections;
-                            let hit = result
-                                .get("report")
-                                .and_then(|r| r.get("cache_hit"))
-                                .and_then(Json::as_bool);
-                            if hit == Some(true) {
-                                lane_summary.cache_hits += 1;
-                            }
-                        }
-                        Ok((Response::Rejected { .. }, rejections)) => {
-                            lane_summary.rejections += rejections;
-                            lane_summary.failed += 1;
-                        }
-                        Ok(_) | Err(_) => lane_summary.failed += 1,
+    let run_lane = |lane: usize| -> std::io::Result<LoadSummary> {
+        let mut lane_summary = LoadSummary::default();
+        let lane_specs: Vec<&JobSpec> = specs.iter().skip(lane).step_by(concurrency).collect();
+        if lane_specs.is_empty() {
+            return Ok(lane_summary);
+        }
+        let mut client = Client::connect(addr)?;
+        for spec in lane_specs {
+            match client.submit_with_retry(spec, 40) {
+                Ok((Response::Result { result }, rejections)) => {
+                    lane_summary.completed += 1;
+                    lane_summary.rejections += rejections;
+                    let hit = result
+                        .get("report")
+                        .and_then(|r| r.get("cache_hit"))
+                        .and_then(Json::as_bool);
+                    if hit == Some(true) {
+                        lane_summary.cache_hits += 1;
                     }
                 }
-                Ok(lane_summary)
-            }));
+                Ok((Response::Rejected { .. }, rejections)) => {
+                    lane_summary.rejections += rejections;
+                    lane_summary.failed += 1;
+                }
+                Ok(_) | Err(_) => lane_summary.failed += 1,
+            }
         }
-        for handle in handles {
-            let lane = handle
-                .join()
-                .map_err(|_| std::io::Error::other("load lane panicked"))??;
-            summary.completed += lane.completed;
-            summary.rejections += lane.rejections;
-            summary.failed += lane.failed;
-            summary.cache_hits += lane.cache_hits;
-        }
-        Ok(())
-    })?;
+        Ok(lane_summary)
+    };
 
+    // One pool chunk per lane; each writes only its own slot.
+    let mut lanes: Vec<Option<std::io::Result<LoadSummary>>> = Vec::new();
+    lanes.resize_with(concurrency, || None);
+    mosaic_pool::global().parallel_for_mut(&mut lanes, 1, |lane, slot| {
+        slot[0] = Some(run_lane(lane));
+    });
+
+    let mut summary = LoadSummary::default();
+    for slot in lanes {
+        let lane = slot.unwrap_or_else(|| Err(std::io::Error::other("load lane skipped")))?;
+        summary.completed += lane.completed;
+        summary.rejections += lane.rejections;
+        summary.failed += lane.failed;
+        summary.cache_hits += lane.cache_hits;
+    }
     summary.wall_ms = start.elapsed().as_millis() as u64;
     Ok(summary)
 }

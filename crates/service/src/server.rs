@@ -29,8 +29,9 @@ use crate::fault::FaultPlan;
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{read_message, write_message, ReadError, Request, Response};
 use crate::queue::{JobQueue, PushError};
+use mosaic_pool::ThreadPool;
 use photomosaic::{
-    generate_returning_matrix_bounded, generate_with_matrix_bounded, Deadline, GenerateError,
+    generate_returning_matrix_bounded_in, generate_with_matrix_bounded_in, Deadline, GenerateError,
     JobResult, JobSpec, Json,
 };
 use std::io::BufReader;
@@ -105,6 +106,11 @@ struct Shared {
     local_addr: SocketAddr,
     config: ServiceConfig,
     active_connections: AtomicUsize,
+    /// One persistent compute pool per server, sized by `workers`: every
+    /// job's parallel stages (threaded Step 2, pooled Step-3 search, the
+    /// GpuSim block lanes) dispatch here instead of spawning scoped
+    /// threads per call.
+    compute_pool: Arc<ThreadPool>,
 }
 
 /// RAII slot in the connection gate: decrements the active-connection
@@ -220,6 +226,7 @@ impl Server {
             local_addr,
             config: config.clone(),
             active_connections: AtomicUsize::new(0),
+            compute_pool: Arc::new(ThreadPool::new(config.workers.max(1))),
         });
 
         // A failed spawn (thread exhaustion) must not leave earlier
@@ -282,6 +289,10 @@ impl Server {
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
+        // All job workers have exited, so no compute can be in flight;
+        // release the pool's threads instead of waiting for the last
+        // `Shared` reference (a lingering handler) to drop.
+        self.shared.compute_pool.shutdown();
     }
 }
 
@@ -479,17 +490,28 @@ fn execute(
     let key = spec.cache_key();
     let (result, cache_hit) = match shared.cache.get(key) {
         Some(matrix) => {
-            let result =
-                generate_with_matrix_bounded(&input, &target, &spec.config, &matrix, deadline)
-                    .map_err(generate_failure)?;
+            let result = generate_with_matrix_bounded_in(
+                &shared.compute_pool,
+                &input,
+                &target,
+                &spec.config,
+                &matrix,
+                deadline,
+            )
+            .map_err(generate_failure)?;
             (result, true)
         }
         None => {
             // On deadline expiry no matrix is cached: a partial build must
             // not poison future hits.
-            let (result, matrix) =
-                generate_returning_matrix_bounded(&input, &target, &spec.config, deadline)
-                    .map_err(generate_failure)?;
+            let (result, matrix) = generate_returning_matrix_bounded_in(
+                &shared.compute_pool,
+                &input,
+                &target,
+                &spec.config,
+                deadline,
+            )
+            .map_err(generate_failure)?;
             shared.cache.insert(key, Arc::new(matrix));
             (result, false)
         }

@@ -54,6 +54,33 @@ if [ "${fault_passed:-0}" -lt 5 ]; then
     exit 1
 fi
 
+# Pool stress suite: the persistent worker pool underpins every
+# parallel stage, so its shutdown/panic/raggedness invariants get the
+# same vacuous-pass protection as the fault suite — a passed count, not
+# just a green exit.
+echo "==> cargo test -q --offline -p mosaic-pool --test stress"
+stress_out=$(cargo test -q --offline -p mosaic-pool --test stress 2>&1) || {
+    echo "$stress_out"
+    exit 1
+}
+stress_summary=$(echo "$stress_out" | grep '^test result:' | tail -1)
+echo "$stress_summary"
+stress_passed=$(echo "$stress_summary" | sed -n 's/.* \([0-9][0-9]*\) passed.*/\1/p')
+if [ "${stress_passed:-0}" -lt 6 ]; then
+    echo "error: expected at least 6 pool stress tests, ran ${stress_passed:-0}" >&2
+    exit 1
+fi
+
+# Published benchmark artifacts: the committed root BENCH_search.json
+# must exist and hold the pool-vs-scoped comparison (parsed with the
+# workspace's own Json reader by tests/bench_artifacts.rs).
+if [ ! -f BENCH_search.json ]; then
+    echo "error: BENCH_search.json missing from the workspace root" >&2
+    echo "regenerate: cargo run --release -p mosaic-bench --bin bench -- --suite search" >&2
+    exit 1
+fi
+run cargo test -q --offline --test bench_artifacts
+
 # Static analysis: the workspace must be clean modulo the committed
 # baseline. This is a hard gate — new findings fail the build.
 run cargo run --release --offline -q -p mosaic-lint
