@@ -12,7 +12,10 @@
 //!   backend sweeps;
 //! * `search` — Algorithm 2 on the persistent `mosaic-pool` workers vs
 //!   the pre-pool scoped-thread dispatch (kept verbatim here as the
-//!   baseline), full-search and per-sweep, at S = 256 and S = 1024.
+//!   baseline), full-search and per-sweep, at S = 256 and S = 1024;
+//! * `fleet` — batch throughput and warm single-job latency through the
+//!   `mosaic-gateway` routing tier at 1/2/4 backends, against direct
+//!   submission to one server as the no-gateway baseline.
 //!
 //! Usage: `cargo run --release -p mosaic-bench --bin bench [-- OPTIONS]`
 //!
@@ -38,10 +41,13 @@
 use mosaic_assign::{CostMatrix, SolverKind};
 use mosaic_bench::figure2_pair;
 use mosaic_edgecolor::SwapSchedule;
+use mosaic_gateway::{Fleet, GatewayConfig};
 use mosaic_gpu::{DeviceSpec, GpuSim};
 use mosaic_grid::{
     build_error_matrix, build_error_matrix_threaded, ErrorMatrix, TileLayout, TileMetric,
 };
+use mosaic_service::server::{Server, ServiceConfig};
+use mosaic_service::{run_load, Client};
 use photomosaic::anneal::anneal_search;
 use photomosaic::errors::gpu_error_matrix;
 use photomosaic::json::Json;
@@ -93,7 +99,7 @@ fn parse_options() -> Options {
 fn usage(problem: &str) -> ! {
     eprintln!("bench: {problem}");
     eprintln!("usage: bench [--suite NAME]... [--samples N] [--full] [--json]");
-    eprintln!("suites: error_matrix rearrange solvers ablations search");
+    eprintln!("suites: error_matrix rearrange solvers ablations search fleet");
     std::process::exit(2);
 }
 
@@ -454,6 +460,90 @@ fn suite_search(options: &Options, cases: &mut Vec<Case>) {
     }
 }
 
+/// The fleet workload: a small spec with repeats, so the per-backend
+/// matrix caches participate exactly as they would in production.
+fn fleet_spec(seed: u64) -> photomosaic::JobSpec {
+    photomosaic::JobSpec {
+        input: photomosaic::ImageSource::Synth {
+            scene: mosaic_image::synth::Scene::Plasma,
+            size: 32,
+            seed,
+        },
+        target: photomosaic::ImageSource::Synth {
+            scene: mosaic_image::synth::Scene::Regatta,
+            size: 32,
+            seed: seed + 100,
+        },
+        config: MosaicBuilder::new()
+            .grid(8)
+            .backend(Backend::Serial)
+            .build(),
+    }
+}
+
+fn suite_fleet(options: &Options, cases: &mut Vec<Case>) {
+    // 16 jobs over 4 distinct specs, 4 client lanes: enough repetition
+    // that routing policy controls the cache hit rate.
+    let specs: Vec<photomosaic::JobSpec> = (0..16).map(|i| fleet_spec(500 + i % 4)).collect();
+    let backend = || ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    };
+    // Warm single-job latency needs enough samples for a stable p99.
+    let latency_samples = options.samples.max(50);
+    let probe = fleet_spec(500);
+
+    // Direct submission to one server: the no-gateway baseline.
+    let server = Server::start(backend()).unwrap();
+    let addr = server.local_addr();
+    cases.push(run_case(
+        "fleet",
+        "direct-throughput/1".to_string(),
+        options.samples,
+        || {
+            let summary = run_load(addr, &specs, 4).unwrap();
+            assert_eq!(summary.completed, specs.len() as u64);
+        },
+    ));
+    let mut client = Client::connect(addr).unwrap();
+    cases.push(run_case(
+        "fleet",
+        "direct-latency/1".to_string(),
+        latency_samples,
+        || client.submit(&probe).unwrap(),
+    ));
+    drop(client);
+    server.shutdown();
+    server.join();
+
+    for n in [1usize, 2, 4] {
+        let fleet = Fleet::start(
+            (0..n).map(|_| backend()).collect(),
+            GatewayConfig::default(),
+        )
+        .unwrap();
+        let addr = fleet.gateway_addr();
+        cases.push(run_case(
+            "fleet",
+            format!("gateway-throughput/{n}"),
+            options.samples,
+            || {
+                let summary = run_load(addr, &specs, 4).unwrap();
+                assert_eq!(summary.completed, specs.len() as u64);
+            },
+        ));
+        let mut client = Client::connect(addr).unwrap();
+        cases.push(run_case(
+            "fleet",
+            format!("gateway-latency/{n}"),
+            latency_samples,
+            || client.submit(&probe).unwrap(),
+        ));
+        drop(client);
+        fleet.join();
+    }
+}
+
 fn main() {
     let options = parse_options();
     let all = [
@@ -462,6 +552,7 @@ fn main() {
         "solvers",
         "ablations",
         "search",
+        "fleet",
     ];
     let selected: Vec<&str> = if options.suites.is_empty() {
         all.to_vec()
@@ -485,6 +576,7 @@ fn main() {
             "solvers" => suite_solvers(&options, &mut cases),
             "ablations" => suite_ablations(&options, &mut cases),
             "search" => suite_search(&options, &mut cases),
+            "fleet" => suite_fleet(&options, &mut cases),
             _ => unreachable!(),
         }
     }

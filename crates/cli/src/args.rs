@@ -6,6 +6,7 @@
 //! with precise messages.
 
 use mosaic_assign::SolverKind;
+use mosaic_gateway::RoutePolicy;
 use mosaic_grid::TileMetric;
 use mosaic_service::protocol::ops;
 use photomosaic::{Algorithm, Backend, Preprocess};
@@ -99,6 +100,44 @@ pub enum Command {
         /// Per-job execution deadline in milliseconds (0 = none).
         job_deadline_ms: u64,
     },
+    /// `mosaic gateway` — route jobs across an existing backend fleet.
+    Gateway {
+        /// Bind address (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Backend addresses to route across (non-empty).
+        backends: Vec<String>,
+        /// Backend selection policy.
+        policy: RoutePolicy,
+        /// Back-off hint sent with typed refusals.
+        retry_ms: u64,
+        /// Largest client frame accepted, in bytes (0 = unlimited).
+        max_frame_bytes: usize,
+        /// Client socket deadline in milliseconds (0 = none).
+        io_timeout_ms: u64,
+        /// Per-backend connect/IO deadline in milliseconds (0 = none).
+        backend_timeout_ms: u64,
+        /// Concurrent client-connection cap (0 = unlimited).
+        max_connections: usize,
+        /// Distinct backends tried per job before giving up.
+        hops: usize,
+        /// Health-probe period in milliseconds (0 disables probing).
+        probe_ms: u64,
+    },
+    /// `mosaic fleet` — spin up N backends plus a gateway in one process.
+    Fleet {
+        /// Gateway bind address.
+        addr: String,
+        /// Number of backend servers to start.
+        backends: usize,
+        /// Worker threads per backend.
+        workers: usize,
+        /// Bounded queue capacity per backend.
+        queue: usize,
+        /// Error-matrix LRU capacity per backend.
+        cache: usize,
+        /// Backend selection policy.
+        policy: RoutePolicy,
+    },
     /// `mosaic submit` — talk to a running server.
     Submit {
         /// Server address.
@@ -161,6 +200,8 @@ pub enum SubmitAction {
     Metrics,
     /// Liveness check.
     Ping,
+    /// Fetch a gateway's routing table and per-backend health.
+    GatewayInfo,
     /// Ask the server to shut down gracefully.
     Shutdown,
 }
@@ -253,6 +294,18 @@ fn parse_scene(v: &str) -> Result<mosaic_image::synth::Scene, CliError> {
                 "--scene expects portrait|regatta|fur|drapery|plasma|checker, got {v:?}"
             ))
         })
+}
+
+/// The `--policy` flag shared by `gateway` and `fleet`.
+fn parse_policy(flags: &Flags) -> Result<RoutePolicy, CliError> {
+    match flags.optional("policy") {
+        None => Ok(RoutePolicy::Rendezvous),
+        Some(v) => RoutePolicy::parse(v).ok_or_else(|| {
+            CliError(format!(
+                "--policy expects rendezvous|round-robin, got {v:?}"
+            ))
+        }),
+    }
 }
 
 /// Shared pipeline-configuration flags (`generate` and `submit`).
@@ -410,18 +463,81 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 job_deadline_ms: flags.number("job-deadline-ms", 60_000)? as u64,
             })
         }
+        ops::GATEWAY => {
+            let flags = split_flags(rest)?;
+            flags.check_known(&[
+                "addr",
+                "backends",
+                "policy",
+                "retry-ms",
+                "max-frame-bytes",
+                "io-timeout-ms",
+                "backend-timeout-ms",
+                "max-connections",
+                "hops",
+                "probe-ms",
+            ])?;
+            let backends: Vec<String> = flags
+                .require("backends")?
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if backends.is_empty() {
+                return Err(CliError("--backends expects at least one host:port".into()));
+            }
+            Ok(Command::Gateway {
+                addr: flags
+                    .optional("addr")
+                    .unwrap_or("127.0.0.1:7744")
+                    .to_string(),
+                backends,
+                policy: parse_policy(&flags)?,
+                retry_ms: flags.number("retry-ms", 50)? as u64,
+                max_frame_bytes: flags.number("max-frame-bytes", 16 * 1024 * 1024)?,
+                io_timeout_ms: flags.number("io-timeout-ms", 30_000)? as u64,
+                backend_timeout_ms: flags.number("backend-timeout-ms", 10_000)? as u64,
+                max_connections: flags.number("max-connections", 64)?,
+                hops: flags.number("hops", 2)?.max(1),
+                probe_ms: flags.number("probe-ms", 500)? as u64,
+            })
+        }
+        "fleet" => {
+            let flags = split_flags(rest)?;
+            flags.check_known(&["addr", "backends", "workers", "queue", "cache", "policy"])?;
+            let backends = flags.number("backends", 2)?;
+            if backends == 0 {
+                return Err(CliError("--backends must be positive".into()));
+            }
+            let queue = flags.number("queue", 16)?;
+            if queue == 0 {
+                return Err(CliError("--queue must be positive".into()));
+            }
+            Ok(Command::Fleet {
+                addr: flags
+                    .optional("addr")
+                    .unwrap_or("127.0.0.1:7744")
+                    .to_string(),
+                backends,
+                workers: flags.number("workers", 2)?.max(1),
+                queue,
+                cache: flags.number("cache", 8)?,
+                policy: parse_policy(&flags)?,
+            })
+        }
         ops::SUBMIT => {
             let flags = split_flags(rest)?;
             let op = flags.optional("op").unwrap_or("job");
             let addr = flags.require("addr")?.to_string();
             match op {
                 // The `--op` control words are the wire ops themselves.
-                ops::STATS | ops::METRICS | ops::PING | ops::SHUTDOWN => {
+                ops::STATS | ops::METRICS | ops::PING | ops::GATEWAY | ops::SHUTDOWN => {
                     flags.check_known(&["addr", "op"])?;
                     let action = match op {
                         ops::STATS => SubmitAction::Stats,
                         ops::METRICS => SubmitAction::Metrics,
                         ops::PING => SubmitAction::Ping,
+                        ops::GATEWAY => SubmitAction::GatewayInfo,
                         _ => SubmitAction::Shutdown,
                     };
                     Ok(Command::Submit { addr, action })
@@ -459,7 +575,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     })
                 }
                 other => Err(CliError(format!(
-                    "--op expects job|stats|metrics|ping|shutdown, got {other:?}"
+                    "--op expects job|stats|metrics|ping|gateway|shutdown, got {other:?}"
                 ))),
             }
         }
@@ -854,11 +970,100 @@ mod tests {
     }
 
     #[test]
+    fn gateway_defaults_and_flags() {
+        let Command::Gateway {
+            addr,
+            backends,
+            policy,
+            retry_ms,
+            max_frame_bytes,
+            io_timeout_ms,
+            backend_timeout_ms,
+            max_connections,
+            hops,
+            probe_ms,
+        } = parse(&argv("gateway --backends 127.0.0.1:7733")).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(addr, "127.0.0.1:7744");
+        assert_eq!(backends, vec!["127.0.0.1:7733"]);
+        assert_eq!(policy, RoutePolicy::Rendezvous);
+        assert_eq!((retry_ms, max_frame_bytes), (50, 16 * 1024 * 1024));
+        assert_eq!((io_timeout_ms, backend_timeout_ms), (30_000, 10_000));
+        assert_eq!((max_connections, hops, probe_ms), (64, 2, 500));
+
+        let Command::Gateway {
+            backends,
+            policy,
+            hops,
+            probe_ms,
+            ..
+        } = parse(&argv(
+            "gateway --backends h:1,h:2,h:3 --policy round-robin --hops 3 --probe-ms 100",
+        ))
+        .unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(backends, vec!["h:1", "h:2", "h:3"]);
+        assert_eq!(policy, RoutePolicy::RoundRobin);
+        assert_eq!((hops, probe_ms), (3, 100));
+
+        // Backends are required, the policy word is validated, and
+        // --hops is floored at one.
+        assert!(parse(&argv("gateway")).is_err());
+        assert!(parse(&argv("gateway --backends ,")).is_err());
+        assert!(parse(&argv("gateway --backends h:1 --policy random")).is_err());
+        let Command::Gateway { hops, .. } =
+            parse(&argv("gateway --backends h:1 --hops 0")).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(hops, 1);
+    }
+
+    #[test]
+    fn fleet_defaults_and_flags() {
+        let Command::Fleet {
+            addr,
+            backends,
+            workers,
+            queue,
+            cache,
+            policy,
+        } = parse(&argv("fleet")).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(addr, "127.0.0.1:7744");
+        assert_eq!((backends, workers, queue, cache), (2, 2, 16, 8));
+        assert_eq!(policy, RoutePolicy::Rendezvous);
+
+        let Command::Fleet {
+            backends,
+            workers,
+            policy,
+            ..
+        } = parse(&argv("fleet --backends 4 --workers 1 --policy round-robin")).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!((backends, workers), (4, 1));
+        assert_eq!(policy, RoutePolicy::RoundRobin);
+
+        assert!(parse(&argv("fleet --backends 0")).is_err());
+        assert!(parse(&argv("fleet --queue 0")).is_err());
+        assert!(parse(&argv("fleet --bogus 1")).is_err());
+    }
+
+    #[test]
     fn submit_control_ops_and_errors() {
         let ops = [
             ("stats", SubmitAction::Stats),
             ("metrics", SubmitAction::Metrics),
             ("ping", SubmitAction::Ping),
+            ("gateway", SubmitAction::GatewayInfo),
             ("shutdown", SubmitAction::Shutdown),
         ];
         for (name, expected) in ops {

@@ -1,6 +1,7 @@
 //! Command execution for the `mosaic` binary.
 
 use crate::args::{CliError, Command, ImageArg, SubmitAction};
+use mosaic_gateway::{Fleet, Gateway, GatewayConfig};
 use mosaic_image::histogram::Histogram;
 use mosaic_image::io::{load_pgm, save_pgm};
 use mosaic_image::metrics;
@@ -139,6 +140,78 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             server.join();
             Ok("server stopped".to_string())
         }
+        Command::Gateway {
+            addr,
+            backends,
+            policy,
+            retry_ms,
+            max_frame_bytes,
+            io_timeout_ms,
+            backend_timeout_ms,
+            max_connections,
+            hops,
+            probe_ms,
+        } => {
+            let count = backends.len();
+            let gateway = Gateway::start(GatewayConfig {
+                addr,
+                backends,
+                policy,
+                retry_after_ms: retry_ms,
+                max_frame_bytes,
+                io_timeout_ms,
+                backend_timeout_ms,
+                max_connections,
+                max_hops: hops,
+                probe_interval_ms: probe_ms,
+                health: mosaic_gateway::HealthPolicy::default(),
+            })
+            .map_err(|e| CliError(format!("failed to start gateway: {e}")))?;
+            println!(
+                "mosaic gateway listening on {} ({count} backends, {} routing)",
+                gateway.local_addr(),
+                policy.name()
+            );
+            gateway.join();
+            Ok("gateway stopped".to_string())
+        }
+        Command::Fleet {
+            addr,
+            backends,
+            workers,
+            queue,
+            cache,
+            policy,
+        } => {
+            let backend_configs = (0..backends)
+                .map(|_| ServiceConfig {
+                    workers,
+                    queue_capacity: queue,
+                    cache_capacity: cache,
+                    ..ServiceConfig::default()
+                })
+                .collect();
+            let fleet = Fleet::start(
+                backend_configs,
+                GatewayConfig {
+                    addr,
+                    policy,
+                    ..GatewayConfig::default()
+                },
+            )
+            .map_err(|e| CliError(format!("failed to start fleet: {e}")))?;
+            let addrs: Vec<String> = (0..fleet.backend_count())
+                .map(|i| fleet.backend_addr(i).to_string())
+                .collect();
+            println!(
+                "mosaic fleet: gateway {} ({} routing) over backends {}",
+                fleet.gateway_addr(),
+                policy.name(),
+                addrs.join(", ")
+            );
+            fleet.serve();
+            Ok("fleet stopped".to_string())
+        }
         Command::Submit { addr, action } => submit(&addr, action),
         Command::Info { path } => {
             let img = load_pgm(&path)?;
@@ -205,6 +278,14 @@ fn submit(addr: &str, action: SubmitAction) -> Result<String, CliError> {
             let mut client = Client::connect(addr).map_err(io_err)?;
             match client.metrics().map_err(io_err)? {
                 Response::Metrics { text } => Ok(text),
+                other => Err(unexpected(&other)),
+            }
+        }
+        SubmitAction::GatewayInfo => {
+            let mut client = Client::connect(addr).map_err(io_err)?;
+            match client.gateway_info().map_err(io_err)? {
+                Response::Gateway { gateway } => Ok(gateway.encode()),
+                Response::Error { message } => Err(CliError(format!("server error: {message}"))),
                 other => Err(unexpected(&other)),
             }
         }
@@ -487,6 +568,91 @@ mod tests {
         assert!(msg.contains("shutting down"), "{msg}");
         let served = server.join().unwrap().unwrap();
         assert!(served.contains("stopped"), "{served}");
+    }
+
+    #[test]
+    fn fleet_and_submit_end_to_end() {
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let fleet_addr = addr.clone();
+        let fleet = std::thread::spawn(move || {
+            execute(Command::Fleet {
+                addr: fleet_addr,
+                backends: 2,
+                workers: 1,
+                queue: 8,
+                cache: 4,
+                policy: mosaic_gateway::RoutePolicy::Rendezvous,
+            })
+        });
+        let mut attempts = 0;
+        loop {
+            match std::net::TcpStream::connect(&addr) {
+                Ok(_) => break,
+                Err(_) if attempts < 200 => {
+                    attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(e) => panic!("fleet never came up: {e}"),
+            }
+        }
+
+        // Route one job through the gateway, then read the routing table.
+        let msg = execute(Command::Submit {
+            addr: addr.clone(),
+            action: SubmitAction::Job {
+                input: ImageArg::Scene {
+                    scene: Scene::Portrait,
+                    seed: 1,
+                },
+                target: ImageArg::Scene {
+                    scene: Scene::Checker,
+                    seed: 2,
+                },
+                size: 32,
+                config: photomosaic::MosaicBuilder::new()
+                    .grid(4)
+                    .backend(photomosaic::Backend::Serial)
+                    .build(),
+                jobs: 1,
+                connections: 1,
+            },
+        })
+        .unwrap();
+        assert!(msg.contains("total error"), "{msg}");
+
+        let msg = execute(Command::Submit {
+            addr: addr.clone(),
+            action: SubmitAction::GatewayInfo,
+        })
+        .unwrap();
+        assert!(msg.contains("\"policy\":\"rendezvous\""), "{msg}");
+        assert!(msg.contains("\"healthy\""), "{msg}");
+
+        let msg = execute(Command::Submit {
+            addr: addr.clone(),
+            action: SubmitAction::Shutdown,
+        })
+        .unwrap();
+        assert!(msg.contains("shutting down"), "{msg}");
+        let served = fleet.join().unwrap().unwrap();
+        assert!(served.contains("stopped"), "{served}");
+    }
+
+    #[test]
+    fn gateway_info_against_a_plain_server_is_a_clear_error() {
+        let server = Server::start(ServiceConfig::default()).unwrap();
+        let err = execute(Command::Submit {
+            addr: server.local_addr().to_string(),
+            action: SubmitAction::GatewayInfo,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("backend"), "{err}");
+        server.shutdown();
+        server.join();
     }
 
     #[test]

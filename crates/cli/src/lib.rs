@@ -7,6 +7,8 @@
 //! mosaic database --target tgt.pgm --donors a.pgm,b.pgm --tile 16 --out m.pgm
 //! mosaic synth    --scene portrait --size 512 --seed 1 --out scene.pgm
 //! mosaic serve    --addr 127.0.0.1:7733 --workers 4 --queue 16 --cache 8
+//! mosaic gateway  --backends 127.0.0.1:7733,127.0.0.1:7734 [options]
+//! mosaic fleet    --backends 2 --workers 4 [options]
 //! mosaic submit   --addr 127.0.0.1:7733 --input in.pgm --target tgt.pgm [options]
 //! mosaic compare  a.pgm b.pgm
 //! mosaic info     image.pgm
@@ -51,7 +53,13 @@ USAGE:
                   [--cache <n>] [--retry-ms <n>] [--max-frame-bytes <n>]
                   [--io-timeout-ms <n>] [--max-connections <n>]
                   [--job-deadline-ms <n>]
-  mosaic submit   --addr <host:port> [--op job|stats|metrics|ping|shutdown]
+  mosaic gateway  --backends <host:port,host:port,...> [--addr <host:port>]
+                  [--policy rendezvous|round-robin] [--hops <n>] [--probe-ms <n>]
+                  [--retry-ms <n>] [--max-frame-bytes <n>] [--io-timeout-ms <n>]
+                  [--backend-timeout-ms <n>] [--max-connections <n>]
+  mosaic fleet    [--backends <n>] [--addr <host:port>] [--workers <n>]
+                  [--queue <n>] [--cache <n>] [--policy rendezvous|round-robin]
+  mosaic submit   --addr <host:port> [--op job|stats|metrics|ping|gateway|shutdown]
                   job: --input <pgm> | --input-scene <name> [--input-seed <n>]
                        --target <pgm> | --target-scene <name> [--target-seed <n>]
                        [--size <n>] [--jobs <n>] [--connections <n>]
@@ -72,4 +80,12 @@ over line-delimited JSON; --jobs > 1 turns it into a load generator.
 --op metrics fetches a Prometheus-style text exposition of server
 counters and histograms; generate --trace-out writes a JSON span trace
 plus metric summaries.
+
+gateway fronts a fleet of serve processes: jobs are routed by
+rendezvous hashing on their canonical spec key (identical specs reuse
+one backend's error-matrix cache), dead backends are detected by a
+health state machine plus periodic probes, and jobs fail over to the
+next rendezvous choice up to --hops backends. fleet starts N backends
+plus a gateway in one process for local experiments. --op gateway asks
+a gateway for its routing table and per-backend health.
 ";

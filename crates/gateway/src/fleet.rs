@@ -1,0 +1,194 @@
+//! An in-process fleet: N backend servers plus one gateway, wired
+//! together on ephemeral ports. The harness behind the fleet fault
+//! tests, the `fleet` bench suite, and the CLI `fleet` subcommand.
+//!
+//! Backends run in-process (threads, not child processes) so tests and
+//! benches stay deterministic and sandbox-friendly, but everything
+//! between the pieces travels over real TCP — the gateway cannot tell
+//! the difference, and a backend "killed" via
+//! [`FaultPlan::crash_first_jobs`](mosaic_service::FaultPlan::crash_first_jobs)
+//! goes dark exactly like a dead process: connection severed mid-job,
+//! listener closed, further connects refused.
+
+use crate::gateway::{Gateway, GatewayConfig};
+use mosaic_service::client::Client;
+use mosaic_service::protocol::Response;
+use mosaic_service::server::{Server, ServiceConfig};
+use photomosaic::Json;
+use std::net::SocketAddr;
+
+/// Aggregate Step-2 matrix cache counters across a fleet.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetCacheStats {
+    /// Cache hits summed over every reachable backend.
+    pub hits: u64,
+    /// Cache misses summed over every reachable backend.
+    pub misses: u64,
+}
+
+/// A running fleet: backends plus the gateway in front of them.
+pub struct Fleet {
+    backends: Vec<Server>,
+    gateway: Option<Gateway>,
+    gateway_addr: SocketAddr,
+}
+
+impl Fleet {
+    /// Start one backend per entry of `backend_configs` (each on its
+    /// own ephemeral port unless the config pins one), then a gateway
+    /// from `gateway_config` with its `backends` list replaced by the
+    /// freshly bound addresses.
+    ///
+    /// # Errors
+    /// Propagates bind/spawn failures; backends already started are
+    /// shut down before the error surfaces.
+    pub fn start(
+        backend_configs: Vec<ServiceConfig>,
+        gateway_config: GatewayConfig,
+    ) -> std::io::Result<Fleet> {
+        let mut backends: Vec<Server> = Vec::with_capacity(backend_configs.len());
+        for config in backend_configs {
+            match Server::start(config) {
+                Ok(server) => backends.push(server),
+                Err(e) => {
+                    shutdown_servers(backends);
+                    return Err(e);
+                }
+            }
+        }
+        let config = GatewayConfig {
+            backends: backends
+                .iter()
+                .map(|server| server.local_addr().to_string())
+                .collect(),
+            ..gateway_config
+        };
+        match Gateway::start(config) {
+            Ok(gateway) => Ok(Fleet {
+                backends,
+                gateway_addr: gateway.local_addr(),
+                gateway: Some(gateway),
+            }),
+            Err(e) => {
+                shutdown_servers(backends);
+                Err(e)
+            }
+        }
+    }
+
+    /// The gateway's bound address — what clients connect to.
+    pub fn gateway_addr(&self) -> SocketAddr {
+        self.gateway_addr
+    }
+
+    /// How many backends the fleet was started with.
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The bound address of backend `index`.
+    pub fn backend_addr(&self, index: usize) -> SocketAddr {
+        self.backends[index].local_addr()
+    }
+
+    /// Sum the `MatrixCache` hit/miss counters over every backend that
+    /// still answers `stats`; dead backends contribute nothing.
+    pub fn aggregate_cache_stats(&self) -> FleetCacheStats {
+        let mut total = FleetCacheStats::default();
+        for server in &self.backends {
+            let Ok(mut client) = Client::connect(server.local_addr()) else {
+                continue;
+            };
+            let Ok(Response::Stats { stats }) = client.stats() else {
+                continue;
+            };
+            let field = |name: &str| {
+                stats
+                    .get("cache")
+                    .and_then(|cache| cache.get(name))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            };
+            total.hits += field("hits");
+            total.misses += field("misses");
+        }
+        total
+    }
+
+    /// Trigger graceful shutdown of the gateway and every backend.
+    pub fn shutdown(&self) {
+        if let Some(gateway) = &self.gateway {
+            gateway.shutdown();
+        }
+        for server in &self.backends {
+            server.shutdown();
+        }
+    }
+
+    /// Block until the gateway is shut down — by a wire `shutdown`
+    /// request or a prior [`shutdown`](Fleet::shutdown) call — then stop
+    /// and join the backends. The CLI `fleet` command's main loop.
+    pub fn serve(mut self) {
+        if let Some(gateway) = self.gateway.take() {
+            gateway.join();
+        }
+        shutdown_servers(std::mem::take(&mut self.backends));
+    }
+
+    /// Shut everything down and wait for all threads to exit.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(gateway) = self.gateway.take() {
+            gateway.join();
+        }
+        for server in self.backends.drain(..) {
+            server.join();
+        }
+    }
+}
+
+fn shutdown_servers(servers: Vec<Server>) {
+    for server in &servers {
+        server.shutdown();
+    }
+    for server in servers {
+        server.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_service::protocol::Request;
+
+    #[test]
+    fn fleet_starts_routes_and_joins() {
+        let fleet = Fleet::start(
+            vec![ServiceConfig::default(), ServiceConfig::default()],
+            GatewayConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(fleet.backend_count(), 2);
+        let mut client = Client::connect(fleet.gateway_addr()).unwrap();
+        assert_eq!(client.ping().unwrap(), Response::Pong);
+        let Response::Gateway { gateway } = client.request(&Request::GatewayInfo).unwrap() else {
+            panic!("expected a gateway snapshot");
+        };
+        let backends = gateway.get("backends").unwrap();
+        let Json::Arr(entries) = backends else {
+            panic!("expected a backend array");
+        };
+        assert_eq!(entries.len(), 2);
+        for entry in entries {
+            assert_eq!(entry.get("state").unwrap().as_str(), Some("healthy"));
+        }
+        fleet.join();
+    }
+
+    #[test]
+    fn fresh_fleet_has_zero_cache_traffic() {
+        let fleet = Fleet::start(vec![ServiceConfig::default()], GatewayConfig::default()).unwrap();
+        assert_eq!(fleet.aggregate_cache_stats(), FleetCacheStats::default());
+        fleet.join();
+    }
+}

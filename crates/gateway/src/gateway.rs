@@ -1,0 +1,682 @@
+//! The gateway server: accepts client connections, routes each job to
+//! a backend, proxies the response back.
+//!
+//! Thread structure (all plain `std::thread`):
+//!
+//! ```text
+//! accept loop ──spawns──▶ connection handlers (one per client)
+//!                              │ route_submit: pick backends in
+//!                              │ rendezvous order, forward over a
+//!                              ▼ fresh TCP connection per attempt
+//!                        backend fleet (mosaic-service processes)
+//!                              ▲
+//! probe loop ── stats probes ──┘ (fan-out on the process pool)
+//! ```
+//!
+//! The client side reuses the service crate's hardening primitives
+//! verbatim: bounded framing ([`read_message`]), socket deadlines, and
+//! the [`ConnectionGate`] admission cap. The backend side opens one
+//! connection per attempt — jobs are pure functions of their spec, so
+//! replaying a job on the next rendezvous choice after a mid-job
+//! backend death is always safe.
+//!
+//! Failover semantics per job, up to `max_hops` distinct backends:
+//!
+//! * connect/IO failure → count a health failure, try the next choice;
+//! * `rejected` (backpressure) → the backend is alive but saturated;
+//!   try the next choice, and if every hop was saturated answer
+//!   `rejected` so clients reuse their existing back-off;
+//! * `error` → the backend is alive; retry elsewhere in case the
+//!   failure was local (a draining backend), proxy the last error if
+//!   every hop errors;
+//! * anything else → proxy verbatim.
+//!
+//! When no backend is routable the gateway still attempts the top
+//! rendezvous choice ("last resort"): live traffic then doubles as a
+//! probe, so a fleet that was marked Down but has recovered starts
+//! serving again without waiting for the probe tick. If even that
+//! fails the client gets `no_backend_available`.
+
+use crate::health::{BackendState, HealthCell, HealthPolicy};
+use crate::metrics::GatewayMetrics;
+use crate::routing::{backend_seed, rendezvous_order};
+use mosaic_service::gate::ConnectionGate;
+use mosaic_service::protocol::{kinds, read_message, write_message, ReadError, Request, Response};
+use mosaic_telemetry::lock_unpoisoned;
+use photomosaic::{JobSpec, Json};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Backend responses larger than this are treated as protocol errors —
+/// same generous-but-bounded ceiling the client crate uses.
+const MAX_BACKEND_RESPONSE_BYTES: usize = 256 * 1024 * 1024;
+
+/// How a job picks its backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Rendezvous (HRW) hashing on the spec's cache key: identical
+    /// specs always land on the same backend, so its `MatrixCache`
+    /// serves Step 2. The production policy.
+    Rendezvous,
+    /// Rotate through backends regardless of the spec. Spreads load but
+    /// scatters cache affinity; exists as the control arm for affinity
+    /// measurements and benches.
+    RoundRobin,
+}
+
+impl RoutePolicy {
+    /// The snapshot/CLI word for this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutePolicy::Rendezvous => "rendezvous",
+            RoutePolicy::RoundRobin => "round-robin",
+        }
+    }
+
+    /// Parse the words produced by [`name`](Self::name).
+    pub fn parse(text: &str) -> Option<RoutePolicy> {
+        match text {
+            "rendezvous" => Some(RoutePolicy::Rendezvous),
+            "round-robin" => Some(RoutePolicy::RoundRobin),
+            _ => None,
+        }
+    }
+}
+
+/// Gateway tuning knobs. The hardening knobs treat `0` as "unlimited"
+/// exactly like [`mosaic_service::ServiceConfig`].
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Backend addresses. Must be non-empty.
+    pub backends: Vec<String>,
+    /// Backend selection policy.
+    pub policy: RoutePolicy,
+    /// Back-off hint sent with every typed refusal.
+    pub retry_after_ms: u64,
+    /// Per-request frame cap for client connections (0 = unlimited).
+    pub max_frame_bytes: usize,
+    /// Socket deadline for client connections in ms (0 = none).
+    pub io_timeout_ms: u64,
+    /// Connect + socket deadline per backend attempt in ms (0 = none).
+    pub backend_timeout_ms: u64,
+    /// Concurrent client-connection cap (0 = unlimited).
+    pub max_connections: usize,
+    /// Distinct backends tried per job before giving up (min 1).
+    pub max_hops: usize,
+    /// Health-probe period in ms (0 disables the probe thread).
+    pub probe_interval_ms: u64,
+    /// Health state-machine thresholds.
+    pub health: HealthPolicy,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            policy: RoutePolicy::Rendezvous,
+            retry_after_ms: 50,
+            max_frame_bytes: 16 * 1024 * 1024,
+            io_timeout_ms: 30_000,
+            backend_timeout_ms: 10_000,
+            max_connections: 64,
+            max_hops: 2,
+            probe_interval_ms: 500,
+            health: HealthPolicy::default(),
+        }
+    }
+}
+
+/// One backend as the gateway sees it.
+struct Backend {
+    addr: String,
+    health: Mutex<HealthCell>,
+    /// Jobs this backend answered (success responses only).
+    routed: AtomicU64,
+}
+
+struct Shared {
+    config: GatewayConfig,
+    backends: Vec<Backend>,
+    /// Rendezvous identity seeds, index-parallel with `backends`.
+    seeds: Vec<u64>,
+    metrics: GatewayMetrics,
+    gate: ConnectionGate,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    rr_cursor: AtomicUsize,
+}
+
+impl Shared {
+    fn frame_limit(&self) -> usize {
+        match self.config.max_frame_bytes {
+            0 => usize::MAX,
+            limit => limit,
+        }
+    }
+
+    fn io_timeout(&self) -> Option<Duration> {
+        match self.config.io_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        }
+    }
+
+    fn backend_timeout(&self) -> Option<Duration> {
+        match self.config.backend_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept() so it can observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Backends currently routable (Healthy or Suspect) — what the
+    /// `gateway_backends_healthy` gauge reports.
+    fn routable_count(&self) -> usize {
+        self.backends
+            .iter()
+            .filter(|b| lock_unpoisoned(&b.health).is_routable())
+            .count()
+    }
+
+    /// Candidate indices for one job, best first, before health
+    /// filtering.
+    fn route_order(&self, key: u64) -> Vec<usize> {
+        match self.config.policy {
+            RoutePolicy::Rendezvous => rendezvous_order(&self.seeds, key),
+            RoutePolicy::RoundRobin => {
+                let n = self.backends.len();
+                let start = self.rr_cursor.fetch_add(1, Ordering::Relaxed) % n.max(1);
+                (0..n).map(|i| (start + i) % n).collect()
+            }
+        }
+    }
+
+    /// The `gateway` op payload: routing table plus per-backend health.
+    fn info_json(&self) -> Json {
+        let backends: Vec<Json> = self
+            .backends
+            .iter()
+            .map(|backend| {
+                let health = lock_unpoisoned(&backend.health);
+                Json::obj([
+                    ("addr", Json::from(backend.addr.as_str())),
+                    ("state", Json::from(health.state().name())),
+                    (
+                        "consecutive_failures",
+                        Json::from(u64::from(health.consecutive_failures())),
+                    ),
+                    ("routed", Json::from(backend.routed.load(Ordering::Relaxed))),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("addr", Json::from(self.local_addr.to_string().as_str())),
+            ("policy", Json::from(self.config.policy.name())),
+            ("max_hops", Json::from(self.config.max_hops.max(1))),
+            ("backends", Json::Arr(backends)),
+        ])
+    }
+}
+
+/// A running gateway. Dropping the handle does *not* stop it; call
+/// [`shutdown`](Gateway::shutdown) (or send the `shutdown` request)
+/// and then [`join`](Gateway::join).
+pub struct Gateway {
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    probe_handle: Option<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Bind and start the accept loop and (if enabled) the probe loop.
+    ///
+    /// # Errors
+    /// Socket bind failures, or an empty backend list.
+    pub fn start(config: GatewayConfig) -> std::io::Result<Gateway> {
+        if config.backends.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a gateway needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let backends: Vec<Backend> = config
+            .backends
+            .iter()
+            .map(|addr| Backend {
+                addr: addr.clone(),
+                health: Mutex::new(HealthCell::new(config.health)),
+                routed: AtomicU64::new(0),
+            })
+            .collect();
+        let seeds: Vec<u64> = config.backends.iter().map(|a| backend_seed(a)).collect();
+        let shared = Arc::new(Shared {
+            gate: ConnectionGate::new(config.max_connections),
+            config,
+            backends,
+            seeds,
+            metrics: GatewayMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            rr_cursor: AtomicUsize::new(0),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("gateway-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+
+        let probe_handle = if shared.config.probe_interval_ms > 0 {
+            let probe_shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name("gateway-probe".to_string())
+                .spawn(move || probe_loop(&probe_shared))
+            {
+                Ok(handle) => Some(handle),
+                Err(e) => {
+                    shared.begin_shutdown();
+                    let _ = accept_handle.join();
+                    return Err(e);
+                }
+            }
+        } else {
+            None
+        };
+
+        Ok(Gateway {
+            shared,
+            accept_handle: Some(accept_handle),
+            probe_handle,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Trigger graceful shutdown. Idempotent; also triggered by the
+    /// `shutdown` wire request.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Wait for the accept and probe loops to exit. Implies
+    /// [`shutdown`](Gateway::shutdown) has been (or will be) triggered.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.probe_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Some(permit) = shared.gate.try_acquire() else {
+                    shared.metrics.connection_rejected();
+                    let _ = stream.set_write_timeout(shared.io_timeout());
+                    let _ = write_message(
+                        &mut &stream,
+                        &Response::Rejected {
+                            retry_after_ms: shared.config.retry_after_ms,
+                        }
+                        .to_json(),
+                    );
+                    continue;
+                };
+                let shared = Arc::clone(shared);
+                // Handlers are detached, exactly like the backend
+                // server's; a failed spawn drops the closure and with it
+                // the permit.
+                let _ = std::thread::Builder::new()
+                    .name("gateway-conn".to_string())
+                    .spawn(move || {
+                        let _permit = permit;
+                        handle_connection(stream, &shared);
+                    });
+            }
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    if let Some(timeout) = shared.io_timeout() {
+        if stream.set_read_timeout(Some(timeout)).is_err()
+            || stream.set_write_timeout(Some(timeout)).is_err()
+        {
+            return;
+        }
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let message = match read_message(&mut reader, shared.frame_limit()) {
+            Ok(Some(m)) => m,
+            Ok(None) => return,
+            Err(ReadError::FrameTooLarge { limit }) => {
+                shared.metrics.frame_too_large();
+                let _ = write_message(
+                    &mut writer,
+                    &Response::FrameTooLarge {
+                        max_frame_bytes: limit as u64,
+                    }
+                    .to_json(),
+                );
+                return;
+            }
+            Err(ReadError::Malformed(problem)) => {
+                let _ = write_message(&mut writer, &Response::Error { message: problem }.to_json());
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        };
+        let reply = match Request::from_json(&message) {
+            Err(problem) => Response::Error { message: problem }.to_json(),
+            Ok(Request::Ping) => Response::Pong.to_json(),
+            Ok(Request::Stats) => Response::Stats {
+                stats: shared
+                    .metrics
+                    .snapshot(shared.routable_count(), shared.backends.len()),
+            }
+            .to_json(),
+            Ok(Request::Metrics) => Response::Metrics {
+                text: shared
+                    .metrics
+                    .prometheus(shared.routable_count(), shared.backends.len()),
+            }
+            .to_json(),
+            Ok(Request::GatewayInfo) => Response::Gateway {
+                gateway: shared.info_json(),
+            }
+            .to_json(),
+            Ok(Request::Shutdown) => {
+                shared.begin_shutdown();
+                Response::ShuttingDown.to_json()
+            }
+            Ok(Request::Submit(spec)) => route_submit(shared, &spec),
+        };
+        if write_message(&mut writer, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// What one forwarding attempt produced.
+enum Attempt {
+    /// A definitive response to proxy verbatim.
+    Proxy(Json),
+    /// The backend is alive but saturated (`rejected`).
+    Saturated,
+    /// The backend answered `error`; maybe local, retry elsewhere.
+    Errored(Json),
+    /// Connect or mid-connection I/O death.
+    Dead,
+}
+
+/// Route one job: walk the candidate list, forward, classify.
+fn route_submit(shared: &Arc<Shared>, spec: &JobSpec) -> Json {
+    let started = Instant::now();
+    let order = shared.route_order(spec.cache_key());
+    let routable: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|&i| lock_unpoisoned(&shared.backends[i].health).is_routable())
+        .collect();
+    // Last resort: with nothing routable, try the top choice anyway so
+    // traffic doubles as a recovery probe.
+    let last_resort = routable.is_empty();
+    let candidates = if last_resort {
+        order.first().copied().into_iter().collect()
+    } else {
+        routable
+    };
+
+    let mut saturated = false;
+    let mut last_error: Option<Json> = None;
+    let mut last_dead: Option<&str> = None;
+    for (hop, &index) in candidates
+        .iter()
+        .take(shared.config.max_hops.max(1))
+        .enumerate()
+    {
+        if hop > 0 {
+            shared.metrics.failover();
+        }
+        let backend = &shared.backends[index];
+        match forward(shared, backend, spec) {
+            Attempt::Proxy(json) => {
+                lock_unpoisoned(&backend.health).on_success();
+                backend.routed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.job_routed(started.elapsed());
+                return json;
+            }
+            Attempt::Saturated => {
+                lock_unpoisoned(&backend.health).on_success();
+                saturated = true;
+            }
+            Attempt::Errored(json) => {
+                lock_unpoisoned(&backend.health).on_success();
+                last_error = Some(json);
+            }
+            Attempt::Dead => {
+                lock_unpoisoned(&backend.health).on_failure();
+                last_dead = Some(backend.addr.as_str());
+            }
+        }
+    }
+
+    shared.metrics.job_refused();
+    let retry_after_ms = shared.config.retry_after_ms;
+    if saturated {
+        // At least one backend is alive and will free up: the standard
+        // backpressure shape keeps existing client back-off working.
+        Response::Rejected { retry_after_ms }.to_json()
+    } else if let Some(json) = last_error {
+        json
+    } else if last_resort {
+        Response::NoBackendAvailable { retry_after_ms }.to_json()
+    } else if let Some(backend) = last_dead {
+        Response::BackendDown {
+            backend: backend.to_string(),
+            retry_after_ms,
+        }
+        .to_json()
+    } else {
+        // Unreachable in practice (candidates is never empty), but the
+        // typed shape beats a panic if it ever is.
+        Response::NoBackendAvailable { retry_after_ms }.to_json()
+    }
+}
+
+/// Forward one job to one backend over a fresh connection and classify
+/// the outcome. The response JSON is kept raw so a proxied result is
+/// byte-identical to a direct submission.
+fn forward(shared: &Arc<Shared>, backend: &Backend, spec: &JobSpec) -> Attempt {
+    match forward_io(shared, backend, spec) {
+        Ok(json) => match json.get("kind").and_then(Json::as_str) {
+            Some(kinds::REJECTED) => Attempt::Saturated,
+            Some(kinds::ERROR) => Attempt::Errored(json),
+            _ => Attempt::Proxy(json),
+        },
+        Err(_) => Attempt::Dead,
+    }
+}
+
+fn forward_io(shared: &Arc<Shared>, backend: &Backend, spec: &JobSpec) -> std::io::Result<Json> {
+    let addr = resolve(&backend.addr)?;
+    let stream = match shared.backend_timeout() {
+        Some(timeout) => TcpStream::connect_timeout(&addr, timeout)?,
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_read_timeout(shared.backend_timeout())?;
+    stream.set_write_timeout(shared.backend_timeout())?;
+    let mut writer = stream.try_clone()?;
+    write_message(
+        &mut writer,
+        &Request::Submit(Box::new(spec.clone())).to_json(),
+    )?;
+    let mut reader = BufReader::new(stream);
+    read_message(&mut reader, MAX_BACKEND_RESPONSE_BYTES)
+        .map_err(std::io::Error::from)?
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "backend closed mid-job")
+        })
+}
+
+fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "address resolved to nothing",
+        )
+    })
+}
+
+/// One stats round-trip against a backend; `true` on any valid reply.
+fn probe_backend(shared: &Arc<Shared>, backend: &Backend) -> bool {
+    let probe = || -> std::io::Result<()> {
+        let addr = resolve(&backend.addr)?;
+        let timeout = shared.backend_timeout().unwrap_or(Duration::from_secs(10));
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let mut writer = stream.try_clone()?;
+        write_message(&mut writer, &Request::Stats.to_json())?;
+        let mut reader = BufReader::new(stream);
+        read_message(&mut reader, MAX_BACKEND_RESPONSE_BYTES)
+            .map_err(std::io::Error::from)?
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "probe got EOF")
+            })?;
+        Ok(())
+    };
+    probe().is_ok()
+}
+
+/// Periodic health sweep. The loop paces itself on a dedicated thread;
+/// each sweep fans the per-backend probes out on the process pool so a
+/// hung backend (probe stuck until its timeout) does not serialize the
+/// others.
+fn probe_loop(shared: &Arc<Shared>) {
+    let interval = Duration::from_millis(shared.config.probe_interval_ms);
+    // Sleep in short slices so shutdown is observed promptly even with
+    // long probe intervals.
+    let slice = Duration::from_millis(20).min(interval);
+    let mut elapsed = Duration::ZERO;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(slice);
+        elapsed += slice;
+        if elapsed < interval {
+            continue;
+        }
+        elapsed = Duration::ZERO;
+
+        // Mark Down backends as Probing before the sweep so the router
+        // keeps skipping them while the probe is in flight.
+        for backend in &shared.backends {
+            lock_unpoisoned(&backend.health).begin_probe();
+        }
+        let mut results: Vec<Option<bool>> = vec![None; shared.backends.len()];
+        mosaic_pool::global().parallel_for_mut(&mut results, 1, |index, slot| {
+            slot[0] = Some(probe_backend(shared, &shared.backends[index]));
+        });
+        for (backend, result) in shared.backends.iter().zip(results) {
+            let ok = result.unwrap_or(false);
+            if !ok {
+                shared.metrics.probe_failed();
+            }
+            let mut health = lock_unpoisoned(&backend.health);
+            match health.state() {
+                BackendState::Probing => health.on_probe_result(ok),
+                // Routable backends get the ordinary traffic rules: a
+                // probe is just a tiny request.
+                _ if ok => health.on_success(),
+                _ => health.on_failure(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_policy_words_roundtrip() {
+        for policy in [RoutePolicy::Rendezvous, RoutePolicy::RoundRobin] {
+            assert_eq!(RoutePolicy::parse(policy.name()), Some(policy));
+        }
+        assert_eq!(RoutePolicy::parse("random"), None);
+    }
+
+    #[test]
+    fn gateway_refuses_an_empty_backend_list() {
+        match Gateway::start(GatewayConfig::default()) {
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput),
+            Ok(_) => panic!("an empty backend list must not start"),
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_through_every_backend() {
+        let shared = Shared {
+            gate: ConnectionGate::new(0),
+            config: GatewayConfig {
+                backends: vec!["a".into(), "b".into(), "c".into()],
+                policy: RoutePolicy::RoundRobin,
+                ..GatewayConfig::default()
+            },
+            backends: ["a", "b", "c"]
+                .iter()
+                .map(|addr| Backend {
+                    addr: addr.to_string(),
+                    health: Mutex::new(HealthCell::new(HealthPolicy::default())),
+                    routed: AtomicU64::new(0),
+                })
+                .collect(),
+            seeds: vec![1, 2, 3],
+            metrics: GatewayMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            local_addr: "127.0.0.1:0".parse().unwrap(),
+            rr_cursor: AtomicUsize::new(0),
+        };
+        // Same key every time; round-robin must still rotate the head.
+        let heads: Vec<usize> = (0..6).map(|_| shared.route_order(9)[0]).collect();
+        assert_eq!(heads, vec![0, 1, 2, 0, 1, 2]);
+        // Every order is a permutation.
+        let mut order = shared.route_order(9);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

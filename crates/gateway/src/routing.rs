@@ -1,0 +1,167 @@
+//! Rendezvous (highest-random-weight) routing as pure functions.
+//!
+//! Every routing decision is a deterministic function of two numbers:
+//! the job's canonical key ([`photomosaic::JobSpec::cache_key`], which
+//! hashes exactly the fields the backend's error-matrix cache keys on)
+//! and each backend's identity seed (an FNV-1a hash of its address
+//! string). That gives the three properties the gateway needs:
+//!
+//! * **determinism** — restarting the gateway, or running several
+//!   gateways side by side, routes the same spec to the same backend,
+//!   so `MatrixCache` affinity survives process boundaries;
+//! * **minimal movement** — removing one of N backends remaps only the
+//!   keys that lived on it (≈ S/N of S keys), because every other
+//!   key's argmax score is untouched;
+//! * **built-in failover order** — the full descending-score ranking is
+//!   a per-key preference list, so "try the next rendezvous choice" is
+//!   just the next index.
+
+/// FNV-1a over a byte string; the backend identity hash. Stable across
+/// process restarts by construction (it depends only on the address
+/// text).
+pub fn backend_seed(addr: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in addr.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixer, so one flipped
+/// input bit flips ~half the output bits. This is what turns
+/// `seed ^ key` into an independent per-(backend, key) weight.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The rendezvous weight of `(backend, key)`; the backend with the
+/// highest score owns the key.
+pub fn hrw_score(backend_seed: u64, key: u64) -> u64 {
+    mix(backend_seed ^ mix(key))
+}
+
+/// Backend indices ranked by descending rendezvous score for `key` —
+/// index 0 is the owner, the rest is the failover order. Ties (which
+/// need colliding 64-bit scores) break toward the lower index, keeping
+/// the order total and deterministic.
+pub fn rendezvous_order(seeds: &[u64], key: u64) -> Vec<usize> {
+    let mut ranked: Vec<(u64, usize)> = seeds
+        .iter()
+        .enumerate()
+        .map(|(index, &seed)| (hrw_score(seed, key), index))
+        .collect();
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    ranked.into_iter().map(|(_, index)| index).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_image::synth::XorShift64;
+
+    fn seeds(n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|i| backend_seed(&format!("127.0.0.1:{}", 7700 + i)))
+            .collect()
+    }
+
+    #[test]
+    fn backend_seed_is_stable_text_hashing() {
+        // Pinned value: the identity hash must never drift between
+        // builds, or a rolling restart would reshuffle every key.
+        assert_eq!(backend_seed(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(
+            backend_seed("127.0.0.1:7733"),
+            backend_seed("127.0.0.1:7733")
+        );
+        assert_ne!(
+            backend_seed("127.0.0.1:7733"),
+            backend_seed("127.0.0.1:7734")
+        );
+    }
+
+    #[test]
+    fn routing_is_deterministic_across_instances() {
+        // Two independently-built seed tables (a "restarted process")
+        // must produce identical rankings for every key.
+        let a = seeds(5);
+        let b = seeds(5);
+        let mut rng = XorShift64::new(42);
+        for _ in 0..500 {
+            let key = rng.next_u64();
+            assert_eq!(rendezvous_order(&a, key), rendezvous_order(&b, key));
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_moves_only_its_keys() {
+        // With N backends and S keys, dropping one backend must remap
+        // only the keys it owned (expected S/N), and every remapped key
+        // must land on its previous second choice.
+        let all = seeds(5);
+        let survivors = &all[..4]; // drop the last backend
+        let mut rng = XorShift64::new(7);
+        const S: usize = 2000;
+        let mut moved = 0;
+        for _ in 0..S {
+            let key = rng.next_u64();
+            let before = rendezvous_order(&all, key);
+            let after = rendezvous_order(survivors, key);
+            if before[0] == 4 {
+                moved += 1;
+                assert_eq!(after[0], before[1], "evicted keys go to the runner-up");
+            } else {
+                assert_eq!(after[0], before[0], "surviving owners keep their keys");
+            }
+        }
+        // E[moved] = S/5 = 400; a generous band still proves "only its
+        // share" rather than a full reshuffle.
+        assert!(
+            (200..=600).contains(&moved),
+            "{moved} of {S} keys moved, expected about {}",
+            S / 5
+        );
+    }
+
+    #[test]
+    fn ownership_is_roughly_uniform_for_3_to_8_backends() {
+        let mut rng = XorShift64::new(1234);
+        for n in 3..=8 {
+            let table = seeds(n);
+            let mut owned = vec![0usize; n];
+            const S: usize = 4000;
+            for _ in 0..S {
+                let key = rng.next_u64();
+                owned[rendezvous_order(&table, key)[0]] += 1;
+            }
+            let expected = S / n;
+            for (index, &count) in owned.iter().enumerate() {
+                assert!(
+                    count > expected / 2 && count < expected * 2,
+                    "n={n}: backend {index} owns {count} of {S} keys (expected ~{expected})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_is_a_permutation_with_distinct_scores_first() {
+        let table = seeds(8);
+        let order = rendezvous_order(&table, 99);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+        // Scores along the ranking are non-increasing.
+        let scores: Vec<u64> = order.iter().map(|&i| hrw_score(table[i], 99)).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn empty_backend_set_yields_an_empty_order() {
+        assert!(rendezvous_order(&[], 5).is_empty());
+    }
+}

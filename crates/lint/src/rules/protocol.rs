@@ -12,10 +12,12 @@ use crate::walk::Workspace;
 const REGISTRY_FILE: &str = "crates/service/src/protocol.rs";
 
 /// Files that speak the protocol and are checked for literal drift.
-const PROTOCOL_FILES: [&str; 5] = [
+const PROTOCOL_FILES: [&str; 7] = [
     REGISTRY_FILE,
     "crates/service/src/server.rs",
     "crates/service/src/client.rs",
+    "crates/gateway/src/gateway.rs",
+    "crates/gateway/src/fleet.rs",
     "crates/cli/src/args.rs",
     "crates/cli/src/commands.rs",
 ];
@@ -248,6 +250,39 @@ pub mod kinds {
             .iter()
             .any(|f| f.message.contains("frame_too_large")
                 && f.file == "crates/service/src/server.rs"));
+    }
+
+    #[test]
+    fn gateway_words_are_learned_and_gateway_sources_are_checked() {
+        // The PR-6 routing words are registry entries like any other,
+        // and the gateway crate's sources are protocol files: spelling
+        // a routing word as a literal there is drift.
+        let registry = "
+pub mod ops {
+    pub const GATEWAY: &str = \"gateway\";
+}
+pub mod kinds {
+    pub const BACKEND_DOWN: &str = \"backend_down\";
+    pub const NO_BACKEND_AVAILABLE: &str = \"no_backend_available\";
+}
+";
+        let gateway = "fn down(kind: &str) -> bool { kind == \"backend_down\" }\n";
+        let fleet = "fn empty(kind: &str) -> bool { kind == \"no_backend_available\" }\n";
+        let ws = workspace_of(&[
+            ("crates/service/src/protocol.rs", registry),
+            ("crates/gateway/src/gateway.rs", gateway),
+            ("crates/gateway/src/fleet.rs", fleet),
+        ]);
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().any(
+            |f| f.message.contains("backend_down") && f.file == "crates/gateway/src/gateway.rs"
+        ));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("no_backend_available")
+                && f.file == "crates/gateway/src/fleet.rs"));
     }
 
     #[test]

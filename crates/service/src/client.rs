@@ -92,13 +92,14 @@ impl Client {
         self.request(&Request::Submit(Box::new(spec.clone())))
     }
 
-    /// Submit one job, retrying on queue-full rejections, up to
-    /// `max_attempts`. The server's `retry_after_ms` hint seeds a
-    /// floored, capped exponential back-off with per-connection jitter —
-    /// a hint of 0 never hot-spins, and simultaneous rejectees spread
-    /// out instead of stampeding back together. Returns the final
-    /// response (which is `Rejected` only if every attempt was rejected)
-    /// plus the number of rejections absorbed.
+    /// Submit one job, retrying on the typed refusals — queue-full
+    /// `rejected` from a server, `backend_down`/`no_backend_available`
+    /// from a gateway — up to `max_attempts`. The `retry_after_ms` hint
+    /// seeds a floored, capped exponential back-off with per-connection
+    /// jitter — a hint of 0 never hot-spins, and simultaneous rejectees
+    /// spread out instead of stampeding back together. Returns the final
+    /// response (a refusal only if every attempt was refused) plus the
+    /// number of refusals absorbed.
     ///
     /// # Errors
     /// See [`request`](Self::request).
@@ -110,17 +111,19 @@ impl Client {
         let attempts = max_attempts.max(1) as u64;
         let mut rejections = 0;
         loop {
-            match self.submit(spec)? {
-                Response::Rejected { retry_after_ms } => {
-                    rejections += 1;
-                    if rejections >= attempts {
-                        return Ok((Response::Rejected { retry_after_ms }, rejections));
-                    }
-                    let delay = backoff_delay_ms(retry_after_ms, rejections, &mut self.rng);
-                    std::thread::sleep(Duration::from_millis(delay));
-                }
-                other => return Ok((other, rejections)),
+            let response = self.submit(spec)?;
+            let hint = match &response {
+                Response::Rejected { retry_after_ms }
+                | Response::BackendDown { retry_after_ms, .. }
+                | Response::NoBackendAvailable { retry_after_ms } => *retry_after_ms,
+                _ => return Ok((response, rejections)),
+            };
+            rejections += 1;
+            if rejections >= attempts {
+                return Ok((response, rejections));
             }
+            let delay = backoff_delay_ms(hint, rejections, &mut self.rng);
+            std::thread::sleep(Duration::from_millis(delay));
         }
     }
 
@@ -146,6 +149,15 @@ impl Client {
     /// See [`request`](Self::request).
     pub fn ping(&mut self) -> std::io::Result<Response> {
         self.request(&Request::Ping)
+    }
+
+    /// Fetch a gateway's routing table and per-backend health. Plain
+    /// servers answer this with a typed `error`.
+    ///
+    /// # Errors
+    /// See [`request`](Self::request).
+    pub fn gateway_info(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::GatewayInfo)
     }
 
     /// Ask the server to shut down gracefully.
@@ -214,7 +226,12 @@ pub fn run_load(
                         lane_summary.cache_hits += 1;
                     }
                 }
-                Ok((Response::Rejected { .. }, rejections)) => {
+                Ok((
+                    Response::Rejected { .. }
+                    | Response::BackendDown { .. }
+                    | Response::NoBackendAvailable { .. },
+                    rejections,
+                )) => {
                     lane_summary.rejections += rejections;
                     lane_summary.failed += 1;
                 }

@@ -6,7 +6,12 @@
 //!   `ServiceConfig::faults`. A plan can stall the first N jobs a worker
 //!   picks up (simulating a pathological job pinning a worker) with a
 //!   counted budget, so tests hit the per-job deadline path on exactly
-//!   the jobs they intend to.
+//!   the jobs they intend to. For fleet scenarios a plan can instead
+//!   *crash* a backend mid-job ([`FaultPlan::crash_first_jobs`]): the
+//!   worker that claims a crash makes the server sever that job's
+//!   connection with no response and go dark (listener closed, later
+//!   connects refused), emulating a process killed mid-run — exactly
+//!   what a gateway's failover and health machinery must absorb.
 //! * Hostile-client helpers ([`probe_oversized_frame`],
 //!   [`stalled_connection_is_closed`], [`disconnect_mid_frame`]) — each
 //!   performs one scripted attack against a live server and reports what
@@ -31,6 +36,7 @@ use std::time::Duration;
 pub struct FaultPlan {
     stall_ms: u64,
     stall_budget: Arc<AtomicU64>,
+    crash_budget: Arc<AtomicU64>,
 }
 
 impl FaultPlan {
@@ -46,12 +52,47 @@ impl FaultPlan {
         FaultPlan {
             stall_ms,
             stall_budget: Arc::new(AtomicU64::new(jobs)),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Crash the server on each of the first `jobs` jobs a worker picks
+    /// up: the job's connection is severed without a response and the
+    /// server begins shutdown, so its listener closes and subsequent
+    /// connects are refused — a process killed mid-job, as seen from the
+    /// network. Jobs already accepted into the queue still drain.
+    pub fn crash_first_jobs(jobs: u64) -> FaultPlan {
+        FaultPlan {
+            crash_budget: Arc::new(AtomicU64::new(jobs)),
+            ..FaultPlan::default()
         }
     }
 
     /// How many injected stalls remain unclaimed.
     pub fn stalls_remaining(&self) -> u64 {
         self.stall_budget.load(Ordering::SeqCst)
+    }
+
+    /// How many injected crashes remain unclaimed.
+    pub fn crashes_remaining(&self) -> u64 {
+        self.crash_budget.load(Ordering::SeqCst)
+    }
+
+    /// Claim one crash from the budget, if the plan has any left.
+    pub(crate) fn take_crash(&self) -> bool {
+        let mut remaining = self.crash_budget.load(Ordering::SeqCst);
+        while remaining > 0 {
+            match self.crash_budget.compare_exchange(
+                remaining,
+                remaining - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => remaining = actual,
+            }
+        }
+        false
     }
 
     /// Claim one stall from the budget, if the plan has any left.
@@ -163,6 +204,21 @@ mod tests {
         let plan = FaultPlan::none();
         assert_eq!(plan.stalls_remaining(), 0);
         assert!(plan.take_stall().is_none());
+        assert_eq!(plan.crashes_remaining(), 0);
+        assert!(!plan.take_crash());
+    }
+
+    #[test]
+    fn crash_budget_counts_down_and_is_shared_by_clones() {
+        let plan = FaultPlan::crash_first_jobs(2);
+        let clone = plan.clone();
+        assert_eq!(plan.crashes_remaining(), 2);
+        assert!(clone.take_crash());
+        assert!(plan.take_crash());
+        assert!(!plan.take_crash());
+        assert_eq!(clone.crashes_remaining(), 0);
+        // A crash plan injects no stalls.
+        assert!(plan.take_stall().is_none());
     }
 
     #[test]
@@ -189,6 +245,7 @@ mod tests {
         let plan = FaultPlan {
             stall_ms: 0,
             stall_budget: Arc::new(AtomicU64::new(5)),
+            ..FaultPlan::default()
         };
         assert!(plan.take_stall().is_none());
         assert_eq!(plan.stalls_remaining(), 5, "budget is not consumed");

@@ -1,0 +1,143 @@
+//! The connection gate: a lock-free concurrent-connection cap.
+//!
+//! Extracted from the server's accept loop so the gateway tier can
+//! reuse the exact same admission discipline: claim a
+//! [`ConnectionPermit`] before spawning a handler, answer `rejected`
+//! and drop the socket when the gate is full, and let the permit's
+//! `Drop` release the slot no matter how the handler exits (including
+//! a failed thread spawn, which drops the closure holding the permit).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A concurrent-connection cap. `limit == 0` means unlimited, but
+/// active connections are still counted (useful for introspection).
+/// Cloning shares the count, so an accept loop and its metrics reader
+/// observe the same gate.
+#[derive(Clone, Debug, Default)]
+pub struct ConnectionGate {
+    active: Arc<AtomicUsize>,
+    limit: usize,
+}
+
+impl ConnectionGate {
+    /// A gate admitting at most `limit` concurrent holders
+    /// (0 = unlimited).
+    pub fn new(limit: usize) -> ConnectionGate {
+        ConnectionGate {
+            active: Arc::new(AtomicUsize::new(0)),
+            limit,
+        }
+    }
+
+    /// Claim a slot, or `None` when the gate is at its limit.
+    pub fn try_acquire(&self) -> Option<ConnectionPermit> {
+        let mut current = self.active.load(Ordering::SeqCst);
+        loop {
+            if self.limit != 0 && current >= self.limit {
+                return None;
+            }
+            match self.active.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Some(ConnectionPermit {
+                        active: Arc::clone(&self.active),
+                    })
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Permits currently held.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// The configured cap (0 = unlimited).
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+}
+
+/// RAII slot in a [`ConnectionGate`]; dropping it releases the slot.
+#[derive(Debug)]
+pub struct ConnectionPermit {
+    active: Arc<AtomicUsize>,
+}
+
+impl Drop for ConnectionPermit {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_caps_and_releases() {
+        let gate = ConnectionGate::new(2);
+        let a = gate.try_acquire().unwrap();
+        let _b = gate.try_acquire().unwrap();
+        assert!(gate.try_acquire().is_none(), "gate is full");
+        assert_eq!(gate.active(), 2);
+        drop(a);
+        assert_eq!(gate.active(), 1);
+        assert!(gate.try_acquire().is_some(), "slot was released");
+    }
+
+    #[test]
+    fn zero_limit_is_unlimited_but_counted() {
+        let gate = ConnectionGate::new(0);
+        let permits: Vec<ConnectionPermit> =
+            (0..100).map(|_| gate.try_acquire().unwrap()).collect();
+        assert_eq!(gate.active(), 100);
+        assert_eq!(gate.limit(), 0);
+        drop(permits);
+        assert_eq!(gate.active(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_count() {
+        let gate = ConnectionGate::new(1);
+        let clone = gate.clone();
+        let _held = gate.try_acquire().unwrap();
+        assert!(clone.try_acquire().is_none());
+        assert_eq!(clone.active(), 1);
+    }
+
+    #[test]
+    fn contended_gate_never_oversubscribes() {
+        let gate = ConnectionGate::new(8);
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let gate = gate.clone();
+                let admitted = Arc::clone(&admitted);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(permit) = gate.try_acquire() {
+                            admitted.fetch_add(1, Ordering::SeqCst);
+                            peak.fetch_max(gate.active(), Ordering::SeqCst);
+                            drop(permit);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert!(admitted.load(Ordering::SeqCst) > 0);
+        assert!(peak.load(Ordering::SeqCst) <= 8, "cap was never exceeded");
+        assert_eq!(gate.active(), 0, "every permit was released");
+    }
+}

@@ -42,6 +42,7 @@
 pub mod cache;
 pub mod client;
 pub mod fault;
+pub mod gate;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
@@ -52,6 +53,7 @@ pub use client::{run_load, Client, LoadSummary};
 pub use fault::{
     disconnect_mid_frame, probe_oversized_frame, stalled_connection_is_closed, FaultPlan,
 };
+pub use gate::{ConnectionGate, ConnectionPermit};
 pub use metrics::ServiceMetrics;
 pub use protocol::{ReadError, Request, Response};
 pub use queue::{JobQueue, PushError};

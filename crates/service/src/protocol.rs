@@ -13,6 +13,7 @@
 //! {"op":"metrics"}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
+//! {"op":"gateway"}
 //! ```
 //!
 //! Responses (`"kind"` selects the shape):
@@ -27,7 +28,14 @@
 //! {"kind":"error","message":"..."}
 //! {"kind":"frame_too_large","max_frame_bytes":16777216}
 //! {"kind":"deadline_exceeded","deadline_ms":30000}
+//! {"kind":"gateway","gateway":{...}}
+//! {"kind":"backend_down","backend":"127.0.0.1:7733","retry_after_ms":50}
+//! {"kind":"no_backend_available","retry_after_ms":50}
 //! ```
+//!
+//! The last three shapes are produced only by `mosaic-gateway`, which
+//! speaks this same protocol in front of a backend fleet; a plain
+//! server answers the `gateway` op with an `error`.
 //!
 //! A `result`'s `report` object is the job's
 //! [`GenerationReport::to_json`](photomosaic::GenerationReport::to_json)
@@ -53,6 +61,9 @@ pub mod ops {
     pub const PING: &str = "ping";
     /// Graceful shutdown.
     pub const SHUTDOWN: &str = "shutdown";
+    /// Gateway routing/health snapshot (answered by `mosaic-gateway`
+    /// instances; plain servers answer with an error).
+    pub const GATEWAY: &str = "gateway";
 }
 
 /// The response `"kind"` words — the response half of the registry.
@@ -75,6 +86,13 @@ pub mod kinds {
     pub const FRAME_TOO_LARGE: &str = "frame_too_large";
     /// The job ran past the server's per-job deadline.
     pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// Gateway routing/health snapshot (JSON).
+    pub const GATEWAY: &str = "gateway";
+    /// Every routing attempt for the job died on connect/IO and the
+    /// failover hop budget is spent.
+    pub const BACKEND_DOWN: &str = "backend_down";
+    /// No backend is currently routable at all.
+    pub const NO_BACKEND_AVAILABLE: &str = "no_backend_available";
 }
 
 /// A parsed client request.
@@ -90,6 +108,8 @@ pub enum Request {
     Ping,
     /// Begin graceful shutdown (control command).
     Shutdown,
+    /// Report the gateway's routing table and per-backend health.
+    GatewayInfo,
 }
 
 impl Request {
@@ -103,6 +123,7 @@ impl Request {
             Request::Metrics => Json::obj([("op", Json::from(ops::METRICS))]),
             Request::Ping => Json::obj([("op", Json::from(ops::PING))]),
             Request::Shutdown => Json::obj([("op", Json::from(ops::SHUTDOWN))]),
+            Request::GatewayInfo => Json::obj([("op", Json::from(ops::GATEWAY))]),
         }
     }
 
@@ -124,6 +145,7 @@ impl Request {
             ops::METRICS => Ok(Request::Metrics),
             ops::PING => Ok(Request::Ping),
             ops::SHUTDOWN => Ok(Request::Shutdown),
+            ops::GATEWAY => Ok(Request::GatewayInfo),
             other => Err(format!("unknown op {other:?}")),
         }
     }
@@ -175,6 +197,24 @@ pub enum Response {
         /// The deadline that was exceeded.
         deadline_ms: u64,
     },
+    /// Gateway routing table and per-backend health snapshot.
+    Gateway {
+        /// The snapshot object.
+        gateway: Json,
+    },
+    /// Every failover attempt for the job hit a dead backend; the
+    /// client should back off and retry like a rejection.
+    BackendDown {
+        /// The last backend address that failed.
+        backend: String,
+        /// Suggested client back-off.
+        retry_after_ms: u64,
+    },
+    /// No backend is routable at all (whole fleet down or removed).
+    NoBackendAvailable {
+        /// Suggested client back-off.
+        retry_after_ms: u64,
+    },
 }
 
 impl Response {
@@ -210,6 +250,22 @@ impl Response {
             Response::DeadlineExceeded { deadline_ms } => Json::obj([
                 ("kind", Json::from(kinds::DEADLINE_EXCEEDED)),
                 ("deadline_ms", Json::from(*deadline_ms)),
+            ]),
+            Response::Gateway { gateway } => Json::obj([
+                ("kind", Json::from(kinds::GATEWAY)),
+                (kinds::GATEWAY, gateway.clone()),
+            ]),
+            Response::BackendDown {
+                backend,
+                retry_after_ms,
+            } => Json::obj([
+                ("kind", Json::from(kinds::BACKEND_DOWN)),
+                ("backend", Json::from(backend.as_str())),
+                ("retry_after_ms", Json::from(*retry_after_ms)),
+            ]),
+            Response::NoBackendAvailable { retry_after_ms } => Json::obj([
+                ("kind", Json::from(kinds::NO_BACKEND_AVAILABLE)),
+                ("retry_after_ms", Json::from(*retry_after_ms)),
             ]),
         }
     }
@@ -269,6 +325,29 @@ impl Response {
                     .get("deadline_ms")
                     .and_then(Json::as_u64)
                     .ok_or("deadline-exceeded response needs \"deadline_ms\"")?,
+            }),
+            kinds::GATEWAY => Ok(Response::Gateway {
+                gateway: value
+                    .get(kinds::GATEWAY)
+                    .cloned()
+                    .ok_or("gateway response needs a \"gateway\"")?,
+            }),
+            kinds::BACKEND_DOWN => Ok(Response::BackendDown {
+                backend: value
+                    .get("backend")
+                    .and_then(Json::as_str)
+                    .ok_or("backend-down response needs a \"backend\"")?
+                    .to_string(),
+                retry_after_ms: value
+                    .get("retry_after_ms")
+                    .and_then(Json::as_u64)
+                    .ok_or("backend-down response needs \"retry_after_ms\"")?,
+            }),
+            kinds::NO_BACKEND_AVAILABLE => Ok(Response::NoBackendAvailable {
+                retry_after_ms: value
+                    .get("retry_after_ms")
+                    .and_then(Json::as_u64)
+                    .ok_or("no-backend-available response needs \"retry_after_ms\"")?,
             }),
             other => Err(format!("unknown response kind {other:?}")),
         }
@@ -417,6 +496,7 @@ mod tests {
             Request::Metrics,
             Request::Ping,
             Request::Shutdown,
+            Request::GatewayInfo,
         ] {
             let text = request.to_json().encode();
             let back = Request::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -446,6 +526,14 @@ mod tests {
                 max_frame_bytes: 16 * 1024 * 1024,
             },
             Response::DeadlineExceeded { deadline_ms: 30000 },
+            Response::Gateway {
+                gateway: Json::obj([("backends", Json::from(2u64))]),
+            },
+            Response::BackendDown {
+                backend: "127.0.0.1:7733".to_string(),
+                retry_after_ms: 50,
+            },
+            Response::NoBackendAvailable { retry_after_ms: 50 },
         ] {
             let text = response.to_json().encode();
             let back = Response::from_json(&Json::parse(&text).unwrap()).unwrap();

@@ -26,6 +26,7 @@
 
 use crate::cache::MatrixCache;
 use crate::fault::FaultPlan;
+use crate::gate::{ConnectionGate, ConnectionPermit};
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{read_message, write_message, ReadError, Request, Response};
 use crate::queue::{JobQueue, PushError};
@@ -36,7 +37,7 @@ use photomosaic::{
 };
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -91,11 +92,20 @@ impl Default for ServiceConfig {
     }
 }
 
+/// What the worker asks the handler to do with a finished job.
+enum WorkerReply {
+    /// Write this response back to the client.
+    Respond(Response),
+    /// Sever the connection with no response (injected crash: the
+    /// process died mid-job, as seen from the network).
+    Sever,
+}
+
 /// One accepted job travelling from a handler to a worker.
 struct Job {
     spec: JobSpec,
     accepted_at: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: mpsc::Sender<WorkerReply>,
 }
 
 struct Shared {
@@ -105,7 +115,7 @@ struct Shared {
     shutdown: AtomicBool,
     local_addr: SocketAddr,
     config: ServiceConfig,
-    active_connections: AtomicUsize,
+    gate: ConnectionGate,
     /// One persistent compute pool per server, sized by `workers`: every
     /// job's parallel stages (threaded Step 2, pooled Step-3 search, the
     /// GpuSim block lanes) dispatch here instead of spawning scoped
@@ -113,46 +123,7 @@ struct Shared {
     compute_pool: Arc<ThreadPool>,
 }
 
-/// RAII slot in the connection gate: decrements the active-connection
-/// count when the handler (or a failed spawn) drops it.
-struct ConnectionPermit {
-    shared: Arc<Shared>,
-}
-
-impl Drop for ConnectionPermit {
-    fn drop(&mut self) {
-        self.shared
-            .active_connections
-            .fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
 impl Shared {
-    /// Claim a connection slot, or `None` when `max_connections` active
-    /// handlers already exist (0 = unlimited, but still counted).
-    fn try_acquire_connection(self: &Arc<Self>) -> Option<ConnectionPermit> {
-        let limit = self.config.max_connections;
-        let mut current = self.active_connections.load(Ordering::SeqCst);
-        loop {
-            if limit != 0 && current >= limit {
-                return None;
-            }
-            match self.active_connections.compare_exchange(
-                current,
-                current + 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
-                Ok(_) => {
-                    return Some(ConnectionPermit {
-                        shared: Arc::clone(self),
-                    })
-                }
-                Err(actual) => current = actual,
-            }
-        }
-    }
-
     /// The frame cap for `read_message` (0 = unlimited).
     fn frame_limit(&self) -> usize {
         match self.config.max_frame_bytes {
@@ -224,8 +195,8 @@ impl Server {
             metrics: ServiceMetrics::new(),
             shutdown: AtomicBool::new(false),
             local_addr,
+            gate: ConnectionGate::new(config.max_connections),
             config: config.clone(),
-            active_connections: AtomicUsize::new(0),
             compute_pool: Arc::new(ThreadPool::new(config.workers.max(1))),
         });
 
@@ -304,7 +275,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     // The wake-up connection (or a late client); drop it.
                     break;
                 }
-                let Some(permit) = shared.try_acquire_connection() else {
+                let Some(permit) = shared.gate.try_acquire() else {
                     // At the connection cap: answer with the standard
                     // backpressure shape right here on the accept thread
                     // (bounded by the write deadline) and drop the socket.
@@ -398,7 +369,15 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, permit: Connection
                 shared.begin_shutdown();
                 Response::ShuttingDown
             }
-            Ok(Request::Submit(spec)) => submit(*spec, shared),
+            Ok(Request::GatewayInfo) => Response::Error {
+                message: "this server is a backend, not a gateway".to_string(),
+            },
+            Ok(Request::Submit(spec)) => match submit(*spec, shared) {
+                WorkerReply::Respond(response) => response,
+                // Injected crash: vanish mid-job, no response, no close
+                // handshake beyond the socket drop.
+                WorkerReply::Sever => return,
+            },
         };
         if write_message(&mut writer, &response.to_json()).is_err() {
             return;
@@ -409,7 +388,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, permit: Connection
 /// Enqueue a job and wait for its result (the wait happens on the
 /// connection handler thread, so the accept loop and other connections
 /// are unaffected).
-fn submit(spec: JobSpec, shared: &Arc<Shared>) -> Response {
+fn submit(spec: JobSpec, shared: &Arc<Shared>) -> WorkerReply {
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         spec,
@@ -419,19 +398,21 @@ fn submit(spec: JobSpec, shared: &Arc<Shared>) -> Response {
     match shared.queue.try_push(job) {
         Ok(()) => {
             shared.metrics.job_submitted();
-            reply_rx.recv().unwrap_or_else(|_| Response::Error {
-                message: "worker dropped the job".to_string(),
+            reply_rx.recv().unwrap_or_else(|_| {
+                WorkerReply::Respond(Response::Error {
+                    message: "worker dropped the job".to_string(),
+                })
             })
         }
         Err(PushError::Full(_)) => {
             shared.metrics.job_rejected();
-            Response::Rejected {
+            WorkerReply::Respond(Response::Rejected {
                 retry_after_ms: shared.config.retry_after_ms,
-            }
+            })
         }
-        Err(PushError::Closed(_)) => Response::Error {
+        Err(PushError::Closed(_)) => WorkerReply::Respond(Response::Error {
             message: "server is shutting down".to_string(),
-        },
+        }),
     }
 }
 
@@ -448,6 +429,16 @@ fn worker_loop(shared: &Arc<Shared>) {
         let _job_span = mosaic_telemetry::tracer().span("service_job");
         let queue_wait = job.accepted_at.elapsed();
         shared.metrics.job_started(queue_wait);
+        if shared.config.faults.take_crash() {
+            // Injected mid-job crash: this job's connection is severed
+            // without a response and the server goes dark — the listener
+            // closes, so later connects (gateway retries, health probes)
+            // are refused. Jobs already queued still drain below.
+            shared.metrics.job_failed();
+            shared.begin_shutdown();
+            let _ = job.reply.send(WorkerReply::Sever);
+            continue;
+        }
         let queue_wait_ms = queue_wait.as_secs_f64() * 1000.0;
         // The deadline clock starts when the worker picks the job up, so
         // an injected stall consumes deadline budget like real wedging.
@@ -469,7 +460,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         // A handler that gave up (client gone) is not an error.
-        let _ = job.reply.send(response);
+        let _ = job.reply.send(WorkerReply::Respond(response));
     }
 }
 
@@ -614,6 +605,39 @@ mod tests {
             Ok(Response::Error { message }) => assert!(message.contains("shutting down")),
             other => panic!("expected shutdown error, got {other:?}"),
         }
+        server.join();
+    }
+
+    #[test]
+    fn crash_fault_severs_the_connection_and_takes_the_server_dark() {
+        let faults = FaultPlan::crash_first_jobs(1);
+        let server = Server::start(ServiceConfig {
+            faults: faults.clone(),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        // The crashed job gets no response: the client sees EOF.
+        match client.submit(&small_spec(7)) {
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "{e:?}"),
+            Ok(other) => panic!("expected a severed connection, got {other:?}"),
+        }
+        assert_eq!(faults.crashes_remaining(), 0);
+        server.join();
+        // The listener is closed: the process is dark from the network.
+        assert!(Client::connect(addr).is_err(), "connects must be refused");
+    }
+
+    #[test]
+    fn gateway_op_on_a_plain_server_is_a_typed_error() {
+        let server = Server::start(ServiceConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        match client.request(&Request::GatewayInfo) {
+            Ok(Response::Error { message }) => assert!(message.contains("not a gateway")),
+            other => panic!("expected an error, got {other:?}"),
+        }
+        client.shutdown().unwrap();
         server.join();
     }
 

@@ -54,6 +54,22 @@ if [ "${fault_passed:-0}" -lt 5 ]; then
     exit 1
 fi
 
+# Fleet fault suite: the gateway must survive backend death mid-job,
+# floods, and whole-fleet outages with typed refusals. Same passed-count
+# protection as the service fault gate.
+echo "==> cargo test -q --offline --test gateway_fleet fault_"
+fleet_out=$(cargo test -q --offline --test gateway_fleet fault_ 2>&1) || {
+    echo "$fleet_out"
+    exit 1
+}
+fleet_summary=$(echo "$fleet_out" | grep '^test result:' | tail -1)
+echo "$fleet_summary"
+fleet_passed=$(echo "$fleet_summary" | sed -n 's/.* \([0-9][0-9]*\) passed.*/\1/p')
+if [ "${fleet_passed:-0}" -lt 3 ]; then
+    echo "error: expected at least 3 fleet fault tests, ran ${fleet_passed:-0}" >&2
+    exit 1
+fi
+
 # Pool stress suite: the persistent worker pool underpins every
 # parallel stage, so its shutdown/panic/raggedness invariants get the
 # same vacuous-pass protection as the fault suite — a passed count, not
@@ -74,11 +90,14 @@ fi
 # Published benchmark artifacts: the committed root BENCH_search.json
 # must exist and hold the pool-vs-scoped comparison (parsed with the
 # workspace's own Json reader by tests/bench_artifacts.rs).
-if [ ! -f BENCH_search.json ]; then
-    echo "error: BENCH_search.json missing from the workspace root" >&2
-    echo "regenerate: cargo run --release -p mosaic-bench --bin bench -- --suite search" >&2
-    exit 1
-fi
+for artifact in BENCH_search.json BENCH_fleet.json; do
+    if [ ! -f "$artifact" ]; then
+        suite=$(echo "$artifact" | sed 's/^BENCH_//; s/\.json$//')
+        echo "error: $artifact missing from the workspace root" >&2
+        echo "regenerate: cargo run --release -p mosaic-bench --bin bench -- --suite $suite" >&2
+        exit 1
+    fi
+done
 run cargo test -q --offline --test bench_artifacts
 
 # Static analysis: the workspace must be clean modulo the committed
