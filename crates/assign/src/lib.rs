@@ -60,4 +60,4 @@ pub use greedy::GreedySolver;
 pub use hungarian::HungarianSolver;
 pub use jv::JonkerVolgenantSolver;
 pub use solver::{Assignment, Solver, SolverKind};
-pub use sparse::{SparseAuctionSolver, SparseCostMatrix};
+pub use sparse::{solve_sparse_rect, SparseAuctionSolver, SparseCostMatrix, SparseInstanceError};

@@ -15,7 +15,10 @@
 //!   baseline), full-search and per-sweep, at S = 256 and S = 1024;
 //! * `fleet` — batch throughput and warm single-job latency through the
 //!   `mosaic-gateway` routing tier at 1/2/4 backends, against direct
-//!   submission to one server as the no-gateway baseline.
+//!   submission to one server as the no-gateway baseline;
+//! * `tilelib` — clustered candidate pruning vs the dense rectangular
+//!   optimum at library sizes 256/512/1024, plus the published
+//!   pruned-vs-optimal cost ratio (permille) at each size.
 //!
 //! Usage: `cargo run --release -p mosaic-bench --bin bench [-- OPTIONS]`
 //!
@@ -99,7 +102,7 @@ fn parse_options() -> Options {
 fn usage(problem: &str) -> ! {
     eprintln!("bench: {problem}");
     eprintln!("usage: bench [--suite NAME]... [--samples N] [--full] [--json]");
-    eprintln!("suites: error_matrix rearrange solvers ablations search fleet");
+    eprintln!("suites: error_matrix rearrange solvers ablations search fleet tilelib");
     std::process::exit(2);
 }
 
@@ -544,6 +547,129 @@ fn suite_fleet(options: &Options, cases: &mut Vec<Case>) {
     }
 }
 
+/// `count` distinct tiles, deduplicated by the store's content digest so
+/// every library size is met exactly (scene renders can collide).
+fn library_tiles(count: usize, tile_size: usize) -> Vec<mosaic_image::GrayImage> {
+    use mosaic_image::synth::Scene;
+    let mut tiles = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::new();
+    let mut seed = 0u64;
+    while tiles.len() < count {
+        let scene = Scene::ALL[(seed % Scene::ALL.len() as u64) as usize];
+        let img = scene.render(tile_size, seed);
+        if seen.insert(mosaic_tilelib::TileStore::tile_digest(&img)) {
+            tiles.push(img);
+        }
+        seed += 1;
+    }
+    tiles
+}
+
+fn suite_tilelib(options: &Options, cases: &mut Vec<Case>) {
+    use mosaic_assign::{solve_sparse_rect, SparseCostMatrix};
+    use mosaic_tilelib::{batch_features, kmeans, pair_cost, scored_candidates};
+
+    let tile_size = 8usize;
+    let grid = 8usize;
+    let cells = grid * grid;
+    let metric = TileMetric::Sad;
+    let (_, target) = figure2_pair(grid * tile_size);
+    let cell_images: Vec<mosaic_image::GrayImage> = (0..cells)
+        .map(|i| {
+            let (cy, cx) = (i / grid, i % grid);
+            mosaic_image::GrayImage::from_fn(tile_size, tile_size, |x, y| {
+                target.pixel(cx * tile_size + x, cy * tile_size + y)
+            })
+            .unwrap()
+        })
+        .collect();
+    let pool = mosaic_pool::ThreadPool::new(4);
+    let cell_features = batch_features(&cell_images, 4, &pool);
+
+    // Fixed library sizes regardless of --full: bench_artifacts.rs keys
+    // on the largest one as the published pruning evidence.
+    for t in [256usize, 512, 1024] {
+        let tiles = library_tiles(t, tile_size);
+        let tile_features = batch_features(&tiles, 4, &pool);
+        let clustering = kmeans(&tile_features, 32, 1, &pool);
+
+        // Dense baseline: score every (cell, tile) pair, then solve the
+        // full rectangular instance exactly.
+        let dense_solve = || {
+            let lists: Vec<Vec<(usize, u32)>> = cell_images
+                .iter()
+                .map(|cell| {
+                    tiles
+                        .iter()
+                        .enumerate()
+                        .map(|(j, tile)| (j, pair_cost(cell, tile, metric)))
+                        .collect()
+                })
+                .collect();
+            let dense =
+                SparseCostMatrix::from_candidates_rect(cells, tiles.len(), &lists, |c, j| {
+                    pair_cost(&cell_images[c], &tiles[j], metric)
+                })
+                .unwrap();
+            solve_sparse_rect(&dense).unwrap()
+        };
+        // Pruned path: each cell scores only its nearest clusters, then
+        // the sparse instance is solved exactly over those candidates.
+        let sparse_solve = || {
+            let lists = scored_candidates(
+                &cell_images,
+                &cell_features,
+                &tiles,
+                &clustering,
+                4,
+                metric,
+                &pool,
+            );
+            let sparse =
+                SparseCostMatrix::from_candidates_rect(cells, tiles.len(), &lists, |c, j| {
+                    pair_cost(&cell_images[c], &tiles[j], metric)
+                })
+                .unwrap();
+            solve_sparse_rect(&sparse).unwrap()
+        };
+
+        let total = |assignment: &[usize]| -> u64 {
+            assignment
+                .iter()
+                .enumerate()
+                .map(|(c, &j)| u64::from(pair_cost(&cell_images[c], &tiles[j], metric)))
+                .sum()
+        };
+        let dense_cost = total(&dense_solve());
+        let pruned_cost = total(&sparse_solve());
+        // Pruning can only lose quality relative to the dense optimum;
+        // publish how much, in permille (1000 = matched the optimum).
+        let ratio_permille = (pruned_cost.max(1) * 1000).div_ceil(dense_cost.max(1));
+        cases.push(Case {
+            suite: "tilelib",
+            name: format!("cost-ratio-permille/t{t}"),
+            min: Duration::from_micros(ratio_permille),
+            mean: Duration::from_micros(ratio_permille),
+            samples: 1,
+            samples_us: vec![ratio_permille],
+        });
+
+        cases.push(run_case(
+            "tilelib",
+            format!("solve-dense/t{t}"),
+            options.samples,
+            dense_solve,
+        ));
+        cases.push(run_case(
+            "tilelib",
+            format!("solve-sparse/t{t}"),
+            options.samples,
+            sparse_solve,
+        ));
+    }
+    pool.shutdown();
+}
+
 fn main() {
     let options = parse_options();
     let all = [
@@ -553,6 +679,7 @@ fn main() {
         "ablations",
         "search",
         "fleet",
+        "tilelib",
     ];
     let selected: Vec<&str> = if options.suites.is_empty() {
         all.to_vec()
@@ -577,6 +704,7 @@ fn main() {
             "ablations" => suite_ablations(&options, &mut cases),
             "search" => suite_search(&options, &mut cases),
             "fleet" => suite_fleet(&options, &mut cases),
+            "tilelib" => suite_tilelib(&options, &mut cases),
             _ => unreachable!(),
         }
     }

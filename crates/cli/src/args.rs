@@ -9,6 +9,7 @@ use mosaic_assign::SolverKind;
 use mosaic_gateway::RoutePolicy;
 use mosaic_grid::TileMetric;
 use mosaic_service::protocol::ops;
+use mosaic_tilelib::{LibraryParams, TilelibError};
 use photomosaic::{Algorithm, Backend, Preprocess};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -37,6 +38,12 @@ impl From<mosaic_grid::LayoutError> for CliError {
     }
 }
 
+impl From<TilelibError> for CliError {
+    fn from(e: TilelibError) -> Self {
+        CliError(format!("tile library error: {e}"))
+    }
+}
+
 /// A fully parsed command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -52,6 +59,27 @@ pub enum Command {
         config: photomosaic::MosaicConfig,
         /// Optional path for a JSON trace/metrics dump of the run.
         trace_out: Option<String>,
+    },
+    /// `mosaic generate --library`: compose the target from a tile
+    /// store instead of rearranging its own subimages.
+    Library {
+        /// Target image path.
+        target: String,
+        /// Tile-store root directory.
+        store: String,
+        /// Output path.
+        out: String,
+        /// Clustered-pruning parameters.
+        params: LibraryParams,
+    },
+    /// `mosaic ingest` — add a directory of images to a tile store.
+    Ingest {
+        /// Tile-store root directory (created when absent).
+        store: String,
+        /// Directory of `.pgm`/`.ppm` files to ingest.
+        from: String,
+        /// Tile edge length for a newly created store.
+        tile: usize,
     },
     /// `mosaic database`.
     Database {
@@ -193,6 +221,17 @@ pub enum SubmitAction {
         jobs: usize,
         /// Concurrent connections for load generation.
         connections: usize,
+    },
+    /// Submit one library job against a tile store on the server's host.
+    Library {
+        /// Target image.
+        target: ImageArg,
+        /// Edge length for scene rendering.
+        size: usize,
+        /// Tile-store root directory on the server's host.
+        store: String,
+        /// Clustered-pruning parameters.
+        params: LibraryParams,
     },
     /// Fetch aggregate metrics (JSON).
     Stats,
@@ -369,6 +408,29 @@ fn parse_config(flags: &Flags) -> Result<photomosaic::MosaicConfig, CliError> {
         .build())
 }
 
+/// Clustered-pruning flags shared by `generate --library` and
+/// `submit --op library`. Defaults mirror [`LibraryParams::default`].
+fn parse_library_params(flags: &Flags) -> Result<LibraryParams, CliError> {
+    let defaults = LibraryParams::default();
+    let params = LibraryParams {
+        grid: flags.number("grid", defaults.grid)?,
+        clusters: flags.number("clusters", defaults.clusters)?,
+        top_clusters: flags.number("top-clusters", defaults.top_clusters)?,
+        feature_grid: flags.number("feature-grid", defaults.feature_grid)?,
+        seed: flags.number("seed", defaults.seed as usize)? as u64,
+        metric: match flags.optional("metric") {
+            Some(v) => parse_metric(v)?,
+            None => defaults.metric,
+        },
+    };
+    params.validate()?;
+    Ok(params)
+}
+
+/// The library-specific flag names accepted by [`parse_library_params`]
+/// (grid/seed/metric are shared with the generate pipeline flags).
+const LIBRARY_FLAGS: [&str; 3] = ["clusters", "top-clusters", "feature-grid"];
+
 /// The pipeline-configuration flag names accepted by [`parse_config`].
 const CONFIG_FLAGS: [&str; 10] = [
     "grid",
@@ -415,9 +477,27 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "generate" => {
             let flags = split_flags(rest)?;
-            let mut known = vec!["input", "target", "out", "trace-out"];
+            let mut known = vec!["input", "target", "out", "trace-out", ops::LIBRARY];
             known.extend(CONFIG_FLAGS);
+            known.extend(LIBRARY_FLAGS);
             flags.check_known(&known)?;
+            // `--library <store>` switches to tile-library composition:
+            // the cells come from the store, so there is no `--input`.
+            if let Some(store) = flags.optional(ops::LIBRARY) {
+                if flags.optional("input").is_some() {
+                    return Err(CliError(
+                        "--input and --library are mutually exclusive \
+                         (the library supplies the tiles)"
+                            .into(),
+                    ));
+                }
+                return Ok(Command::Library {
+                    target: flags.require("target")?.to_string(),
+                    store: store.to_string(),
+                    out: flags.require("out")?.to_string(),
+                    params: parse_library_params(&flags)?,
+                });
+            }
             let config = parse_config(&flags)?;
             Ok(Command::Generate {
                 input: flags.require("input")?.to_string(),
@@ -425,6 +505,19 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 out: flags.require("out")?.to_string(),
                 config,
                 trace_out: flags.optional("trace-out").map(str::to_string),
+            })
+        }
+        "ingest" => {
+            let flags = split_flags(rest)?;
+            flags.check_known(&["store", "from", "tile"])?;
+            let tile = flags.number("tile", 16)?;
+            if tile == 0 {
+                return Err(CliError("--tile must be positive".into()));
+            }
+            Ok(Command::Ingest {
+                store: flags.require("store")?.to_string(),
+                from: flags.require("from")?.to_string(),
+                tile,
             })
         }
         "serve" => {
@@ -542,6 +635,35 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     };
                     Ok(Command::Submit { addr, action })
                 }
+                ops::LIBRARY => {
+                    let mut known = vec![
+                        "addr",
+                        "op",
+                        "target",
+                        "target-scene",
+                        "target-seed",
+                        "size",
+                        "store",
+                        "grid",
+                        "seed",
+                        "metric",
+                    ];
+                    known.extend(LIBRARY_FLAGS);
+                    flags.check_known(&known)?;
+                    let size = flags.number("size", 256)?;
+                    if size == 0 {
+                        return Err(CliError("--size must be positive".into()));
+                    }
+                    Ok(Command::Submit {
+                        addr,
+                        action: SubmitAction::Library {
+                            target: parse_image_arg(&flags, "target")?,
+                            size,
+                            store: flags.require("store")?.to_string(),
+                            params: parse_library_params(&flags)?,
+                        },
+                    })
+                }
                 "job" => {
                     let mut known = vec![
                         "addr",
@@ -575,7 +697,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     })
                 }
                 other => Err(CliError(format!(
-                    "--op expects job|stats|metrics|ping|gateway|shutdown, got {other:?}"
+                    "--op expects job|library|stats|metrics|ping|gateway|shutdown, got {other:?}"
                 ))),
             }
         }
@@ -1085,6 +1207,122 @@ mod tests {
         ))
         .is_err());
         assert!(parse(&argv("submit --addr h:1 --op stats --jobs 2")).is_err());
+    }
+
+    #[test]
+    fn generate_library_parses_params() {
+        let cmd = parse(&argv(
+            "generate --library /tiles --target t.pgm --out m.pgm --grid 8 \
+             --clusters 16 --top-clusters 2 --feature-grid 3 --seed 7 --metric ssd",
+        ))
+        .unwrap();
+        let Command::Library {
+            target,
+            store,
+            out,
+            params,
+        } = cmd
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(
+            (target.as_str(), store.as_str(), out.as_str()),
+            ("t.pgm", "/tiles", "m.pgm")
+        );
+        assert_eq!(
+            params,
+            LibraryParams {
+                grid: 8,
+                clusters: 16,
+                top_clusters: 2,
+                feature_grid: 3,
+                seed: 7,
+                metric: TileMetric::Ssd,
+            }
+        );
+    }
+
+    #[test]
+    fn generate_library_defaults_and_conflicts() {
+        let cmd = parse(&argv("generate --library /tiles --target t --out m")).unwrap();
+        let Command::Library { params, .. } = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(params, LibraryParams::default());
+        // The library supplies the tiles, so --input is contradictory.
+        let err = parse(&argv(
+            "generate --library /tiles --input a --target t --out m",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+        // Zero knobs are rejected up front.
+        assert!(parse(&argv(
+            "generate --library /t --target t --out m --clusters 0"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "generate --library /t --target t --out m --top-clusters 0"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn ingest_parses_store_from_and_tile() {
+        let cmd = parse(&argv("ingest --store /tiles --from /photos --tile 8")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Ingest {
+                store: "/tiles".into(),
+                from: "/photos".into(),
+                tile: 8,
+            }
+        );
+        let Command::Ingest { tile, .. } =
+            parse(&argv("ingest --store /tiles --from /photos")).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(tile, 16, "default tile edge");
+        assert!(parse(&argv("ingest --from /photos")).is_err());
+        assert!(parse(&argv("ingest --store /tiles")).is_err());
+        assert!(parse(&argv("ingest --store /tiles --from /photos --tile 0")).is_err());
+    }
+
+    #[test]
+    fn submit_library_op_parses() {
+        let cmd = parse(&argv(
+            "submit --addr h:1 --op library --target-scene plasma --size 64 \
+             --store /tiles --grid 4 --clusters 8",
+        ))
+        .unwrap();
+        let Command::Submit {
+            action:
+                SubmitAction::Library {
+                    target,
+                    size,
+                    store,
+                    params,
+                },
+            ..
+        } = cmd
+        else {
+            panic!("wrong command");
+        };
+        let ImageArg::Scene { scene, seed } = target else {
+            panic!("wrong target arg");
+        };
+        assert_eq!((scene.name(), seed), ("plasma", 1));
+        assert_eq!((size, store.as_str()), (64, "/tiles"));
+        assert_eq!((params.grid, params.clusters), (4, 8));
+        // The store is required, and generation-only flags are unknown here.
+        assert!(parse(&argv(
+            "submit --addr h:1 --op library --target-scene plasma"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "submit --addr h:1 --op library --target-scene plasma --store /t --jobs 2"
+        ))
+        .is_err());
     }
 
     #[test]

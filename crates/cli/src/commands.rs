@@ -5,9 +5,11 @@ use mosaic_gateway::{Fleet, Gateway, GatewayConfig};
 use mosaic_image::histogram::Histogram;
 use mosaic_image::io::{load_pgm, save_pgm};
 use mosaic_image::metrics;
+use mosaic_pool::ThreadPool;
 use mosaic_service::protocol::{self, Response};
 use mosaic_service::{run_load, Client, Server, ServiceConfig};
 use mosaic_telemetry as telemetry;
+use mosaic_tilelib::{execute_library, LibraryJobSpec, TileStore};
 use photomosaic::database::{database_mosaic, SelectionPolicy, TileLibrary};
 use photomosaic::{ImageSource, JobResult, JobSpec, Json};
 
@@ -48,6 +50,50 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                 result.report.summary(),
                 metrics::psnr(&result.image, &target_img),
                 metrics::ssim(&result.image, &target_img),
+            ))
+        }
+        Command::Ingest { store, from, tile } => {
+            let store = TileStore::create(&store, tile)?;
+            let report = store.ingest_dir(&from)?;
+            Ok(format!(
+                "ingested {} new tiles ({} duplicates by hash, {} skipped, {} scanned)\n\
+                 store {} now holds {} tiles of {tile}x{tile}",
+                report.ingested,
+                report.duplicates,
+                report.skipped,
+                report.scanned,
+                store.root().display(),
+                store.len()?,
+            ))
+        }
+        Command::Library {
+            target,
+            store,
+            out,
+            params,
+        } => {
+            let spec = LibraryJobSpec {
+                target: image_source(ImageArg::Path(target), 0)?,
+                store,
+                params,
+            };
+            let workers = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2);
+            let pool = ThreadPool::new(workers);
+            let result = execute_library(&spec, &pool);
+            pool.shutdown();
+            let result = result?;
+            save_pgm(&out, &result.image)?;
+            let count = |key: &str| result.report.get(key).and_then(Json::as_u64).unwrap_or(0);
+            Ok(format!(
+                "library mosaic: {} cells from {} tiles ({} clusters, {} candidates), \
+                 total error {}\nwrote {out}",
+                count("cells"),
+                count("tiles"),
+                count("clusters"),
+                count("candidates_total"),
+                count("total_error"),
             ))
         }
         Command::Database {
@@ -267,6 +313,45 @@ fn submit(addr: &str, action: SubmitAction) -> Result<String, CliError> {
                 other => Err(unexpected(&other)),
             }
         }
+        SubmitAction::Library {
+            target,
+            size,
+            store,
+            params,
+        } => {
+            let spec = LibraryJobSpec {
+                target: image_source(target, size)?,
+                store,
+                params,
+            };
+            let mut client = Client::connect(addr).map_err(io_err)?;
+            match client.submit_library(&spec).map_err(io_err)? {
+                Response::Result { result } => {
+                    let result = JobResult::from_json(&result).map_err(CliError)?;
+                    let count =
+                        |key: &str| result.report.get(key).and_then(Json::as_u64).unwrap_or(0);
+                    Ok(format!(
+                        "library result: {}x{} image, {} cells from {} tiles, total error {}",
+                        result.image.width(),
+                        result.image.height(),
+                        count("cells"),
+                        count("tiles"),
+                        count("total_error"),
+                    ))
+                }
+                Response::StoreError { message } => {
+                    Err(CliError(format!("store error: {message}")))
+                }
+                Response::LibraryInfeasible { cells, tiles } => Err(CliError(format!(
+                    "library infeasible: {cells} cells but only {tiles} tiles in the store"
+                ))),
+                Response::Rejected { retry_after_ms } => Err(CliError(format!(
+                    "rejected (server retry-after {retry_after_ms} ms)"
+                ))),
+                Response::Error { message } => Err(CliError(format!("server error: {message}"))),
+                other => Err(unexpected(&other)),
+            }
+        }
         SubmitAction::Stats => {
             let mut client = Client::connect(addr).map_err(io_err)?;
             match client.stats().map_err(io_err)? {
@@ -437,6 +522,70 @@ mod tests {
     }
 
     #[test]
+    fn ingest_then_library_end_to_end() {
+        let photos = tmp("lib_photos");
+        std::fs::create_dir_all(&photos).unwrap();
+        let mut written = 0;
+        let mut seed = 0u64;
+        while written < 12 {
+            let scene = Scene::ALL[(seed % Scene::ALL.len() as u64) as usize];
+            let path = photos.join(format!("p{seed}.pgm"));
+            save_pgm(&path, &scene.render(8, seed)).unwrap();
+            written += 1;
+            seed += 1;
+        }
+        let store = tmp("lib_store").to_string_lossy().into_owned();
+        let _ = std::fs::remove_dir_all(&store);
+        let msg = execute(Command::Ingest {
+            store: store.clone(),
+            from: photos.to_string_lossy().into_owned(),
+            tile: 8,
+        })
+        .unwrap();
+        assert!(msg.contains("new tiles"), "{msg}");
+
+        // Re-ingest is a no-op by hash: nothing new, all duplicates.
+        let msg = execute(Command::Ingest {
+            store: store.clone(),
+            from: photos.to_string_lossy().into_owned(),
+            tile: 8,
+        })
+        .unwrap();
+        assert!(msg.contains("ingested 0 new tiles"), "{msg}");
+
+        let target = write_scene("lib_target.pgm", Scene::Portrait, 32, 3);
+        let out = tmp("lib_out.pgm").to_string_lossy().into_owned();
+        let msg = execute(Command::Library {
+            target,
+            store: store.clone(),
+            out: out.clone(),
+            params: mosaic_tilelib::LibraryParams {
+                grid: 3,
+                clusters: 4,
+                ..Default::default()
+            },
+        })
+        .unwrap();
+        assert!(msg.contains("9 cells"), "{msg}");
+        let info = execute(Command::Info { path: out }).unwrap();
+        assert!(info.contains("24x24 grayscale"), "{info}");
+
+        // Too many cells for the library is a clear typed failure.
+        let target = write_scene("lib_target2.pgm", Scene::Portrait, 32, 3);
+        let err = execute(Command::Library {
+            target,
+            store,
+            out: tmp("lib_out2.pgm").to_string_lossy().into_owned(),
+            params: mosaic_tilelib::LibraryParams {
+                grid: 16,
+                ..Default::default()
+            },
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot cover 256 cells"), "{err}");
+    }
+
+    #[test]
     fn compare_rejects_mismatched_sizes() {
         let a = write_scene("cmp_a.pgm", Scene::Fur, 32, 1);
         let b = write_scene("cmp_b.pgm", Scene::Fur, 64, 1);
@@ -568,6 +717,57 @@ mod tests {
         assert!(msg.contains("shutting down"), "{msg}");
         let served = server.join().unwrap().unwrap();
         assert!(served.contains("stopped"), "{served}");
+    }
+
+    #[test]
+    fn submit_library_end_to_end() {
+        // Seed a store the server-side executor will read by path.
+        let store_root = tmp("submit_lib_store");
+        let _ = std::fs::remove_dir_all(&store_root);
+        let store = TileStore::create(&store_root, 8).unwrap();
+        let mut written = 0;
+        let mut seed = 0u64;
+        while written < 12 {
+            let scene = Scene::ALL[(seed % Scene::ALL.len() as u64) as usize];
+            let (_, fresh) = store.insert(&scene.render(8, seed)).unwrap();
+            if fresh {
+                written += 1;
+            }
+            seed += 1;
+        }
+
+        let server = Server::start(ServiceConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let library = |store: String| SubmitAction::Library {
+            target: ImageArg::Scene {
+                scene: Scene::Portrait,
+                seed: 3,
+            },
+            size: 32,
+            store,
+            params: mosaic_tilelib::LibraryParams {
+                grid: 3,
+                clusters: 4,
+                ..Default::default()
+            },
+        };
+        let msg = execute(Command::Submit {
+            addr: addr.clone(),
+            action: library(store_root.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(msg.contains("9 cells from 12 tiles"), "{msg}");
+
+        // A missing store surfaces the typed store error.
+        let err = execute(Command::Submit {
+            addr: addr.clone(),
+            action: library("/nonexistent/mosaic/store".into()),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("store error"), "{err}");
+
+        server.shutdown();
+        server.join();
     }
 
     #[test]

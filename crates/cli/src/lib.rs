@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! mosaic generate --input in.pgm --target tgt.pgm --out mosaic.pgm [options]
+//! mosaic generate --library tiles/ --target tgt.pgm --out mosaic.pgm [options]
+//! mosaic ingest   --store tiles/ --from photos/ --tile 16
 //! mosaic database --target tgt.pgm --donors a.pgm,b.pgm --tile 16 --out m.pgm
 //! mosaic synth    --scene portrait --size 512 --seed 1 --out scene.pgm
 //! mosaic serve    --addr 127.0.0.1:7733 --workers 4 --queue 16 --cache 8
@@ -45,6 +47,10 @@ USAGE:
                   [--backend serial|threads|gpu] [--metric sad|ssd|mean]
                   [--preprocess match|equalize|none] [--seed <n>] [--sweeps <n>] [--k <n>]
                   [--trace-out <path>]
+  mosaic generate --library <store> --target <pgm> --out <pgm>
+                  [--grid <n>] [--clusters <n>] [--top-clusters <n>]
+                  [--feature-grid <n>] [--seed <n>] [--metric sad|ssd|mean]
+  mosaic ingest   --store <dir> --from <dir> [--tile <n>]
   mosaic database --target <pgm> --donors <pgm,pgm,...> --tile <n> --out <pgm>
                   [--cap <n>] [--metric sad|ssd|mean]
   mosaic synth    --scene portrait|regatta|fur|drapery|plasma|checker
@@ -59,11 +65,15 @@ USAGE:
                   [--backend-timeout-ms <n>] [--max-connections <n>]
   mosaic fleet    [--backends <n>] [--addr <host:port>] [--workers <n>]
                   [--queue <n>] [--cache <n>] [--policy rendezvous|round-robin]
-  mosaic submit   --addr <host:port> [--op job|stats|metrics|ping|gateway|shutdown]
+  mosaic submit   --addr <host:port>
+                  [--op job|library|stats|metrics|ping|gateway|shutdown]
                   job: --input <pgm> | --input-scene <name> [--input-seed <n>]
                        --target <pgm> | --target-scene <name> [--target-seed <n>]
                        [--size <n>] [--jobs <n>] [--connections <n>]
                        [+ the generate pipeline options]
+                  library: --store <dir> on the server's host
+                       --target <pgm> | --target-scene <name> [--target-seed <n>]
+                       [--size <n>] [+ the generate --library options]
   mosaic compare  <a.pgm> <b.pgm>
   mosaic info     <image.pgm>
   mosaic help
@@ -80,6 +90,16 @@ over line-delimited JSON; --jobs > 1 turns it into a load generator.
 --op metrics fetches a Prometheus-style text exposition of server
 counters and histograms; generate --trace-out writes a JSON span trace
 plus metric summaries.
+
+ingest builds a content-addressed tile store: every .pgm/.ppm under
+--from is resized to the store's tile edge and written once, keyed by
+the SHA-256 of its canonical pixels, so re-ingesting the same images is
+a no-op by hash. generate --library composes the target from such a
+store instead of rearranging its own subimages: tiles are clustered by
+k-means over low-res block-mean features, each cell searches only its
+--top-clusters nearest clusters, and the pruned candidate set is solved
+exactly as a rectangular sparse assignment. submit --op library runs
+the same pipeline on a server that shares the store's filesystem.
 
 gateway fronts a fleet of serve processes: jobs are routed by
 rendezvous hashing on their canonical spec key (identical specs reuse

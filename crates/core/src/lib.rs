@@ -60,6 +60,7 @@ pub mod database;
 pub mod errors;
 pub mod job;
 pub mod json;
+pub mod library;
 pub mod local_search;
 pub mod multires;
 pub mod optimal;
@@ -74,6 +75,7 @@ pub mod video;
 pub use config::{Algorithm, Backend, MosaicBuilder, MosaicConfig, Preprocess};
 pub use job::{ImageSource, JobResult, JobSpec};
 pub use json::Json;
+pub use library::assemble_from_tiles;
 pub use mosaic_grid::{Deadline, DeadlineExceeded};
 pub use pipeline::{
     generate, generate_bounded, generate_bounded_in, generate_returning_matrix,

@@ -1,0 +1,133 @@
+//! Mosaic assembly from an external tile set.
+//!
+//! The paper's pipeline rearranges the target's *own* subimages, so its
+//! assembly step (`mosaic_grid::assemble`) demands a permutation. The
+//! tile-library workload is different: `T ≥ S` tiles compete for `S`
+//! cells and the assignment is merely *injective* — most tiles go
+//! unused. This module is the core-side entry point that validates and
+//! renders such assignments without depending on the library subsystem
+//! itself (the tile set arrives as plain images, keeping the dependency
+//! arrow pointing from `mosaic-tilelib` into `photomosaic`).
+
+use mosaic_image::{Gray, GrayImage};
+
+/// True when `assignment` maps each cell to a distinct tile in
+/// `0..tile_count` (an injective, not necessarily surjective, map).
+pub fn is_injective(assignment: &[usize], tile_count: usize) -> bool {
+    let mut seen = vec![false; tile_count];
+    assignment.iter().all(|&t| {
+        if t >= tile_count || seen[t] {
+            return false;
+        }
+        seen[t] = true;
+        true
+    })
+}
+
+/// Render a `grid × grid` mosaic from library tiles: cell `i` (row-major)
+/// shows `tiles[assignment[i]]`. All tiles must be square and equally
+/// sized; the output is `grid · tile_size` pixels per side.
+///
+/// # Errors
+/// Returns a description when the assignment is not injective into the
+/// tile set, the cell count mismatches `grid²`, or tile shapes disagree.
+pub fn assemble_from_tiles(
+    tiles: &[GrayImage],
+    assignment: &[usize],
+    grid: usize,
+) -> Result<GrayImage, String> {
+    if grid == 0 {
+        return Err("grid must be positive".to_string());
+    }
+    if assignment.len() != grid * grid {
+        return Err(format!(
+            "assignment covers {} cells, grid {grid} needs {}",
+            assignment.len(),
+            grid * grid
+        ));
+    }
+    if !is_injective(assignment, tiles.len()) {
+        return Err("assignment must map cells to distinct tiles".to_string());
+    }
+    let first = assignment.first().map(|&t| &tiles[t]);
+    let tile_size = match first {
+        Some(tile) => tile.width(),
+        None => return Err("grid must be positive".to_string()),
+    };
+    for &t in assignment {
+        if tiles[t].dimensions() != (tile_size, tile_size) {
+            return Err(format!(
+                "tile {t} is {:?}, expected {tile_size}×{tile_size}",
+                tiles[t].dimensions()
+            ));
+        }
+    }
+    if tile_size == 0 {
+        return Err("tiles must be non-empty".to_string());
+    }
+    let size = grid * tile_size;
+    let mut out = GrayImage::from_vec(size, size, vec![Gray(0); size * size])
+        .map_err(|e| format!("{e:?}"))?;
+    for (cell, &t) in assignment.iter().enumerate() {
+        let (cy, cx) = (cell / grid, cell % grid);
+        let (dst_x, dst_y) = (cx * tile_size, cy * tile_size);
+        let tile = &tiles[t];
+        for row in 0..tile_size {
+            out.row_mut(dst_y + row)[dst_x..dst_x + tile_size].copy_from_slice(tile.row(row));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(size: usize, level: u8) -> GrayImage {
+        GrayImage::from_vec(size, size, vec![Gray(level); size * size]).unwrap()
+    }
+
+    #[test]
+    fn injectivity_predicate() {
+        assert!(is_injective(&[2, 0, 3], 4));
+        assert!(!is_injective(&[1, 1], 4), "repeats rejected");
+        assert!(!is_injective(&[4], 4), "out of range rejected");
+        assert!(is_injective(&[], 0), "empty map is injective");
+    }
+
+    #[test]
+    fn assembles_selected_tiles_in_cell_order() {
+        let tiles: Vec<GrayImage> = (0..6).map(|i| flat(2, i * 10)).collect();
+        let out = assemble_from_tiles(&tiles, &[5, 0, 3, 2], 2).unwrap();
+        assert_eq!(out.dimensions(), (4, 4));
+        // Cell (0,0) shows tile 5, (0,1) tile 0, (1,0) tile 3, (1,1) tile 2.
+        assert_eq!(out.pixel(0, 0).0, 50);
+        assert_eq!(out.pixel(2, 0).0, 0);
+        assert_eq!(out.pixel(0, 2).0, 30);
+        assert_eq!(out.pixel(2, 2).0, 20);
+    }
+
+    #[test]
+    fn rejects_bad_assignments() {
+        let tiles: Vec<GrayImage> = (0..4).map(|i| flat(2, i)).collect();
+        assert!(
+            assemble_from_tiles(&tiles, &[0, 1], 2).is_err(),
+            "cell count"
+        );
+        assert!(
+            assemble_from_tiles(&tiles, &[0, 0, 1, 2], 2).is_err(),
+            "repeat"
+        );
+        assert!(
+            assemble_from_tiles(&tiles, &[0, 1, 2, 9], 2).is_err(),
+            "range"
+        );
+        assert!(assemble_from_tiles(&tiles, &[], 0).is_err(), "zero grid");
+    }
+
+    #[test]
+    fn rejects_mismatched_tile_shapes() {
+        let tiles = vec![flat(2, 1), flat(3, 2), flat(2, 3), flat(2, 4)];
+        assert!(assemble_from_tiles(&tiles, &[0, 1, 2, 3], 2).is_err());
+    }
+}

@@ -43,7 +43,7 @@ use crate::routing::{backend_seed, rendezvous_order};
 use mosaic_service::gate::ConnectionGate;
 use mosaic_service::protocol::{kinds, read_message, write_message, ReadError, Request, Response};
 use mosaic_telemetry::lock_unpoisoned;
-use photomosaic::{JobSpec, Json};
+use photomosaic::Json;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -421,7 +421,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 shared.begin_shutdown();
                 Response::ShuttingDown.to_json()
             }
-            Ok(Request::Submit(spec)) => route_submit(shared, &spec),
+            Ok(Request::Submit(spec)) => {
+                let key = spec.cache_key();
+                route_submit(shared, &Request::Submit(spec), key)
+            }
+            Ok(Request::Library(spec)) => {
+                let key = spec.cache_key();
+                route_submit(shared, &Request::Library(spec), key)
+            }
         };
         if write_message(&mut writer, &reply).is_err() {
             return;
@@ -441,10 +448,15 @@ enum Attempt {
     Dead,
 }
 
-/// Route one job: walk the candidate list, forward, classify.
-fn route_submit(shared: &Arc<Shared>, spec: &JobSpec) -> Json {
+/// Route one job request — generation or library — by its routing key:
+/// walk the candidate list, forward, classify. For generation jobs the
+/// key is the spec's cache key (backend `MatrixCache` affinity); for
+/// library jobs it is the spec's routing key (store/target affinity —
+/// backends never cache library results, but stable routing keeps one
+/// backend's page cache warm for a given store).
+fn route_submit(shared: &Arc<Shared>, request: &Request, key: u64) -> Json {
     let started = Instant::now();
-    let order = shared.route_order(spec.cache_key());
+    let order = shared.route_order(key);
     let routable: Vec<usize> = order
         .iter()
         .copied()
@@ -471,7 +483,7 @@ fn route_submit(shared: &Arc<Shared>, spec: &JobSpec) -> Json {
             shared.metrics.failover();
         }
         let backend = &shared.backends[index];
-        match forward(shared, backend, spec) {
+        match forward(shared, backend, request) {
             Attempt::Proxy(json) => {
                 lock_unpoisoned(&backend.health).on_success();
                 backend.routed.fetch_add(1, Ordering::Relaxed);
@@ -516,11 +528,11 @@ fn route_submit(shared: &Arc<Shared>, spec: &JobSpec) -> Json {
     }
 }
 
-/// Forward one job to one backend over a fresh connection and classify
-/// the outcome. The response JSON is kept raw so a proxied result is
-/// byte-identical to a direct submission.
-fn forward(shared: &Arc<Shared>, backend: &Backend, spec: &JobSpec) -> Attempt {
-    match forward_io(shared, backend, spec) {
+/// Forward one job request to one backend over a fresh connection and
+/// classify the outcome. The response JSON is kept raw so a proxied
+/// result is byte-identical to a direct submission.
+fn forward(shared: &Arc<Shared>, backend: &Backend, request: &Request) -> Attempt {
+    match forward_io(shared, backend, request) {
         Ok(json) => match json.get("kind").and_then(Json::as_str) {
             Some(kinds::REJECTED) => Attempt::Saturated,
             Some(kinds::ERROR) => Attempt::Errored(json),
@@ -530,7 +542,7 @@ fn forward(shared: &Arc<Shared>, backend: &Backend, spec: &JobSpec) -> Attempt {
     }
 }
 
-fn forward_io(shared: &Arc<Shared>, backend: &Backend, spec: &JobSpec) -> std::io::Result<Json> {
+fn forward_io(shared: &Arc<Shared>, backend: &Backend, request: &Request) -> std::io::Result<Json> {
     let addr = resolve(&backend.addr)?;
     let stream = match shared.backend_timeout() {
         Some(timeout) => TcpStream::connect_timeout(&addr, timeout)?,
@@ -539,10 +551,7 @@ fn forward_io(shared: &Arc<Shared>, backend: &Backend, spec: &JobSpec) -> std::i
     stream.set_read_timeout(shared.backend_timeout())?;
     stream.set_write_timeout(shared.backend_timeout())?;
     let mut writer = stream.try_clone()?;
-    write_message(
-        &mut writer,
-        &Request::Submit(Box::new(spec.clone())).to_json(),
-    )?;
+    write_message(&mut writer, &request.to_json())?;
     let mut reader = BufReader::new(stream);
     read_message(&mut reader, MAX_BACKEND_RESPONSE_BYTES)
         .map_err(std::io::Error::from)?

@@ -12,7 +12,7 @@ use crate::walk::Workspace;
 const REGISTRY_FILE: &str = "crates/service/src/protocol.rs";
 
 /// Files that speak the protocol and are checked for literal drift.
-const PROTOCOL_FILES: [&str; 7] = [
+const PROTOCOL_FILES: [&str; 9] = [
     REGISTRY_FILE,
     "crates/service/src/server.rs",
     "crates/service/src/client.rs",
@@ -20,6 +20,8 @@ const PROTOCOL_FILES: [&str; 7] = [
     "crates/gateway/src/fleet.rs",
     "crates/cli/src/args.rs",
     "crates/cli/src/commands.rs",
+    "crates/tilelib/src/job.rs",
+    "crates/tilelib/src/error.rs",
 ];
 
 /// Run the rule. Skipped entirely when the tree has no protocol module
@@ -283,6 +285,38 @@ pub mod kinds {
             .iter()
             .any(|f| f.message.contains("no_backend_available")
                 && f.file == "crates/gateway/src/fleet.rs"));
+    }
+
+    #[test]
+    fn library_words_are_learned_and_tilelib_sources_are_checked() {
+        // The PR-7 tile-library words are registry entries like any
+        // other, and the tilelib job/error sources are protocol files:
+        // spelling a library word as a literal there is drift.
+        let registry = "
+pub mod ops {
+    pub const LIBRARY: &str = \"library\";
+}
+pub mod kinds {
+    pub const STORE_ERROR: &str = \"store_error\";
+    pub const LIBRARY_INFEASIBLE: &str = \"library_infeasible\";
+}
+";
+        let job = "fn op() -> &'static str { \"library\" }\n";
+        let error = "fn kind() -> &'static str { \"store_error\" }\n";
+        let ws = workspace_of(&[
+            ("crates/service/src/protocol.rs", registry),
+            ("crates/tilelib/src/job.rs", job),
+            ("crates/tilelib/src/error.rs", error),
+        ]);
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("library") && f.file == "crates/tilelib/src/job.rs"));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("store_error") && f.file == "crates/tilelib/src/error.rs"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::protocol::{read_message, write_message, Request, Response};
 use mosaic_image::synth::XorShift64;
+use mosaic_tilelib::LibraryJobSpec;
 use photomosaic::{JobSpec, Json};
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -125,6 +126,14 @@ impl Client {
             let delay = backoff_delay_ms(hint, rejections, &mut self.rng);
             std::thread::sleep(Duration::from_millis(delay));
         }
+    }
+
+    /// Submit one tile-library job.
+    ///
+    /// # Errors
+    /// See [`request`](Self::request).
+    pub fn submit_library(&mut self, spec: &LibraryJobSpec) -> std::io::Result<Response> {
+        self.request(&Request::Library(Box::new(spec.clone())))
     }
 
     /// Fetch aggregate metrics.

@@ -88,6 +88,13 @@ impl ServiceMetrics {
         self.step3_us.record_duration_us(report.step3_wall);
     }
 
+    /// A library job finished successfully. No step timings here — the
+    /// tilelib stages record their own `tilelib_*` histograms.
+    pub fn library_job_completed(&self) {
+        self.in_flight.add(-1);
+        self.completed.inc();
+    }
+
     /// A job failed after being picked up.
     pub fn job_failed(&self) {
         self.in_flight.add(-1);

@@ -14,6 +14,7 @@
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! {"op":"gateway"}
+//! {"op":"library","job":{"target":{...},"store":"/path","params":{...}}}
 //! ```
 //!
 //! Responses (`"kind"` selects the shape):
@@ -31,6 +32,8 @@
 //! {"kind":"gateway","gateway":{...}}
 //! {"kind":"backend_down","backend":"127.0.0.1:7733","retry_after_ms":50}
 //! {"kind":"no_backend_available","retry_after_ms":50}
+//! {"kind":"store_error","message":"..."}
+//! {"kind":"library_infeasible","cells":256,"tiles":40}
 //! ```
 //!
 //! The last three shapes are produced only by `mosaic-gateway`, which
@@ -43,6 +46,7 @@
 //! acceptance and a worker picking the job up) and `cache_hit` (whether
 //! the Step-2 matrix came from the cache).
 
+use mosaic_tilelib::LibraryJobSpec;
 use photomosaic::{JobSpec, Json};
 use std::io::{BufRead, Write};
 
@@ -64,6 +68,9 @@ pub mod ops {
     /// Gateway routing/health snapshot (answered by `mosaic-gateway`
     /// instances; plain servers answer with an error).
     pub const GATEWAY: &str = "gateway";
+    /// Run a tile-library job: solve the target against an on-disk
+    /// content-addressed tile store with clustered candidate pruning.
+    pub const LIBRARY: &str = "library";
 }
 
 /// The response `"kind"` words — the response half of the registry.
@@ -93,6 +100,10 @@ pub mod kinds {
     pub const BACKEND_DOWN: &str = "backend_down";
     /// No backend is currently routable at all.
     pub const NO_BACKEND_AVAILABLE: &str = "no_backend_available";
+    /// A library job's tile store could not be opened or read.
+    pub const STORE_ERROR: &str = "store_error";
+    /// A library job asked for more cells than the store has tiles.
+    pub const LIBRARY_INFEASIBLE: &str = "library_infeasible";
 }
 
 /// A parsed client request.
@@ -110,6 +121,8 @@ pub enum Request {
     Shutdown,
     /// Report the gateway's routing table and per-backend health.
     GatewayInfo,
+    /// Run a tile-library job against an on-disk tile store.
+    Library(Box<LibraryJobSpec>),
 }
 
 impl Request {
@@ -124,6 +137,9 @@ impl Request {
             Request::Ping => Json::obj([("op", Json::from(ops::PING))]),
             Request::Shutdown => Json::obj([("op", Json::from(ops::SHUTDOWN))]),
             Request::GatewayInfo => Json::obj([("op", Json::from(ops::GATEWAY))]),
+            Request::Library(spec) => {
+                Json::obj([("op", Json::from(ops::LIBRARY)), ("job", spec.to_json())])
+            }
         }
     }
 
@@ -146,6 +162,10 @@ impl Request {
             ops::PING => Ok(Request::Ping),
             ops::SHUTDOWN => Ok(Request::Shutdown),
             ops::GATEWAY => Ok(Request::GatewayInfo),
+            ops::LIBRARY => {
+                let job = value.get("job").ok_or("library needs a \"job\"")?;
+                Ok(Request::Library(Box::new(LibraryJobSpec::from_json(job)?)))
+            }
             other => Err(format!("unknown op {other:?}")),
         }
     }
@@ -215,6 +235,20 @@ pub enum Response {
         /// Suggested client back-off.
         retry_after_ms: u64,
     },
+    /// A library job's tile store could not be opened or read on the
+    /// executing host.
+    StoreError {
+        /// What went wrong with the store.
+        message: String,
+    },
+    /// A library job asked for more cells than the store holds tiles,
+    /// so no injective assignment exists.
+    LibraryInfeasible {
+        /// Cells the job needs to fill.
+        cells: u64,
+        /// Tiles the store actually holds.
+        tiles: u64,
+    },
 }
 
 impl Response {
@@ -266,6 +300,15 @@ impl Response {
             Response::NoBackendAvailable { retry_after_ms } => Json::obj([
                 ("kind", Json::from(kinds::NO_BACKEND_AVAILABLE)),
                 ("retry_after_ms", Json::from(*retry_after_ms)),
+            ]),
+            Response::StoreError { message } => Json::obj([
+                ("kind", Json::from(kinds::STORE_ERROR)),
+                ("message", Json::from(message.as_str())),
+            ]),
+            Response::LibraryInfeasible { cells, tiles } => Json::obj([
+                ("kind", Json::from(kinds::LIBRARY_INFEASIBLE)),
+                ("cells", Json::from(*cells)),
+                ("tiles", Json::from(*tiles)),
             ]),
         }
     }
@@ -348,6 +391,23 @@ impl Response {
                     .get("retry_after_ms")
                     .and_then(Json::as_u64)
                     .ok_or("no-backend-available response needs \"retry_after_ms\"")?,
+            }),
+            kinds::STORE_ERROR => Ok(Response::StoreError {
+                message: value
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown store error")
+                    .to_string(),
+            }),
+            kinds::LIBRARY_INFEASIBLE => Ok(Response::LibraryInfeasible {
+                cells: value
+                    .get("cells")
+                    .and_then(Json::as_u64)
+                    .ok_or("library-infeasible response needs \"cells\"")?,
+                tiles: value
+                    .get("tiles")
+                    .and_then(Json::as_u64)
+                    .ok_or("library-infeasible response needs \"tiles\"")?,
             }),
             other => Err(format!("unknown response kind {other:?}")),
         }
@@ -497,6 +557,15 @@ mod tests {
             Request::Ping,
             Request::Shutdown,
             Request::GatewayInfo,
+            Request::Library(Box::new(LibraryJobSpec {
+                target: ImageSource::Synth {
+                    scene: mosaic_image::synth::Scene::Plasma,
+                    size: 32,
+                    seed: 1,
+                },
+                store: "/tmp/tiles".to_string(),
+                params: Default::default(),
+            })),
         ] {
             let text = request.to_json().encode();
             let back = Request::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -534,6 +603,13 @@ mod tests {
                 retry_after_ms: 50,
             },
             Response::NoBackendAvailable { retry_after_ms: 50 },
+            Response::StoreError {
+                message: "store.json missing".to_string(),
+            },
+            Response::LibraryInfeasible {
+                cells: 256,
+                tiles: 40,
+            },
         ] {
             let text = response.to_json().encode();
             let back = Response::from_json(&Json::parse(&text).unwrap()).unwrap();

@@ -31,6 +31,7 @@ use crate::metrics::ServiceMetrics;
 use crate::protocol::{read_message, write_message, ReadError, Request, Response};
 use crate::queue::{JobQueue, PushError};
 use mosaic_pool::ThreadPool;
+use mosaic_tilelib::{execute_library, LibraryJobSpec, TilelibError};
 use photomosaic::{
     generate_returning_matrix_bounded_in, generate_with_matrix_bounded_in, Deadline, GenerateError,
     JobResult, JobSpec, Json,
@@ -101,9 +102,19 @@ enum WorkerReply {
     Sever,
 }
 
+/// What an accepted job actually runs once a worker picks it up. Both
+/// shapes share the same bounded queue, worker pool, and backpressure.
+enum JobPayload {
+    /// A Step-1/2/3 generation job.
+    Generate(Box<JobSpec>),
+    /// A tile-library job: pruned rectangular assignment against an
+    /// on-disk tile store.
+    Library(Box<LibraryJobSpec>),
+}
+
 /// One accepted job travelling from a handler to a worker.
 struct Job {
-    spec: JobSpec,
+    payload: JobPayload,
     accepted_at: Instant,
     reply: mpsc::Sender<WorkerReply>,
 }
@@ -372,10 +383,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, permit: Connection
             Ok(Request::GatewayInfo) => Response::Error {
                 message: "this server is a backend, not a gateway".to_string(),
             },
-            Ok(Request::Submit(spec)) => match submit(*spec, shared) {
+            Ok(Request::Submit(spec)) => match submit(JobPayload::Generate(spec), shared) {
                 WorkerReply::Respond(response) => response,
                 // Injected crash: vanish mid-job, no response, no close
                 // handshake beyond the socket drop.
+                WorkerReply::Sever => return,
+            },
+            Ok(Request::Library(spec)) => match submit(JobPayload::Library(spec), shared) {
+                WorkerReply::Respond(response) => response,
                 WorkerReply::Sever => return,
             },
         };
@@ -388,10 +403,10 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, permit: Connection
 /// Enqueue a job and wait for its result (the wait happens on the
 /// connection handler thread, so the accept loop and other connections
 /// are unaffected).
-fn submit(spec: JobSpec, shared: &Arc<Shared>) -> WorkerReply {
+fn submit(payload: JobPayload, shared: &Arc<Shared>) -> WorkerReply {
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
-        spec,
+        payload,
         accepted_at: Instant::now(),
         reply: reply_tx,
     };
@@ -446,21 +461,66 @@ fn worker_loop(shared: &Arc<Shared>) {
         if let Some(stall) = shared.config.faults.take_stall() {
             std::thread::sleep(stall);
         }
-        let response = match execute(&job.spec, shared, queue_wait_ms, &deadline) {
-            Ok(response) => response,
-            Err(JobFailure::DeadlineExceeded) => {
-                shared.metrics.job_deadline_exceeded();
-                Response::DeadlineExceeded {
-                    deadline_ms: shared.config.job_deadline_ms,
+        let response = match &job.payload {
+            JobPayload::Generate(spec) => match execute(spec, shared, queue_wait_ms, &deadline) {
+                Ok(response) => response,
+                Err(JobFailure::DeadlineExceeded) => {
+                    shared.metrics.job_deadline_exceeded();
+                    Response::DeadlineExceeded {
+                        deadline_ms: shared.config.job_deadline_ms,
+                    }
                 }
-            }
-            Err(JobFailure::Error(message)) => {
-                shared.metrics.job_failed();
-                Response::Error { message }
-            }
+                Err(JobFailure::Error(message)) => {
+                    shared.metrics.job_failed();
+                    Response::Error { message }
+                }
+            },
+            JobPayload::Library(spec) => execute_library_job(spec, shared, queue_wait_ms),
         };
         // A handler that gave up (client gone) is not an error.
         let _ = job.reply.send(WorkerReply::Respond(response));
+    }
+}
+
+/// Run a library job on the shared compute pool and render the outcome
+/// for the wire. Library results are deliberately never cached: the
+/// store path stays constant while its contents can change between
+/// ingests, so a key-based cache would serve stale mosaics.
+fn execute_library_job(
+    spec: &LibraryJobSpec,
+    shared: &Arc<Shared>,
+    queue_wait_ms: f64,
+) -> Response {
+    match execute_library(spec, &shared.compute_pool) {
+        Ok(mut result) => {
+            shared.metrics.library_job_completed();
+            if let Json::Obj(pairs) = &mut result.report {
+                pairs.push(("queue_wait_ms".to_string(), Json::from(queue_wait_ms)));
+                pairs.push(("cache_hit".to_string(), Json::Bool(false)));
+            }
+            Response::Result {
+                result: result.to_json(),
+            }
+        }
+        Err(TilelibError::Infeasible { cells, tiles }) => {
+            shared.metrics.job_failed();
+            Response::LibraryInfeasible {
+                cells: cells as u64,
+                tiles: tiles as u64,
+            }
+        }
+        Err(error) if error.is_store() => {
+            shared.metrics.job_failed();
+            Response::StoreError {
+                message: error.to_string(),
+            }
+        }
+        Err(error) => {
+            shared.metrics.job_failed();
+            Response::Error {
+                message: error.to_string(),
+            }
+        }
     }
 }
 
@@ -637,6 +697,80 @@ mod tests {
             Ok(Response::Error { message }) => assert!(message.contains("not a gateway")),
             other => panic!("expected an error, got {other:?}"),
         }
+        client.shutdown().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn library_jobs_run_and_surface_typed_errors() {
+        use mosaic_tilelib::{LibraryParams, TileStore};
+
+        // A store of 20 distinct flat tiles (levels are unique, so the
+        // content digests are too).
+        let root = std::env::temp_dir()
+            .join("mosaic_service_tests")
+            .join(format!("library_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = TileStore::create(&root, 8).unwrap();
+        for level in 0..20u8 {
+            let tile =
+                mosaic_image::GrayImage::from_fn(8, 8, |_, _| mosaic_image::Gray(level * 12))
+                    .unwrap();
+            store.insert(&tile).unwrap();
+        }
+
+        let server = Server::start(ServiceConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let spec = LibraryJobSpec {
+            target: ImageSource::Synth {
+                scene: Scene::Portrait,
+                size: 32,
+                seed: 2,
+            },
+            store: root.display().to_string(),
+            params: LibraryParams {
+                grid: 3,
+                clusters: 4,
+                top_clusters: 4,
+                feature_grid: 2,
+                seed: 1,
+                metric: mosaic_grid::TileMetric::Sad,
+            },
+        };
+        match client.submit_library(&spec).unwrap() {
+            Response::Result { result } => {
+                let assignment = result.get("assignment").unwrap();
+                assert_eq!(assignment.as_arr().map(<[Json]>::len), Some(9));
+                let report = result.get("report").unwrap();
+                assert_eq!(report.get("cache_hit").unwrap().as_bool(), Some(false));
+                assert!(report.get("queue_wait_ms").unwrap().as_f64().unwrap() >= 0.0);
+            }
+            other => panic!("expected a result, got {other:?}"),
+        }
+
+        // Too few tiles for the grid: typed infeasibility, worker alive.
+        let mut too_big = spec.clone();
+        too_big.params.grid = 16;
+        match client.submit_library(&too_big).unwrap() {
+            Response::LibraryInfeasible { cells, tiles } => {
+                assert_eq!((cells, tiles), (256, 20));
+            }
+            other => panic!("expected library_infeasible, got {other:?}"),
+        }
+
+        // Missing store: typed store error, worker alive.
+        let mut missing = spec.clone();
+        missing.store = "/nonexistent/mosaic/store".to_string();
+        match client.submit_library(&missing).unwrap() {
+            Response::StoreError { message } => assert!(!message.is_empty()),
+            other => panic!("expected store_error, got {other:?}"),
+        }
+
+        // The worker still serves generation jobs afterwards.
+        assert!(matches!(
+            client.submit(&small_spec(9)),
+            Ok(Response::Result { .. })
+        ));
         client.shutdown().unwrap();
         server.join();
     }

@@ -1,0 +1,123 @@
+//! Low-resolution intensity feature vectors.
+//!
+//! Each tile is summarized by an `F × F` grid of block means (row-major,
+//! `0.0..=255.0`), the classical photomosaic descriptor: cheap, metric-
+//! agnostic, and good enough for the *coarse* cluster routing — the
+//! final per-candidate cost is always the exact pixel metric, so feature
+//! fidelity only affects which candidates are considered, never how
+//! they are scored.
+//!
+//! Determinism across thread counts: each tile's vector is computed
+//! independently from its own pixels (integer block sums, one float
+//! division at the end), so the pool's chunking cannot change any value.
+
+use mosaic_image::GrayImage;
+use mosaic_pool::ThreadPool;
+
+/// One tile's descriptor.
+pub type FeatureVec = Vec<f64>;
+
+/// Compute the `grid × grid` block-mean descriptor of one tile.
+pub fn tile_feature(tile: &GrayImage, grid: usize) -> FeatureVec {
+    let (w, h) = tile.dimensions();
+    let g = grid.max(1).min(w.max(1)).min(h.max(1));
+    let mut out = Vec::with_capacity(g * g);
+    for by in 0..g {
+        let y0 = by * h / g;
+        let y1 = ((by + 1) * h / g).max(y0 + 1);
+        for bx in 0..g {
+            let x0 = bx * w / g;
+            let x1 = ((bx + 1) * w / g).max(x0 + 1);
+            let mut sum = 0u64;
+            for y in y0..y1 {
+                let row = tile.row(y);
+                for px in &row[x0..x1] {
+                    sum += u64::from(px.0);
+                }
+            }
+            let count = ((y1 - y0) * (x1 - x0)) as f64;
+            out.push(sum as f64 / count);
+        }
+    }
+    out
+}
+
+/// Compute descriptors for a batch of tiles on `pool`, preserving input
+/// order. Identical output for any thread count.
+pub fn batch_features(tiles: &[GrayImage], grid: usize, pool: &ThreadPool) -> Vec<FeatureVec> {
+    let mut out: Vec<FeatureVec> = vec![Vec::new(); tiles.len()];
+    let chunk = tiles.len().div_ceil(pool.threads().max(1) * 4).max(1);
+    pool.parallel_for_mut(&mut out, chunk, |chunk_index, slot| {
+        let base = chunk_index * chunk;
+        for (i, feature) in slot.iter_mut().enumerate() {
+            *feature = tile_feature(&tiles[base + i], grid);
+        }
+    });
+    out
+}
+
+/// Squared Euclidean distance between two descriptors.
+#[inline]
+pub fn distance2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_image::synth::Scene;
+
+    #[test]
+    fn constant_tile_has_constant_feature() {
+        let tile = GrayImage::from_fn(8, 8, |_, _| mosaic_image::Gray(42)).unwrap();
+        let f = tile_feature(&tile, 4);
+        assert_eq!(f.len(), 16);
+        assert!(f.iter().all(|&v| (v - 42.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn feature_reflects_spatial_structure() {
+        // Left half black, right half white: left blocks ≈ 0, right ≈ 255.
+        let tile = GrayImage::from_fn(8, 8, |x, _| mosaic_image::Gray(if x < 4 { 0 } else { 255 }))
+            .unwrap();
+        let f = tile_feature(&tile, 2);
+        assert_eq!(f, vec![0.0, 255.0, 0.0, 255.0]);
+    }
+
+    #[test]
+    fn grid_larger_than_tile_is_clamped() {
+        let tile = GrayImage::from_fn(2, 2, |x, y| mosaic_image::Gray((x + 2 * y) as u8)).unwrap();
+        let f = tile_feature(&tile, 9);
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn batch_matches_serial_for_any_thread_count() {
+        let tiles: Vec<GrayImage> = (0..37).map(|s| Scene::Plasma.render(16, s)).collect();
+        let serial: Vec<FeatureVec> = tiles.iter().map(|t| tile_feature(t, 4)).collect();
+        for threads in [1, 2, 5] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(
+                batch_features(&tiles, 4, &pool),
+                serial,
+                "{threads} threads"
+            );
+            pool.shutdown();
+        }
+    }
+
+    #[test]
+    fn distance_is_zero_iff_equal_here() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 2.0, 4.0];
+        assert_eq!(distance2(&a, &a), 0.0);
+        assert_eq!(distance2(&a, &b), 1.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Seeded deterministic k-means over tile descriptors.
+//!
+//! The clustering is the routing table of the candidate pruner: each
+//! target cell only scores tiles from its nearest clusters, which is
+//! what turns the dense `S × T` cost instance into a sparse one (the
+//! clustering-based pruning idea of the evolutionary photomosaic
+//! literature; see DESIGN.md §14).
+//!
+//! Determinism is a hard requirement — cache keys and test oracles both
+//! assume a fixed `(features, k, seed)` yields byte-identical output:
+//!
+//! * initialization is a seeded Fisher–Yates draw of `k` distinct tiles;
+//! * the assignment step computes each tile's nearest centroid
+//!   independently (ties break toward the lower cluster index), so the
+//!   pool's chunking cannot change any label;
+//! * the update step accumulates sums serially in tile order;
+//! * empty clusters are re-seeded from the tile farthest from its
+//!   centroid (ties toward the lower tile index), one per empty cluster
+//!   in index order.
+
+use crate::features::{distance2, FeatureVec};
+use mosaic_image::synth::XorShift64;
+use mosaic_pool::ThreadPool;
+
+/// Upper bound on Lloyd iterations; convergence usually arrives earlier
+/// and the loop exits on a fixed point.
+const MAX_ITERS: usize = 40;
+
+/// A finished clustering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Clustering {
+    /// Cluster centers, `k × d`.
+    pub centroids: Vec<FeatureVec>,
+    /// Tile index → cluster index.
+    pub assignment: Vec<usize>,
+    /// Cluster index → member tile indices (ascending).
+    pub members: Vec<Vec<usize>>,
+}
+
+/// Run seeded k-means on `pool`. `k` is clamped to the tile count; an
+/// empty feature set yields an empty clustering.
+pub fn kmeans(features: &[FeatureVec], k: usize, seed: u64, pool: &ThreadPool) -> Clustering {
+    let n = features.len();
+    let k = k.max(1).min(n);
+    if n == 0 {
+        return Clustering {
+            centroids: Vec::new(),
+            assignment: Vec::new(),
+            members: Vec::new(),
+        };
+    }
+
+    // Seeded Fisher–Yates prefix: k distinct initial centers.
+    let mut rng = XorShift64::new(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + rng.next_below((n - i) as u64) as usize;
+        order.swap(i, j);
+    }
+    let mut centroids: Vec<FeatureVec> = order[..k].iter().map(|&i| features[i].clone()).collect();
+
+    // (cluster, squared distance) per tile; rewritten every iteration.
+    let mut labels: Vec<(usize, f64)> = vec![(0, 0.0); n];
+    let mut previous: Vec<usize> = vec![usize::MAX; n];
+    for _ in 0..MAX_ITERS {
+        assign_step(features, &centroids, &mut labels, pool);
+
+        // Re-seed empty clusters from the farthest-out tiles, then
+        // re-assign so labels are consistent with the centroids.
+        let mut counts = vec![0usize; k];
+        for &(c, _) in &labels {
+            counts[c] += 1;
+        }
+        if counts.contains(&0) {
+            let mut taken = vec![false; n];
+            for cluster in 0..k {
+                if counts[cluster] > 0 {
+                    continue;
+                }
+                let far = farthest_unclaimed(&labels, &taken);
+                taken[far] = true;
+                centroids[cluster] = features[far].clone();
+            }
+            assign_step(features, &centroids, &mut labels, pool);
+        }
+
+        // Update step: serial accumulation in tile order.
+        let d = features[0].len();
+        let mut sums = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0usize; k];
+        for (i, &(c, _)) in labels.iter().enumerate() {
+            counts[c] += 1;
+            for (acc, &v) in sums[c].iter_mut().zip(&features[i]) {
+                *acc += v;
+            }
+        }
+        for (c, sum) in sums.into_iter().enumerate() {
+            if counts[c] > 0 {
+                centroids[c] = sum.into_iter().map(|v| v / counts[c] as f64).collect();
+            }
+        }
+
+        let current: Vec<usize> = labels.iter().map(|&(c, _)| c).collect();
+        if current == previous {
+            break;
+        }
+        previous = current;
+    }
+
+    // Final labels must match the final centroids.
+    assign_step(features, &centroids, &mut labels, pool);
+    let assignment: Vec<usize> = labels.iter().map(|&(c, _)| c).collect();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &c) in assignment.iter().enumerate() {
+        members[c].push(i);
+    }
+    Clustering {
+        centroids,
+        assignment,
+        members,
+    }
+}
+
+/// Nearest-centroid labels for every tile, in parallel. Each tile's
+/// result depends only on its own feature vector, so the output is
+/// identical for every thread count.
+fn assign_step(
+    features: &[FeatureVec],
+    centroids: &[FeatureVec],
+    labels: &mut [(usize, f64)],
+    pool: &ThreadPool,
+) {
+    let chunk = features.len().div_ceil(pool.threads().max(1) * 4).max(1);
+    pool.parallel_for_mut(labels, chunk, |chunk_index, slot| {
+        let base = chunk_index * chunk;
+        for (i, label) in slot.iter_mut().enumerate() {
+            *label = nearest(centroids, &features[base + i]);
+        }
+    });
+}
+
+/// `(argmin, min squared distance)` with ties toward the lower index.
+fn nearest(centroids: &[FeatureVec], feature: &FeatureVec) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = distance2(centroid, feature);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// Tile farthest from its centroid among those not yet claimed as a
+/// re-seed (ties toward the lower tile index).
+fn farthest_unclaimed(labels: &[(usize, f64)], taken: &[bool]) -> usize {
+    let mut far = 0usize;
+    let mut far_d = -1.0f64;
+    for (i, &(_, d)) in labels.iter().enumerate() {
+        if !taken[i] && d > far_d {
+            far_d = d;
+            far = i;
+        }
+    }
+    far
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::tile_feature;
+    use mosaic_image::synth::Scene;
+    use mosaic_image::GrayImage;
+
+    fn plasma_features(count: usize) -> Vec<FeatureVec> {
+        (0..count)
+            .map(|s| tile_feature(&Scene::Plasma.render(16, s as u64), 4))
+            .collect()
+    }
+
+    #[test]
+    fn fixed_seed_is_deterministic_across_runs_and_thread_counts() {
+        let features = plasma_features(60);
+        let pool1 = ThreadPool::new(1);
+        let reference = kmeans(&features, 8, 42, &pool1);
+        let again = kmeans(&features, 8, 42, &pool1);
+        assert_eq!(reference, again, "same pool, same seed");
+        pool1.shutdown();
+        for threads in [2, 3, 7] {
+            let pool = ThreadPool::new(threads);
+            let run = kmeans(&features, 8, 42, &pool);
+            assert_eq!(run.centroids, reference.centroids, "{threads} threads");
+            assert_eq!(run.assignment, reference.assignment, "{threads} threads");
+            pool.shutdown();
+        }
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_are_each_deterministic() {
+        let features = plasma_features(40);
+        let pool = ThreadPool::new(2);
+        let a = kmeans(&features, 6, 1, &pool);
+        let b = kmeans(&features, 6, 1, &pool);
+        assert_eq!(a, b);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn members_partition_the_tiles() {
+        let features = plasma_features(50);
+        let pool = ThreadPool::new(2);
+        let clustering = kmeans(&features, 5, 7, &pool);
+        pool.shutdown();
+        assert_eq!(clustering.assignment.len(), 50);
+        assert_eq!(clustering.centroids.len(), 5);
+        let total: usize = clustering.members.iter().map(Vec::len).sum();
+        assert_eq!(total, 50);
+        for (c, members) in clustering.members.iter().enumerate() {
+            assert!(members.windows(2).all(|w| w[0] < w[1]), "sorted members");
+            for &i in members {
+                assert_eq!(clustering.assignment[i], c);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_clusters_are_reseeded() {
+        // Two far-apart groups of identical points, but k = 4: at least
+        // two initial centers start on top of each other, and the dead
+        // clusters must be revived by re-seeding so no cluster is empty
+        // unless the data genuinely has fewer distinct points.
+        let mut features: Vec<FeatureVec> = Vec::new();
+        for _ in 0..10 {
+            features.push(vec![0.0, 0.0]);
+        }
+        for _ in 0..10 {
+            features.push(vec![100.0, 100.0]);
+        }
+        features.push(vec![50.0, 0.0]);
+        features.push(vec![0.0, 50.0]);
+        let pool = ThreadPool::new(2);
+        let clustering = kmeans(&features, 4, 5, &pool);
+        pool.shutdown();
+        let nonempty = clustering.members.iter().filter(|m| !m.is_empty()).count();
+        assert_eq!(nonempty, 4, "{:?}", clustering.members);
+    }
+
+    #[test]
+    fn k_is_clamped_to_tile_count() {
+        let features = plasma_features(3);
+        let pool = ThreadPool::new(1);
+        let clustering = kmeans(&features, 10, 0, &pool);
+        pool.shutdown();
+        assert_eq!(clustering.centroids.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_clustering() {
+        let pool = ThreadPool::new(1);
+        let clustering = kmeans(&[], 4, 0, &pool);
+        pool.shutdown();
+        assert!(clustering.centroids.is_empty());
+        assert!(clustering.assignment.is_empty());
+    }
+
+    #[test]
+    fn separated_blobs_are_separated() {
+        // Dark tiles and bright tiles form two obvious clusters.
+        let dark: Vec<FeatureVec> = (0..8)
+            .map(|i| {
+                let img = GrayImage::from_fn(8, 8, |_, _| mosaic_image::Gray(10 + i)).unwrap();
+                tile_feature(&img, 2)
+            })
+            .collect();
+        let bright: Vec<FeatureVec> = (0..8)
+            .map(|i| {
+                let img = GrayImage::from_fn(8, 8, |_, _| mosaic_image::Gray(240 + i)).unwrap();
+                tile_feature(&img, 2)
+            })
+            .collect();
+        let features: Vec<FeatureVec> = dark.into_iter().chain(bright).collect();
+        let pool = ThreadPool::new(2);
+        let clustering = kmeans(&features, 2, 3, &pool);
+        pool.shutdown();
+        let first = clustering.assignment[0];
+        assert!(clustering.assignment[..8].iter().all(|&c| c == first));
+        assert!(clustering.assignment[8..].iter().all(|&c| c != first));
+    }
+}

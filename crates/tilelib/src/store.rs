@@ -1,0 +1,448 @@
+//! Deterministic content-addressed tile store.
+//!
+//! Layout (all under one root directory):
+//!
+//! ```text
+//! <root>/store.json            {"version": 1, "tile": <edge pixels>}
+//! <root>/objects/<aa>/<rest>   one PGM per unique tile, sharded by the
+//!                              first hex byte of its SHA-256 digest
+//! ```
+//!
+//! The digest covers the *canonical pixel content* — a domain tag, the
+//! tile edge length and the row-major intensity bytes — never the source
+//! file's encoding. Re-ingesting the same tile (from a PGM, a PPM, or a
+//! differently-commented copy) is a no-op by hash, which is what makes
+//! million-tile ingests idempotent and cheap to resume.
+//!
+//! Iteration order is the sorted digest list, so every walk of the store
+//! is deterministic regardless of filesystem readdir order.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::error::TilelibError;
+use crate::hash::Sha256;
+use mosaic_image::io::{load_pgm, load_ppm, save_pgm};
+use mosaic_image::resize::resize_box;
+use mosaic_image::GrayImage;
+use mosaic_telemetry::registry;
+use photomosaic::job::hex_encode;
+use photomosaic::Json;
+
+/// Store format version written to `store.json`.
+const STORE_VERSION: u64 = 1;
+
+/// Metadata file name inside the store root.
+const META_FILE: &str = "store.json";
+
+/// Object directory name inside the store root.
+const OBJECTS_DIR: &str = "objects";
+
+/// What one ingest pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Files examined.
+    pub scanned: usize,
+    /// New tiles written.
+    pub ingested: usize,
+    /// Tiles whose digest already existed (no-op by hash).
+    pub duplicates: usize,
+    /// Files skipped (unsupported extension or undecodable).
+    pub skipped: usize,
+}
+
+/// A content-addressed tile store rooted at one directory.
+#[derive(Debug)]
+pub struct TileStore {
+    root: PathBuf,
+    tile: usize,
+}
+
+impl TileStore {
+    /// Create a fresh store (or adopt an existing one with the same tile
+    /// size) at `root`.
+    ///
+    /// # Errors
+    /// [`TilelibError::Store`] on I/O failure or tile-size mismatch with
+    /// an existing store.
+    pub fn create(root: impl AsRef<Path>, tile: usize) -> Result<TileStore, TilelibError> {
+        let root = root.as_ref().to_path_buf();
+        if tile == 0 {
+            return Err(TilelibError::Config("tile size must be positive".into()));
+        }
+        if root.join(META_FILE).exists() {
+            let existing = Self::open(&root)?;
+            if existing.tile != tile {
+                return Err(TilelibError::Store(format!(
+                    "store at {} has tile size {}, requested {tile}",
+                    root.display(),
+                    existing.tile
+                )));
+            }
+            return Ok(existing);
+        }
+        fs::create_dir_all(root.join(OBJECTS_DIR))
+            .map_err(|e| TilelibError::Store(format!("create {}: {e}", root.display())))?;
+        let meta = Json::obj([
+            ("version", Json::from(STORE_VERSION)),
+            ("tile", Json::from(tile)),
+        ]);
+        fs::write(root.join(META_FILE), meta.encode())
+            .map_err(|e| TilelibError::Store(format!("write {META_FILE}: {e}")))?;
+        Ok(TileStore { root, tile })
+    }
+
+    /// Open an existing store.
+    ///
+    /// # Errors
+    /// [`TilelibError::Store`] when `store.json` is missing, malformed,
+    /// or of an unknown version.
+    pub fn open(root: impl AsRef<Path>) -> Result<TileStore, TilelibError> {
+        let root = root.as_ref().to_path_buf();
+        let text = fs::read_to_string(root.join(META_FILE)).map_err(|e| {
+            TilelibError::Store(format!("no tile store at {}: {e}", root.display()))
+        })?;
+        let meta = Json::parse(&text)
+            .map_err(|e| TilelibError::Store(format!("malformed {META_FILE}: {e:?}")))?;
+        let version = meta
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| TilelibError::Store(format!("{META_FILE} lacks a version")))?;
+        if version != STORE_VERSION {
+            return Err(TilelibError::Store(format!(
+                "unsupported store version {version}"
+            )));
+        }
+        let tile = meta
+            .get("tile")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| TilelibError::Store(format!("{META_FILE} lacks a tile size")))?
+            as usize;
+        if tile == 0 {
+            return Err(TilelibError::Store("tile size must be positive".into()));
+        }
+        Ok(TileStore { root, tile })
+    }
+
+    /// Store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Tile edge length in pixels.
+    pub fn tile_size(&self) -> usize {
+        self.tile
+    }
+
+    /// Content digest of a canonical tile: domain tag, edge length, then
+    /// row-major intensities. Independent of the source encoding.
+    pub fn tile_digest(tile: &GrayImage) -> String {
+        let mut h = Sha256::new();
+        h.update(b"mosaic-tile-v1");
+        h.update(&(tile.width() as u64).to_le_bytes());
+        let bytes: Vec<u8> = tile.pixels().iter().map(|p| p.0).collect();
+        h.update(&bytes);
+        hex_encode(&h.finish())
+    }
+
+    /// Insert one tile (resized to the store's tile size when needed).
+    /// Returns `(digest, newly_written)`.
+    ///
+    /// # Errors
+    /// [`TilelibError::Store`] on I/O failure.
+    pub fn insert(&self, tile: &GrayImage) -> Result<(String, bool), TilelibError> {
+        let canonical = if tile.width() == self.tile && tile.height() == self.tile {
+            tile.clone()
+        } else {
+            resize_box(tile, self.tile, self.tile)
+                .map_err(|e| TilelibError::Store(format!("resize to {}: {e:?}", self.tile)))?
+        };
+        let digest = Self::tile_digest(&canonical);
+        let path = self.object_path(&digest);
+        if path.exists() {
+            return Ok((digest, false));
+        }
+        // lint:allow(panic) object_path always has the shard directory parent
+        let shard = path.parent().expect("sharded path has a parent");
+        fs::create_dir_all(shard).map_err(|e| TilelibError::Store(format!("create shard: {e}")))?;
+        save_pgm(&path, &canonical)
+            .map_err(|e| TilelibError::Store(format!("write object: {e:?}")))?;
+        Ok((digest, true))
+    }
+
+    /// Ingest every `.pgm`/`.ppm` file under `dir` (non-recursive,
+    /// filename-sorted). PPMs are converted to grayscale; everything is
+    /// resized to the store tile size. Undecodable files are counted as
+    /// skipped, not fatal — a library sweep should survive one bad file.
+    ///
+    /// # Errors
+    /// [`TilelibError::Ingest`] when `dir` cannot be read at all,
+    /// [`TilelibError::Store`] on store write failure.
+    pub fn ingest_dir(&self, dir: impl AsRef<Path>) -> Result<IngestReport, TilelibError> {
+        let dir = dir.as_ref();
+        let entries = fs::read_dir(dir)
+            .map_err(|e| TilelibError::Ingest(format!("read {}: {e}", dir.display())))?;
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file())
+            .collect();
+        paths.sort();
+        let mut report = IngestReport::default();
+        for path in paths {
+            let ext = path
+                .extension()
+                .and_then(|e| e.to_str())
+                .map(|e| e.to_ascii_lowercase());
+            let loaded = match ext.as_deref() {
+                Some("pgm") => {
+                    report.scanned += 1;
+                    load_pgm(&path).ok()
+                }
+                Some("ppm") => {
+                    report.scanned += 1;
+                    load_ppm(&path).ok().map(|rgb| rgb.to_gray())
+                }
+                _ => continue, // not a tile source at all
+            };
+            match loaded {
+                Some(tile) => {
+                    let (_, fresh) = self.insert(&tile)?;
+                    if fresh {
+                        report.ingested += 1;
+                    } else {
+                        report.duplicates += 1;
+                    }
+                }
+                None => report.skipped += 1,
+            }
+        }
+        registry()
+            .counter("tilelib_ingest_tiles_total")
+            .add(report.ingested as u64);
+        registry()
+            .counter("tilelib_dedup_hits_total")
+            .add(report.duplicates as u64);
+        Ok(report)
+    }
+
+    /// Sorted digests of every stored tile — the canonical library
+    /// order used by features, clustering and assignment.
+    ///
+    /// # Errors
+    /// [`TilelibError::Store`] on I/O failure or a malformed object name.
+    pub fn digests(&self) -> Result<Vec<String>, TilelibError> {
+        let objects = self.root.join(OBJECTS_DIR);
+        let mut out = Vec::new();
+        let shards = fs::read_dir(&objects)
+            .map_err(|e| TilelibError::Store(format!("read {}: {e}", objects.display())))?;
+        for shard in shards {
+            let shard = shard.map_err(|e| TilelibError::Store(format!("read shard: {e}")))?;
+            if !shard.path().is_dir() {
+                continue;
+            }
+            let prefix = shard.file_name().to_string_lossy().into_owned();
+            let files = fs::read_dir(shard.path())
+                .map_err(|e| TilelibError::Store(format!("read shard: {e}")))?;
+            for file in files {
+                let file = file.map_err(|e| TilelibError::Store(format!("read object: {e}")))?;
+                let rest = file.file_name().to_string_lossy().into_owned();
+                let digest = format!("{prefix}{rest}");
+                if digest.len() != 64 || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Err(TilelibError::Store(format!(
+                        "malformed object name {prefix}/{rest}"
+                    )));
+                }
+                out.push(digest);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Number of stored tiles.
+    ///
+    /// # Errors
+    /// Propagates [`TileStore::digests`].
+    pub fn len(&self) -> Result<usize, TilelibError> {
+        Ok(self.digests()?.len())
+    }
+
+    /// Whether the store holds no tiles.
+    ///
+    /// # Errors
+    /// Propagates [`TileStore::digests`].
+    pub fn is_empty(&self) -> Result<bool, TilelibError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Load one tile by digest.
+    ///
+    /// # Errors
+    /// [`TilelibError::Store`] when the object is absent or its content
+    /// no longer matches its name (corruption detection).
+    pub fn load(&self, digest: &str) -> Result<GrayImage, TilelibError> {
+        let tile = load_pgm(self.object_path(digest))
+            .map_err(|e| TilelibError::Store(format!("load {digest}: {e:?}")))?;
+        if Self::tile_digest(&tile) != digest {
+            return Err(TilelibError::Store(format!(
+                "object {digest} fails content verification"
+            )));
+        }
+        Ok(tile)
+    }
+
+    /// Load every tile in digest order (the order [`TileStore::digests`]
+    /// returns).
+    ///
+    /// # Errors
+    /// Propagates [`TileStore::load`].
+    pub fn load_all(&self) -> Result<(Vec<String>, Vec<GrayImage>), TilelibError> {
+        let digests = self.digests()?;
+        let mut tiles = Vec::with_capacity(digests.len());
+        for d in &digests {
+            tiles.push(self.load(d)?);
+        }
+        Ok((digests, tiles))
+    }
+
+    fn object_path(&self, digest: &str) -> PathBuf {
+        let (shard, rest) = digest.split_at(2.min(digest.len()));
+        self.root.join(OBJECTS_DIR).join(shard).join(rest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_image::synth::Scene;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("mosaic_tilelib_tests")
+            .join(format!("{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn create_open_roundtrip_and_tile_size_pinning() {
+        let root = tmp("create_open");
+        let store = TileStore::create(&root, 16).unwrap();
+        assert_eq!(store.tile_size(), 16);
+        let reopened = TileStore::open(&root).unwrap();
+        assert_eq!(reopened.tile_size(), 16);
+        // Adopting with the same size is fine; a different size is not.
+        assert!(TileStore::create(&root, 16).is_ok());
+        let err = TileStore::create(&root, 32).unwrap_err();
+        assert!(err.is_store(), "{err}");
+    }
+
+    #[test]
+    fn open_missing_store_is_typed_error() {
+        let root = tmp("open_missing").join("nope");
+        let err = TileStore::open(&root).unwrap_err();
+        assert!(matches!(err, TilelibError::Store(_)));
+    }
+
+    #[test]
+    fn insert_is_idempotent_by_content() {
+        let root = tmp("insert_idempotent");
+        let store = TileStore::create(&root, 8).unwrap();
+        let tile = Scene::Plasma.render(8, 3);
+        let (d1, fresh1) = store.insert(&tile).unwrap();
+        let (d2, fresh2) = store.insert(&tile).unwrap();
+        assert_eq!(d1, d2);
+        assert!(fresh1);
+        assert!(!fresh2);
+        assert_eq!(store.len().unwrap(), 1);
+        assert_eq!(store.load(&d1).unwrap(), tile);
+    }
+
+    #[test]
+    fn ingest_dedups_by_hash_and_reingest_is_noop() {
+        let root = tmp("ingest_dedup");
+        let src = root.join("src");
+        fs::create_dir_all(&src).unwrap();
+        let a = Scene::Plasma.render(8, 1);
+        let b = Scene::Checker.render(8, 2);
+        save_pgm(src.join("a.pgm"), &a).unwrap();
+        save_pgm(src.join("b.pgm"), &b).unwrap();
+        save_pgm(src.join("copy_of_a.pgm"), &a).unwrap(); // same content
+        fs::write(src.join("notes.txt"), "not a tile").unwrap();
+        fs::write(src.join("broken.pgm"), "P5 garbage").unwrap();
+
+        let store = TileStore::create(root.join("store"), 8).unwrap();
+        let report = store.ingest_dir(&src).unwrap();
+        assert_eq!(report.scanned, 4, "{report:?}"); // 3 pgm + broken
+        assert_eq!(report.ingested, 2);
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(report.skipped, 1);
+        assert_eq!(store.len().unwrap(), 2);
+
+        // Second pass: everything already present.
+        let again = store.ingest_dir(&src).unwrap();
+        assert_eq!(again.ingested, 0);
+        assert_eq!(again.duplicates, 3);
+        assert_eq!(store.len().unwrap(), 2);
+    }
+
+    #[test]
+    fn ppm_and_pgm_of_same_content_share_a_digest() {
+        let root = tmp("ppm_pgm_dedup");
+        let src = root.join("src");
+        fs::create_dir_all(&src).unwrap();
+        let gray = Scene::Drapery.render(8, 5);
+        save_pgm(src.join("tile.pgm"), &gray).unwrap();
+        // A PPM whose three channels equal the grayscale converts back
+        // to the same tile content.
+        let rgb = mosaic_image::RgbImage::from_fn(8, 8, |x, y| {
+            let g = gray.pixel(x, y).0;
+            mosaic_image::Rgb([g, g, g])
+        })
+        .unwrap();
+        mosaic_image::io::save_ppm(src.join("tile.ppm"), &rgb).unwrap();
+
+        let store = TileStore::create(root.join("store"), 8).unwrap();
+        let report = store.ingest_dir(&src).unwrap();
+        assert_eq!(report.ingested + report.duplicates, 2);
+        assert_eq!(store.len().unwrap(), 1, "one unique tile content");
+    }
+
+    #[test]
+    fn digests_are_sorted_and_stable() {
+        let root = tmp("sorted_digests");
+        let store = TileStore::create(&root, 8).unwrap();
+        for seed in 0..12 {
+            store.insert(&Scene::Fur.render(8, seed)).unwrap();
+        }
+        let a = store.digests().unwrap();
+        let mut b = a.clone();
+        b.sort_unstable();
+        assert_eq!(a, b, "iteration must be digest-sorted");
+        assert_eq!(a, store.digests().unwrap(), "and stable across walks");
+    }
+
+    #[test]
+    fn oversized_inserts_are_canonicalized_to_tile_size() {
+        let root = tmp("resize_on_insert");
+        let store = TileStore::create(&root, 8).unwrap();
+        let big = Scene::Regatta.render(32, 9);
+        let (digest, fresh) = store.insert(&big).unwrap();
+        assert!(fresh);
+        let loaded = store.load(&digest).unwrap();
+        assert_eq!(loaded.dimensions(), (8, 8));
+    }
+
+    #[test]
+    fn corruption_is_detected_on_load() {
+        let root = tmp("corruption");
+        let store = TileStore::create(&root, 8).unwrap();
+        let (digest, _) = store.insert(&Scene::Plasma.render(8, 11)).unwrap();
+        let path = store.object_path(&digest);
+        let other = Scene::Checker.render(8, 1);
+        save_pgm(&path, &other).unwrap();
+        let err = store.load(&digest).unwrap_err();
+        assert!(err.to_string().contains("content verification"), "{err}");
+    }
+}

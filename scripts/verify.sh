@@ -87,10 +87,40 @@ if [ "${stress_passed:-0}" -lt 6 ]; then
     exit 1
 fi
 
+# Tile-library suite: the content-addressed store, clustering, pruning
+# and rectangular sparse solve carry the `library` job kind end to end,
+# so both the crate's own tests and the thousand-tile acceptance
+# workload get passed-count floors against vacuous green runs.
+echo "==> cargo test -q --offline -p mosaic-tilelib"
+tilelib_out=$(cargo test -q --offline -p mosaic-tilelib 2>&1) || {
+    echo "$tilelib_out"
+    exit 1
+}
+echo "$tilelib_out" | grep '^test result:'
+tilelib_passed=$(echo "$tilelib_out" | grep '^test result:' |
+    sed -n 's/.* \([0-9][0-9]*\) passed.*/\1/p' | awk '{n += $1} END {print n}')
+if [ "${tilelib_passed:-0}" -lt 30 ]; then
+    echo "error: expected at least 30 tilelib tests, ran ${tilelib_passed:-0}" >&2
+    exit 1
+fi
+
+echo "==> cargo test -q --offline --test tilelib_library"
+library_out=$(cargo test -q --offline --test tilelib_library 2>&1) || {
+    echo "$library_out"
+    exit 1
+}
+library_summary=$(echo "$library_out" | grep '^test result:' | tail -1)
+echo "$library_summary"
+library_passed=$(echo "$library_summary" | sed -n 's/.* \([0-9][0-9]*\) passed.*/\1/p')
+if [ "${library_passed:-0}" -lt 1 ]; then
+    echo "error: the thousand-tile library acceptance test did not run" >&2
+    exit 1
+fi
+
 # Published benchmark artifacts: the committed root BENCH_search.json
 # must exist and hold the pool-vs-scoped comparison (parsed with the
 # workspace's own Json reader by tests/bench_artifacts.rs).
-for artifact in BENCH_search.json BENCH_fleet.json; do
+for artifact in BENCH_search.json BENCH_fleet.json BENCH_tilelib.json; do
     if [ ! -f "$artifact" ]; then
         suite=$(echo "$artifact" | sed 's/^BENCH_//; s/\.json$//')
         echo "error: $artifact missing from the workspace root" >&2

@@ -113,6 +113,29 @@ fn fleet_exposition_publishes_gateway_and_direct_arms() {
 }
 
 #[test]
+fn tilelib_exposition_shows_pruning_beating_the_dense_solve() {
+    // The PR-7 evidence: at every published library size the clustered
+    // top-k pruning must solve faster than scoring-plus-solving the
+    // dense rectangular instance, and the published pruned-vs-optimal
+    // cost ratio must stay close to the dense optimum. Regenerate with
+    // `cargo run --release -p mosaic-bench --bin bench -- --suite tilelib`.
+    let doc = root_artifact("BENCH_tilelib.json");
+    for t in [256u32, 512, 1024] {
+        let sparse = min_us(&doc, &format!("bench_tilelib_solve_sparse_t{t}_us"));
+        let dense = min_us(&doc, &format!("bench_tilelib_solve_dense_t{t}_us"));
+        assert!(
+            sparse <= dense,
+            "pruned solve ({sparse} us) lost to the dense solve ({dense} us) at T={t}"
+        );
+        let ratio = min_us(&doc, &format!("bench_tilelib_cost_ratio_permille_t{t}_us"));
+        assert!(
+            (1000..2000).contains(&ratio),
+            "pruned cost ratio {ratio} permille at T={t} is outside [1000, 2000)"
+        );
+    }
+}
+
+#[test]
 fn every_published_suite_exposition_parses() {
     for suite in [
         "error_matrix",
@@ -121,6 +144,7 @@ fn every_published_suite_exposition_parses() {
         "ablations",
         "search",
         "fleet",
+        "tilelib",
     ] {
         let doc = root_artifact(&format!("BENCH_{suite}.json"));
         assert!(

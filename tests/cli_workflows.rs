@@ -226,3 +226,122 @@ fn geometry_errors_surface_cleanly() {
     .unwrap_err();
     assert!(err.contains("layout error"), "got: {err}");
 }
+
+#[test]
+fn help_documents_every_subcommand() {
+    let usage = run(&["help"]).unwrap();
+    for word in [
+        "generate",
+        "--library",
+        "ingest",
+        "database",
+        "synth",
+        "serve",
+        "gateway",
+        "fleet",
+        "submit",
+        "compare",
+        "info",
+        "--clusters",
+        "--top-clusters",
+        "--feature-grid",
+    ] {
+        assert!(usage.contains(word), "usage lost {word:?}");
+    }
+    // An argument error points back at the same usage text.
+    assert_eq!(run(&["--help"]).unwrap(), usage);
+}
+
+#[test]
+fn ingest_library_workflow() {
+    let dir = workdir("library");
+    let photos = dir.join("photos");
+    std::fs::create_dir_all(&photos).unwrap();
+    for (i, scene) in ["portrait", "regatta", "fur", "drapery", "plasma", "checker"]
+        .iter()
+        .cycle()
+        .take(24)
+        .enumerate()
+    {
+        run(&[
+            "synth",
+            "--scene",
+            scene,
+            "--size",
+            "8",
+            "--seed",
+            &i.to_string(),
+            "--out",
+            photos.join(format!("p{i}.pgm")).to_str().unwrap(),
+        ])
+        .unwrap();
+    }
+    let store = dir.join("store");
+    let _ = std::fs::remove_dir_all(&store);
+    let msg = run(&[
+        "ingest",
+        "--store",
+        store.to_str().unwrap(),
+        "--from",
+        photos.to_str().unwrap(),
+        "--tile",
+        "8",
+    ])
+    .unwrap();
+    assert!(msg.contains("new tiles"), "{msg}");
+
+    // Re-ingest: every file dedups by hash. Adopting the store with the
+    // default tile edge (16) must fail loudly instead of mixing sizes.
+    let err = run(&[
+        "ingest",
+        "--store",
+        store.to_str().unwrap(),
+        "--from",
+        photos.to_str().unwrap(),
+    ])
+    .unwrap_err();
+    assert!(err.contains("tile size"), "{err}");
+    let msg = run(&[
+        "ingest",
+        "--store",
+        store.to_str().unwrap(),
+        "--from",
+        photos.to_str().unwrap(),
+        "--tile",
+        "8",
+    ])
+    .unwrap();
+    assert!(msg.contains("ingested 0 new tiles"), "{msg}");
+
+    let target = dir.join("target.pgm");
+    run(&[
+        "synth",
+        "--scene",
+        "portrait",
+        "--size",
+        "32",
+        "--out",
+        target.to_str().unwrap(),
+    ])
+    .unwrap();
+    let out = dir.join("mosaic.pgm");
+    let msg = run(&[
+        "generate",
+        "--library",
+        store.to_str().unwrap(),
+        "--target",
+        target.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--grid",
+        "4",
+        "--clusters",
+        "6",
+        "--top-clusters",
+        "2",
+    ])
+    .unwrap();
+    assert!(msg.contains("16 cells"), "{msg}");
+    let info = run(&["info", out.to_str().unwrap()]).unwrap();
+    assert!(info.contains("32x32"), "{info}");
+}

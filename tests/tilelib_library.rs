@@ -1,0 +1,167 @@
+//! The tile-library acceptance workload: ingest a thousand-plus
+//! generated tiles into a content-addressed store (re-ingest must be a
+//! no-op by hash), then run a `library` job end-to-end twice — through
+//! the CLI entry point and through the service wire protocol — and check
+//! that the clustered top-k pruning actually pruned while the
+//! rectangular sparse solve still produced an injective mosaic.
+
+use mosaic_image::io::save_pgm;
+use mosaic_image::synth::Scene;
+use mosaic_service::protocol::Response;
+use mosaic_service::{Client, Server, ServiceConfig};
+use mosaic_tilelib::{LibraryJobSpec, LibraryParams, TileStore};
+use photomosaic::{ImageSource, JobResult, Json};
+use std::path::{Path, PathBuf};
+
+const TILE: usize = 8;
+const GRID: usize = 16; // 256 cells, well under the 1000-tile library
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("mosaic_tilelib_library")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_cli(args: &[&str]) -> Result<String, String> {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    mosaic_cli::run(&argv).map_err(|e| e.to_string())
+}
+
+/// Build a store of at least `count` distinct tiles by ingesting
+/// generated PGM files, and prove the second pass is a no-op by hash.
+fn seeded_store(dir: &Path, count: usize) -> PathBuf {
+    let photos = dir.join("photos");
+    std::fs::create_dir_all(&photos).unwrap();
+    let mut written = 0usize;
+    let mut seed = 0u64;
+    let mut digests = std::collections::HashSet::new();
+    while written < count {
+        let scene = Scene::ALL[(seed % Scene::ALL.len() as u64) as usize];
+        let tile = scene.render(TILE, seed);
+        // Only distinct content counts toward the library size.
+        if digests.insert(TileStore::tile_digest(&tile)) {
+            save_pgm(photos.join(format!("tile{seed:05}.pgm")), &tile).unwrap();
+            written += 1;
+        }
+        seed += 1;
+    }
+
+    let store_root = dir.join("store");
+    let msg = run_cli(&[
+        "ingest",
+        "--store",
+        store_root.to_str().unwrap(),
+        "--from",
+        photos.to_str().unwrap(),
+        "--tile",
+        &TILE.to_string(),
+    ])
+    .unwrap();
+    assert!(
+        msg.contains(&format!("ingested {count} new tiles")),
+        "{msg}"
+    );
+
+    // Re-ingest: identical content, zero new objects.
+    let msg = run_cli(&[
+        "ingest",
+        "--store",
+        store_root.to_str().unwrap(),
+        "--from",
+        photos.to_str().unwrap(),
+        "--tile",
+        &TILE.to_string(),
+    ])
+    .unwrap();
+    assert!(msg.contains("ingested 0 new tiles"), "{msg}");
+    assert!(
+        msg.contains(&format!("{count} duplicates")),
+        "every file must dedup by hash: {msg}"
+    );
+
+    let store = TileStore::open(&store_root).unwrap();
+    assert_eq!(store.len().unwrap(), count);
+    store_root
+}
+
+#[test]
+fn thousand_tile_library_end_to_end() {
+    let dir = workdir("e2e");
+    let store_root = seeded_store(&dir, 1000);
+
+    // CLI path: generate --library composes the target from the store.
+    let target = dir.join("target.pgm");
+    run_cli(&[
+        "synth",
+        "--scene",
+        "portrait",
+        "--size",
+        "128",
+        "--seed",
+        "3",
+        "--out",
+        target.to_str().unwrap(),
+    ])
+    .unwrap();
+    let out = dir.join("mosaic.pgm");
+    let msg = run_cli(&[
+        "generate",
+        "--library",
+        store_root.to_str().unwrap(),
+        "--target",
+        target.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--grid",
+        &GRID.to_string(),
+    ])
+    .unwrap();
+    assert!(msg.contains("256 cells from 1000 tiles"), "{msg}");
+    let info = run_cli(&["info", out.to_str().unwrap()]).unwrap();
+    assert!(info.contains("128x128"), "{info}");
+
+    // Service path: the same store, addressed by path over the wire.
+    let server = Server::start(ServiceConfig::default()).unwrap();
+    let spec = LibraryJobSpec {
+        target: ImageSource::Synth {
+            scene: Scene::Portrait,
+            size: 128,
+            seed: 3,
+        },
+        store: store_root.to_str().unwrap().to_string(),
+        params: LibraryParams {
+            grid: GRID,
+            ..LibraryParams::default()
+        },
+    };
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let Response::Result { result } = client.submit_library(&spec).unwrap() else {
+        panic!("library job failed over the wire");
+    };
+    let result = JobResult::from_json(&result).unwrap();
+    server.shutdown();
+    server.join();
+
+    // An injective assignment over the library...
+    assert_eq!(result.image.dimensions(), (128, 128));
+    assert_eq!(result.assignment.len(), GRID * GRID);
+    let mut seen = result.assignment.clone();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), GRID * GRID, "tiles must be used at most once");
+
+    // ...that was actually pruned: the sparse instance must hold far
+    // fewer entries than the 256 x 1000 dense matrix.
+    let count = |key: &str| result.report.get(key).and_then(Json::as_u64).unwrap();
+    assert_eq!(count("cells"), 256);
+    assert_eq!(count("tiles"), 1000);
+    let nnz = count("sparse_nnz");
+    assert!(
+        nnz < 256 * 1000 / 2,
+        "pruning left {nnz} of 256000 candidates — not pruned"
+    );
+    assert!(count("total_error") > 0);
+}
