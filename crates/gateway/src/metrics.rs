@@ -7,6 +7,7 @@
 //! path records with relaxed atomics and never touches the registry
 //! lock.
 
+use mosaic_service::protocol::kinds;
 use mosaic_telemetry::{Counter, Histogram, HistogramSummary, Registry};
 use photomosaic::Json;
 use std::sync::Arc;
@@ -100,7 +101,7 @@ impl GatewayMetrics {
                 Json::obj([
                     ("routed", Json::from(self.routed.get())),
                     ("failovers", Json::from(self.failovers.get())),
-                    ("rejected", Json::from(self.rejected.get())),
+                    (kinds::REJECTED, Json::from(self.rejected.get())),
                 ]),
             ),
             (

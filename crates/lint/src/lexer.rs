@@ -102,7 +102,12 @@ pub fn lex(text: &str) -> Lexed {
         }
         if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
             let start = i;
-            let doc = (bytes.get(i + 2) == Some(&b'*') && bytes.get(i + 3) != Some(&b'/'))
+            // `/** doc */` but not `/***/`-style comments (rustc treats a
+            // third `*` or an immediate `/` as a plain block comment),
+            // and `/*! inner doc */`.
+            let doc = (bytes.get(i + 2) == Some(&b'*')
+                && bytes.get(i + 3) != Some(&b'/')
+                && bytes.get(i + 3) != Some(&b'*'))
                 || bytes.get(i + 2) == Some(&b'!');
             i += 2;
             let mut depth = 1usize;
@@ -153,16 +158,14 @@ pub fn lex(text: &str) -> Lexed {
             let raw = matches!(ident, "r" | "br" | "cr");
             let cooked_prefix = matches!(ident, "b" | "c");
             if raw && matches!(next, Some(b'"' | b'#')) {
-                if let Some(end) = scan_raw_string(bytes, i) {
-                    classes[start..end].fill(Class::Str);
-                    let hash = bytes[i..].iter().take_while(|&&c| c == b'#').count();
-                    let body = &text[i + hash + 1..end - 1 - hash];
+                if let Some(raw_str) = scan_raw_string(bytes, i) {
+                    classes[start..raw_str.end].fill(Class::Str);
                     strings.push(StrLit {
                         start,
-                        end,
-                        value: body.to_string(),
+                        end: raw_str.end,
+                        value: text[raw_str.body_start..raw_str.body_end].to_string(),
                     });
-                    i = end;
+                    i = raw_str.end;
                 }
                 continue;
             }
@@ -266,9 +269,19 @@ fn scan_cooked_string(text: &str, quote: usize) -> (usize, String) {
     (n, value)
 }
 
+/// A scanned raw string: the end of the whole literal plus the body's
+/// byte range (between the opening quote and the closing quote).
+struct RawStr {
+    end: usize,
+    body_start: usize,
+    body_end: usize,
+}
+
 /// Scan a raw string; `i` points at the first `#` or the quote. Returns
-/// one past the end, or `None` if this is not actually a raw string.
-fn scan_raw_string(bytes: &[u8], i: usize) -> Option<usize> {
+/// `None` if this is not actually a raw string. An unterminated raw
+/// string (EOF before the matching `"###`) runs to the end of the file —
+/// the body range stays in bounds and on char boundaries either way.
+fn scan_raw_string(bytes: &[u8], i: usize) -> Option<RawStr> {
     let n = bytes.len();
     let mut j = i;
     let mut hashes = 0usize;
@@ -280,6 +293,7 @@ fn scan_raw_string(bytes: &[u8], i: usize) -> Option<usize> {
         return None;
     }
     j += 1;
+    let body_start = j;
     while j < n {
         if bytes[j] == b'"' {
             let mut k = j + 1;
@@ -289,12 +303,20 @@ fn scan_raw_string(bytes: &[u8], i: usize) -> Option<usize> {
                 k += 1;
             }
             if closing == hashes {
-                return Some(k);
+                return Some(RawStr {
+                    end: k,
+                    body_start,
+                    body_end: j,
+                });
             }
         }
         j += 1;
     }
-    Some(n)
+    Some(RawStr {
+        end: n,
+        body_start,
+        body_end: n,
+    })
 }
 
 /// Scan a char/byte literal starting at the tick; returns one past the
@@ -493,5 +515,63 @@ fn after() {}
         let lexed = lex(text);
         assert_eq!(classes_at(&lexed, text, "still comment"), Class::Comment);
         assert_eq!(classes_at(&lexed, text, "fn code"), Class::Code);
+    }
+
+    #[test]
+    fn lock_tokens_inside_raw_strings_and_nested_comments_are_not_code() {
+        let text = "fn f() {\n    let a = r#\"m.lock().unwrap()\"#;\n    /* /* nested */ m.lock() still comment */\n    let b = br\"pool.parallel_for(4, |_| {})\";\n    let _ = (a, b);\n}\n";
+        let lexed = lex(text);
+        assert_eq!(classes_at(&lexed, text, "m.lock().unwrap()"), Class::Str);
+        assert_eq!(classes_at(&lexed, text, "m.lock() still"), Class::Comment);
+        assert_eq!(classes_at(&lexed, text, "parallel_for"), Class::Str);
+        assert_eq!(classes_at(&lexed, text, "let _ = (a, b)"), Class::Code);
+    }
+
+    #[test]
+    fn unterminated_raw_strings_run_to_eof_without_panicking() {
+        // `r#"` exactly at EOF used to underflow the body slice.
+        for text in ["let x = r#\"", "let x = r##\"", "let x = r#\"abc"] {
+            let lexed = lex(text);
+            let open = text.find('r').expect("prefix present");
+            assert_eq!(lexed.classes[open], Class::Str, "{text:?}");
+            assert_eq!(*lexed.classes.last().expect("non-empty"), Class::Str);
+        }
+        // Multibyte tail: the body slice must stay on char boundaries.
+        let text = "let x = r#\"caf\u{e9}";
+        let lexed = lex(text);
+        assert_eq!(lexed.strings.len(), 1);
+        assert_eq!(lexed.strings[0].value, "caf\u{e9}");
+    }
+
+    #[test]
+    fn terminated_raw_string_bodies_decode_exactly() {
+        let text = "let a = r##\"quote \"# inside\"##; let b = r\"no hash\"; m.lock();";
+        let lexed = lex(text);
+        let values: Vec<&str> = lexed.strings.iter().map(|s| s.value.as_str()).collect();
+        assert_eq!(values, vec!["quote \"# inside", "no hash"]);
+        assert_eq!(classes_at(&lexed, text, "m.lock()"), Class::Code);
+    }
+
+    #[test]
+    fn triple_star_block_comments_are_plain_comments() {
+        // rustc lexes `/***/` and `/*** x */` as plain block comments,
+        // not doc comments; they must land in the comments list so
+        // SAFETY/suppression scanning sees them.
+        let text = "/***/ fn a() {}\n/*** note */ fn b() {}\n/** doc */ fn c() {}\n";
+        let lexed = lex(text);
+        assert_eq!(classes_at(&lexed, text, "/***/"), Class::Comment);
+        assert_eq!(classes_at(&lexed, text, "note"), Class::Comment);
+        assert_eq!(classes_at(&lexed, text, "doc"), Class::DocComment);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(classes_at(&lexed, text, "fn a"), Class::Code);
+        assert_eq!(classes_at(&lexed, text, "fn b"), Class::Code);
+    }
+
+    #[test]
+    fn unterminated_nested_comment_swallows_the_rest_of_the_file() {
+        let text = "fn live() {}\n/* outer /* inner */ m.lock()";
+        let lexed = lex(text);
+        assert_eq!(classes_at(&lexed, text, "fn live"), Class::Code);
+        assert_eq!(classes_at(&lexed, text, "m.lock()"), Class::Comment);
     }
 }

@@ -10,16 +10,31 @@
 //! crate makes those conventions machine-checked, offline, with zero
 //! dependencies beyond the workspace's own `Json` writer.
 //!
-//! The rules (details in DESIGN.md §10):
+//! The per-file rules (details in DESIGN.md §10):
 //!
 //! | rule | enforces |
 //! |---|---|
 //! | `lock-discipline` | no raw `.lock()` / inline poison recovery outside `telemetry::sync` |
 //! | `panic-free` | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`unreachable!` in library code |
-//! | `unsafe-hygiene` | `// SAFETY:` before `unsafe`; `#![forbid(unsafe_code)]` on unsafe-free targets |
+//! | `unsafe-hygiene` | `// SAFETY:` before `unsafe`; `#![forbid(unsafe_code)]` on unsafe-free targets; workspace unsafe-site count pin |
 //! | `protocol-registry` | wire op/kind words defined once, in `protocol::{ops,kinds}` |
 //! | `telemetry-names` | snake_case names; DESIGN.md §9 names actually registered |
 //! | `suppression` | every `lint:allow` carries a known tag and a reason |
+//!
+//! The interprocedural rules, built on the [`semantic`] symbol index
+//! and approximate call graph (details in DESIGN.md §15):
+//!
+//! | rule | enforces |
+//! |---|---|
+//! | `lock-order` | no cycle in the global acquired-while-held graph (AB-BA deadlock) |
+//! | `blocking-under-lock` | no pool submission / socket I/O / channel recv / foreign `Condvar::wait` while a `MutexGuard` is live |
+//! | `deadline-propagation` | `*_bounded` functions accept, forward, and poll `Deadline` |
+//! | `registry-drift` | every wire-word constant wired on both encode and decode paths; interned `*_total`/`*_us` metric names documented in DESIGN.md §9 |
+//!
+//! Each finding carries a severity: `deny` fails the run, `warn` is
+//! reported (text, JSON, baseline) but non-fatal. Every rule denies by
+//! default; today only the loop-polling check of `deadline-propagation`
+//! downgrades to warn.
 //!
 //! Suppression syntax, trailing or on the line above the site:
 //!
@@ -46,9 +61,10 @@ pub mod lexer;
 pub mod model;
 pub mod report;
 pub mod rules;
+pub mod semantic;
 pub mod walk;
 
-pub use model::{Finding, Rule, SourceFile};
+pub use model::{Finding, Rule, Severity, SourceFile};
 pub use report::{baseline_json, render_text, report_json, Baseline};
 pub use walk::Workspace;
 

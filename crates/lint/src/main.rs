@@ -1,6 +1,6 @@
 //! The `mosaic-lint` binary: run the workspace rules, print findings,
 //! write `out/LINT.json`, and exit non-zero on any non-baselined
-//! finding.
+//! deny-severity finding (warn findings are reported but non-fatal).
 //!
 //! ```text
 //! mosaic-lint [--root DIR] [--json PATH] [--baseline PATH] [--write-baseline]
@@ -15,9 +15,11 @@
 
 #![forbid(unsafe_code)]
 
+use mosaic_lint::model::Severity;
 use mosaic_lint::{baseline_json, render_text, report_json, rules, Baseline, Workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Options {
     root: PathBuf,
@@ -52,9 +54,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn run(options: &Options) -> Result<bool, String> {
+    let started = Instant::now();
     let workspace =
         Workspace::load(&options.root).map_err(|e| format!("failed to load workspace: {e}"))?;
     let findings = rules::run_all(&workspace);
+    let analysis_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
     let files_scanned = workspace.files.len();
 
     let baseline_path = options
@@ -90,19 +94,26 @@ fn run(options: &Options) -> Result<bool, String> {
         std::fs::create_dir_all(parent)
             .map_err(|e| format!("failed to create {}: {e}", parent.display()))?;
     }
-    let report = report_json(&fresh, &grandfathered, files_scanned).encode();
+    let report = report_json(&fresh, &grandfathered, files_scanned, analysis_ms).encode();
     std::fs::write(&json_path, report + "\n")
         .map_err(|e| format!("failed to write {}: {e}", json_path.display()))?;
 
+    let deny = fresh
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    let warn = fresh.len() - deny;
     print!("{}", render_text(&fresh));
     println!(
-        "mosaic-lint: {} file(s), {} finding(s), {} baselined — report at {}",
+        "mosaic-lint: {} file(s), {} deny, {} warn, {} baselined in {} ms — report at {}",
         files_scanned,
-        fresh.len(),
+        deny,
+        warn,
         grandfathered.len(),
+        analysis_ms,
         json_path.display()
     );
-    Ok(fresh.is_empty())
+    Ok(deny == 0)
 }
 
 fn main() -> ExitCode {

@@ -2,6 +2,26 @@
 
 use crate::lexer::{self, Class, Lexed};
 
+/// How hard a finding fails the build: `Deny` findings exit non-zero,
+/// `Warn` findings are reported (text, JSON, baseline) but do not fail.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint run (and verify.sh).
+    Deny,
+    /// Reported but non-fatal.
+    Warn,
+}
+
+impl Severity {
+    /// The name used in reports and `out/LINT.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
 /// The stable identifier of each rule, as printed in findings, used in
 /// `lint:allow(...)` suppressions, and matched against the baseline.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -11,12 +31,21 @@ pub enum Rule {
     /// R2 — no panicking constructs in non-test library code.
     PanicFree,
     /// R3 — `// SAFETY:` before `unsafe`, `#![forbid(unsafe_code)]`
-    /// on unsafe-free targets.
+    /// on unsafe-free targets, and the workspace unsafe-site count pin.
     UnsafeHygiene,
     /// R4 — protocol op/kind words live in one registry, no drift.
     ProtocolRegistry,
     /// R5 — telemetry names are snake_case and match DESIGN.md §9.
     TelemetryNames,
+    /// R6 — no cycle in the global lock-order graph (AB-BA deadlock).
+    LockOrder,
+    /// R7 — no blocking primitive while a `MutexGuard` is live.
+    BlockingUnderLock,
+    /// R8 — `*_bounded` functions accept, forward, and poll `Deadline`.
+    DeadlinePropagation,
+    /// R9 — protocol words and §9 metric names cross-reference both
+    /// directions between registry/docs and the code that speaks them.
+    RegistryDrift,
     /// A malformed `lint:allow` comment (missing reason).
     Suppression,
 }
@@ -30,6 +59,10 @@ impl Rule {
             Rule::UnsafeHygiene => "unsafe-hygiene",
             Rule::ProtocolRegistry => "protocol-registry",
             Rule::TelemetryNames => "telemetry-names",
+            Rule::LockOrder => "lock-order",
+            Rule::BlockingUnderLock => "blocking-under-lock",
+            Rule::DeadlinePropagation => "deadline-propagation",
+            Rule::RegistryDrift => "registry-drift",
             Rule::Suppression => "suppression",
         }
     }
@@ -42,8 +75,18 @@ impl Rule {
             Rule::UnsafeHygiene => "safety",
             Rule::ProtocolRegistry => "protocol",
             Rule::TelemetryNames => "telemetry",
+            Rule::LockOrder => "lock-order",
+            Rule::BlockingUnderLock => "blocking",
+            Rule::DeadlinePropagation => "deadline",
+            Rule::RegistryDrift => "registry",
             Rule::Suppression => "suppression",
         }
+    }
+
+    /// The severity a finding of this rule carries unless the rule
+    /// downgrades it at the site (see [`Finding::warn`]).
+    pub fn default_severity(self) -> Severity {
+        Severity::Deny
     }
 }
 
@@ -52,6 +95,8 @@ impl Rule {
 pub struct Finding {
     /// Which rule fired.
     pub rule: Rule,
+    /// How hard it fails the build.
+    pub severity: Severity,
     /// Workspace-relative path.
     pub file: String,
     /// 1-based line number.
@@ -66,6 +111,12 @@ impl Finding {
     /// Baseline matching key: stable across line-number drift.
     pub fn key(&self) -> String {
         format!("{}|{}|{}", self.rule.name(), self.file, self.snippet)
+    }
+
+    /// Downgrade this finding to [`Severity::Warn`].
+    pub fn warn(mut self) -> Finding {
+        self.severity = Severity::Warn;
+        self
     }
 }
 
@@ -191,6 +242,7 @@ impl SourceFile {
         let line = self.line_of(offset);
         Finding {
             rule,
+            severity: rule.default_severity(),
             file: self.rel_path.clone(),
             line,
             message,

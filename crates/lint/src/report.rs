@@ -2,7 +2,7 @@
 //! [`Json`] writer) and the committed-baseline mechanism for
 //! grandfathered findings.
 
-use crate::model::Finding;
+use crate::model::{Finding, Severity};
 use photomosaic::Json;
 
 /// Counts of entries allowed per baseline key (a multiset: two
@@ -70,24 +70,36 @@ impl Baseline {
 }
 
 /// Serialize findings (and scan metadata) as the `out/LINT.json` report.
-pub fn report_json(fresh: &[Finding], grandfathered: &[Finding], files_scanned: usize) -> Json {
+/// `analysis_ms` is the measured wall-clock of load + analysis; verify.sh
+/// holds it under the committed self-time budget.
+pub fn report_json(
+    fresh: &[Finding],
+    grandfathered: &[Finding],
+    files_scanned: usize,
+    analysis_ms: u64,
+) -> Json {
     let entry = |f: &Finding| {
         Json::obj([
             ("rule", Json::from(f.rule.name())),
+            ("severity", Json::from(f.severity.name())),
             ("file", Json::from(f.file.as_str())),
             ("line", Json::from(f.line)),
             ("message", Json::from(f.message.as_str())),
             ("snippet", Json::from(f.snippet.as_str())),
         ])
     };
+    let count = |s: Severity| fresh.iter().filter(|f| f.severity == s).count();
     Json::obj([
-        ("version", Json::from(1u64)),
+        ("version", Json::from(2u64)),
         (
             "summary",
             Json::obj([
                 ("files_scanned", Json::from(files_scanned)),
                 ("findings", Json::from(fresh.len())),
+                ("deny", Json::from(count(Severity::Deny))),
+                ("warn", Json::from(count(Severity::Warn))),
                 ("baselined", Json::from(grandfathered.len())),
+                ("analysis_ms", Json::from(analysis_ms)),
             ]),
         ),
         ("findings", Json::Arr(fresh.iter().map(entry).collect())),
@@ -123,10 +135,11 @@ pub fn render_text(findings: &[Finding]) -> String {
     let mut out = String::new();
     for f in findings {
         out.push_str(&format!(
-            "{}:{}: [{}] {}\n    {}\n",
+            "{}:{}: [{}/{}] {}\n    {}\n",
             f.file,
             f.line,
             f.rule.name(),
+            f.severity.name(),
             f.message,
             f.snippet
         ));
@@ -142,6 +155,7 @@ mod tests {
     fn finding(rule: Rule, file: &str, snippet: &str) -> Finding {
         Finding {
             rule,
+            severity: rule.default_severity(),
             file: file.to_string(),
             line: 7,
             message: "msg".to_string(),
@@ -178,20 +192,33 @@ mod tests {
 
     #[test]
     fn report_roundtrips_through_the_workspace_json_reader() {
-        let fresh = vec![finding(Rule::PanicFree, "a.rs", "snippet \"quoted\"")];
-        let text = report_json(&fresh, &[], 42).encode();
+        let fresh = vec![
+            finding(Rule::PanicFree, "a.rs", "snippet \"quoted\""),
+            finding(Rule::DeadlinePropagation, "b.rs", "for row in rows").warn(),
+        ];
+        let text = report_json(&fresh, &[], 42, 17).encode();
         let back = Json::parse(&text).expect("report parses");
+        let summary = back.get("summary").expect("summary");
         assert_eq!(
-            back.get("summary")
-                .and_then(|s| s.get("files_scanned"))
-                .and_then(Json::as_u64),
+            summary.get("files_scanned").and_then(Json::as_u64),
             Some(42)
         );
+        assert_eq!(summary.get("deny").and_then(Json::as_u64), Some(1));
+        assert_eq!(summary.get("warn").and_then(Json::as_u64), Some(1));
+        assert_eq!(summary.get("analysis_ms").and_then(Json::as_u64), Some(17));
         let entries = back.get("findings").and_then(Json::as_arr).expect("array");
-        assert_eq!(entries.len(), 1);
+        assert_eq!(entries.len(), 2);
         assert_eq!(
             entries[0].get("snippet").and_then(Json::as_str),
             Some("snippet \"quoted\"")
+        );
+        assert_eq!(
+            entries[0].get("severity").and_then(Json::as_str),
+            Some("deny")
+        );
+        assert_eq!(
+            entries[1].get("severity").and_then(Json::as_str),
+            Some("warn")
         );
     }
 

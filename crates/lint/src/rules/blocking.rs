@@ -1,0 +1,229 @@
+//! R7 — blocking-under-lock: no pool submission, socket or file I/O,
+//! channel receive, thread join/sleep, or foreign-lock `Condvar::wait`
+//! while a `MutexGuard` is lexically live. A guard held across a
+//! blocking call turns one slow peer into a pile-up behind the mutex —
+//! and a `Condvar::wait` on a *different* lock parks the thread with
+//! the first lock still held.
+//!
+//! The one sanctioned pattern is `cv.wait(guard)` on the guard being
+//! waited on — the wait atomically releases that mutex.
+
+use crate::model::{Finding, Rule};
+use crate::semantic::Model;
+
+/// Method-call patterns that block the calling thread.
+const BLOCKING_METHODS: [&str; 13] = [
+    ".parallel_for(",
+    ".parallel_for_mut(",
+    ".recv(",
+    ".recv_timeout(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read_line(",
+    ".fill_buf(",
+    ".write_all(",
+    ".flush(",
+    ".accept(",
+    ".wait(",
+    ".wait_timeout(",
+];
+
+/// Free-function patterns that block the calling thread.
+const BLOCKING_FREE: [&str; 2] = ["TcpStream::connect", "thread::sleep"];
+
+/// Run the rule over the prebuilt semantic model.
+pub fn check(model: &Model<'_>, findings: &mut Vec<Finding>) {
+    for f in &model.fns {
+        if f.acquires.is_empty() {
+            continue;
+        }
+        let file = model.file_of(f);
+        let mut sites: Vec<(usize, &str)> = Vec::new();
+        for pat in BLOCKING_METHODS {
+            let mut from = f.body.0;
+            while let Some(rel) = file.text[from..f.body.1].find(pat) {
+                let at = from + rel;
+                from = at + 1;
+                if file.is_live_code(at) {
+                    sites.push((at, pat));
+                }
+            }
+        }
+        for pat in BLOCKING_FREE {
+            for at in file.code_occurrences(pat) {
+                if at > f.body.0 && at < f.body.1 {
+                    sites.push((at, pat));
+                }
+            }
+        }
+        // `.join()` with no arguments is a thread join; `join(sep)` on
+        // a slice is a string concatenation.
+        let mut from = f.body.0;
+        while let Some(rel) = file.text[from..f.body.1].find(".join(") {
+            let at = from + rel;
+            from = at + 1;
+            let after = skip_ws(&file.text, at + ".join(".len());
+            if file.is_live_code(at) && file.text.as_bytes().get(after) == Some(&b')') {
+                sites.push((at, ".join("));
+            }
+        }
+
+        for (at, pat) in sites {
+            // The innermost guard still held at the call site.
+            let covering = f
+                .acquires
+                .iter()
+                .filter(|a| at > a.hold.0 && at < a.hold.1)
+                .filter(|a| {
+                    // `cv.wait(guard)` on this very guard releases it.
+                    if pat == ".wait(" || pat == ".wait_timeout(" {
+                        let arg = first_arg_word(&file.text, at + pat.len());
+                        if arg.as_deref() == a.binding.as_deref() && a.binding.is_some() {
+                            return false;
+                        }
+                    }
+                    true
+                })
+                .max_by_key(|a| a.at);
+            let Some(acquire) = covering else {
+                continue;
+            };
+            let line = file.line_of(at);
+            if file.allowed(Rule::BlockingUnderLock, line) {
+                continue;
+            }
+            let name = pat.trim_start_matches('.').trim_end_matches('(');
+            findings.push(file.finding(
+                Rule::BlockingUnderLock,
+                at,
+                format!(
+                    "blocking call `{name}` while the MutexGuard for {} (acquired at line {}) \
+                     is live; release the guard before blocking",
+                    acquire.lock,
+                    file.line_of(acquire.at),
+                ),
+            ));
+        }
+    }
+}
+
+/// The first argument's leading identifier (`cv.wait(guard)` → `guard`),
+/// or `None` when the call has no arguments.
+fn first_arg_word(text: &str, after_paren: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    let i = skip_ws(text, after_paren);
+    let start = i;
+    let mut i = i;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    (i > start).then(|| text[start..i].to_string())
+}
+
+fn skip_ws(text: &str, mut i: usize) -> usize {
+    let bytes = text.as_bytes();
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+    use crate::walk::Workspace;
+
+    fn findings_for(text: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            root: std::path::PathBuf::from("/nonexistent"),
+            files: vec![SourceFile::new(
+                "crates/demo/src/lib.rs".to_string(),
+                text.to_string(),
+            )],
+        };
+        let model = Model::build(&ws);
+        let mut findings = Vec::new();
+        check(&model, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn pool_submission_under_a_guard_is_flagged() {
+        let text = "pub fn render(s: &S) {\n\
+                    \x20   let stats = lock_unpoisoned(&s.stats);\n\
+                    \x20   s.pool.parallel_for(0, 10, |i| work(i));\n\
+                    \x20   stats.record();\n\
+                    }\n";
+        let findings = findings_for(text);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+        assert!(findings[0].message.contains("parallel_for"));
+        assert!(findings[0].message.contains("demo/lib.stats"));
+    }
+
+    #[test]
+    fn io_after_the_guard_is_dropped_is_clean() {
+        let text = "pub fn respond(s: &S, stream: &mut TcpStream) -> io::Result<()> {\n\
+                    \x20   let reply = { let state = lock_unpoisoned(&s.state); state.reply() };\n\
+                    \x20   stream.write_all(reply.as_bytes())\n\
+                    }\n";
+        assert!(findings_for(text).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_on_the_same_guard_is_sanctioned() {
+        let text = "pub fn pop(q: &Q) -> u32 {\n\
+                    \x20   let mut inner = lock_unpoisoned(&q.inner);\n\
+                    \x20   while inner.items.is_empty() {\n\
+                    \x20       inner = q.available.wait(inner).unwrap_or_else(poison);\n\
+                    \x20   }\n\
+                    \x20   inner.items.pop()\n\
+                    }\n";
+        assert!(findings_for(text).is_empty(), "{:?}", findings_for(text));
+    }
+
+    #[test]
+    fn condvar_wait_on_a_different_lock_is_flagged() {
+        let text = "pub fn broken(q: &Q) {\n\
+                    \x20   let outer = lock_unpoisoned(&q.outer);\n\
+                    \x20   let inner = lock_unpoisoned(&q.inner);\n\
+                    \x20   let inner = q.available.wait(inner).unwrap_or_else(poison);\n\
+                    \x20   use_both(&outer, &inner);\n\
+                    }\n";
+        let findings = findings_for(text);
+        // The wait releases `inner` but parks with `outer` still held.
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 4);
+        assert!(findings[0].message.contains("demo/lib.outer"));
+    }
+
+    #[test]
+    fn string_join_is_not_a_thread_join() {
+        let text = "pub fn render(s: &S) -> String {\n\
+                    \x20   let state = lock_unpoisoned(&s.state);\n\
+                    \x20   state.parts.join(\", \")\n\
+                    }\n";
+        assert!(findings_for(text).is_empty());
+    }
+
+    #[test]
+    fn channel_recv_under_a_guard_is_flagged_and_suppressible() {
+        let text = "pub fn drain(s: &S, rx: &Receiver<u32>) {\n\
+                    \x20   let state = lock_unpoisoned(&s.state);\n\
+                    \x20   let v = rx.recv();\n\
+                    \x20   state.push(v);\n\
+                    }\n";
+        let findings = findings_for(text);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+
+        let suppressed = "pub fn drain(s: &S, rx: &Receiver<u32>) {\n\
+                          \x20   let state = lock_unpoisoned(&s.state);\n\
+                          \x20   // lint:allow(blocking) sender is in-process and never blocks\n\
+                          \x20   let v = rx.recv();\n\
+                          \x20   state.push(v);\n\
+                          }\n";
+        assert!(findings_for(suppressed).is_empty());
+    }
+}

@@ -1,17 +1,33 @@
 //! The rule engine: each rule walks the loaded [`Workspace`] and emits
-//! [`Finding`]s. See DESIGN.md §10 for the rule catalogue.
+//! [`Finding`]s. See DESIGN.md §10 for the per-file rule catalogue and
+//! §15 for the interprocedural passes built on [`crate::semantic`].
 
 use crate::model::{Finding, Rule};
+use crate::semantic::Model;
 use crate::walk::Workspace;
 
+mod blocking;
+mod deadlines;
+mod lock_order;
 mod locks;
 mod panics;
 mod protocol;
+mod registry_drift;
 mod telemetry;
 mod unsafety;
 
 /// Tags accepted inside `lint:allow(...)`.
-const KNOWN_TAGS: [&str; 5] = ["lock", "panic", "safety", "protocol", "telemetry"];
+const KNOWN_TAGS: [&str; 9] = [
+    "lock",
+    "panic",
+    "safety",
+    "protocol",
+    "telemetry",
+    "lock-order",
+    "blocking",
+    "deadline",
+    "registry",
+];
 
 /// Run every rule over the workspace; findings are sorted by
 /// (file, line, rule).
@@ -22,6 +38,14 @@ pub fn run_all(workspace: &Workspace) -> Vec<Finding> {
     unsafety::check(workspace, &mut findings);
     protocol::check(workspace, &mut findings);
     telemetry::check(workspace, &mut findings);
+    registry_drift::check(workspace, &mut findings);
+
+    // The interprocedural passes share one symbol index / call graph.
+    let model = Model::build(workspace);
+    lock_order::check(&model, &mut findings);
+    blocking::check(&model, &mut findings);
+    deadlines::check(&model, &mut findings);
+
     check_suppressions(workspace, &mut findings);
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule.name()).cmp(&(b.file.as_str(), b.line, b.rule.name()))
@@ -53,6 +77,7 @@ fn check_suppressions(workspace: &Workspace, findings: &mut Vec<Finding>) {
             };
             findings.push(Finding {
                 rule: Rule::Suppression,
+                severity: Rule::Suppression.default_severity(),
                 file: file.rel_path.clone(),
                 line: allow.comment_line,
                 message,

@@ -1,28 +1,23 @@
 //! R4 — protocol registry: the wire protocol's `op` and `kind` words
 //! are defined exactly once, in the `ops`/`kinds` modules of
 //! `crates/service/src/protocol.rs`. Every other appearance of those
-//! words as a string literal in protocol-adjacent code is drift waiting
+//! words as a string literal in protocol-speaking code is drift waiting
 //! to happen — the encoder, the decoder, and the CLI must all name the
 //! constants, so a rename cannot silently fork the wire format.
+//!
+//! Which code "speaks the protocol" is discovered, not pinned: any
+//! crate with a live-code `protocol::` reference is infected — every
+//! non-test file of that crate is then checked for literal drift. A
+//! crate that builds wire words by hand without ever importing the
+//! registry escapes this net; the R9 reference-count check catches the
+//! constant it should have used going half-wired.
 
 use crate::model::{Finding, Rule, SourceFile};
-use crate::walk::Workspace;
+use crate::walk::{crate_prefix, Workspace};
+use std::collections::BTreeSet;
 
 /// Where the registry lives.
 const REGISTRY_FILE: &str = "crates/service/src/protocol.rs";
-
-/// Files that speak the protocol and are checked for literal drift.
-const PROTOCOL_FILES: [&str; 9] = [
-    REGISTRY_FILE,
-    "crates/service/src/server.rs",
-    "crates/service/src/client.rs",
-    "crates/gateway/src/gateway.rs",
-    "crates/gateway/src/fleet.rs",
-    "crates/cli/src/args.rs",
-    "crates/cli/src/commands.rs",
-    "crates/tilelib/src/job.rs",
-    "crates/tilelib/src/error.rs",
-];
 
 /// Run the rule. Skipped entirely when the tree has no protocol module
 /// (the lint also runs on fixture trees).
@@ -45,6 +40,7 @@ pub fn check(workspace: &Workspace, findings: &mut Vec<Finding>) {
             }
             None => findings.push(Finding {
                 rule: Rule::ProtocolRegistry,
+                severity: Rule::ProtocolRegistry.default_severity(),
                 file: protocol.rel_path.clone(),
                 line: 1,
                 message: format!(
@@ -64,6 +60,7 @@ pub fn check(workspace: &Workspace, findings: &mut Vec<Finding>) {
         {
             findings.push(Finding {
                 rule: Rule::ProtocolRegistry,
+                severity: Rule::ProtocolRegistry.default_severity(),
                 file: protocol.rel_path.clone(),
                 line: 1,
                 message: format!("duplicate wire word {value:?} in the `{module}` registry"),
@@ -73,10 +70,16 @@ pub fn check(workspace: &Workspace, findings: &mut Vec<Finding>) {
     }
 
     let words: Vec<&str> = registry_values.iter().map(|(_, v)| v.as_str()).collect();
-    for rel_path in PROTOCOL_FILES {
-        let Some(file) = workspace.file(rel_path) else {
+    let speaking = speaking_crates(workspace);
+    for file in &workspace.files {
+        if file.is_test_file {
             continue;
-        };
+        }
+        let speaks = file.rel_path == REGISTRY_FILE
+            || crate_prefix(&file.rel_path).is_some_and(|p| speaking.contains(&p));
+        if !speaks {
+            continue;
+        }
         for lit in &file.lexed.strings {
             if !file.is_live_code_string(lit.start) {
                 continue;
@@ -84,7 +87,7 @@ pub fn check(workspace: &Workspace, findings: &mut Vec<Finding>) {
             if !words.contains(&lit.value.as_str()) {
                 continue;
             }
-            if rel_path == REGISTRY_FILE
+            if file.rel_path == REGISTRY_FILE
                 && registry_ranges
                     .iter()
                     .any(|&(s, e)| lit.start >= s && lit.end <= e)
@@ -108,9 +111,24 @@ pub fn check(workspace: &Workspace, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Crates with a live-code `protocol::` reference — the set of crates
+/// whose sources are held to the no-literal-wire-words rule.
+fn speaking_crates(workspace: &Workspace) -> BTreeSet<String> {
+    let mut crates = BTreeSet::new();
+    for file in &workspace.files {
+        if file.is_test_file || file.code_occurrences("protocol::").is_empty() {
+            continue;
+        }
+        if let Some(prefix) = crate_prefix(&file.rel_path) {
+            crates.insert(prefix);
+        }
+    }
+    crates
+}
+
 /// Byte range of `pub mod <name> { ... }` in `file` (the braces'
 /// content inclusive of the delimiters).
-fn module_block(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+pub(super) fn module_block(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
     let needle = format!("mod {name}");
     for at in file.code_occurrences(&needle) {
         let bytes = file.text.as_bytes();
@@ -169,7 +187,8 @@ fn encode() -> &'static str { ops::SUBMIT }
 
     #[test]
     fn literal_drift_outside_the_registry_is_flagged() {
-        let server = "fn dispatch(op: &str) -> bool { op == \"submit\" }\n";
+        let server =
+            "use crate::protocol::ops;\nfn dispatch(op: &str) -> bool { op == \"submit\" }\n";
         let ws = workspace_of(&[
             ("crates/service/src/protocol.rs", REGISTRY),
             ("crates/service/src/server.rs", server),
@@ -183,7 +202,7 @@ fn encode() -> &'static str { ops::SUBMIT }
 
     #[test]
     fn constants_and_unrelated_literals_are_clean() {
-        let server = "fn greet() -> &'static str { \"hello\" }\n";
+        let server = "use crate::protocol::ops;\nfn greet() -> &'static str { \"hello\" }\n";
         let ws = workspace_of(&[
             ("crates/service/src/protocol.rs", REGISTRY),
             ("crates/service/src/server.rs", server),
@@ -234,8 +253,10 @@ pub mod kinds {
     pub const DEADLINE_EXCEEDED: &str = \"deadline_exceeded\";
 }
 ";
-        let client = "fn is_cancel(kind: &str) -> bool { kind == \"deadline_exceeded\" }\n";
-        let server = "fn is_reject(kind: &str) -> bool { kind == \"frame_too_large\" }\n";
+        let client =
+            "use crate::protocol::kinds;\nfn is_cancel(kind: &str) -> bool { kind == \"deadline_exceeded\" }\n";
+        let server =
+            "use crate::protocol::kinds;\nfn is_reject(kind: &str) -> bool { kind == \"frame_too_large\" }\n";
         let ws = workspace_of(&[
             ("crates/service/src/protocol.rs", registry),
             ("crates/service/src/client.rs", client),
@@ -268,8 +289,10 @@ pub mod kinds {
     pub const NO_BACKEND_AVAILABLE: &str = \"no_backend_available\";
 }
 ";
-        let gateway = "fn down(kind: &str) -> bool { kind == \"backend_down\" }\n";
-        let fleet = "fn empty(kind: &str) -> bool { kind == \"no_backend_available\" }\n";
+        let gateway =
+            "use mosaic_service::protocol::kinds;\nfn down(kind: &str) -> bool { kind == \"backend_down\" }\n";
+        let fleet =
+            "use mosaic_service::protocol::kinds;\nfn empty(kind: &str) -> bool { kind == \"no_backend_available\" }\n";
         let ws = workspace_of(&[
             ("crates/service/src/protocol.rs", registry),
             ("crates/gateway/src/gateway.rs", gateway),
@@ -301,8 +324,9 @@ pub mod kinds {
     pub const LIBRARY_INFEASIBLE: &str = \"library_infeasible\";
 }
 ";
-        let job = "fn op() -> &'static str { \"library\" }\n";
-        let error = "fn kind() -> &'static str { \"store_error\" }\n";
+        let job = "use mosaic_service::protocol::ops;\nfn op() -> &'static str { \"library\" }\n";
+        let error =
+            "use mosaic_service::protocol::kinds;\nfn kind() -> &'static str { \"store_error\" }\n";
         let ws = workspace_of(&[
             ("crates/service/src/protocol.rs", registry),
             ("crates/tilelib/src/job.rs", job),
@@ -320,7 +344,10 @@ pub mod kinds {
     }
 
     #[test]
-    fn drift_in_tests_and_other_files_is_ignored() {
+    fn drift_in_tests_and_non_speaking_crates_is_ignored() {
+        // crates/core never references `protocol::`, so its "submit"
+        // literal is coincidence, not drift; test files are never
+        // checked even in speaking crates.
         let elsewhere = "fn f() -> &'static str { \"submit\" }\n";
         let ws = workspace_of(&[
             ("crates/service/src/protocol.rs", REGISTRY),
@@ -330,5 +357,24 @@ pub mod kinds {
         let mut findings = Vec::new();
         check(&ws, &mut findings);
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn infection_covers_the_whole_crate_not_just_the_importing_file() {
+        // One file of the crate imports the protocol; a sibling file
+        // spelling a wire word as a literal is drift even though the
+        // sibling itself never mentions `protocol::`.
+        let importer =
+            "use mosaic_service::protocol::ops;\npub fn op() -> &'static str { ops::SUBMIT }\n";
+        let sibling = "fn is_submit(op: &str) -> bool { op == \"submit\" }\n";
+        let ws = workspace_of(&[
+            ("crates/service/src/protocol.rs", REGISTRY),
+            ("crates/cli/src/args.rs", importer),
+            ("crates/cli/src/commands.rs", sibling),
+        ]);
+        let mut findings = Vec::new();
+        check(&ws, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].file, "crates/cli/src/commands.rs");
     }
 }

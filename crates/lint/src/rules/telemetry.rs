@@ -73,6 +73,7 @@ fn check_design_names(workspace: &Workspace, findings: &mut Vec<Finding>) {
         }
         findings.push(Finding {
             rule: Rule::TelemetryNames,
+            severity: Rule::TelemetryNames.default_severity(),
             file: "DESIGN.md".to_string(),
             line: line_no,
             message: format!(
@@ -85,8 +86,9 @@ fn check_design_names(workspace: &Workspace, findings: &mut Vec<Finding>) {
 
 /// Extract candidate telemetry names from the §9 table: backticked
 /// tokens on `|` rows, with one level of `{a,b,c}` alternation expanded
-/// (`pipeline_step{1,2,3}_us` → three names).
-fn section9_names(design: &str) -> Vec<(usize, String)> {
+/// (`pipeline_step{1,2,3}_us` → three names). Shared with the R9
+/// code-to-docs direction in [`super::registry_drift`].
+pub(super) fn section9_names(design: &str) -> Vec<(usize, String)> {
     let mut names = Vec::new();
     let mut in_section9 = false;
     for (i, line) in design.lines().enumerate() {

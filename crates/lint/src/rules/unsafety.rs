@@ -46,6 +46,7 @@ pub fn check(workspace: &Workspace, findings: &mut Vec<Finding>) {
         if !has_attr && !file.allowed(Rule::UnsafeHygiene, 1) {
             findings.push(Finding {
                 rule: Rule::UnsafeHygiene,
+                severity: Rule::UnsafeHygiene.default_severity(),
                 file: file.rel_path.clone(),
                 line: 1,
                 message: "unsafe-free target must declare #![forbid(unsafe_code)]".to_string(),
@@ -53,6 +54,46 @@ pub fn check(workspace: &Workspace, findings: &mut Vec<Finding>) {
             });
         }
     }
+
+    check_unsafe_pin(workspace, findings);
+}
+
+/// The committed workspace unsafe-site count. Every new `unsafe`
+/// occurrence (a SIMD intrinsic site, a transmute, an `unsafe impl`)
+/// must bump this pin in the same change that adds it — drift in either
+/// direction is a finding, so deletions are accounted for too.
+const EXPECTED_UNSAFE_SITES: usize = 4;
+
+/// The pin only applies to the real workspace, recognized by the crate
+/// that owns today's unsafe sites; fixture trees are exempt.
+const PIN_SENTINEL: &str = "crates/pool/src/lib.rs";
+
+/// Count live `unsafe` occurrences across the workspace and compare
+/// against [`EXPECTED_UNSAFE_SITES`].
+fn check_unsafe_pin(workspace: &Workspace, findings: &mut Vec<Finding>) {
+    if workspace.file(PIN_SENTINEL).is_none() {
+        return;
+    }
+    let count: usize = workspace
+        .files
+        .iter()
+        .map(|f| f.code_occurrences("unsafe").len())
+        .sum();
+    if count == EXPECTED_UNSAFE_SITES {
+        return;
+    }
+    findings.push(Finding {
+        rule: Rule::UnsafeHygiene,
+        severity: Rule::UnsafeHygiene.default_severity(),
+        file: String::from("(workspace)"),
+        line: 1,
+        message: format!(
+            "workspace has {count} live unsafe site(s) but the committed pin expects \
+             {EXPECTED_UNSAFE_SITES}; audit the added/removed sites and update \
+             EXPECTED_UNSAFE_SITES in crates/lint/src/rules/unsafety.rs"
+        ),
+        snippet: String::from("(unsafe-site pin)"),
+    });
 }
 
 /// A `// SAFETY:` comment on the same line or within the window above.
@@ -152,5 +193,36 @@ mod tests {
     fn non_root_files_do_not_need_the_attribute() {
         let findings = findings_for(&[("crates/demo/src/helper.rs", "pub fn f() {}\n")]);
         assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn the_unsafe_site_pin_catches_drift_in_both_directions() {
+        // A stand-in pool lib.rs with exactly the pinned number of
+        // sites, each with its SAFETY comment, is clean.
+        let site = "// SAFETY: documented invariant\nunsafe { op() };\n";
+        let pinned = format!("fn f() {{\n{}\n}}\n", site.repeat(EXPECTED_UNSAFE_SITES));
+        let findings = findings_for(&[("crates/pool/src/lib.rs", &pinned)]);
+        assert!(findings.is_empty(), "{findings:?}");
+
+        // One extra site anywhere in the workspace trips the pin.
+        let extra = "pub fn g(p: *const u8) -> u8 {\n    // SAFETY: caller contract\n    unsafe { *p }\n}\n";
+        let findings = findings_for(&[
+            ("crates/pool/src/lib.rs", &pinned),
+            ("crates/demo/src/helper.rs", extra),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("unsafe site(s)"));
+
+        // One fewer site trips it too: deletions must update the pin.
+        let short = format!(
+            "fn f() {{\n{}\n}}\n",
+            site.repeat(EXPECTED_UNSAFE_SITES - 1)
+        );
+        let findings = findings_for(&[("crates/pool/src/lib.rs", &short)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+
+        // Fixture trees without the sentinel file are exempt.
+        let findings = findings_for(&[("crates/demo/src/helper.rs", extra)]);
+        assert!(findings.is_empty(), "{findings:?}");
     }
 }

@@ -61,6 +61,78 @@ fn unsafe_fixture_findings_are_exact() {
 }
 
 #[test]
+fn deadlock_fixture_names_both_acquisition_sites() {
+    let findings = analyze_fixture(include_str!("fixtures/deadlock_violations.rs"));
+    assert_eq!(
+        lines_of(&findings, Rule::LockOrder),
+        vec![6, 12],
+        "the alpha-then-beta hold and the beta-then-alpha hold: {findings:?}"
+    );
+    let ab = findings.iter().find(|f| f.line == 6).expect("ab finding");
+    assert!(
+        ab.message.contains("util.rs:7") && ab.message.contains("util.rs:12"),
+        "both halves of the cycle are named: {}",
+        ab.message
+    );
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn blocking_fixture_flags_the_recv_under_the_guard() {
+    let findings = analyze_fixture(include_str!("fixtures/blocking_violations.rs"));
+    assert_eq!(
+        lines_of(&findings, Rule::BlockingUnderLock),
+        vec![7],
+        "the channel recv while the queue guard is live: {findings:?}"
+    );
+    let f = &findings[0];
+    assert!(
+        f.message.contains("fixture/util.queue") && f.message.contains("line 6"),
+        "the finding names the lock and its acquisition line: {}",
+        f.message
+    );
+    assert_eq!(findings.len(), 1, "{findings:?}");
+}
+
+#[test]
+fn deadline_fixture_flags_the_dropped_forward() {
+    let findings = analyze_fixture(include_str!("fixtures/deadline_violations.rs"));
+    assert_eq!(
+        lines_of(&findings, Rule::DeadlinePropagation),
+        vec![7, 10],
+        "the unforwarded call and the parameterless bounded callee: {findings:?}"
+    );
+    let dropped = findings.iter().find(|f| f.line == 7).expect("drop finding");
+    assert!(
+        dropped.message.contains("drops the deadline"),
+        "{}",
+        dropped.message
+    );
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn registry_drift_fixture_flags_the_half_wired_constant() {
+    // This fixture must sit at the registry's real path: R9 only reads
+    // the wire registry from `crates/service/src/protocol.rs`.
+    let findings = analyze_sources(vec![(
+        "crates/service/src/protocol.rs".to_string(),
+        include_str!("fixtures/registry_drift.rs").to_string(),
+    )]);
+    let drift: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::RegistryDrift)
+        .collect();
+    assert_eq!(drift.len(), 1, "{findings:?}");
+    assert_eq!(drift[0].line, 8);
+    assert!(
+        drift[0].message.contains("ops::CANCEL"),
+        "{}",
+        drift[0].message
+    );
+}
+
+#[test]
 fn fixtures_under_tests_are_invisible_to_the_real_scan() {
     // The same fixture text analyzed under its actual tests/ path
     // produces nothing: whole-file test exemption.

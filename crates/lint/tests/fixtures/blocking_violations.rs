@@ -1,0 +1,9 @@
+//! Seeded blocking-under-lock: a channel receive while the queue's
+//! MutexGuard is live — every other producer now queues behind a
+//! thread that is waiting on the network's schedule, not its own.
+
+pub fn drain(s: &S, rx: &Receiver<Job>) {
+    let mut queue = lock_unpoisoned(&s.queue);
+    let job = rx.recv();
+    queue.push_job(job);
+}

@@ -1,0 +1,12 @@
+//! Seeded dropped deadline: `outer_bounded` consults its deadline but
+//! forwards nothing to `inner_bounded` — and `inner_bounded` takes no
+//! `Deadline` at all, so the bound evaporates one call down.
+
+pub fn outer_bounded(cfg: &Config, deadline: &Deadline) -> Result<(), Error> {
+    deadline.check()?;
+    inner_bounded(cfg)
+}
+
+pub fn inner_bounded(cfg: &Config) -> Result<(), Error> {
+    run(cfg)
+}

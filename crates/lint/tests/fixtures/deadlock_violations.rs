@@ -1,0 +1,15 @@
+//! Seeded AB-BA deadlock: `transfer` holds alpha while taking beta,
+//! `settle` holds beta while taking alpha. Two threads, one each, and
+//! both park forever on the other's mutex.
+
+pub fn transfer(s: &S) {
+    let a = lock_unpoisoned(&s.alpha);
+    let b = lock_unpoisoned(&s.beta);
+    use_both(&a, &b);
+}
+
+pub fn settle(s: &S) {
+    let b = lock_unpoisoned(&s.beta);
+    let a = lock_unpoisoned(&s.alpha);
+    use_both(&a, &b);
+}

@@ -1,0 +1,21 @@
+//! Seeded registry drift, analyzed under the registry's own path
+//! (`crates/service/src/protocol.rs`): `ops::CANCEL` is named by the
+//! encode side below but no decode path ever matches on it — the
+//! constant is half-wired and the word is already drifting.
+
+pub mod ops {
+    pub const SUBMIT: &str = "submit";
+    pub const CANCEL: &str = "cancel";
+}
+
+pub mod kinds {
+    pub const ACCEPTED: &str = "accepted";
+}
+
+fn encode(req: &Request) -> Json {
+    tag(ops::SUBMIT, ops::CANCEL, kinds::ACCEPTED)
+}
+
+fn decode(value: &Json) -> Request {
+    untag(ops::SUBMIT, kinds::ACCEPTED)
+}

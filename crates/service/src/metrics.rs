@@ -8,6 +8,7 @@
 //! enables the Prometheus exposition and latency percentiles for free.
 
 use crate::cache::CacheStats;
+use crate::protocol::kinds;
 use mosaic_telemetry::{Counter, Gauge, Histogram, HistogramSummary, Registry};
 use photomosaic::{GenerationReport, Json};
 use std::sync::Arc;
@@ -163,7 +164,7 @@ impl ServiceMetrics {
                 Json::obj([
                     ("submitted", Json::from(self.submitted.get())),
                     ("completed", Json::from(self.completed.get())),
-                    ("rejected", Json::from(self.rejected.get())),
+                    (kinds::REJECTED, Json::from(self.rejected.get())),
                     ("failed", Json::from(self.failed.get())),
                     ("in_flight", Json::from(self.in_flight())),
                 ]),
@@ -207,7 +208,7 @@ impl ServiceMetrics {
                         Json::from(self.conns_rejected.get()),
                     ),
                     (
-                        "deadline_exceeded",
+                        kinds::DEADLINE_EXCEEDED,
                         Json::from(self.deadline_exceeded.get()),
                     ),
                 ]),

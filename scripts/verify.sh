@@ -131,27 +131,117 @@ done
 run cargo test -q --offline --test bench_artifacts
 
 # Static analysis: the workspace must be clean modulo the committed
-# baseline. This is a hard gate — new findings fail the build.
+# baseline. This is a hard gate — deny findings fail the build.
 run cargo run --release --offline -q -p mosaic-lint
 
-# Negative check: the lint must actually catch violations. Seed a raw
-# .lock().unwrap() into a throw-away mini-workspace and require a
-# non-zero exit.
-echo "==> mosaic-lint negative check (seeded violation must fail)"
+# The report must agree with the exit code: zero deny-severity findings,
+# and the whole analysis (lex, semantic model, all rules) must stay
+# inside its wall-clock budget. The full scan currently takes ~350 ms;
+# the ceiling leaves headroom for slow CI, not for an accidental
+# quadratic blowup.
+lint_budget_ms=5000
+lint_deny=$(sed -n 's/.*"deny":\([0-9][0-9]*\).*/\1/p' out/LINT.json)
+lint_ms=$(sed -n 's/.*"analysis_ms":\([0-9][0-9]*\).*/\1/p' out/LINT.json)
+echo "==> mosaic-lint report: deny=${lint_deny:-?} analysis_ms=${lint_ms:-?} (budget ${lint_budget_ms} ms)"
+if [ "${lint_deny:-1}" -ne 0 ]; then
+    echo "error: out/LINT.json reports ${lint_deny:-no} deny finding(s)" >&2
+    exit 1
+fi
+if [ "${lint_ms:-999999}" -gt "$lint_budget_ms" ]; then
+    echo "error: lint analysis took ${lint_ms:-?} ms, over the ${lint_budget_ms} ms budget" >&2
+    exit 1
+fi
+
+# Negative checks: the lint must actually catch violations. Seed one
+# violation per rule family into a throw-away mini-workspace, require a
+# non-zero exit, and require the report to name the expected rule — a
+# pass that fails for the wrong reason is no check at all.
 seed_dir=$(mktemp -d)
 trap 'rm -rf "$seed_dir"' EXIT
-mkdir -p "$seed_dir/crates/demo/src"
-cat > "$seed_dir/crates/demo/src/lib.rs" <<'EOF'
+
+# seed_check NAME RULE SEED_PATH <<EOF ... — writes the seed file,
+# runs the lint over the scratch tree, and asserts rejection + rule.
+seed_check() {
+    seed_name=$1
+    seed_rule=$2
+    seed_path=$3
+    rm -rf "$seed_dir/tree"
+    mkdir -p "$seed_dir/tree/$(dirname "$seed_path")"
+    cat > "$seed_dir/tree/$seed_path"
+    echo "==> mosaic-lint negative check: $seed_name"
+    if cargo run --release --offline -q -p mosaic-lint -- \
+        --root "$seed_dir/tree" --json "$seed_dir/report.json" > /dev/null 2>&1; then
+        echo "error: mosaic-lint passed a workspace with a seeded $seed_name" >&2
+        exit 1
+    fi
+    if ! grep -q "\"rule\":\"$seed_rule\"" "$seed_dir/report.json"; then
+        echo "error: seeded $seed_name was rejected, but not by $seed_rule:" >&2
+        cat "$seed_dir/report.json" >&2
+        exit 1
+    fi
+    echo "seeded $seed_name rejected by $seed_rule, as it should be"
+}
+
+seed_check "raw .lock().unwrap()" "lock-discipline" "crates/demo/src/lib.rs" <<'EOF'
 #![forbid(unsafe_code)]
 use std::sync::Mutex;
 pub fn peek(m: &Mutex<u64>) -> u64 {
     *m.lock().unwrap()
 }
 EOF
-if cargo run --release --offline -q -p mosaic-lint -- --root "$seed_dir" > /dev/null 2>&1; then
-    echo "error: mosaic-lint passed a workspace with a seeded .lock().unwrap()" >&2
-    exit 1
-fi
-echo "seeded violation rejected, as it should be"
+
+# Lock identity is file-qualified, so the AB-BA pair lives in one file —
+# the workspace convention is one home file per mutex.
+seed_check "AB-BA lock-order cycle" "lock-order" "crates/demo/src/lib.rs" <<'EOF'
+#![forbid(unsafe_code)]
+pub fn transfer(s: &S) {
+    let a = lock_unpoisoned(&s.alpha);
+    let b = lock_unpoisoned(&s.beta);
+    use_both(&a, &b);
+}
+pub fn settle(s: &S) {
+    let b = lock_unpoisoned(&s.beta);
+    let a = lock_unpoisoned(&s.alpha);
+    use_both(&a, &b);
+}
+EOF
+
+seed_check "channel recv under a MutexGuard" "blocking-under-lock" "crates/demo/src/lib.rs" <<'EOF'
+#![forbid(unsafe_code)]
+pub fn drain(s: &S, rx: &Receiver<Job>) {
+    let mut queue = lock_unpoisoned(&s.queue);
+    let job = rx.recv();
+    queue.push_job(job);
+}
+EOF
+
+seed_check "dropped Deadline at a bounded callee" "deadline-propagation" "crates/demo/src/lib.rs" <<'EOF'
+#![forbid(unsafe_code)]
+pub fn outer_bounded(cfg: &Config, deadline: &Deadline) -> Result<(), Error> {
+    deadline.check()?;
+    inner_bounded(cfg)
+}
+pub fn inner_bounded(cfg: &Config, deadline: &Deadline) -> Result<(), Error> {
+    deadline.check()?;
+    run(cfg)
+}
+EOF
+
+seed_check "half-wired wire word" "registry-drift" "crates/service/src/protocol.rs" <<'EOF'
+#![forbid(unsafe_code)]
+pub mod ops {
+    pub const SUBMIT: &str = "submit";
+    pub const CANCEL: &str = "cancel";
+}
+pub mod kinds {
+    pub const ACCEPTED: &str = "accepted";
+}
+fn encode(req: &Request) -> Json {
+    tag(ops::SUBMIT, ops::CANCEL, kinds::ACCEPTED)
+}
+fn decode(value: &Json) -> Request {
+    untag(ops::SUBMIT, kinds::ACCEPTED)
+}
+EOF
 
 echo "==> all checks passed"
