@@ -223,6 +223,31 @@ fn suite_error_matrix(options: &Options, cases: &mut Vec<Case>) {
             || gpu_error_matrix(&sim, &input, &target, layout, TileMetric::Sad).unwrap(),
         ));
     }
+
+    // Scalar-vs-dispatched SIMD on the serial builder at S = 256 (grid 16,
+    // M = 16) and S = 1024 (grid 32, M = 8): same work, only the inner
+    // kernel differs, so the gap is the SIMD speedup the dispatch buys.
+    let level = mosaic_grid::init_simd_kernels();
+    eprintln!("kernel dispatch: {}", level.name());
+    for &grid in &[16usize, 32] {
+        let layout = TileLayout::with_grid(size, grid).unwrap();
+        let s = layout.tile_count();
+        cases.push(run_case(
+            "error_matrix",
+            format!("scalar/s{s}"),
+            options.samples,
+            || {
+                mosaic_grid::build_error_matrix_scalar(&input, &target, layout, TileMetric::Sad)
+                    .unwrap()
+            },
+        ));
+        cases.push(run_case(
+            "error_matrix",
+            format!("simd/s{s}"),
+            options.samples,
+            || build_error_matrix(&input, &target, layout, TileMetric::Sad).unwrap(),
+        ));
+    }
 }
 
 fn suite_rearrange(options: &Options, cases: &mut Vec<Case>) {

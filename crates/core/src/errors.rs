@@ -177,6 +177,11 @@ pub fn gpu_error_matrix<P: Pixel>(
     let target_bytes = image_bytes(target);
     let matrix_out = GlobalBuffer::filled(s * s, 0u32);
 
+    // Resolve the SIMD dispatch once, outside the lane closure: the
+    // simulated device kernel's per-row SAD/SSD goes through the same
+    // byte-row kernels as the CPU builders, so the "GPU" path cannot
+    // drift from them either.
+    let k = mosaic_image::kernel::active();
     let kernel = |ctx: &mut BlockContext<'_>| {
         // One block per input tile u (§V): stage I_u in shared memory …
         let u = ctx.block_id();
@@ -199,9 +204,7 @@ pub fn gpu_error_matrix<P: Pixel>(
                         let t0 = (vy + dy) * row_bytes + vx * channels;
                         let trow = &target_bytes[t0..t0 + tile_row_bytes];
                         let srow = &staged[dy * tile_row_bytes..(dy + 1) * tile_row_bytes];
-                        for (&a, &b) in srow.iter().zip(trow) {
-                            acc += u64::from(a.abs_diff(b));
-                        }
+                        acc += k.sad(srow, trow);
                     }
                     acc
                 }
@@ -211,10 +214,7 @@ pub fn gpu_error_matrix<P: Pixel>(
                         let t0 = (vy + dy) * row_bytes + vx * channels;
                         let trow = &target_bytes[t0..t0 + tile_row_bytes];
                         let srow = &staged[dy * tile_row_bytes..(dy + 1) * tile_row_bytes];
-                        for (&a, &b) in srow.iter().zip(trow) {
-                            let d = u64::from(a.abs_diff(b));
-                            acc += d * d;
-                        }
+                        acc += k.ssd(srow, trow);
                     }
                     acc
                 }

@@ -14,10 +14,26 @@
 use crate::deadline::{Deadline, DeadlineExceeded};
 use crate::layout::{LayoutError, TileLayout};
 use crate::matrix::ErrorMatrix;
-use crate::metric::{tile_error, TileMetric};
+use crate::metric::{tile_error, tile_error_scalar, TileMetric};
 use mosaic_image::{Image, Pixel};
 use mosaic_pool::ThreadPool;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Force SIMD kernel detection now and publish the outcome.
+///
+/// Dispatch is cached in a process-wide `OnceLock`
+/// ([`mosaic_image::kernel::active`]); calling this at pool/server
+/// startup means no worker thread ever pays the `std::arch` feature
+/// probe mid-request. The resolved level is published on the
+/// `kernel_dispatch` gauge (0 = scalar, 1 = SSE4.1, 2 = AVX2) and
+/// returned for logs.
+pub fn init_simd_kernels() -> mosaic_image::kernel::SimdLevel {
+    let level = mosaic_image::kernel::active().level();
+    mosaic_telemetry::registry()
+        .gauge("kernel_dispatch")
+        .set(i64::from(level.code()));
+    level
+}
 
 /// Why a bounded matrix build did not produce a matrix.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -83,6 +99,7 @@ pub fn build_error_matrix<P: Pixel>(
 ) -> Result<ErrorMatrix, LayoutError> {
     checked_layouts(input, target, layout, metric)?;
     let _span = mosaic_telemetry::tracer().span("error_matrix_serial");
+    let start = std::time::Instant::now();
     let s = layout.tile_count();
     let input_tiles = layout.tiles(input);
     let target_tiles = layout.tiles(target);
@@ -91,6 +108,38 @@ pub fn build_error_matrix<P: Pixel>(
         let row = matrix.row_mut(u);
         for (v, tv) in target_tiles.iter().enumerate() {
             row[v] = tile_error(iu, tv, metric) as u32;
+        }
+    }
+    mosaic_telemetry::registry()
+        .histogram("error_matrix_simd_us")
+        .record_duration_us(start.elapsed());
+    Ok(matrix)
+}
+
+/// [`build_error_matrix`] forced onto the scalar oracle kernels.
+///
+/// The SIMD dispatch is process-wide and cached, so the only way to get
+/// a guaranteed-scalar matrix on an AVX2 host is to bypass it. The
+/// differential tests assert this builder and [`build_error_matrix`]
+/// produce bit-identical matrices; the bench publishes the timing gap.
+///
+/// # Errors
+/// Returns [`LayoutError`] when either image does not match `layout`.
+pub fn build_error_matrix_scalar<P: Pixel>(
+    input: &Image<P>,
+    target: &Image<P>,
+    layout: TileLayout,
+    metric: TileMetric,
+) -> Result<ErrorMatrix, LayoutError> {
+    checked_layouts(input, target, layout, metric)?;
+    let s = layout.tile_count();
+    let input_tiles = layout.tiles(input);
+    let target_tiles = layout.tiles(target);
+    let mut matrix = ErrorMatrix::zeros(s);
+    for (u, iu) in input_tiles.iter().enumerate() {
+        let row = matrix.row_mut(u);
+        for (v, tv) in target_tiles.iter().enumerate() {
+            row[v] = tile_error_scalar(iu, tv, metric) as u32;
         }
     }
     Ok(matrix)
@@ -210,6 +259,7 @@ fn build_threaded_impl<P: Pixel>(
     checked_layouts(input, target, layout, metric)?;
     deadline.check()?;
     let _span = mosaic_telemetry::tracer().span("error_matrix_threaded");
+    let start = std::time::Instant::now();
     let s = layout.tile_count();
     let rows_per_worker = s.div_ceil(threads);
     let mut entries = vec![0u32; s * s];
@@ -240,6 +290,9 @@ fn build_threaded_impl<P: Pixel>(
     if rows_done.load(Ordering::Relaxed) < s {
         return Err(BuildError::DeadlineExceeded(DeadlineExceeded));
     }
+    mosaic_telemetry::registry()
+        .histogram("error_matrix_simd_us")
+        .record_duration_us(start.elapsed());
     Ok(ErrorMatrix::from_vec(s, entries))
 }
 
@@ -290,6 +343,35 @@ mod tests {
                 assert_eq!(par, serial, "metric {metric:?} threads {threads}");
             }
         }
+    }
+
+    /// The oracle differential: the dispatched builder (whatever SIMD
+    /// level this host resolves to) must be bit-identical to the
+    /// scalar-forced builder on every metric.
+    #[test]
+    fn dispatched_matrix_is_bit_identical_to_scalar_oracle() {
+        let level = init_simd_kernels();
+        let input = synth::fur(48, 3);
+        let target = synth::drapery(48, 9);
+        for tile in [4, 6, 8, 12] {
+            let layout = TileLayout::new(48, tile).unwrap();
+            for metric in TileMetric::ALL {
+                let dispatched = build_error_matrix(&input, &target, layout, metric).unwrap();
+                let scalar = build_error_matrix_scalar(&input, &target, layout, metric).unwrap();
+                assert_eq!(dispatched, scalar, "level {level:?} tile {tile} {metric:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn init_simd_kernels_is_stable_and_published() {
+        let first = init_simd_kernels();
+        let second = init_simd_kernels();
+        assert_eq!(first, second);
+        assert_eq!(
+            mosaic_telemetry::registry().gauge("kernel_dispatch").get(),
+            i64::from(first.code())
+        );
     }
 
     #[test]

@@ -50,10 +50,11 @@ pub mod metric;
 
 pub use assemble::assemble;
 pub use compute::{
-    build_error_matrix, build_error_matrix_threaded, build_error_matrix_threaded_bounded,
-    build_error_matrix_threaded_bounded_in, BuildError,
+    build_error_matrix, build_error_matrix_scalar, build_error_matrix_threaded,
+    build_error_matrix_threaded_bounded, build_error_matrix_threaded_bounded_in, init_simd_kernels,
+    BuildError,
 };
 pub use deadline::{Deadline, DeadlineExceeded};
 pub use layout::{LayoutError, TileLayout};
 pub use matrix::ErrorMatrix;
-pub use metric::{tile_error, TileMetric};
+pub use metric::{tile_error, tile_error_scalar, tile_error_with, TileMetric};

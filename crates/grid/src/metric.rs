@@ -6,6 +6,7 @@
 //! compares only tile averages (the common shortcut in database-driven
 //! photomosaic tools the paper cites).
 
+use mosaic_image::kernel::{self, Kernels};
 use mosaic_image::{ImageView, Pixel};
 
 /// Which tile-distance function to use for `E(I_u, T_v)`.
@@ -50,44 +51,66 @@ impl TileMetric {
 
 /// Compute the error between two equally-sized tile views.
 ///
-/// Returns `u64`; the matrix layer narrows to `u32` after checking the
-/// metric's bound for the layout in use.
+/// SAD and SSD dispatch through the process-wide SIMD kernel table
+/// ([`mosaic_image::kernel::active`]); `MeanAbs` compares averages and
+/// stays scalar (it is not a per-byte-decomposable sum). Returns `u64`;
+/// the matrix layer narrows to `u32` after checking the metric's bound
+/// for the layout in use.
 ///
 /// # Panics
 /// Panics when the views' dimensions differ.
 pub fn tile_error<P: Pixel>(a: &ImageView<'_, P>, b: &ImageView<'_, P>, metric: TileMetric) -> u64 {
+    tile_error_with(kernel::active(), a, b, metric)
+}
+
+/// [`tile_error`] forced onto the scalar oracle kernels, regardless of
+/// what the host dispatches to. Differential tests compare this against
+/// the dispatched path to prove the SIMD tables are bit-identical.
+///
+/// # Panics
+/// Panics when the views' dimensions differ.
+pub fn tile_error_scalar<P: Pixel>(
+    a: &ImageView<'_, P>,
+    b: &ImageView<'_, P>,
+    metric: TileMetric,
+) -> u64 {
+    tile_error_with(Kernels::scalar(), a, b, metric)
+}
+
+/// [`tile_error`] against an explicit kernel table.
+///
+/// # Panics
+/// Panics when the views' dimensions differ.
+pub fn tile_error_with<P: Pixel>(
+    k: &Kernels,
+    a: &ImageView<'_, P>,
+    b: &ImageView<'_, P>,
+    metric: TileMetric,
+) -> u64 {
     assert_eq!(
         (a.width(), a.height()),
         (b.width(), b.height()),
         "tile views must have equal dimensions"
     );
     match metric {
-        TileMetric::Sad => sad(a, b),
-        TileMetric::Ssd => ssd(a, b),
+        TileMetric::Sad => sad(k, a, b),
+        TileMetric::Ssd => ssd(k, a, b),
         TileMetric::MeanAbs => mean_abs(a, b),
     }
 }
 
-fn sad<P: Pixel>(a: &ImageView<'_, P>, b: &ImageView<'_, P>) -> u64 {
+fn sad<P: Pixel>(k: &Kernels, a: &ImageView<'_, P>, b: &ImageView<'_, P>) -> u64 {
     let mut total = 0u64;
     for y in 0..a.height() {
-        let ra = a.row(y);
-        let rb = b.row(y);
-        for (pa, pb) in ra.iter().zip(rb) {
-            total += u64::from(pa.abs_diff(pb));
-        }
+        total += k.sad(P::row_bytes(a.row(y)), P::row_bytes(b.row(y)));
     }
     total
 }
 
-fn ssd<P: Pixel>(a: &ImageView<'_, P>, b: &ImageView<'_, P>) -> u64 {
+fn ssd<P: Pixel>(k: &Kernels, a: &ImageView<'_, P>, b: &ImageView<'_, P>) -> u64 {
     let mut total = 0u64;
     for y in 0..a.height() {
-        let ra = a.row(y);
-        let rb = b.row(y);
-        for (pa, pb) in ra.iter().zip(rb) {
-            total += u64::from(pa.sq_diff(pb));
-        }
+        total += k.ssd(P::row_bytes(a.row(y)), P::row_bytes(b.row(y)));
     }
     total
 }

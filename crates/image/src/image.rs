@@ -359,6 +359,11 @@ impl<'a, P: Pixel> ImageView<'a, P> {
     /// Sum of absolute per-pixel differences against another same-sized view
     /// — `E(I_u, T_v)` of the paper's Eq. (1).
     ///
+    /// Each (contiguous) window row is reinterpreted as bytes and routed
+    /// through the process-wide SIMD dispatch table
+    /// ([`crate::kernel::active`]), which is bit-identical to the scalar
+    /// `abs_diff` loop by the kernel layer's oracle contract.
+    ///
     /// # Panics
     /// Panics when the two views have different dimensions.
     pub fn sad(&self, other: &ImageView<'_, P>) -> u64 {
@@ -367,13 +372,12 @@ impl<'a, P: Pixel> ImageView<'a, P> {
             (other.width, other.height),
             "SAD requires equal view dimensions"
         );
+        let k = crate::kernel::active();
         let mut total = 0u64;
         for y in 0..self.height {
-            let a = self.row(y);
-            let b = other.row(y);
-            for (pa, pb) in a.iter().zip(b.iter()) {
-                total += u64::from(pa.abs_diff(pb));
-            }
+            let a = P::row_bytes(self.row(y));
+            let b = P::row_bytes(other.row(y));
+            total += k.sad(a, b);
         }
         total
     }

@@ -1,0 +1,66 @@
+//! Portable scalar SAD/SSD over byte rows — the dispatch fallback and,
+//! more importantly, the **test oracle**: the SIMD paths are correct
+//! exactly when they are bit-identical to these two loops. Keep them
+//! boring; any "optimization" here widens the trusted base.
+
+/// Sum of absolute byte differences: `Σ |a_i − b_i|`.
+///
+/// Iterates `min(a.len(), b.len())` bytes; the public entry point
+/// ([`super::Kernels::sad`]) asserts the lengths match, and the SIMD
+/// kernels call this on their (equal-length) tails.
+pub fn sad(a: &[u8], b: &[u8]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| u64::from(x.abs_diff(y)))
+        .sum()
+}
+
+/// Sum of squared byte differences: `Σ (a_i − b_i)²`.
+///
+/// Same length contract as [`sad`]. The per-byte square is at most
+/// 255² and is accumulated in `u64`, so no intermediate can overflow
+/// for any physically representable row.
+pub fn ssd(a: &[u8], b: &[u8]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = u64::from(x.abs_diff(y));
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_computed_values() {
+        assert_eq!(sad(&[0, 10, 20], &[5, 5, 25]), 5 + 5 + 5);
+        assert_eq!(ssd(&[0, 10], &[3, 6]), 9 + 16);
+    }
+
+    #[test]
+    fn empty_rows_are_zero() {
+        assert_eq!(sad(&[], &[]), 0);
+        assert_eq!(ssd(&[], &[]), 0);
+    }
+
+    #[test]
+    fn extremes_do_not_overflow() {
+        let black = vec![0u8; 4096];
+        let white = vec![255u8; 4096];
+        assert_eq!(sad(&black, &white), 4096 * 255);
+        assert_eq!(ssd(&black, &white), 4096 * 255 * 255);
+    }
+
+    #[test]
+    fn symmetric_and_zero_on_self() {
+        let a: Vec<u8> = (0..=200).collect();
+        let b: Vec<u8> = (55..=255).collect();
+        assert_eq!(sad(&a, &a), 0);
+        assert_eq!(ssd(&a, &a), 0);
+        assert_eq!(sad(&a, &b), sad(&b, &a));
+        assert_eq!(ssd(&a, &b), ssd(&b, &a));
+    }
+}

@@ -1,0 +1,97 @@
+//! SSE4.1 SAD/SSD kernels: 16-byte lanes.
+//!
+//! SAD rides `_mm_sad_epu8` — one instruction sums the absolute
+//! differences of 16 byte pairs into two u16 partial sums held in the
+//! 64-bit halves of the vector, which accumulate losslessly in
+//! `_mm_add_epi64`. SSD computes the byte absolute difference with the
+//! saturating-subtract-both-ways idiom, widens to u16, and squares
+//! pairwise with `_mm_madd_epi16` into i32 lanes that are drained to a
+//! `u64` total before they can overflow.
+//!
+//! Both kernels read vectors only from `chunks_exact(16)` windows —
+//! provably in-bounds — and finish ragged tails with the scalar oracle,
+//! so results are bit-identical to [`super::scalar`] for every length.
+
+use core::arch::x86_64::*;
+
+/// How many 16-byte chunks the SSD i32 accumulator may absorb before a
+/// drain. Each chunk adds at most 2 × (255² + 255²) = 260 100 per lane;
+/// 4096 × 260 100 ≈ 1.07e9 stays well under `i32::MAX` ≈ 2.15e9.
+const SSD_DRAIN_CHUNKS: usize = 4096;
+
+/// Sum of absolute byte differences, 16 bytes per step.
+///
+/// # Safety
+/// The CPU must support SSE4.1 (the dispatch table in [`super::Kernels`]
+/// verifies this with `is_x86_feature_detected!` before installing this
+/// function) and `a.len()` must equal `b.len()`.
+// SAFETY: wide loads read only in-bounds `chunks_exact(16)` windows;
+// ragged tails go through the scalar oracle. Caller proves SSE4.1.
+#[target_feature(enable = "sse4.1")]
+pub unsafe fn sad(a: &[u8], b: &[u8]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks_a = a.chunks_exact(16);
+    let chunks_b = b.chunks_exact(16);
+    let tail = super::scalar::sad(chunks_a.remainder(), chunks_b.remainder());
+    let mut acc = _mm_setzero_si128();
+    for (ca, cb) in chunks_a.zip(chunks_b) {
+        let va = _mm_loadu_si128(ca.as_ptr().cast::<__m128i>());
+        let vb = _mm_loadu_si128(cb.as_ptr().cast::<__m128i>());
+        acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+    }
+    // Both 64-bit lanes hold partial sums of u16 magnitudes: nonnegative,
+    // and bounded by len/2 * 16 * 255, so the casts are value-preserving.
+    let wide = _mm_extract_epi64(acc, 0) as u64 + _mm_extract_epi64(acc, 1) as u64;
+    wide + tail
+}
+
+/// Sum of squared byte differences, 16 bytes per step.
+///
+/// # Safety
+/// Same contract as [`sad`]: SSE4.1 must be available (checked by the
+/// dispatch table before this address is taken) and the rows must have
+/// equal lengths.
+// SAFETY: wide loads read only in-bounds `chunks_exact(16)` windows; the
+// i32 accumulator drains every SSD_DRAIN_CHUNKS chunks, below overflow.
+#[target_feature(enable = "sse4.1")]
+pub unsafe fn ssd(a: &[u8], b: &[u8]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks_a = a.chunks_exact(16);
+    let chunks_b = b.chunks_exact(16);
+    let mut total = super::scalar::ssd(chunks_a.remainder(), chunks_b.remainder());
+    let mut acc32 = _mm_setzero_si128();
+    let mut pending = 0usize;
+    for (ca, cb) in chunks_a.zip(chunks_b) {
+        let va = _mm_loadu_si128(ca.as_ptr().cast::<__m128i>());
+        let vb = _mm_loadu_si128(cb.as_ptr().cast::<__m128i>());
+        // |a - b| per byte: saturating subtraction in both directions,
+        // one of which is zero, OR-ed together.
+        let d = _mm_or_si128(_mm_subs_epu8(va, vb), _mm_subs_epu8(vb, va));
+        let lo = _mm_cvtepu8_epi16(d);
+        let hi = _mm_cvtepu8_epi16(_mm_srli_si128::<8>(d));
+        acc32 = _mm_add_epi32(acc32, _mm_madd_epi16(lo, lo));
+        acc32 = _mm_add_epi32(acc32, _mm_madd_epi16(hi, hi));
+        pending += 1;
+        if pending == SSD_DRAIN_CHUNKS {
+            total += hsum_epi32(acc32);
+            acc32 = _mm_setzero_si128();
+            pending = 0;
+        }
+    }
+    total + hsum_epi32(acc32)
+}
+
+/// Horizontal sum of four nonnegative i32 lanes into u64.
+///
+/// # Safety
+/// Requires SSE4.1 (`_mm_extract_epi32`); only called from the SSE4.1
+/// kernels above, so the feature is already proven available.
+// SAFETY: pure register arithmetic, no memory access; lanes are sums of
+// squares, hence nonnegative, so the u64 casts preserve the value.
+#[target_feature(enable = "sse4.1")]
+unsafe fn hsum_epi32(v: __m128i) -> u64 {
+    _mm_extract_epi32(v, 0) as u64
+        + _mm_extract_epi32(v, 1) as u64
+        + _mm_extract_epi32(v, 2) as u64
+        + _mm_extract_epi32(v, 3) as u64
+}

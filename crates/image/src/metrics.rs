@@ -18,13 +18,13 @@ fn assert_same_dims<P: Pixel>(a: &Image<P>, b: &Image<P>) {
 
 /// Sum of absolute differences over all pixels and channels — the paper's
 /// Eq. (2) evaluated on whole images.
+///
+/// The images' full pixel buffers are contiguous, so this is a single
+/// call into the process-wide SIMD dispatch table
+/// ([`crate::kernel::active`]).
 pub fn sad<P: Pixel>(a: &Image<P>, b: &Image<P>) -> u64 {
     assert_same_dims(a, b);
-    a.pixels()
-        .iter()
-        .zip(b.pixels())
-        .map(|(pa, pb)| u64::from(pa.abs_diff(pb)))
-        .sum()
+    crate::kernel::active().sad(P::row_bytes(a.pixels()), P::row_bytes(b.pixels()))
 }
 
 /// Mean absolute error per channel sample.

@@ -50,10 +50,23 @@ pub trait Pixel: Copy + Clone + PartialEq + Eq + std::fmt::Debug + Send + Sync +
     /// Squared Euclidean distance over channels; used by the SSD metric
     /// ablation.
     fn sq_diff(&self, other: &Self) -> u32;
+
+    /// Reinterpret a row of pixels as its underlying bytes, in channel
+    /// order, without copying.
+    ///
+    /// This is the bridge from typed pixel rows to the byte-row SIMD
+    /// kernels in [`crate::kernel`]: summing `abs_diff`/`sq_diff` over a
+    /// pixel row equals summing the per-byte terms over the two byte
+    /// rows. The returned slice has length `row.len() * Self::CHANNELS`.
+    fn row_bytes(row: &[Self]) -> &[u8];
 }
 
 /// 8-bit grayscale pixel.
+///
+/// `repr(transparent)` guarantees the layout matches `u8`, which is what
+/// makes [`Pixel::row_bytes`]'s zero-copy reinterpretation sound.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[repr(transparent)]
 pub struct Gray(pub u8);
 
 impl Gray {
@@ -108,10 +121,23 @@ impl Pixel for Gray {
         let d = u32::from(self.0.abs_diff(other.0));
         d * d
     }
+
+    #[inline]
+    #[allow(unsafe_code)]
+    fn row_bytes(row: &[Self]) -> &[u8] {
+        // SAFETY: `Gray` is `repr(transparent)` over `u8`, so `row` is
+        // exactly `row.len()` initialized bytes at `u8` alignment; the
+        // reinterpreted slice borrows the same region, same lifetime.
+        unsafe { std::slice::from_raw_parts(row.as_ptr().cast::<u8>(), row.len()) }
+    }
 }
 
 /// 8-bit RGB pixel.
+///
+/// `repr(transparent)` guarantees the layout matches `[u8; 3]`, which is
+/// what makes [`Pixel::row_bytes`]'s zero-copy reinterpretation sound.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[repr(transparent)]
 pub struct Rgb(pub [u8; 3]);
 
 impl Rgb {
@@ -193,6 +219,15 @@ impl Pixel for Rgb {
         let d1 = u32::from(a[1].abs_diff(b[1]));
         let d2 = u32::from(a[2].abs_diff(b[2]));
         d0 * d0 + d1 * d1 + d2 * d2
+    }
+
+    #[inline]
+    #[allow(unsafe_code)]
+    fn row_bytes(row: &[Self]) -> &[u8] {
+        // SAFETY: `Rgb` is `repr(transparent)` over `[u8; 3]` (size 3,
+        // align 1), so `row` is exactly `row.len() * 3` contiguous
+        // initialized bytes (no overflow: the row fits in memory).
+        unsafe { std::slice::from_raw_parts(row.as_ptr().cast::<u8>(), row.len() * 3) }
     }
 }
 
@@ -278,6 +313,27 @@ mod tests {
         assert_eq!(a.abs_diff(&a), 0);
         let b = Rgb::new(90, 2, 255);
         assert_eq!(a.abs_diff(&b), b.abs_diff(&a));
+    }
+
+    #[test]
+    fn row_bytes_matches_channel_order() {
+        let grays = [Gray(1), Gray(2), Gray(255)];
+        assert_eq!(Gray::row_bytes(&grays), &[1, 2, 255]);
+        let rgbs = [Rgb::new(1, 2, 3), Rgb::new(4, 5, 6)];
+        assert_eq!(Rgb::row_bytes(&rgbs), &[1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn row_bytes_of_empty_rows_is_empty() {
+        assert!(Gray::row_bytes(&[]).is_empty());
+        assert!(Rgb::row_bytes(&[]).is_empty());
+    }
+
+    #[test]
+    fn row_bytes_agrees_with_channels() {
+        let rgbs: Vec<Rgb> = (0..64).map(|i| Rgb::new(i, i + 1, i + 2)).collect();
+        let flat: Vec<u8> = rgbs.iter().flat_map(|p| p.channels().to_vec()).collect();
+        assert_eq!(Rgb::row_bytes(&rgbs), flat.as_slice());
     }
 
     #[test]

@@ -198,6 +198,10 @@ impl Server {
     /// # Errors
     /// Propagates socket bind failures.
     pub fn start(config: ServiceConfig) -> std::io::Result<Server> {
+        // Resolve SIMD kernel dispatch before any worker is spawned so
+        // request threads never pay the feature probe and the
+        // `kernel_dispatch` gauge is live from the first scrape.
+        mosaic_grid::init_simd_kernels();
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {

@@ -117,10 +117,27 @@ if [ "${library_passed:-0}" -lt 1 ]; then
     exit 1
 fi
 
+# SIMD differential suite: the dispatched SAD/SSD kernels must stay
+# bit-identical to the scalar oracle on every tile-edge length. A hard
+# gate with a passed count so a renamed or filtered-out suite cannot
+# pass vacuously.
+echo "==> cargo test -q --offline -p mosaic-image --test simd_differential"
+simd_out=$(cargo test -q --offline -p mosaic-image --test simd_differential 2>&1) || {
+    echo "$simd_out"
+    exit 1
+}
+simd_summary=$(echo "$simd_out" | grep '^test result:' | tail -1)
+echo "$simd_summary"
+simd_passed=$(echo "$simd_summary" | sed -n 's/.* \([0-9][0-9]*\) passed.*/\1/p')
+if [ "${simd_passed:-0}" -lt 5 ]; then
+    echo "error: expected at least 5 SIMD differential tests, ran ${simd_passed:-0}" >&2
+    exit 1
+fi
+
 # Published benchmark artifacts: the committed root BENCH_search.json
 # must exist and hold the pool-vs-scoped comparison (parsed with the
 # workspace's own Json reader by tests/bench_artifacts.rs).
-for artifact in BENCH_search.json BENCH_fleet.json BENCH_tilelib.json; do
+for artifact in BENCH_search.json BENCH_fleet.json BENCH_tilelib.json BENCH_error_matrix.json; do
     if [ ! -f "$artifact" ]; then
         suite=$(echo "$artifact" | sed 's/^BENCH_//; s/\.json$//')
         echo "error: $artifact missing from the workspace root" >&2

@@ -136,6 +136,25 @@ fn tilelib_exposition_shows_pruning_beating_the_dense_solve() {
 }
 
 #[test]
+fn error_matrix_exposition_shows_simd_beating_the_scalar_oracle() {
+    // The PR-9 evidence: the runtime-dispatched SIMD kernel layer must
+    // not lose to the forced-scalar oracle on the serial builder at
+    // either published scale (S = 256 → M = 16 tiles, S = 1024 → M = 8).
+    // Equality is allowed: a scalar-only host publishes identical arms.
+    // Regenerate with `cargo run --release -p mosaic-bench --bin bench
+    // -- --suite error_matrix`.
+    let doc = root_artifact("BENCH_error_matrix.json");
+    for s in [256u32, 1024] {
+        let simd = min_us(&doc, &format!("bench_error_matrix_simd_s{s}_us"));
+        let scalar = min_us(&doc, &format!("bench_error_matrix_scalar_s{s}_us"));
+        assert!(
+            simd <= scalar,
+            "dispatched kernel ({simd} us) lost to the scalar oracle ({scalar} us) at S={s}"
+        );
+    }
+}
+
+#[test]
 fn every_published_suite_exposition_parses() {
     for suite in [
         "error_matrix",
