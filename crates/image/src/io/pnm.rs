@@ -159,7 +159,13 @@ fn read_ascii_samples(
     count: usize,
     maxval: usize,
 ) -> Result<Vec<u8>, ImageError> {
-    let mut out = Vec::with_capacity(count);
+    // `count` comes straight from an untrusted header. Every ASCII sample
+    // consumes at least two input bytes (a digit plus a separator) except
+    // possibly the last, so the remaining stream bounds how many samples
+    // can actually arrive — reserve no more than that, and let `push`
+    // grow in the (impossible for well-formed input) excess case.
+    let deliverable = cur.remaining().len() / 2 + 1;
+    let mut out = Vec::with_capacity(count.min(deliverable));
     for _ in 0..count {
         let v = cur.number()?;
         if v > maxval {
@@ -180,7 +186,13 @@ fn read_ascii_samples(
 pub fn read_pgm(bytes: &[u8]) -> Result<GrayImage, ImageError> {
     let mut cur = Cursor::new(bytes);
     let h = parse_header(&mut cur)?;
-    let count = h.width * h.height;
+    let count = h
+        .width
+        .checked_mul(h.height)
+        .ok_or(ImageError::InvalidDimensions {
+            width: h.width,
+            height: h.height,
+        })?;
     let samples = match &h.magic {
         b"P5" => read_binary_samples(&mut cur, count, h.maxval)?,
         b"P2" => read_ascii_samples(&mut cur, count, h.maxval)?,
@@ -202,7 +214,14 @@ pub fn read_pgm(bytes: &[u8]) -> Result<GrayImage, ImageError> {
 pub fn read_ppm(bytes: &[u8]) -> Result<RgbImage, ImageError> {
     let mut cur = Cursor::new(bytes);
     let h = parse_header(&mut cur)?;
-    let count = h.width * h.height * 3;
+    let count = h
+        .width
+        .checked_mul(h.height)
+        .and_then(|c| c.checked_mul(3))
+        .ok_or(ImageError::InvalidDimensions {
+            width: h.width,
+            height: h.height,
+        })?;
     let samples = match &h.magic {
         b"P6" => read_binary_samples(&mut cur, count, h.maxval)?,
         b"P3" => read_ascii_samples(&mut cur, count, h.maxval)?,
@@ -244,13 +263,39 @@ pub fn write_pgm(img: &GrayImage) -> Vec<u8> {
     out
 }
 
+/// The longest line the plain (ASCII) Netpbm formats permit. The spec
+/// says "no line should be longer than 70 characters"; lenient readers
+/// ignore it, strict ones (and some classic Netpbm tools) do not.
+const MAX_ASCII_LINE: usize = 70;
+
+/// Append one raster row's decimal samples to `out`, space-separated,
+/// inserting line breaks so no output line exceeds [`MAX_ASCII_LINE`]
+/// characters. Ends with a newline, so each image row still starts on a
+/// fresh line.
+fn push_ascii_row(out: &mut String, samples: impl Iterator<Item = u8>) {
+    let mut col = 0usize;
+    for v in samples {
+        let text = v.to_string();
+        if col > 0 {
+            if col + 1 + text.len() > MAX_ASCII_LINE {
+                out.push('\n');
+                col = 0;
+            } else {
+                out.push(' ');
+                col += 1;
+            }
+        }
+        out.push_str(&text);
+        col += text.len();
+    }
+    out.push('\n');
+}
+
 /// Serialize to ASCII PGM (`P2`).
 pub fn write_pgm_ascii(img: &GrayImage) -> Vec<u8> {
     let mut out = format!("P2\n{} {}\n255\n", img.width(), img.height());
     for row in img.rows() {
-        let line: Vec<String> = row.iter().map(|p| p.0.to_string()).collect();
-        out.push_str(&line.join(" "));
-        out.push('\n');
+        push_ascii_row(&mut out, row.iter().map(|p| p.0));
     }
     out.into_bytes()
 }
@@ -268,12 +313,7 @@ pub fn write_ppm(img: &RgbImage) -> Vec<u8> {
 pub fn write_ppm_ascii(img: &RgbImage) -> Vec<u8> {
     let mut out = format!("P3\n{} {}\n255\n", img.width(), img.height());
     for row in img.rows() {
-        let line: Vec<String> = row
-            .iter()
-            .flat_map(|p| p.0.iter().map(|c| c.to_string()))
-            .collect();
-        out.push_str(&line.join(" "));
-        out.push('\n');
+        push_ascii_row(&mut out, row.iter().flat_map(|p| p.0));
     }
     out.into_bytes()
 }
@@ -424,6 +464,55 @@ mod tests {
         let img = read_pgm(src).unwrap();
         assert_eq!(img.pixel(0, 0), Gray(0x23));
         assert_eq!(img.pixel(1, 0), Gray(0x24));
+    }
+
+    #[test]
+    fn hostile_dimension_header_does_not_preallocate() {
+        // A tiny ASCII stream claiming ~10^18 samples must fail on the
+        // truncated raster, not reserve a petabyte up front. Completing
+        // at all (rather than aborting in the allocator) is the test.
+        let src = b"P2\n999999999 999999999\n255\n0 1 2\n";
+        assert!(matches!(read_pgm(src), Err(ImageError::PnmParse(_))));
+        let src = b"P3\n999999999 999999999\n255\n0 1 2\n";
+        assert!(matches!(read_ppm(src), Err(ImageError::PnmParse(_))));
+    }
+
+    #[test]
+    fn overflowing_dimensions_are_a_clean_error() {
+        // width * height wraps usize: must be a typed error, not a
+        // wrapped tiny allocation that "succeeds" in release builds.
+        let src = format!("P2\n{} 2\n255\n0 0\n", usize::MAX);
+        assert!(matches!(
+            read_pgm(src.as_bytes()),
+            Err(ImageError::InvalidDimensions { .. })
+        ));
+        // width * height fits but * 3 (RGB samples) wraps.
+        let src = format!("P3\n{} 1\n255\n0 0 0\n", usize::MAX / 2 + 1);
+        assert!(matches!(
+            read_ppm(src.as_bytes()),
+            Err(ImageError::InvalidDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn ascii_output_respects_the_seventy_column_limit() {
+        // Wide rows used to serialize as one line per raster row —
+        // hundreds of characters, beyond the plain-format limit.
+        let gray = synth::plasma(80, 5, 9);
+        let bytes = write_pgm_ascii(&gray);
+        let text = std::str::from_utf8(&bytes).unwrap();
+        assert!(text.lines().all(|l| l.len() <= MAX_ASCII_LINE), "{text}");
+        assert_eq!(read_pgm(&bytes).unwrap(), gray);
+
+        let rgb = synth::tint(
+            &synth::gradient(64),
+            Rgb::new(3, 250, 17),
+            Rgb::new(255, 0, 99),
+        );
+        let bytes = write_ppm_ascii(&rgb);
+        let text = std::str::from_utf8(&bytes).unwrap();
+        assert!(text.lines().all(|l| l.len() <= MAX_ASCII_LINE), "{text}");
+        assert_eq!(read_ppm(&bytes).unwrap(), rgb);
     }
 
     #[test]

@@ -7,11 +7,17 @@
 //! so repeated submissions of the same images reuse it across jobs.
 //! Entries are `Arc`s: a worker can hold a matrix while another job
 //! evicts it.
+//!
+//! Lookups are *single-flight* ([`MatrixCache::begin`]): when several
+//! identical jobs are in flight at once, exactly one worker computes
+//! the matrix while the others wait for it and then hit — without this,
+//! a burst of same-key submissions thundering-herds the expensive Step
+//! 2 and every one of them misses.
 
 use mosaic_grid::ErrorMatrix;
 use mosaic_telemetry::lock_unpoisoned;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Hit/miss counters, as observed at some instant.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -28,6 +34,9 @@ struct Inner {
     // Most-recently-used entry at the front. Linear scan — capacities are
     // small (the value is a full S²-entry matrix, so dozens at most).
     entries: VecDeque<(u64, Arc<ErrorMatrix>)>,
+    // Keys whose matrix is being computed right now by some worker;
+    // `begin` waits on these instead of duplicating the computation.
+    pending: Vec<u64>,
     hits: u64,
     misses: u64,
 }
@@ -35,7 +44,72 @@ struct Inner {
 /// Thread-safe LRU map from cache key to shared error matrix.
 pub struct MatrixCache {
     inner: Mutex<Inner>,
+    /// Signalled whenever a pending key resolves (fulfilled or
+    /// abandoned), so waiters in [`MatrixCache::begin`] re-check.
+    ready: Condvar,
     capacity: usize,
+}
+
+/// Outcome of a single-flight lookup.
+pub enum Lookup<'a> {
+    /// The matrix was cached (possibly after waiting out another
+    /// worker's in-flight computation of the same key).
+    Hit(Arc<ErrorMatrix>),
+    /// The caller is the designated computer for this key: compute the
+    /// matrix and [`fulfil`](ComputeGuard::fulfil) the guard. Dropping
+    /// the guard without fulfilling (failure, deadline expiry) releases
+    /// the key so a waiter can claim the computation instead.
+    Miss(ComputeGuard<'a>),
+}
+
+/// Exclusive right to compute one key's matrix; see [`Lookup::Miss`].
+pub struct ComputeGuard<'a> {
+    cache: &'a MatrixCache,
+    key: u64,
+    /// False for a disabled (capacity-0) cache, where nothing is
+    /// tracked and the guard is inert.
+    tracked: bool,
+    done: bool,
+}
+
+impl ComputeGuard<'_> {
+    /// Publish the computed matrix: inserts it, releases the pending
+    /// key, and wakes every worker waiting on it.
+    pub fn fulfil(mut self, matrix: Arc<ErrorMatrix>) {
+        self.done = true;
+        if !self.tracked {
+            return;
+        }
+        let key = self.key;
+        // Release the pending key and insert in one critical section,
+        // so no other worker can observe "neither pending nor cached"
+        // and restart the computation we just finished.
+        let mut inner = lock_unpoisoned(&self.cache.inner);
+        inner.pending.retain(|k| *k != key);
+        if let Some(pos) = inner.entries.iter().position(|(k, _)| *k == key) {
+            inner.entries.remove(pos);
+        }
+        inner.entries.push_front((key, matrix));
+        while inner.entries.len() > self.cache.capacity {
+            inner.entries.pop_back();
+        }
+        drop(inner);
+        self.cache.ready.notify_all();
+    }
+}
+
+impl Drop for ComputeGuard<'_> {
+    fn drop(&mut self) {
+        if self.done || !self.tracked {
+            return;
+        }
+        // Abandoned without a matrix: release the key and let a waiter
+        // claim the computation, otherwise they would sleep forever.
+        let mut inner = lock_unpoisoned(&self.cache.inner);
+        inner.pending.retain(|k| *k != self.key);
+        drop(inner);
+        self.cache.ready.notify_all();
+    }
 }
 
 impl MatrixCache {
@@ -45,10 +119,58 @@ impl MatrixCache {
         MatrixCache {
             inner: Mutex::new(Inner {
                 entries: VecDeque::new(),
+                pending: Vec::new(),
                 hits: 0,
                 misses: 0,
             }),
+            ready: Condvar::new(),
             capacity,
+        }
+    }
+
+    /// Single-flight lookup: a hit returns the matrix (counting a hit);
+    /// a miss returns the exclusive [`ComputeGuard`] for the key
+    /// (counting a miss). If another worker already holds the key's
+    /// guard, this call *blocks* until that computation resolves, then
+    /// hits on its result — or claims the guard itself if the
+    /// computation was abandoned. A capacity-0 (disabled) cache returns
+    /// an inert guard immediately and counts nothing.
+    pub fn begin(&self, key: u64) -> Lookup<'_> {
+        if self.capacity == 0 {
+            return Lookup::Miss(ComputeGuard {
+                cache: self,
+                key,
+                tracked: false,
+                done: false,
+            });
+        }
+        let mut inner = self.lock();
+        loop {
+            if let Some(pos) = inner.entries.iter().position(|(k, _)| *k == key) {
+                inner.hits += 1;
+                // lint:allow(panic) pos came from position() on the same deque under the same lock
+                let entry = inner.entries.remove(pos).expect("position just found");
+                let matrix = Arc::clone(&entry.1);
+                inner.entries.push_front(entry);
+                return Lookup::Hit(matrix);
+            }
+            if !inner.pending.contains(&key) {
+                inner.misses += 1;
+                inner.pending.push(key);
+                return Lookup::Miss(ComputeGuard {
+                    cache: self,
+                    key,
+                    tracked: true,
+                    done: false,
+                });
+            }
+            // Condvar::wait owns the guard hand-off, so lock_unpoisoned
+            // cannot wrap it; recovery follows the same poison policy
+            // (take the data as-is).
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner); // lint:allow(lock) Condvar::wait cannot route through lock_unpoisoned; same take-the-data poison policy
         }
     }
 
@@ -177,6 +299,62 @@ mod tests {
         // with caching off reads as pathologically bad instead of n/a.
         assert_eq!(stats.misses, 0);
         assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn single_flight_makes_waiters_hit() {
+        let cache = Arc::new(MatrixCache::new(4));
+        let Lookup::Miss(guard) = cache.begin(1) else {
+            panic!("empty cache must miss");
+        };
+        // A second worker asking for the same key must block until the
+        // leader fulfils, then observe a hit.
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || match cache.begin(1) {
+                Lookup::Hit(matrix) => matrix.get(0, 0),
+                Lookup::Miss(_) => panic!("waiter must not recompute a fulfilled key"),
+            })
+        };
+        // Give the waiter time to park on the pending key.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        guard.fulfil(matrix(2, 9));
+        assert_eq!(waiter.join().unwrap(), 9);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1), "one flight, one hit");
+    }
+
+    #[test]
+    fn abandoned_guard_lets_a_waiter_claim_the_computation() {
+        let cache = Arc::new(MatrixCache::new(4));
+        let Lookup::Miss(guard) = cache.begin(7) else {
+            panic!("empty cache must miss");
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || match cache.begin(7) {
+                Lookup::Hit(_) => panic!("nothing was ever inserted"),
+                Lookup::Miss(claimed) => claimed.fulfil(matrix(2, 3)),
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        drop(guard); // leader fails (deadline, error): key released
+        waiter.join().unwrap();
+        assert_eq!(cache.get(7).unwrap().get(0, 0), 3);
+    }
+
+    #[test]
+    fn disabled_cache_returns_inert_guards() {
+        let cache = MatrixCache::new(0);
+        let Lookup::Miss(guard) = cache.begin(1) else {
+            panic!("disabled cache can only miss");
+        };
+        guard.fulfil(matrix(2, 1));
+        assert!(cache.get(1).is_none(), "nothing is stored when disabled");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        // A second begin must not block on the first one's key.
+        assert!(matches!(cache.begin(1), Lookup::Miss(_)));
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub struct FaultPlan {
     stall_ms: u64,
     stall_budget: Arc<AtomicU64>,
     crash_budget: Arc<AtomicU64>,
+    reject_sockopt_budget: Arc<AtomicU64>,
 }
 
 impl FaultPlan {
@@ -68,9 +69,31 @@ impl FaultPlan {
         }
     }
 
+    /// Make arming the write deadline on each of the first `sockets`
+    /// over-capacity rejection sockets fail, as a hostile kernel/socket
+    /// state would. The front-end must treat that as fatal for the
+    /// socket — drop it unanswered — rather than fall back to a write
+    /// with no deadline that can wedge the accept path.
+    pub fn fail_reject_sockopt(sockets: u64) -> FaultPlan {
+        FaultPlan {
+            reject_sockopt_budget: Arc::new(AtomicU64::new(sockets)),
+            ..FaultPlan::default()
+        }
+    }
+
     /// How many injected stalls remain unclaimed.
     pub fn stalls_remaining(&self) -> u64 {
         self.stall_budget.load(Ordering::SeqCst)
+    }
+
+    /// How many injected rejection-socket setsockopt failures remain.
+    pub fn reject_sockopt_failures_remaining(&self) -> u64 {
+        self.reject_sockopt_budget.load(Ordering::SeqCst)
+    }
+
+    /// Claim one rejection-socket setsockopt failure, if any remain.
+    pub(crate) fn take_reject_sockopt_failure(&self) -> bool {
+        claim(&self.reject_sockopt_budget)
     }
 
     /// How many injected crashes remain unclaimed.
@@ -80,19 +103,7 @@ impl FaultPlan {
 
     /// Claim one crash from the budget, if the plan has any left.
     pub(crate) fn take_crash(&self) -> bool {
-        let mut remaining = self.crash_budget.load(Ordering::SeqCst);
-        while remaining > 0 {
-            match self.crash_budget.compare_exchange(
-                remaining,
-                remaining - 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
-                Ok(_) => return true,
-                Err(actual) => remaining = actual,
-            }
-        }
-        false
+        claim(&self.crash_budget)
     }
 
     /// Claim one stall from the budget, if the plan has any left.
@@ -100,20 +111,25 @@ impl FaultPlan {
         if self.stall_ms == 0 {
             return None;
         }
-        let mut remaining = self.stall_budget.load(Ordering::SeqCst);
-        while remaining > 0 {
-            match self.stall_budget.compare_exchange(
-                remaining,
-                remaining - 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
-                Ok(_) => return Some(Duration::from_millis(self.stall_ms)),
-                Err(actual) => remaining = actual,
-            }
+        if claim(&self.stall_budget) {
+            Some(Duration::from_millis(self.stall_ms))
+        } else {
+            None
         }
-        None
     }
+}
+
+/// Atomically claim one unit from a countdown budget shared by clones.
+fn claim(budget: &AtomicU64) -> bool {
+    let mut remaining = budget.load(Ordering::SeqCst);
+    while remaining > 0 {
+        match budget.compare_exchange(remaining, remaining - 1, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => return true,
+            Err(actual) => remaining = actual,
+        }
+    }
+    false
 }
 
 /// Ceiling on response frames the attack helpers are willing to read.
@@ -205,6 +221,20 @@ mod tests {
         assert_eq!(plan.stalls_remaining(), 0);
         assert!(plan.take_stall().is_none());
         assert_eq!(plan.crashes_remaining(), 0);
+        assert!(!plan.take_crash());
+        assert_eq!(plan.reject_sockopt_failures_remaining(), 0);
+        assert!(!plan.take_reject_sockopt_failure());
+    }
+
+    #[test]
+    fn reject_sockopt_budget_counts_down_and_is_shared_by_clones() {
+        let plan = FaultPlan::fail_reject_sockopt(1);
+        let clone = plan.clone();
+        assert!(clone.take_reject_sockopt_failure());
+        assert!(!plan.take_reject_sockopt_failure());
+        assert_eq!(plan.reject_sockopt_failures_remaining(), 0);
+        // A sockopt plan injects neither stalls nor crashes.
+        assert!(plan.take_stall().is_none());
         assert!(!plan.take_crash());
     }
 

@@ -32,6 +32,8 @@ pub struct ServiceMetrics {
     conns_timed_out: Arc<Counter>,
     conns_rejected: Arc<Counter>,
     deadline_exceeded: Arc<Counter>,
+    conns_open: Arc<Gauge>,
+    io_wakeups: Arc<Counter>,
 }
 
 impl Default for ServiceMetrics {
@@ -53,6 +55,8 @@ impl Default for ServiceMetrics {
             conns_timed_out: registry.counter("service_connections_timed_out_total"),
             conns_rejected: registry.counter("service_connections_rejected_total"),
             deadline_exceeded: registry.counter("service_jobs_deadline_exceeded_total"),
+            conns_open: registry.gauge("service_connections_open"),
+            io_wakeups: registry.counter("service_io_loop_wakeups_total"),
             registry,
         }
     }
@@ -124,6 +128,13 @@ impl ServiceMetrics {
         self.conns_rejected.inc();
     }
 
+    /// The event loop returned from one `epoll_wait`. The per-wakeup
+    /// cost is what the 10k-idle-connection target bounds: idle
+    /// connections must not generate wakeups.
+    pub fn io_loop_wakeup(&self) {
+        self.io_wakeups.inc();
+    }
+
     /// A Step-2 matrix cache lookup resolved as a hit or a miss.
     pub fn cache_lookup(&self, hit: bool) {
         if hit {
@@ -143,17 +154,20 @@ impl ServiceMetrics {
         self.rejected.get()
     }
 
-    /// Snapshot as the `stats` response payload. `queue_len`/`capacity`
-    /// and the cache counters are sampled by the caller so this module
-    /// stays independent of the queue and cache types.
+    /// Snapshot as the `stats` response payload. `queue_len`/`capacity`,
+    /// `connections_open` and the cache counters are sampled by the
+    /// caller so this module stays independent of the queue, gate and
+    /// cache types.
     pub fn snapshot(
         &self,
         workers: usize,
         queue_len: usize,
         queue_capacity: usize,
+        connections_open: usize,
         cache: CacheStats,
         cache_capacity: usize,
     ) -> Json {
+        self.conns_open.set(connections_open as i64);
         // Totals were recorded as integer microseconds, so dividing by
         // 1000 keeps millisecond totals exact for µs-granular inputs.
         let sum_ms = |h: &Histogram| Json::from(h.sum() as f64 / 1000.0);
@@ -213,6 +227,13 @@ impl ServiceMetrics {
                     ),
                 ]),
             ),
+            (
+                "io_loop",
+                Json::obj([
+                    ("connections_open", Json::from(connections_open)),
+                    ("wakeups", Json::from(self.io_wakeups.get())),
+                ]),
+            ),
         ])
     }
 
@@ -223,9 +244,11 @@ impl ServiceMetrics {
         workers: usize,
         queue_len: usize,
         queue_capacity: usize,
+        connections_open: usize,
         cache: CacheStats,
         cache_capacity: usize,
     ) -> String {
+        self.conns_open.set(connections_open as i64);
         self.registry.gauge("service_workers").set(workers as i64);
         self.registry
             .gauge("service_queue_length")
@@ -292,7 +315,7 @@ mod tests {
         assert_eq!(m.in_flight(), 0);
         assert_eq!(m.rejected(), 1);
 
-        let snap = m.snapshot(3, 1, 8, CacheStats::default(), 4);
+        let snap = m.snapshot(3, 1, 8, 0, CacheStats::default(), 4);
         let jobs = snap.get("jobs").unwrap();
         assert_eq!(jobs.get("submitted").unwrap().as_u64(), Some(2));
         assert_eq!(jobs.get("completed").unwrap().as_u64(), Some(1));
@@ -315,7 +338,7 @@ mod tests {
             misses: 3,
             entries: 2,
         };
-        let snap = m.snapshot(1, 0, 4, cache, 16);
+        let snap = m.snapshot(1, 0, 4, 0, cache, 16);
         let c = snap.get("cache").unwrap();
         assert_eq!(c.get("hits").unwrap().as_u64(), Some(7));
         assert_eq!(c.get("misses").unwrap().as_u64(), Some(3));
@@ -328,7 +351,7 @@ mod tests {
         let m = ServiceMetrics::new();
         m.job_started(Duration::from_micros(100));
         m.job_started(Duration::from_micros(200));
-        let snap = m.snapshot(1, 0, 4, CacheStats::default(), 4);
+        let snap = m.snapshot(1, 0, 4, 0, CacheStats::default(), 4);
         let wait = snap.get("queue").unwrap().get("wait_us").unwrap();
         assert_eq!(wait.get("count").unwrap().as_u64(), Some(2));
         assert_eq!(wait.get("sum").unwrap().as_u64(), Some(300));
@@ -351,7 +374,7 @@ mod tests {
             misses: 1,
             entries: 1,
         };
-        let text = m.prometheus(2, 0, 16, cache, 8);
+        let text = m.prometheus(2, 0, 16, 5, cache, 8);
         assert!(text.contains("# TYPE service_jobs_submitted_total counter"));
         assert!(text.contains("service_jobs_submitted_total 1\n"));
         assert!(text.contains("service_jobs_completed_total 1\n"));
@@ -376,14 +399,14 @@ mod tests {
         m.job_deadline_exceeded();
         assert_eq!(m.in_flight(), 0, "deadline expiry releases in-flight");
 
-        let snap = m.snapshot(1, 0, 4, CacheStats::default(), 4);
+        let snap = m.snapshot(1, 0, 4, 0, CacheStats::default(), 4);
         let h = snap.get("hardening").unwrap();
         assert_eq!(h.get("frames_too_large").unwrap().as_u64(), Some(2));
         assert_eq!(h.get("connections_timed_out").unwrap().as_u64(), Some(1));
         assert_eq!(h.get("connections_rejected").unwrap().as_u64(), Some(1));
         assert_eq!(h.get("deadline_exceeded").unwrap().as_u64(), Some(1));
 
-        let text = m.prometheus(1, 0, 4, CacheStats::default(), 4);
+        let text = m.prometheus(1, 0, 4, 0, CacheStats::default(), 4);
         assert!(text.contains("service_frames_too_large_total 2\n"));
         assert!(text.contains("service_connections_timed_out_total 1\n"));
         assert!(text.contains("service_connections_rejected_total 1\n"));
@@ -391,11 +414,28 @@ mod tests {
     }
 
     #[test]
+    fn io_loop_telemetry_flows_into_snapshot_and_prometheus() {
+        let m = ServiceMetrics::new();
+        m.io_loop_wakeup();
+        m.io_loop_wakeup();
+        m.io_loop_wakeup();
+
+        let snap = m.snapshot(1, 0, 4, 42, CacheStats::default(), 4);
+        let io = snap.get("io_loop").unwrap();
+        assert_eq!(io.get("connections_open").unwrap().as_u64(), Some(42));
+        assert_eq!(io.get("wakeups").unwrap().as_u64(), Some(3));
+
+        let text = m.prometheus(1, 0, 4, 42, CacheStats::default(), 4);
+        assert!(text.contains("service_connections_open 42\n"));
+        assert!(text.contains("service_io_loop_wakeups_total 3\n"));
+    }
+
+    #[test]
     fn two_instances_do_not_share_state() {
         let a = ServiceMetrics::new();
         let b = ServiceMetrics::new();
         a.job_submitted();
-        let snap = b.snapshot(1, 0, 1, CacheStats::default(), 1);
+        let snap = b.snapshot(1, 0, 1, 0, CacheStats::default(), 1);
         assert_eq!(
             snap.get("jobs").unwrap().get("submitted").unwrap().as_u64(),
             Some(0)

@@ -528,6 +528,98 @@ pub fn read_message(
         .map_err(|e| ReadError::Malformed(e.to_string()))
 }
 
+/// Incremental, bounded line framing for nonblocking sockets.
+///
+/// The event-driven front-end cannot park a thread in [`read_message`],
+/// so it feeds whatever bytes the socket had into an accumulator and
+/// pops complete frames as they form. The frame cap is enforced with the
+/// same discipline as [`read_message`]: each chunk is checked against
+/// `max_frame_bytes` *before* it is copied, so peak buffering per
+/// connection stays bounded no matter how many bytes a hostile peer
+/// streams without a newline.
+#[derive(Debug)]
+pub struct FrameAccumulator {
+    /// Complete newline-terminated lines, oldest first.
+    complete: std::collections::VecDeque<Vec<u8>>,
+    /// The in-progress line (no newline seen yet).
+    tail: Vec<u8>,
+    /// Frame cap in bytes (`usize::MAX` = unlimited).
+    limit: usize,
+}
+
+impl FrameAccumulator {
+    /// An empty accumulator enforcing `max_frame_bytes` per frame
+    /// (0 = unlimited, matching the `ServiceConfig` knob).
+    pub fn new(max_frame_bytes: usize) -> FrameAccumulator {
+        FrameAccumulator {
+            complete: std::collections::VecDeque::new(),
+            tail: Vec::new(),
+            limit: match max_frame_bytes {
+                0 => usize::MAX,
+                limit => limit,
+            },
+        }
+    }
+
+    /// Feed bytes read from the socket. Complete lines become poppable
+    /// via [`next_message`](FrameAccumulator::next_message).
+    ///
+    /// # Errors
+    /// [`ReadError::FrameTooLarge`] once any single frame would exceed
+    /// the cap — checked before the offending bytes are buffered.
+    /// Framing is lost at that point; the caller must stop feeding and
+    /// drop the connection after (optionally) answering.
+    pub fn extend(&mut self, mut chunk: &[u8]) -> Result<(), ReadError> {
+        while let Some(newline_at) = chunk.iter().position(|&b| b == b'\n') {
+            let segment = &chunk[..newline_at];
+            if self.tail.len() + segment.len() > self.limit {
+                return Err(ReadError::FrameTooLarge { limit: self.limit });
+            }
+            let mut line = std::mem::take(&mut self.tail);
+            line.extend_from_slice(segment);
+            self.complete.push_back(line);
+            chunk = &chunk[newline_at + 1..];
+        }
+        if self.tail.len() + chunk.len() > self.limit {
+            return Err(ReadError::FrameTooLarge { limit: self.limit });
+        }
+        self.tail.extend_from_slice(chunk);
+        Ok(())
+    }
+
+    /// Pop the next complete frame, parsed as JSON. `Ok(None)` means no
+    /// complete frame is buffered yet — feed more bytes.
+    ///
+    /// # Errors
+    /// [`ReadError::Malformed`] for a complete line that is not UTF-8
+    /// JSON; the line is consumed (the caller decides whether framing
+    /// trust is lost, mirroring [`read_message`]'s contract).
+    pub fn next_message(&mut self) -> Result<Option<Json>, ReadError> {
+        let Some(line) = self.complete.pop_front() else {
+            return Ok(None);
+        };
+        let text = match std::str::from_utf8(&line) {
+            Ok(text) => text,
+            Err(e) => return Err(ReadError::Malformed(e.to_string())),
+        };
+        Json::parse(text.trim_end_matches('\r'))
+            .map(Some)
+            .map_err(|e| ReadError::Malformed(e.to_string()))
+    }
+
+    /// Bytes of the in-progress (incomplete) frame — what a mid-frame
+    /// disconnect abandons.
+    pub fn partial_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// True when a stalled peer left an unfinished frame behind (the
+    /// slowloris posture) or finished frames are waiting to be served.
+    pub fn has_buffered_input(&self) -> bool {
+        !self.tail.is_empty() || !self.complete.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -715,5 +807,89 @@ mod tests {
         assert!(Request::from_json(&v).is_err());
         let v = Json::parse(r#"{"kind":"dance"}"#).unwrap();
         assert!(Response::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn accumulator_assembles_frames_across_arbitrary_chunking() {
+        let wire = b"{\"op\":\"ping\"}\n{\"op\":\"stats\"}\n{\"op\":";
+        for chunk_size in 1..wire.len() {
+            let mut acc = FrameAccumulator::new(TEST_LIMIT);
+            for chunk in wire.chunks(chunk_size) {
+                acc.extend(chunk).unwrap();
+            }
+            let first = acc.next_message().unwrap().unwrap();
+            assert_eq!(Request::from_json(&first), Ok(Request::Ping));
+            let second = acc.next_message().unwrap().unwrap();
+            assert_eq!(Request::from_json(&second), Ok(Request::Stats));
+            assert!(acc.next_message().unwrap().is_none());
+            assert_eq!(acc.partial_len(), b"{\"op\":".len());
+            assert!(acc.has_buffered_input());
+        }
+    }
+
+    #[test]
+    fn accumulator_handles_crlf_and_several_frames_in_one_chunk() {
+        let mut acc = FrameAccumulator::new(TEST_LIMIT);
+        acc.extend(b"{\"op\":\"ping\"}\r\n{\"op\":\"ping\"}\r\n")
+            .unwrap();
+        assert_eq!(
+            Request::from_json(&acc.next_message().unwrap().unwrap()),
+            Ok(Request::Ping)
+        );
+        assert_eq!(
+            Request::from_json(&acc.next_message().unwrap().unwrap()),
+            Ok(Request::Ping)
+        );
+        assert!(!acc.has_buffered_input());
+    }
+
+    #[test]
+    fn accumulator_enforces_the_limit_before_copying() {
+        let mut acc = FrameAccumulator::new(8);
+        acc.extend(b"12345678").unwrap(); // exactly at the cap
+        let err = acc.extend(b"9").unwrap_err();
+        assert!(matches!(err, ReadError::FrameTooLarge { limit: 8 }));
+        // The offending byte was never buffered.
+        assert_eq!(acc.partial_len(), 8);
+
+        // A complete frame inside one oversized chunk also trips it.
+        let mut acc = FrameAccumulator::new(8);
+        let err = acc.extend(b"123456789\n").unwrap_err();
+        assert!(matches!(err, ReadError::FrameTooLarge { limit: 8 }));
+    }
+
+    #[test]
+    fn accumulator_limit_counts_the_frame_not_the_connection() {
+        // Many small frames through one connection never trip the cap;
+        // only a single frame over it does.
+        let mut acc = FrameAccumulator::new(16);
+        for _ in 0..100 {
+            acc.extend(b"{\"op\":\"ping\"}\n").unwrap();
+        }
+        let mut frames = 0;
+        while acc.next_message().unwrap().is_some() {
+            frames += 1;
+        }
+        assert_eq!(frames, 100);
+    }
+
+    #[test]
+    fn accumulator_reports_malformed_lines() {
+        let mut acc = FrameAccumulator::new(TEST_LIMIT);
+        acc.extend(b"not json\n").unwrap();
+        assert!(matches!(acc.next_message(), Err(ReadError::Malformed(_))));
+        // Invalid UTF-8 is malformed too, not a panic.
+        let mut acc = FrameAccumulator::new(TEST_LIMIT);
+        acc.extend(&[0xff, 0xfe, b'\n']).unwrap();
+        assert!(matches!(acc.next_message(), Err(ReadError::Malformed(_))));
+    }
+
+    #[test]
+    fn accumulator_zero_limit_means_unlimited() {
+        let mut acc = FrameAccumulator::new(0);
+        let big = vec![b'1'; 1024 * 1024];
+        acc.extend(&big).unwrap();
+        acc.extend(b"\n").unwrap();
+        assert!(acc.next_message().unwrap().is_some());
     }
 }

@@ -1,14 +1,21 @@
 //! The batch mosaic server.
 //!
-//! Thread structure (all plain `std::thread`):
+//! Thread structure depends on the configured [`FrontEnd`]:
 //!
 //! ```text
+//! Threaded (oracle):
 //! accept loop ──spawns──▶ connection handlers (one per client)
 //!                              │  try_push(Job)           ▲ reply via mpsc
 //!                              ▼                          │
 //!                        bounded JobQueue ──pop──▶ worker pool (fixed size)
 //!                                                      │
 //!                                                MatrixCache (LRU)
+//!
+//! Epoll (default on linux/x86_64):
+//! readiness loop ──owns──▶ listener + every client socket
+//!        │  try_push(Job)                ▲ reply via CompletionBoard + eventfd
+//!        ▼                               │
+//!  bounded JobQueue ──pop──▶ worker pool (fixed size)
 //! ```
 //!
 //! Invariants:
@@ -43,6 +50,39 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Shorthand for the platforms the epoll front-end compiles on.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+use crate::event_loop::CompletionBoard;
+
+/// Which connection front-end owns client sockets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// Blocking `accept()` with one handler thread per connection — the
+    /// original front-end, kept compilable as the differential oracle
+    /// for the event-driven path and as the portable fallback.
+    Threaded,
+    /// A single nonblocking readiness loop (Linux epoll behind the
+    /// audited `std::os::fd` shim) owns the listener and every client
+    /// socket; complete frames are handed to the worker pool and
+    /// responses written back on writability. Connection capacity is
+    /// bounded by memory and the fd limit, not by OS threads.
+    Epoll,
+}
+
+impl Default for FrontEnd {
+    /// Event-driven where the shim exists; threaded everywhere else.
+    fn default() -> FrontEnd {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            FrontEnd::Epoll
+        }
+        #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+        {
+            FrontEnd::Threaded
+        }
+    }
+}
+
 /// Server tuning knobs. The hardening knobs (`max_frame_bytes`,
 /// `io_timeout_ms`, `max_connections`, `job_deadline_ms`) all treat `0`
 /// as "unlimited"; the defaults bound every per-connection and per-job
@@ -74,6 +114,8 @@ pub struct ServiceConfig {
     pub job_deadline_ms: u64,
     /// Fault-injection plan for tests; inert by default.
     pub faults: FaultPlan,
+    /// Which connection front-end to run; see [`FrontEnd`].
+    pub front_end: FrontEnd,
 }
 
 impl Default for ServiceConfig {
@@ -89,12 +131,13 @@ impl Default for ServiceConfig {
             max_connections: 64,
             job_deadline_ms: 60_000,
             faults: FaultPlan::default(),
+            front_end: FrontEnd::default(),
         }
     }
 }
 
-/// What the worker asks the handler to do with a finished job.
-enum WorkerReply {
+/// What the worker asks the front-end to do with a finished job.
+pub(crate) enum WorkerReply {
     /// Write this response back to the client.
     Respond(Response),
     /// Sever the connection with no response (injected crash: the
@@ -104,7 +147,7 @@ enum WorkerReply {
 
 /// What an accepted job actually runs once a worker picks it up. Both
 /// shapes share the same bounded queue, worker pool, and backpressure.
-enum JobPayload {
+pub(crate) enum JobPayload {
     /// A Step-1/2/3 generation job.
     Generate(Box<JobSpec>),
     /// A tile-library job: pruned rectangular assignment against an
@@ -112,26 +155,60 @@ enum JobPayload {
     Library(Box<LibraryJobSpec>),
 }
 
-/// One accepted job travelling from a handler to a worker.
-struct Job {
-    payload: JobPayload,
-    accepted_at: Instant,
-    reply: mpsc::Sender<WorkerReply>,
+/// Where a worker's finished reply goes — the two front-ends wait for
+/// workers differently, but the workers themselves cannot tell them
+/// apart.
+pub(crate) enum ReplyTo {
+    /// A blocked connection-handler thread (threaded front-end).
+    Handler(mpsc::Sender<WorkerReply>),
+    /// The readiness loop's completion board, keyed by the connection's
+    /// epoll token (event-driven front-end).
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Board {
+        token: u64,
+        board: Arc<CompletionBoard>,
+    },
 }
 
-struct Shared {
-    queue: JobQueue<Job>,
-    cache: MatrixCache,
-    metrics: ServiceMetrics,
-    shutdown: AtomicBool,
-    local_addr: SocketAddr,
-    config: ServiceConfig,
-    gate: ConnectionGate,
+impl ReplyTo {
+    /// Deliver the reply. A receiver that gave up (client gone, loop
+    /// exited) is not an error; the reply is simply dropped.
+    fn send(self, reply: WorkerReply) {
+        match self {
+            ReplyTo::Handler(tx) => {
+                let _ = tx.send(reply);
+            }
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            ReplyTo::Board { token, board } => board.deliver(token, reply),
+        }
+    }
+}
+
+/// One accepted job travelling from a front-end to a worker.
+pub(crate) struct Job {
+    pub(crate) payload: JobPayload,
+    pub(crate) accepted_at: Instant,
+    pub(crate) reply: ReplyTo,
+}
+
+pub(crate) struct Shared {
+    pub(crate) queue: JobQueue<Job>,
+    pub(crate) cache: MatrixCache,
+    pub(crate) metrics: ServiceMetrics,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) config: ServiceConfig,
+    pub(crate) gate: ConnectionGate,
     /// One persistent compute pool per server, sized by `workers`: every
     /// job's parallel stages (threaded Step 2, pooled Step-3 search, the
     /// GpuSim block lanes) dispatch here instead of spawning scoped
     /// threads per call.
-    compute_pool: Arc<ThreadPool>,
+    pub(crate) compute_pool: Arc<ThreadPool>,
+    /// Present when the event-driven front-end is running: shutdown
+    /// wakes the loop through this board instead of the self-connect
+    /// trick the blocking accept loop needs.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    pub(crate) board: Option<Arc<CompletionBoard>>,
 }
 
 impl Shared {
@@ -144,19 +221,26 @@ impl Shared {
     }
 
     /// The per-connection socket deadline (None = no deadline).
-    fn io_timeout(&self) -> Option<Duration> {
+    pub(crate) fn io_timeout(&self) -> Option<Duration> {
         match self.config.io_timeout_ms {
             0 => None,
             ms => Some(Duration::from_millis(ms)),
         }
     }
 
-    fn begin_shutdown(&self) {
+    pub(crate) fn begin_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return; // already shutting down
         }
         // Stop intake; workers drain what was already accepted.
         self.queue.close();
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        if let Some(board) = &self.board {
+            // The readiness loop sleeps in `epoll_wait`; its eventfd
+            // waker gets it moving again.
+            board.wake();
+            return;
+        }
         // The accept loop sits in a blocking `accept()`; a throw-away
         // connection to ourselves wakes it so it can observe the flag.
         let _ = TcpStream::connect(self.local_addr);
@@ -167,6 +251,7 @@ impl Shared {
             self.config.workers,
             self.queue.len(),
             self.queue.capacity(),
+            self.gate.active(),
             self.cache.stats(),
             self.cache.capacity(),
         )
@@ -177,6 +262,7 @@ impl Shared {
             self.config.workers,
             self.queue.len(),
             self.queue.capacity(),
+            self.gate.active(),
             self.cache.stats(),
             self.cache.capacity(),
         )
@@ -204,6 +290,28 @@ impl Server {
         mosaic_grid::init_simd_kernels();
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+
+        // Build the event-driven front-end's kernel objects before the
+        // workers spawn, so a failed epoll/eventfd creation surfaces as
+        // a clean start error instead of a half-running server.
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        let io_front = match config.front_end {
+            FrontEnd::Threaded => None,
+            FrontEnd::Epoll => {
+                listener.set_nonblocking(true)?;
+                let poller = crate::epoll::Poller::new()?;
+                let board = CompletionBoard::new(crate::epoll::EventWaker::new()?);
+                Some((poller, board))
+            }
+        };
+        #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+        if config.front_end == FrontEnd::Epoll {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "the epoll front-end needs linux/x86_64; use FrontEnd::Threaded",
+            ));
+        }
+
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             cache: MatrixCache::new(config.cache_capacity),
@@ -213,6 +321,8 @@ impl Server {
             gate: ConnectionGate::new(config.max_connections),
             config: config.clone(),
             compute_pool: Arc::new(ThreadPool::new(config.workers.max(1))),
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            board: io_front.as_ref().map(|(_, board)| Arc::clone(board)),
         });
 
         // A failed spawn (thread exhaustion) must not leave earlier
@@ -238,10 +348,20 @@ impl Server {
             }
         }
 
-        let accept_shared = Arc::clone(&shared);
+        let io_shared = Arc::clone(&shared);
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        let io_main: Box<dyn FnOnce() + Send> = match io_front {
+            Some((poller, board)) => {
+                Box::new(move || crate::event_loop::run(listener, poller, board, io_shared))
+            }
+            None => Box::new(move || accept_loop(&listener, &io_shared)),
+        };
+        #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+        let io_main: Box<dyn FnOnce() + Send> =
+            Box::new(move || accept_loop(&listener, &io_shared));
         let accept_handle = match std::thread::Builder::new()
-            .name("mosaic-accept".to_string())
-            .spawn(move || accept_loop(&listener, &accept_shared))
+            .name("mosaic-io".to_string())
+            .spawn(io_main)
         {
             Ok(handle) => handle,
             Err(e) => return abort(worker_handles, e),
@@ -295,14 +415,24 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     // backpressure shape right here on the accept thread
                     // (bounded by the write deadline) and drop the socket.
                     shared.metrics.connection_rejected();
-                    let _ = stream.set_write_timeout(shared.io_timeout());
-                    let _ = write_message(
-                        &mut &stream,
-                        &Response::Rejected {
-                            retry_after_ms: shared.config.retry_after_ms,
-                        }
-                        .to_json(),
-                    );
+                    // The write below happens on the accept thread, so
+                    // it is only safe under an armed deadline. If the
+                    // deadline cannot be set (hostile socket state, or
+                    // the fault plan simulating it), writing anyway
+                    // would let one slow rejected client wedge every
+                    // future accept — treat the setsockopt failure as
+                    // fatal for this socket and drop it unanswered.
+                    let deadline_armed = !shared.config.faults.take_reject_sockopt_failure()
+                        && stream.set_write_timeout(shared.io_timeout()).is_ok();
+                    if deadline_armed {
+                        let _ = write_message(
+                            &mut &stream,
+                            &Response::Rejected {
+                                retry_after_ms: shared.config.retry_after_ms,
+                            }
+                            .to_json(),
+                        );
+                    }
                     continue;
                 };
                 let shared = Arc::clone(shared);
@@ -373,34 +503,53 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, permit: Connection
         };
         let response = match Request::from_json(&message) {
             Err(problem) => Response::Error { message: problem },
-            Ok(Request::Ping) => Response::Pong,
-            Ok(Request::Stats) => Response::Stats {
-                stats: shared.stats_snapshot(),
-            },
-            Ok(Request::Metrics) => Response::Metrics {
-                text: shared.prometheus_text(),
-            },
-            Ok(Request::Shutdown) => {
-                shared.begin_shutdown();
-                Response::ShuttingDown
-            }
-            Ok(Request::GatewayInfo) => Response::Error {
-                message: "this server is a backend, not a gateway".to_string(),
-            },
-            Ok(Request::Submit(spec)) => match submit(JobPayload::Generate(spec), shared) {
-                WorkerReply::Respond(response) => response,
-                // Injected crash: vanish mid-job, no response, no close
-                // handshake beyond the socket drop.
-                WorkerReply::Sever => return,
-            },
-            Ok(Request::Library(spec)) => match submit(JobPayload::Library(spec), shared) {
-                WorkerReply::Respond(response) => response,
-                WorkerReply::Sever => return,
+            Ok(request) => match dispatch_request(request, shared) {
+                Dispatch::Inline(response) => response,
+                Dispatch::Enqueue(payload) => match submit(payload, shared) {
+                    WorkerReply::Respond(response) => response,
+                    // Injected crash: vanish mid-job, no response, no
+                    // close handshake beyond the socket drop.
+                    WorkerReply::Sever => return,
+                },
             },
         };
         if write_message(&mut writer, &response.to_json()).is_err() {
             return;
         }
+    }
+}
+
+/// Where one parsed request goes.
+pub(crate) enum Dispatch {
+    /// Answered inline by the I/O layer; no worker involved.
+    Inline(Response),
+    /// Must travel through the bounded queue to a worker.
+    Enqueue(JobPayload),
+}
+
+/// Route one request — the single dispatch table shared by both
+/// front-ends, so their inline answers are byte-identical by
+/// construction. Submissions come back as payloads because the two
+/// front-ends wait for workers differently (a blocked handler thread
+/// versus the completion board).
+pub(crate) fn dispatch_request(request: Request, shared: &Shared) -> Dispatch {
+    match request {
+        Request::Ping => Dispatch::Inline(Response::Pong),
+        Request::Stats => Dispatch::Inline(Response::Stats {
+            stats: shared.stats_snapshot(),
+        }),
+        Request::Metrics => Dispatch::Inline(Response::Metrics {
+            text: shared.prometheus_text(),
+        }),
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            Dispatch::Inline(Response::ShuttingDown)
+        }
+        Request::GatewayInfo => Dispatch::Inline(Response::Error {
+            message: "this server is a backend, not a gateway".to_string(),
+        }),
+        Request::Submit(spec) => Dispatch::Enqueue(JobPayload::Generate(spec)),
+        Request::Library(spec) => Dispatch::Enqueue(JobPayload::Library(spec)),
     }
 }
 
@@ -412,7 +561,7 @@ fn submit(payload: JobPayload, shared: &Arc<Shared>) -> WorkerReply {
     let job = Job {
         payload,
         accepted_at: Instant::now(),
-        reply: reply_tx,
+        reply: ReplyTo::Handler(reply_tx),
     };
     match shared.queue.try_push(job) {
         Ok(()) => {
@@ -455,7 +604,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             // are refused. Jobs already queued still drain below.
             shared.metrics.job_failed();
             shared.begin_shutdown();
-            let _ = job.reply.send(WorkerReply::Sever);
+            job.reply.send(WorkerReply::Sever);
             continue;
         }
         let queue_wait_ms = queue_wait.as_secs_f64() * 1000.0;
@@ -481,8 +630,9 @@ fn worker_loop(shared: &Arc<Shared>) {
             },
             JobPayload::Library(spec) => execute_library_job(spec, shared, queue_wait_ms),
         };
-        // A handler that gave up (client gone) is not an error.
-        let _ = job.reply.send(WorkerReply::Respond(response));
+        // A front-end that gave up on this job (client gone) is not an
+        // error; `ReplyTo::send` drops the reply in that case.
+        job.reply.send(WorkerReply::Respond(response));
     }
 }
 
@@ -543,8 +693,11 @@ fn execute(
 ) -> Result<Response, JobFailure> {
     let (input, target) = spec.resolve().map_err(JobFailure::Error)?;
     let key = spec.cache_key();
-    let (result, cache_hit) = match shared.cache.get(key) {
-        Some(matrix) => {
+    // Single-flight lookup: if an identical job is computing its matrix
+    // on another worker right now, this blocks until that matrix lands
+    // and then hits, instead of duplicating the Step-2 work.
+    let (result, cache_hit) = match shared.cache.begin(key) {
+        crate::cache::Lookup::Hit(matrix) => {
             let result = generate_with_matrix_bounded_in(
                 &shared.compute_pool,
                 &input,
@@ -556,9 +709,10 @@ fn execute(
             .map_err(generate_failure)?;
             (result, true)
         }
-        None => {
+        crate::cache::Lookup::Miss(guard) => {
             // On deadline expiry no matrix is cached: a partial build must
-            // not poison future hits.
+            // not poison future hits (the guard's drop releases the key
+            // for whoever retries).
             let (result, matrix) = generate_returning_matrix_bounded_in(
                 &shared.compute_pool,
                 &input,
@@ -567,7 +721,7 @@ fn execute(
                 deadline,
             )
             .map_err(generate_failure)?;
-            shared.cache.insert(key, Arc::new(matrix));
+            guard.fulfil(Arc::new(matrix));
             (result, false)
         }
     };

@@ -245,6 +245,7 @@ fn help_documents_every_subcommand() {
         "--clusters",
         "--top-clusters",
         "--feature-grid",
+        "--front-end",
     ] {
         assert!(usage.contains(word), "usage lost {word:?}");
     }

@@ -1,0 +1,328 @@
+//! Differential tests: the event-driven (epoll) connection front-end
+//! against the threaded oracle (DESIGN §17). Both front-ends run the
+//! same fault scripts and must produce byte-identical wire replies and
+//! matching hardening counters; the suite closes with the idle-scale
+//! soak only the event-driven design can attempt.
+
+#![cfg(all(target_os = "linux", target_arch = "x86_64"))]
+
+use mosaic_image::synth::Scene;
+use mosaic_service::fault::{disconnect_mid_frame, stalled_connection_is_closed};
+use mosaic_service::protocol::Response;
+use mosaic_service::{Client, FrontEnd, Server, ServiceConfig};
+use photomosaic::{Backend, ImageSource, JobSpec, Json, MosaicBuilder};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Every scenario runs once per front-end; index 0 is the system under
+/// test, index 1 the oracle.
+const FRONT_ENDS: [FrontEnd; 2] = [FrontEnd::Epoll, FrontEnd::Threaded];
+
+fn spec(scene: Scene, seed: u64, grid: usize) -> JobSpec {
+    JobSpec {
+        input: ImageSource::Synth {
+            scene,
+            size: 32,
+            seed,
+        },
+        target: ImageSource::Synth {
+            scene: Scene::Regatta,
+            size: 32,
+            seed: seed + 100,
+        },
+        config: MosaicBuilder::new()
+            .grid(grid)
+            .backend(Backend::Serial)
+            .build(),
+    }
+}
+
+/// Connect, send `payload`, half-close, and collect the connection's
+/// entire reply stream until the server closes it.
+fn raw_exchange(addr: SocketAddr, payload: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(payload).expect("send payload");
+    stream.shutdown(std::net::Shutdown::Write).ok();
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            // A reset after the reply (or instead of one) ends the
+            // stream just as EOF does for comparison purposes.
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+fn hardening_counter(client: &mut Client, key: &str) -> u64 {
+    let Response::Stats { stats } = client.stats().unwrap() else {
+        panic!("expected stats");
+    };
+    stats
+        .get("hardening")
+        .and_then(|h| h.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing hardening counter {key:?}"))
+}
+
+fn io_loop_stat(client: &mut Client, key: &str) -> u64 {
+    let Response::Stats { stats } = client.stats().unwrap() else {
+        panic!("expected stats");
+    };
+    stats
+        .get("io_loop")
+        .and_then(|h| h.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing io_loop stat {key:?}"))
+}
+
+/// Keep connecting until a connection survives a ping — permit release
+/// races the reconnect after slots free up.
+fn connect_with_retry(addr: SocketAddr) -> Client {
+    for _ in 0..200 {
+        if let Ok(mut client) = Client::connect(addr) {
+            match client.ping() {
+                Ok(Response::Pong) => return client,
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+    panic!("server never accepted a new connection after slots freed");
+}
+
+/// An oversized frame draws the same reply bytes and the same counter
+/// from both front-ends.
+#[test]
+fn differential_oversized_frame_replies_are_byte_identical() {
+    let mut replies = Vec::new();
+    for front_end in FRONT_ENDS {
+        let server = Server::start(ServiceConfig {
+            max_frame_bytes: 1024,
+            front_end,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+
+        // 4 KiB of garbage with no terminator: trips the limit before
+        // any parse, on both framing implementations.
+        let reply = raw_exchange(addr, &vec![b'x'; 4096]);
+
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(
+            hardening_counter(&mut client, "frames_too_large"),
+            1,
+            "{front_end:?}"
+        );
+        client.shutdown().unwrap();
+        server.join();
+        replies.push(reply);
+    }
+    assert!(
+        !replies[0].is_empty(),
+        "oversized frame must draw a typed reply, not a bare close"
+    );
+    assert_eq!(replies[0], replies[1], "front-end replies diverge");
+}
+
+/// Both front-ends disconnect a slowloris within the io timeout and
+/// count it the same way.
+#[test]
+fn differential_slowloris_is_disconnected_by_both_front_ends() {
+    for front_end in FRONT_ENDS {
+        let server = Server::start(ServiceConfig {
+            io_timeout_ms: 200,
+            front_end,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+
+        let severed =
+            stalled_connection_is_closed(addr, b"{\"op\":\"sub", Duration::from_secs(5)).unwrap();
+        assert!(severed, "{front_end:?} kept a stalled connection");
+
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(
+            hardening_counter(&mut client, "connections_timed_out"),
+            1,
+            "{front_end:?}"
+        );
+        client.shutdown().unwrap();
+        server.join();
+    }
+}
+
+/// Over-capacity connections draw the same rejection bytes from both
+/// front-ends, and both recover once the slot frees.
+#[test]
+fn differential_flood_rejection_bytes_match_and_both_recover() {
+    let mut replies = Vec::new();
+    for front_end in FRONT_ENDS {
+        let server = Server::start(ServiceConfig {
+            max_connections: 1,
+            retry_after_ms: 7,
+            front_end,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+
+        // Hold the only slot with a proven-registered connection.
+        let mut holder = Client::connect(addr).unwrap();
+        assert!(matches!(holder.ping().unwrap(), Response::Pong));
+
+        replies.push(raw_exchange(addr, b"{\"op\":\"ping\"}\n"));
+
+        drop(holder);
+        // Reconnect attempts race the permit release, so retries may be
+        // rejected too — the counter is a floor, not an exact count.
+        let mut client = connect_with_retry(addr);
+        assert!(
+            hardening_counter(&mut client, "connections_rejected") >= 1,
+            "{front_end:?}"
+        );
+        client.shutdown().unwrap();
+        server.join();
+    }
+    assert!(!replies[0].is_empty(), "rejection must be answered");
+    assert_eq!(replies[0], replies[1], "rejection replies diverge");
+}
+
+/// Clients vanishing mid-frame leave both front-ends in the same
+/// observable state: no phantom jobs, same counters, still serving.
+#[test]
+fn differential_mid_frame_disconnects_leave_identical_state() {
+    let mut states = Vec::new();
+    for front_end in FRONT_ENDS {
+        let server = Server::start(ServiceConfig {
+            front_end,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+
+        for _ in 0..3 {
+            disconnect_mid_frame(addr, b"{\"op\":\"submit\",\"spec\":{").unwrap();
+        }
+
+        let mut client = Client::connect(addr).unwrap();
+        let response = client.submit(&spec(Scene::Drapery, 35, 4)).unwrap();
+        assert!(matches!(response, Response::Result { .. }), "{front_end:?}");
+        let Response::Stats { stats } = client.stats().unwrap() else {
+            panic!("expected stats");
+        };
+        let jobs = stats.get("jobs").unwrap();
+        states.push((
+            jobs.get("submitted").and_then(Json::as_u64),
+            jobs.get("completed").and_then(Json::as_u64),
+            jobs.get("in_flight").and_then(Json::as_u64),
+            jobs.get("rejected").and_then(Json::as_u64),
+        ));
+        client.shutdown().unwrap();
+        server.join();
+    }
+    assert_eq!(states[0], (Some(1), Some(1), Some(0), Some(0)));
+    assert_eq!(states[0], states[1], "post-disconnect state diverges");
+}
+
+/// The same job spec produces byte-identical result JSON through both
+/// front-ends.
+#[test]
+fn differential_generation_results_are_byte_identical() {
+    let mut encodings = Vec::new();
+    for front_end in FRONT_ENDS {
+        let server = Server::start(ServiceConfig {
+            front_end,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let Response::Result { result } = client.submit(&spec(Scene::Portrait, 41, 4)).unwrap()
+        else {
+            panic!("expected a result");
+        };
+        // The report embeds wall-clock timings, which can never be
+        // byte-identical; the mosaic itself and every deterministic
+        // quality figure must be.
+        let report = result.get("report").expect("report");
+        encodings.push((
+            result.get("image").expect("image").encode(),
+            result.get("assignment").expect("assignment").encode(),
+            report.get("config").expect("config").encode(),
+            report.get("total_error").and_then(Json::as_u64),
+            report.get("sweeps").and_then(Json::as_u64),
+            report.get("swaps").and_then(Json::as_u64),
+        ));
+        client.shutdown().unwrap();
+        server.join();
+    }
+    assert_eq!(encodings[0], encodings[1], "result JSON diverges");
+}
+
+/// The scale target: a thousand idle connections held open by the
+/// event-driven front-end with the default worker count, while real
+/// work still completes; dropping them releases the gate.
+#[test]
+fn soak_thousand_idle_connections_event_driven() {
+    let server = Server::start(ServiceConfig {
+        // Unlimited gate — scale is the point; every other knob
+        // (including `workers`) stays at its default.
+        max_connections: 0,
+        front_end: FrontEnd::Epoll,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut idle = Vec::with_capacity(1000);
+    for i in 0..1000 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => idle.push(stream),
+            Err(err) => panic!("idle connection {i} failed: {err}"),
+        }
+    }
+
+    // Accepts may lag the connects; poll the gauge until the loop has
+    // registered the whole population (plus this control client).
+    let mut client = Client::connect(addr).unwrap();
+    let mut open = 0;
+    for _ in 0..400 {
+        open = io_loop_stat(&mut client, "connections_open");
+        if open >= 1001 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(open >= 1001, "only {open} connections registered");
+
+    // Real work still flows with the default worker count.
+    let response = client.submit(&spec(Scene::Fur, 47, 4)).unwrap();
+    assert!(matches!(response, Response::Result { .. }));
+    assert!(
+        io_loop_stat(&mut client, "wakeups") > 0,
+        "io loop must be doing the accepting"
+    );
+
+    // Dropping the idle population releases every gate slot.
+    drop(idle);
+    let mut open = u64::MAX;
+    for _ in 0..400 {
+        open = io_loop_stat(&mut client, "connections_open");
+        if open <= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(open <= 1, "{open} connections still held after drop");
+
+    client.shutdown().unwrap();
+    server.join();
+}

@@ -309,6 +309,45 @@ fn fault_connection_flood_beyond_the_cap_is_rejected_then_recovers() {
     server.join();
 }
 
+/// When arming the write deadline on an over-capacity socket fails, the
+/// server must drop that socket unanswered rather than risk a blocking
+/// courtesy write — and the failure must not wedge the accept path.
+#[test]
+fn fault_reject_sockopt_failure_drops_socket_without_wedging_accept() {
+    let server = Server::start(ServiceConfig {
+        max_connections: 1,
+        retry_after_ms: 9,
+        faults: FaultPlan::fail_reject_sockopt(1),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    let first = Client::connect(addr).unwrap();
+    // Second connection: over capacity AND the injected setsockopt
+    // failure fires — the socket is dropped without the courtesy
+    // `rejected` line, so the ping sees EOF (or a reset).
+    let mut second = Client::connect(addr).unwrap();
+    assert!(
+        second.ping().is_err(),
+        "socket with a failed write deadline must be dropped unanswered"
+    );
+    // Third connection: the budget is spent, so the normal armed-write
+    // rejection shape is back. The accept path never wedged.
+    let mut third = Client::connect(addr).unwrap();
+    match third.ping() {
+        Ok(Response::Rejected { retry_after_ms }) => assert_eq!(retry_after_ms, 9),
+        other => panic!("expected rejection at the connection cap, got {other:?}"),
+    }
+
+    // Both over-capacity sockets count as rejected, answered or not.
+    drop(first);
+    let mut client = connect_with_retry(addr);
+    assert_eq!(hardening_counter(&mut client, "connections_rejected"), 2);
+    client.shutdown().unwrap();
+    server.join();
+}
+
 /// Keep connecting until a connection survives a ping — used after
 /// freeing connection slots, where permit release races the reconnect.
 fn connect_with_retry(addr: std::net::SocketAddr) -> Client {
